@@ -1,0 +1,126 @@
+// Ablations over the design choices DESIGN.md calls out, on the Figure 7
+// workload with the eight evaluation queries under Sonata plans:
+//
+//   A1  collision-chain depth d          (paper §3.1.3 / Figure 3)
+//   A2  register headroom factor         (n = headroom * training keys, §3.3)
+//   A3  relaxed-threshold margin         (§4.1's trained thresholds)
+//   A4  number of candidate refinement levels (§6.1 found >8 levels marginal)
+//
+// Reported per setting: planner-estimated tuples/window, measured tuples,
+// measured collision-overflow records, and detection coverage (fraction of
+// the seven ground-truth attacks detected at least once).
+#include <cstdio>
+#include <set>
+
+#include "common.h"
+
+using namespace sonata;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t est = 0;
+  std::uint64_t measured = 0;
+  std::uint64_t overflow = 0;
+  double coverage = 0.0;
+};
+
+Outcome evaluate(const bench::Workload& workload,
+                 const std::vector<planner::TupleWindow>& windows,
+                 const std::vector<query::Query>& queries, planner::PlannerConfig cfg) {
+  cfg.window = workload.window;
+  const auto plan = planner::Planner(cfg).plan_windows(queries, windows);
+  runtime::Runtime rt(plan);
+  Outcome out;
+  out.est = plan.est_total_tuples;
+  std::set<std::pair<query::QueryId, std::uint64_t>> hits;
+  for (const auto& ws : rt.run_trace(workload.trace)) {
+    out.measured += ws.tuples_to_sp;
+    out.overflow += ws.overflow_records;
+    for (const auto& r : ws.results) {
+      for (const auto& t : r.outputs) hits.insert({r.qid, t.at(0).as_uint()});
+    }
+  }
+  const std::vector<std::pair<query::QueryId, std::uint64_t>> truth = {
+      {1, workload.syn_victim},   {2, workload.ssh_victim},       {3, workload.spreader},
+      {4, workload.scanner},      {5, workload.ddos_victim},      {6, workload.syn_victim},
+      {7, workload.incomplete_victim}, {8, workload.slowloris_victim}};
+  int found = 0;
+  for (const auto& t : truth) found += hits.contains(t) ? 1 : 0;
+  out.coverage = static_cast<double>(found) / static_cast<double>(truth.size());
+  return out;
+}
+
+std::vector<std::string> row(const std::string& label, const Outcome& o) {
+  char cov[16];
+  std::snprintf(cov, sizeof cov, "%.0f%%", o.coverage * 100.0);
+  return {label, bench::fmt_count(o.est), bench::fmt_count(o.measured),
+          bench::fmt_count(o.overflow), cov};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  const auto workload = bench::make_eval_workload(opts);
+  const auto windows = planner::materialize_windows(workload.trace, workload.window);
+  const auto queries = queries::evaluation_queries(workload.thresholds, workload.window);
+  const std::vector<std::string> header = {"setting", "est/window", "measured", "overflow",
+                                           "attacks found"};
+
+  std::printf("Ablations (8 queries, Sonata plans, %zu packets)\n", workload.trace.size());
+
+  {
+    std::printf("\nA1: register chain depth d (collision mitigation, Fig. 3)\n\n");
+    std::vector<std::vector<std::string>> rows;
+    for (const int d : {1, 2, 3, 4}) {
+      planner::PlannerConfig cfg;
+      cfg.register_depth = d;
+      rows.push_back(row("d=" + std::to_string(d), evaluate(workload, windows, queries, cfg)));
+    }
+    bench::print_table(header, rows);
+  }
+
+  {
+    std::printf("\nA2: register headroom (n = headroom * median training keys)\n\n");
+    std::vector<std::vector<std::string>> rows;
+    for (const double h : {0.5, 1.0, 2.0, 3.0, 6.0}) {
+      planner::PlannerConfig cfg;
+      cfg.register_headroom = h;
+      char label[16];
+      std::snprintf(label, sizeof label, "h=%.1f", h);
+      rows.push_back(row(label, evaluate(workload, windows, queries, cfg)));
+    }
+    bench::print_table(header, rows);
+  }
+
+  {
+    std::printf("\nA3: relaxed-threshold margin (1.0 = exact training minimum)\n\n");
+    std::vector<std::vector<std::string>> rows;
+    for (const double m : {0.25, 0.5, 0.75, 1.0}) {
+      planner::PlannerConfig cfg;
+      cfg.relax_margin = m;
+      char label[16];
+      std::snprintf(label, sizeof label, "margin=%.2f", m);
+      rows.push_back(row(label, evaluate(workload, windows, queries, cfg)));
+    }
+    bench::print_table(header, rows);
+  }
+
+  {
+    std::printf("\nA4: candidate refinement levels (paper used 8; >8 marginal)\n\n");
+    std::vector<std::vector<std::string>> rows;
+    const std::vector<std::pair<std::string, std::vector<int>>> settings = {
+        {"{16}", {16}},
+        {"{8,16,24}", {8, 16, 24}},
+        {"{4..28 by 4}", {4, 8, 12, 16, 20, 24, 28}},
+    };
+    for (const auto& [label, levels] : settings) {
+      planner::PlannerConfig cfg;
+      cfg.ip_levels = levels;
+      rows.push_back(row(label, evaluate(workload, windows, queries, cfg)));
+    }
+    bench::print_table(header, rows);
+  }
+  return 0;
+}

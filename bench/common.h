@@ -1,0 +1,79 @@
+// Shared benchmark support: the evaluation workload (the CAIDA-stand-in,
+// scaled down from the paper's 20 Mpps border link — see DESIGN.md), plan
+// helpers and table formatting.
+//
+// Every figure/table binary accepts:
+//   --scale=<float>   background-traffic multiplier (default 1.0)
+//   --seed=<u64>      workload seed (default 2018)
+// so results are reproducible and machines of any size can run them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "planner/planner.h"
+#include "queries/catalog.h"
+#include "runtime/runtime.h"
+#include "trace/trace.h"
+
+namespace sonata::bench {
+
+struct Options {
+  double scale = 1.0;
+  std::uint64_t seed = 2018;
+};
+
+// Parse --scale/--seed; ignores unknown flags (so gbench flags pass through).
+[[nodiscard]] Options parse_options(int argc, char** argv);
+
+struct Workload {
+  std::vector<net::Packet> trace;
+  queries::Thresholds thresholds;
+  util::Nanos window = util::seconds(3);
+
+  // Ground-truth attack endpoints (reported in benchmark output).
+  std::uint32_t syn_victim = 0;
+  std::uint32_t ssh_victim = 0;
+  std::uint32_t spreader = 0;
+  std::uint32_t scanner = 0;
+  std::uint32_t ddos_victim = 0;
+  std::uint32_t incomplete_victim = 0;
+  std::uint32_t slowloris_victim = 0;
+};
+
+// The Figure 7/8 workload: 24 s of border-link background plus the seven
+// layer-3/4 attacks, steady from t=2 s to t=22 s.
+[[nodiscard]] Workload make_eval_workload(const Options& opts);
+
+// The Figure 9 workload: background plus the telnet/zorro attack starting
+// at t=10 s, shell commands at t=20 s (paper's timeline).
+struct ZorroWorkload {
+  std::vector<net::Packet> trace;
+  queries::Thresholds thresholds;
+  trace::ZorroConfig attack;
+  util::Nanos window = util::seconds(3);
+};
+[[nodiscard]] ZorroWorkload make_zorro_workload(const Options& opts);
+
+// Run a plan's runtime over a trace; returns total tuples sent to the SP.
+struct RunMeasurement {
+  std::uint64_t tuples_to_sp = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t overflow_records = 0;
+  std::size_t windows = 0;
+};
+[[nodiscard]] RunMeasurement measure_runtime(const planner::Plan& plan,
+                                             std::span<const net::Packet> trace);
+
+// Markdown-ish table printing.
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+[[nodiscard]] std::string fmt_count(std::uint64_t v);     // 1234567 -> "1.23e6"
+[[nodiscard]] std::string fmt_bits(std::uint64_t bits);   // -> "1900 Kb"
+
+// All five plan modes in Table 4 order.
+[[nodiscard]] const std::vector<planner::PlanMode>& all_modes();
+
+}  // namespace sonata::bench

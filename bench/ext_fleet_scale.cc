@@ -1,0 +1,75 @@
+// Extension benchmark: network-wide telemetry scale-out (DESIGN.md §6).
+//
+// One Sonata plan deployed on 1..8 switches that share a border link's
+// traffic (ECMP-hashed). Reported per fleet size: tuples reaching the
+// shared stream processor, the busiest switch's packet share, and whether
+// the aggregate-only victim (below threshold on every single switch) is
+// detected — the capability a single-switch deployment cannot provide.
+#include <cstdio>
+
+#include "common.h"
+#include "runtime/fleet.h"
+#include "util/ip.h"
+
+using namespace sonata;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+
+  // Workload: background plus a flood whose *per-switch* share stays below
+  // threshold for fleets of 2+ switches.
+  const std::uint32_t victim = util::ipv4(120, 3, 0, 9);
+  trace::BackgroundConfig bg;
+  bg.duration_sec = 15.0;
+  bg.flows_per_sec = 600.0 * opts.scale;
+  trace::TraceBuilder builder(opts.seed);
+  builder.background(bg);
+  trace::SynFloodConfig flood;
+  flood.victim = victim;
+  flood.start_sec = 2.0;
+  flood.duration_sec = 12.0;
+  flood.pps = 900;  // ~2700 SYN/window network-wide
+  builder.add(flood);
+  const auto trace = builder.build();
+
+  queries::Thresholds th;
+  th.newly_opened = 1500;  // below the network-wide sum, above any 1/2+ share
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(3)));
+
+  planner::PlannerConfig cfg;
+  cfg.mode = planner::PlanMode::kMaxDP;
+  const auto plan = planner::Planner(cfg).plan(qs, trace);
+
+  std::printf("Network-wide scale-out: flood of ~2700 SYN/window at %s, threshold %llu\n",
+              util::ipv4_to_string(victim).c_str(),
+              static_cast<unsigned long long>(th.newly_opened));
+  std::printf("(%zu packets; per-switch share shrinks as the fleet grows)\n\n", trace.size());
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t switches : {1u, 2u, 4u, 8u}) {
+    runtime::Fleet fleet(plan, switches);
+    std::uint64_t tuples = 0;
+    bool detected = false;
+    for (const auto& ws : fleet.run_trace(trace)) {
+      tuples += ws.tuples_to_sp;
+      for (const auto& r : ws.results) {
+        for (const auto& t : r.outputs) detected = detected || t.at(0).as_uint() == victim;
+      }
+    }
+    std::uint64_t busiest = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      busiest = std::max(busiest, fleet.data_plane(i).stats().packets_processed);
+    }
+    char share[16];
+    std::snprintf(share, sizeof share, "%.0f%%",
+                  100.0 * static_cast<double>(busiest) / static_cast<double>(trace.size()));
+    rows.push_back({std::to_string(switches), bench::fmt_count(tuples), share,
+                    detected ? "yes" : "NO"});
+  }
+  bench::print_table({"switches", "tuples to SP", "busiest switch share", "victim detected"},
+                     rows);
+  std::printf("\nPer-switch counts alone never cross the threshold beyond 2 switches;\n");
+  std::printf("the shared stream processor merges register polls and still detects.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5 reproduction: the N and B cost values for executing Query 1
+// (newly opened TCP connections) at refinement level r_j after level r_i.
+//
+//   N1 = packet tuples to the SP if only the stateless prefix (filters +
+//        maps) runs on the switch;
+//   N2 = packet tuples to the SP if the reduce (+ folded threshold filter)
+//        also runs on the switch (one report per qualifying key);
+//   B  = register state for the reduce (stored key + 32-bit aggregate per
+//        distinct key observed in training).
+//
+// Shape to match the paper: B shrinks dramatically at coarse levels, N2 is
+// orders of magnitude below N1, and refining (r_i -> r_j) with a winner
+// filter slashes both N1 and B versus running r_j from scratch.
+#include <cstdio>
+
+#include "common.h"
+#include "pisa/compile.h"
+#include "planner/estimator.h"
+
+using namespace sonata;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  const auto workload = bench::make_eval_workload(opts);
+  const auto windows = planner::materialize_windows(workload.trace, workload.window);
+
+  auto q = queries::make_newly_opened_tcp(workload.thresholds, workload.window);
+  planner::CostEstimator est(q, windows, {8, 16, 24}, {});
+  if (!est.refinable()) {
+    std::printf("unexpected: query 1 not refinable\n");
+    return 1;
+  }
+
+  std::printf("Figure 5: refinement transition costs for Query 1 (W = 3 s,\n");
+  std::printf("%zu training windows, %zu packets)\n\n", windows.size(), workload.trace.size());
+
+  const int key_value_bits = 32 + 32;  // stored key + aggregate
+  std::vector<std::vector<std::string>> rows;
+  const auto levels = est.levels();  // {8, 16, 24, 32}
+  auto add_row = [&](int prev, int level) {
+    const auto& cost = est.transition(0, prev, level);
+    // Stateless prefix = everything before the reduce's tables; the reduce
+    // is the second-to-last n_after entry, the folded filter the last.
+    const std::size_t n1_idx = cost.n_after.size() >= 3 ? cost.n_after.size() - 3 : 0;
+    const std::uint64_t n1 = cost.n_after[n1_idx];
+    const std::uint64_t n2 = cost.n_after.back();
+    std::uint64_t keys = 0;
+    for (const auto& [op, k] : cost.stateful_keys) keys = k;
+    const std::uint64_t bits = keys * key_value_bits;
+    const std::string from = prev == planner::kNoPrevLevel ? "*" : std::to_string(prev);
+    rows.push_back({from + " -> " + std::to_string(level), bench::fmt_bits(bits),
+                    bench::fmt_count(n1), bench::fmt_count(n2)});
+  };
+
+  for (std::size_t j = 0; j < levels.size(); ++j) {
+    add_row(planner::kNoPrevLevel, levels[j]);
+  }
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    for (std::size_t j = i + 1; j < levels.size(); ++j) {
+      add_row(levels[i], levels[j]);
+    }
+  }
+  bench::print_table({"r_i -> r_j", "B (state)", "N1 (stateless)", "N2 (reduce on switch)"},
+                     rows);
+
+  std::printf("\nExample plans (cf. paper Section 4.2):\n");
+  const auto& direct = est.transition(0, planner::kNoPrevLevel, 32);
+  const auto& head8 = est.transition(0, planner::kNoPrevLevel, 8);
+  const auto& tail32 = est.transition(0, 8, 32);
+  std::printf("  no refinement, reduce on switch:  N = %s per window\n",
+              bench::fmt_count(direct.n_after.back()).c_str());
+  std::printf("  * -> 8 -> 32 (both on switch):    N = %s + %s per window pair\n",
+              bench::fmt_count(head8.n_after.back()).c_str(),
+              bench::fmt_count(tail32.n_after.back()).c_str());
+  return 0;
+}

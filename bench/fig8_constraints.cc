@@ -1,0 +1,87 @@
+// Figure 8 reproduction: effect of the four switch constraints on the load
+// at the stream processor, running all eight evaluation queries under
+// Max-DP, Fix-REF and Sonata (the three plans the paper sweeps).
+//
+//   8a: pipeline depth (stages S)          8b: stateful actions/stage (A)
+//   8c: register memory per stage (B)      8d: PHV metadata size (M)
+//
+// Shape to match the paper: more of any resource monotonically (weakly)
+// reduces load; Sonata adapts earliest (it can trade refinement levels for
+// resources); Fix-REF needs the most resources before it helps.
+//
+// Load here is the planner's trace-driven estimate (the paper's
+// methodology); one sweep point = one full plan computation.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace sonata;
+
+namespace {
+
+std::uint64_t plan_cost(const std::vector<query::Query>& qs,
+                        const std::vector<planner::TupleWindow>& windows,
+                        planner::EstimatorPool& pool, planner::PlanMode mode,
+                        const pisa::SwitchConfig& sw, util::Nanos window) {
+  planner::PlannerConfig cfg;
+  cfg.mode = mode;
+  cfg.window = window;
+  cfg.switch_config = sw;
+  return planner::Planner(cfg).plan_windows(qs, windows, &pool).est_total_tuples;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  const auto workload = bench::make_eval_workload(opts);
+  const auto windows = planner::materialize_windows(workload.trace, workload.window);
+  const auto queries = queries::evaluation_queries(workload.thresholds, workload.window);
+  planner::EstimatorPool pool(queries, windows, {8, 16, 24}, {1, 2});
+
+  const std::vector<planner::PlanMode> modes = {
+      planner::PlanMode::kMaxDP, planner::PlanMode::kFixRef, planner::PlanMode::kSonata};
+
+  auto sweep = [&](const char* title, const char* unit, const std::vector<double>& points,
+                   auto apply) {
+    std::printf("\n%s\n\n", title);
+    std::vector<std::vector<std::string>> rows;
+    for (const double p : points) {
+      pisa::SwitchConfig sw;  // defaults: S=16, A=8, B=8 Mb, M=4 Kb
+      apply(sw, p);
+      char label[32];
+      std::snprintf(label, sizeof label, "%g %s", p, unit);
+      std::vector<std::string> row{label};
+      for (const auto mode : modes) {
+        row.push_back(bench::fmt_count(
+            plan_cost(queries, windows, pool, mode, sw, workload.window)));
+      }
+      rows.push_back(std::move(row));
+    }
+    bench::print_table({"value", "Max-DP", "Fix-REF", "Sonata"}, rows);
+  };
+
+  std::printf("Figure 8: effect of switch constraints (est. tuples/window, 8 queries)\n");
+
+  sweep("Figure 8a: maximum pipeline depth (stages)", "stages",
+        {1, 2, 4, 8, 12, 16, 32},
+        [](pisa::SwitchConfig& sw, double v) { sw.stages = static_cast<int>(v); });
+
+  sweep("Figure 8b: maximum pipeline width (stateful actions/stage)", "actions",
+        {1, 2, 4, 8, 12, 16, 32}, [](pisa::SwitchConfig& sw, double v) {
+          sw.stateful_actions_per_stage = static_cast<int>(v);
+        });
+
+  sweep("Figure 8c: register memory per stage", "Mb",
+        {0.5, 1, 2, 4, 8, 12, 16, 32}, [](pisa::SwitchConfig& sw, double v) {
+          sw.register_bits_per_stage = static_cast<std::uint64_t>(v * 1024 * 1024);
+          sw.max_bits_per_register = sw.register_bits_per_stage / 2;
+        });
+
+  sweep("Figure 8d: metadata size", "Kb", {0.25, 0.5, 1, 2, 4, 8},
+        [](pisa::SwitchConfig& sw, double v) {
+          sw.metadata_bits = static_cast<std::uint64_t>(v * 1024);
+        });
+
+  return 0;
+}

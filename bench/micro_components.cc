@@ -1,0 +1,167 @@
+// Component micro-benchmarks: per-packet costs of the simulator's moving
+// parts (parser/materialization, switch pipelines, register chains, stream
+// operators, expression evaluation) and the planner itself. These are the
+// numbers to watch when extending Sonata — regressions here make the
+// figure benchmarks crawl.
+#include <benchmark/benchmark.h>
+
+#include "net/wire.h"
+#include "util/ip.h"
+#include "pisa/switch.h"
+#include "planner/planner.h"
+#include "queries/catalog.h"
+#include "stream/executor.h"
+#include "trace/trace.h"
+
+using namespace sonata;
+
+namespace {
+
+std::vector<net::Packet> small_trace() {
+  trace::BackgroundConfig bg;
+  bg.duration_sec = 3.0;
+  bg.flows_per_sec = 400.0;
+  return trace::TraceBuilder(7).background(bg).build();
+}
+
+void BM_MaterializeTuple(benchmark::State& state) {
+  const auto pkts = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::materialize_tuple(pkts[i]));
+    i = (i + 1) % pkts.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaterializeTuple);
+
+void BM_WireSerializeParse(benchmark::State& state) {
+  const auto pkts = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto frame = net::serialize(pkts[i]);
+    benchmark::DoNotOptimize(net::parse(frame));
+    i = (i + 1) % pkts.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireSerializeParse);
+
+void BM_RegisterChainUpdate(benchmark::State& state) {
+  pisa::RegisterChainConfig cfg;
+  cfg.entries_per_register = 65536;
+  cfg.depth = static_cast<int>(state.range(0));
+  pisa::RegisterChain chain(cfg);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    query::Tuple key{{query::Value{k++ & 0xffff}}};
+    benchmark::DoNotOptimize(chain.update(key, 1, query::ReduceFn::kSum));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegisterChainUpdate)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SwitchPipeline8Queries(benchmark::State& state) {
+  const auto pkts = small_trace();
+  queries::Thresholds th;
+  const auto qs = queries::evaluation_queries(th, util::seconds(3));
+
+  std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> progs;
+  std::vector<pisa::ProgramResources> res;
+  for (const auto& q : qs) {
+    int si = 0;
+    for (const auto* src : q.sources()) {
+      const std::size_t p = pisa::max_switch_prefix(*src);
+      std::map<std::size_t, pisa::RegisterSizing> sizing;
+      for (std::size_t i = 0; i < p; ++i) {
+        if (src->ops[i].stateful()) sizing[i] = {.entries = 16384, .depth = 2};
+      }
+      pisa::CompiledSwitchQuery::Options opts;
+      opts.qid = q.id();
+      opts.source_index = si;
+      opts.partition = p;
+      opts.sizing = sizing;
+      progs.push_back(std::make_unique<pisa::CompiledSwitchQuery>(*src, opts));
+      res.push_back(pisa::build_resources(*src, p, sizing, q.id(), si, 32));
+      ++si;
+    }
+  }
+  pisa::SwitchConfig sw_cfg;
+  sw_cfg.stateful_actions_per_stage = 32;
+  pisa::Switch sw(sw_cfg);
+  if (!sw.install(std::move(progs), res).empty()) std::abort();
+
+  std::vector<query::Tuple> tuples;
+  tuples.reserve(pkts.size());
+  for (const auto& p : pkts) tuples.push_back(query::materialize_tuple(p));
+  std::vector<pisa::EmitRecord> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    sw.process_tuple(tuples[i], out);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % tuples.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchPipeline8Queries);
+
+void BM_StreamExecutorQuery1(benchmark::State& state) {
+  const auto pkts = small_trace();
+  queries::Thresholds th;
+  const auto q = queries::make_newly_opened_tcp(th, util::seconds(3));
+  stream::QueryExecutor exec(q);
+  std::vector<query::Tuple> tuples;
+  for (const auto& p : pkts) tuples.push_back(query::materialize_tuple(p));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    exec.ingest_source_tuple(tuples[i]);
+    i = (i + 1) % tuples.size();
+    if (i == 0) benchmark::DoNotOptimize(exec.end_window());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamExecutorQuery1);
+
+void BM_ExprEvaluation(benchmark::State& state) {
+  using namespace query::dsl;
+  const auto schema = query::source_schema();
+  const auto pred = (col("proto") == lit(6) && col("tcp.flags") == lit(2));
+  const auto bound = pred->bind(schema);
+  const auto t = query::materialize_tuple(
+      net::Packet::tcp(0, 1, 2, 3, 4, net::tcp_flags::kSyn, 40));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bound(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprEvaluation);
+
+void BM_PlannerSingleQuery(benchmark::State& state) {
+  trace::BackgroundConfig bg;
+  bg.duration_sec = 9.0;
+  bg.flows_per_sec = 300.0;
+  trace::TraceBuilder builder(5);
+  builder.background(bg);
+  trace::SynFloodConfig flood;
+  flood.victim = util::ipv4(99, 1, 2, 3);
+  flood.start_sec = 1.0;
+  flood.duration_sec = 7.0;
+  flood.pps = 1500;
+  builder.add(flood);
+  const auto trace = builder.build();
+  const auto windows = planner::materialize_windows(trace, util::seconds(3));
+  queries::Thresholds th;
+  th.newly_opened = 800;
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(3)));
+  planner::PlannerConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner::Planner(cfg).plan_windows(qs, windows));
+  }
+}
+BENCHMARK(BM_PlannerSingleQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Micro-benchmark: overhead of dynamic refinement (paper §6.2).
+//
+// The paper measures, on a Tofino, ~127 ms to update 200 filter-table
+// entries and ~4 ms to reset registers — about 5% of a 3-second window.
+// Our driver *models* those latencies (they gate how short W can be); this
+// benchmark reports both the modeled control-plane time and the actual
+// simulator CPU time for the same operations.
+#include <benchmark/benchmark.h>
+
+#include "pisa/compile.h"
+#include "pisa/switch.h"
+#include "query/field.h"
+#include "query/query.h"
+
+using namespace sonata;
+using namespace query::dsl;
+
+namespace {
+
+std::unique_ptr<pisa::Switch> make_switch(query::Query& q) {
+  auto sw = std::make_unique<pisa::Switch>(pisa::SwitchConfig{});
+  pisa::CompiledSwitchQuery::Options opts;
+  opts.partition = 2;
+  std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> progs;
+  progs.push_back(std::make_unique<pisa::CompiledSwitchQuery>(*q.sources()[0], opts));
+  const auto err =
+      sw->install(std::move(progs), {pisa::build_resources(*q.sources()[0], 2, {}, 1, 0, 32)});
+  if (!err.empty()) std::abort();
+  return sw;
+}
+
+query::Query filter_query() {
+  auto q = query::QueryBuilder::packet_stream()
+               .filter_in({query::Expr::ip_prefix(col("dIP"), 8)}, "ref")
+               .map({{"dIP", col("dIP")}})
+               .build("bench", 1);
+  if (!q.validate().empty()) std::abort();
+  return q;
+}
+
+void BM_FilterTableUpdate(benchmark::State& state) {
+  auto q = filter_query();
+  auto sw = make_switch(q);
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  std::vector<query::Tuple> winners;
+  for (std::size_t i = 0; i < entries; ++i) {
+    winners.push_back(query::Tuple{{query::Value{std::uint64_t{i} << 24}}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw->update_filter_entries("ref", winners));
+  }
+  state.counters["modeled_ms"] =
+      pisa::Switch::kMillisPerEntryUpdate * static_cast<double>(entries);
+  state.counters["entries"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_FilterTableUpdate)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_RegisterReset(benchmark::State& state) {
+  auto q = query::QueryBuilder::packet_stream()
+               .map({{"dIP", col("dIP")}, {"c", lit(1)}})
+               .reduce({"dIP"}, query::ReduceFn::kSum, "c")
+               .build("bench2", 2);
+  if (!q.validate().empty()) std::abort();
+  pisa::CompiledSwitchQuery::Options opts;
+  opts.partition = 2;
+  opts.sizing[1] = {.entries = static_cast<std::size_t>(state.range(0)), .depth = 2};
+  pisa::CompiledSwitchQuery prog(*q.sources()[0], opts);
+  // Populate some state so reset has work to do.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    auto t = query::materialize_tuple(net::Packet::tcp(0, 1, static_cast<std::uint32_t>(i), 2,
+                                                       3, 0, 40));
+    benchmark::DoNotOptimize(prog.process(t));
+  }
+  for (auto _ : state) {
+    prog.reset_registers();
+  }
+  state.counters["modeled_ms"] = pisa::Switch::kMillisPerRegisterReset;
+}
+BENCHMARK(BM_RegisterReset)->Arg(1024)->Arg(16384)->Arg(131072);
+
+}  // namespace
+
+BENCHMARK_MAIN();

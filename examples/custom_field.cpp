@@ -1,0 +1,103 @@
+// Extensibility walkthrough (paper §2.1 "Extensible tuple abstraction"):
+//
+//   1. register a custom packet field — here, an in-band-telemetry style
+//      "queue depth" derived from packet metadata — with the field registry,
+//   2. write a query over it (detect hosts whose traffic repeatedly sees
+//      deep queues), and
+//   3. round-trip the traffic through the on-disk pcap format to show the
+//      substrate interoperates with standard capture files.
+//
+// Build & run:  ./build/examples/custom_field
+#include <cstdio>
+#include <filesystem>
+
+#include "net/pcap.h"
+#include "planner/planner.h"
+#include "query/field.h"
+#include "query/query.h"
+#include "runtime/runtime.h"
+#include "trace/trace.h"
+#include "util/ip.h"
+
+using namespace sonata;
+using namespace sonata::query::dsl;
+
+int main() {
+  // ------------------------------------------------------------------
+  // 1. Register the custom field. A real deployment would parse INT
+  //    metadata in the P4 parser; our simulator derives a synthetic queue
+  //    depth from the packet (deterministic, so results are stable).
+  // ------------------------------------------------------------------
+  query::FieldDef queue_depth;
+  queue_depth.name = "int.qdepth";
+  queue_depth.kind = query::ValueKind::kUint;
+  queue_depth.bits = 16;
+  queue_depth.switch_parseable = true;  // the switch's parser can extract it
+  queue_depth.hierarchical = false;
+  queue_depth.accessor = [](const net::Packet& p) -> std::optional<query::Value> {
+    // Model: bigger packets later in a burst see deeper queues.
+    const std::uint64_t depth = (p.total_len / 16) + (util::mix64(p.ts / 1000000) % 32);
+    return query::Value{depth};
+  };
+  if (!query::FieldRegistry::instance().register_field(queue_depth)) {
+    std::printf("(field already registered — re-run in the same process?)\n");
+  }
+
+  // ------------------------------------------------------------------
+  // 2. A query over the custom field: hosts with > Th packets that saw a
+  //    queue depth above 80 within a window.
+  // ------------------------------------------------------------------
+  constexpr std::uint64_t kDeep = 60;
+  constexpr std::uint64_t kThreshold = 120;
+  query::Query q = query::QueryBuilder::packet_stream()
+                       .filter(col("int.qdepth") > lit(kDeep))
+                       .map({{"dIP", col("dIP")}, {"count", lit(1)}})
+                       .reduce({"dIP"}, query::ReduceFn::kSum, "count")
+                       .filter(col("count") > lit(kThreshold))
+                       .build("deep_queue_hosts", 21, util::seconds(3));
+  if (const auto err = q.validate(); !err.empty()) {
+    std::fprintf(stderr, "query invalid: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("Query over custom field:\n%s\n", q.to_string().c_str());
+
+  // ------------------------------------------------------------------
+  // 3. Generate traffic, write it to a pcap, read it back (as a capture
+  //    workflow would), and run the query on the re-parsed packets.
+  // ------------------------------------------------------------------
+  trace::BackgroundConfig bg;
+  bg.duration_sec = 9.0;
+  bg.flows_per_sec = 400.0;
+  const auto generated = trace::TraceBuilder(5).background(bg).build();
+
+  const auto pcap_path =
+      (std::filesystem::temp_directory_path() / "sonata_custom_field.pcap").string();
+  {
+    net::PcapWriter writer(pcap_path);
+    for (const auto& p : generated) writer.write(p);
+    std::printf("Wrote %zu packets to %s\n", writer.packets_written(), pcap_path.c_str());
+  }
+  net::PcapReader reader(pcap_path);
+  const auto trace = reader.read_all();
+  std::printf("Read back %zu packets\n\n", trace.size());
+
+  std::vector<query::Query> queries;
+  queries.push_back(q);
+  planner::PlannerConfig cfg;
+  const auto plan = planner::Planner(cfg).plan(queries, trace);
+  std::printf("%s\n", plan.summary().c_str());
+
+  runtime::Runtime rt(plan);
+  for (const auto& ws : rt.run_trace(trace)) {
+    for (const auto& result : ws.results) {
+      for (const auto& t : result.outputs) {
+        std::printf("window %llu: host %s saw %llu deep-queue packets\n",
+                    static_cast<unsigned long long>(ws.window_index),
+                    util::ipv4_to_string(static_cast<std::uint32_t>(t.at(0).as_uint())).c_str(),
+                    static_cast<unsigned long long>(t.at(1).as_uint()));
+      }
+    }
+  }
+  std::filesystem::remove(pcap_path);
+  return 0;
+}

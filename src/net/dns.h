@@ -1,0 +1,52 @@
+// Minimal DNS message model: enough to express and exercise the DNS
+// telemetry queries (tunneling via long/odd query names, reflection via
+// large ANY responses, malicious-domain detection keyed on dns.rr.name).
+//
+// dns.rr.name is a *hierarchical* field, so it is a valid refinement key
+// (paper §4.1): level k keeps the last k labels of the name ("." is level 0,
+// the coarsest; a fully-qualified name is the finest level).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sonata::net {
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  std::uint16_t qtype = 1;   // A
+  std::uint16_t qclass = 1;  // IN
+  std::string qname;         // "www.example.com" (no trailing dot)
+  std::uint16_t answer_count = 0;
+  // Answer payload is modelled as opaque bytes (its size is what reflection
+  // queries measure); resolved addresses for A answers are kept explicitly
+  // so malicious-domain queries can count unique resolutions.
+  std::vector<std::uint32_t> answer_addrs;
+  std::uint16_t extra_answer_bytes = 0;  // padding to model amplification
+};
+
+// Number of labels in a domain name ("www.example.com" -> 3; "" -> 0).
+[[nodiscard]] std::size_t dns_label_count(std::string_view name) noexcept;
+
+// Truncate a name to its last `levels` labels (the refinement operation):
+// dns_name_prefix("a.b.example.com", 2) == "example.com";
+// levels == 0 gives "." (the root, coarsest level).
+[[nodiscard]] std::string dns_name_prefix(std::string_view name, std::size_t levels);
+
+// Serialize to DNS wire format (header + question; answers as A records plus
+// opaque padding). Returns the encoded payload bytes.
+[[nodiscard]] std::vector<std::byte> dns_encode(const DnsMessage& msg);
+
+// Parse DNS wire format. Returns nullopt on malformed input. Answer RRs of
+// type A contribute to answer_addrs; other RR bytes count into
+// extra_answer_bytes.
+[[nodiscard]] std::optional<DnsMessage> dns_decode(std::span<const std::byte> data);
+
+}  // namespace sonata::net

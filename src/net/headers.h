@@ -1,0 +1,54 @@
+// Protocol constants and header field definitions for the packet substrate.
+//
+// Sonata parses standard protocols on the switch (paper §2.1); this module
+// defines the protocols our reconfigurable-parser model understands.
+#pragma once
+
+#include <cstdint>
+
+namespace sonata::net {
+
+// IANA protocol numbers we care about.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+// TCP flag bits (in packet order: FIN lowest).
+namespace tcp_flags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+inline constexpr std::uint8_t kUrg = 0x20;
+}  // namespace tcp_flags
+
+// Well-known ports used by the telemetry queries.
+namespace ports {
+inline constexpr std::uint16_t kSsh = 22;
+inline constexpr std::uint16_t kTelnet = 23;
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kHttps = 443;
+}  // namespace ports
+
+// DNS query/record types used by the DNS telemetry queries.
+namespace dns_types {
+inline constexpr std::uint16_t kA = 1;
+inline constexpr std::uint16_t kNs = 2;
+inline constexpr std::uint16_t kCname = 5;
+inline constexpr std::uint16_t kTxt = 16;
+inline constexpr std::uint16_t kAaaa = 28;
+inline constexpr std::uint16_t kAny = 255;
+}  // namespace dns_types
+
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+inline constexpr std::size_t kIpv4MinHeaderLen = 20;
+inline constexpr std::size_t kTcpMinHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kIcmpHeaderLen = 8;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+}  // namespace sonata::net

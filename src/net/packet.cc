@@ -1,0 +1,61 @@
+#include "net/packet.h"
+
+#include <utility>
+
+namespace sonata::net {
+
+namespace {
+constexpr std::uint16_t l4_header_len(IpProto proto) noexcept {
+  switch (proto) {
+    case IpProto::kTcp: return kTcpMinHeaderLen;
+    case IpProto::kUdp: return kUdpHeaderLen;
+    case IpProto::kIcmp: return kIcmpHeaderLen;
+  }
+  return 0;
+}
+}  // namespace
+
+Packet Packet::tcp(util::Nanos ts, std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                   std::uint16_t dport, std::uint8_t flags, std::uint16_t len) {
+  Packet p;
+  p.ts = ts;
+  p.src_ip = sip;
+  p.dst_ip = dip;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  p.tcp_flags = flags;
+  p.total_len = len;
+  return p;
+}
+
+Packet Packet::udp(util::Nanos ts, std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                   std::uint16_t dport, std::uint16_t len) {
+  Packet p;
+  p.ts = ts;
+  p.src_ip = sip;
+  p.dst_ip = dip;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  p.total_len = len;
+  return p;
+}
+
+Packet& Packet::with_payload(std::string data) {
+  const auto hdr = static_cast<std::uint16_t>(kIpv4MinHeaderLen +
+                                              l4_header_len(static_cast<IpProto>(proto)));
+  total_len = static_cast<std::uint16_t>(hdr + data.size());
+  payload = std::make_shared<const std::string>(std::move(data));
+  return *this;
+}
+
+Packet& Packet::with_dns(DnsMessage msg) {
+  const auto bytes = dns_encode(msg);
+  std::string data(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  with_payload(std::move(data));
+  dns = std::make_shared<const DnsMessage>(std::move(msg));
+  return *this;
+}
+
+}  // namespace sonata::net

@@ -1,0 +1,65 @@
+// The parsed packet model that flows through the PISA simulator and the
+// stream processor.
+//
+// The switch's reconfigurable parser exposes header fields; payloads are
+// opaque to the switch and can only be examined by the stream processor
+// (paper §2.1). `Packet` keeps both: the parsed fields (what the PHV
+// carries) and the payload bytes (what gets shunted to the stream
+// processor when a query needs it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/dns.h"
+#include "net/headers.h"
+#include "util/time.h"
+
+namespace sonata::net {
+
+struct Packet {
+  util::Nanos ts = 0;  // nanoseconds since trace start
+
+  // IPv4
+  std::uint32_t src_ip = 0;  // host byte order
+  std::uint32_t dst_ip = 0;
+  std::uint8_t proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  std::uint8_t ttl = 64;
+  std::uint16_t total_len = 40;  // IP total length (header + payload), bytes
+
+  // L4 (TCP/UDP); zero if not applicable
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint32_t tcp_seq = 0;
+
+  // Application payload, if any (telnet commands, DNS messages, ...).
+  // Shared so copies of heavy packets are cheap.
+  std::shared_ptr<const std::string> payload;
+
+  // DNS fields parsed from the payload, when the packet is DNS. Kept parsed
+  // (not re-decoded per query) because several queries reference them.
+  std::shared_ptr<const DnsMessage> dns;
+
+  [[nodiscard]] bool is_tcp() const noexcept { return proto == static_cast<std::uint8_t>(IpProto::kTcp); }
+  [[nodiscard]] bool is_udp() const noexcept { return proto == static_cast<std::uint8_t>(IpProto::kUdp); }
+  [[nodiscard]] bool has_payload() const noexcept { return payload && !payload->empty(); }
+  [[nodiscard]] std::uint16_t payload_len() const noexcept {
+    return payload ? static_cast<std::uint16_t>(payload->size()) : 0;
+  }
+
+  // Convenience constructors used heavily by trace generation and tests.
+  static Packet tcp(util::Nanos ts, std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                    std::uint16_t dport, std::uint8_t flags, std::uint16_t len);
+  static Packet udp(util::Nanos ts, std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                    std::uint16_t dport, std::uint16_t len);
+
+  // Attach a payload (adjusts total_len accordingly).
+  Packet& with_payload(std::string data);
+  // Attach a DNS message (encodes it as the payload and keeps the parse).
+  Packet& with_dns(DnsMessage msg);
+};
+
+}  // namespace sonata::net

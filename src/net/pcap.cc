@@ -1,0 +1,102 @@
+#include "net/pcap.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace sonata::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+struct GlobalHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t network;
+};
+static_assert(sizeof(GlobalHeader) == 24);
+
+struct RecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_usec;
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+[[nodiscard]] std::uint32_t bswap(std::uint32_t v) noexcept {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) | (v >> 24);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) : file_(std::fopen(path.c_str(), "wb")) {
+  if (!file_) throw std::runtime_error("pcap: cannot open for writing: " + path);
+  GlobalHeader gh{kMagic, 2, 4, 0, 0, 65535, kLinkTypeEthernet};
+  if (std::fwrite(&gh, sizeof gh, 1, file_.get()) != 1) {
+    throw std::runtime_error("pcap: failed to write global header");
+  }
+}
+
+void PcapWriter::write(const Packet& p) {
+  const auto frame = serialize(p);
+  RecordHeader rh;
+  rh.ts_sec = static_cast<std::uint32_t>(p.ts / util::kNanosPerSec);
+  rh.ts_usec = static_cast<std::uint32_t>((p.ts % util::kNanosPerSec) / 1000);
+  rh.incl_len = static_cast<std::uint32_t>(frame.size());
+  rh.orig_len = rh.incl_len;
+  if (std::fwrite(&rh, sizeof rh, 1, file_.get()) != 1 ||
+      std::fwrite(frame.data(), 1, frame.size(), file_.get()) != frame.size()) {
+    throw std::runtime_error("pcap: failed to write record");
+  }
+  ++count_;
+}
+
+PcapReader::PcapReader(const std::string& path) : file_(std::fopen(path.c_str(), "rb")) {
+  if (!file_) throw std::runtime_error("pcap: cannot open for reading: " + path);
+  GlobalHeader gh;
+  if (std::fread(&gh, sizeof gh, 1, file_.get()) != 1) {
+    throw std::runtime_error("pcap: truncated global header");
+  }
+  if (gh.magic == kMagicSwapped) {
+    swapped_ = true;
+  } else if (gh.magic != kMagic) {
+    throw std::runtime_error("pcap: bad magic");
+  }
+}
+
+std::optional<Packet> PcapReader::next() {
+  RecordHeader rh;
+  if (std::fread(&rh, sizeof rh, 1, file_.get()) != 1) return std::nullopt;  // EOF
+  if (swapped_) {
+    rh.ts_sec = bswap(rh.ts_sec);
+    rh.ts_usec = bswap(rh.ts_usec);
+    rh.incl_len = bswap(rh.incl_len);
+    rh.orig_len = bswap(rh.orig_len);
+  }
+  if (rh.incl_len > (1u << 20)) throw std::runtime_error("pcap: unreasonable record length");
+  std::vector<std::byte> frame(rh.incl_len);
+  if (std::fread(frame.data(), 1, frame.size(), file_.get()) != frame.size()) {
+    throw std::runtime_error("pcap: truncated record");
+  }
+  auto packet = parse(frame);
+  if (!packet) throw std::runtime_error("pcap: unparsable frame");
+  packet->ts = static_cast<util::Nanos>(rh.ts_sec) * util::kNanosPerSec +
+               static_cast<util::Nanos>(rh.ts_usec) * 1000;
+  return packet;
+}
+
+std::vector<Packet> PcapReader::read_all() {
+  std::vector<Packet> out;
+  while (auto p = next()) out.push_back(std::move(*p));
+  return out;
+}
+
+}  // namespace sonata::net

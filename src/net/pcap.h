@@ -1,0 +1,58 @@
+// Classic libpcap file I/O (magic 0xa1b2c3d4, microsecond timestamps).
+//
+// The paper's evaluation replays CAIDA traces; our benchmarks generate
+// synthetic traces, but this module lets a user substitute real captures
+// (and lets tests round-trip generated traffic through the on-disk format).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/wire.h"
+
+namespace sonata::net {
+
+class PcapWriter {
+ public:
+  // Opens (truncates) `path` and writes the global header. Throws
+  // std::runtime_error on failure.
+  explicit PcapWriter(const std::string& path);
+
+  // Serializes the packet to wire format and appends one record.
+  void write(const Packet& p);
+
+  [[nodiscard]] std::size_t packets_written() const noexcept { return count_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept { if (f) std::fclose(f); }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::size_t count_ = 0;
+};
+
+class PcapReader {
+ public:
+  // Opens `path` and validates the global header. Throws std::runtime_error
+  // on open failure or bad magic.
+  explicit PcapReader(const std::string& path);
+
+  // Reads the next packet; nullopt at end of file. Malformed records throw.
+  [[nodiscard]] std::optional<Packet> next();
+
+  // Convenience: read everything.
+  [[nodiscard]] std::vector<Packet> read_all();
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept { if (f) std::fclose(f); }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  bool swapped_ = false;  // file written with opposite endianness
+};
+
+}  // namespace sonata::net

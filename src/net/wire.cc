@@ -1,0 +1,196 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace sonata::net {
+
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::byte> d, std::size_t off) noexcept {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(d[off]) << 8) |
+                                    static_cast<std::uint16_t>(d[off + 1]));
+}
+
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::byte> d, std::size_t off) noexcept {
+  return (static_cast<std::uint32_t>(get_u16(d, off)) << 16) | get_u16(d, off + 2);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | static_cast<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::byte> serialize(const Packet& p) {
+  std::vector<std::byte> out;
+  std::size_t header_len = kIpv4MinHeaderLen;
+  switch (static_cast<IpProto>(p.proto)) {
+    case IpProto::kTcp: header_len += kTcpMinHeaderLen; break;
+    case IpProto::kUdp: header_len += kUdpHeaderLen; break;
+    case IpProto::kIcmp: header_len += kIcmpHeaderLen; break;
+  }
+  // The in-memory model may declare a total_len larger than the attached
+  // payload (synthetic traffic carries sizes, not bodies). Pad the wire
+  // representation so lengths survive serialization round-trips.
+  const std::size_t attached = p.payload ? p.payload->size() : 0;
+  const std::size_t declared =
+      p.total_len > header_len ? p.total_len - header_len : 0;
+  const std::size_t payload_size = std::max(attached, declared);
+  out.reserve(kEthernetHeaderLen + header_len + payload_size);
+
+  // Ethernet: synthetic MACs, IPv4 ethertype.
+  static constexpr std::byte kDstMac[6] = {std::byte{2}, std::byte{0}, std::byte{0},
+                                           std::byte{0}, std::byte{0}, std::byte{2}};
+  static constexpr std::byte kSrcMac[6] = {std::byte{2}, std::byte{0}, std::byte{0},
+                                           std::byte{0}, std::byte{0}, std::byte{1}};
+  out.insert(out.end(), std::begin(kDstMac), std::end(kDstMac));
+  out.insert(out.end(), std::begin(kSrcMac), std::end(kSrcMac));
+  put_u16(out, kEtherTypeIpv4);
+
+  // IPv4 header (no options).
+  const std::size_t ip_start = out.size();
+  std::uint16_t l4_len = 0;
+  switch (static_cast<IpProto>(p.proto)) {
+    case IpProto::kTcp: l4_len = kTcpMinHeaderLen; break;
+    case IpProto::kUdp: l4_len = kUdpHeaderLen; break;
+    case IpProto::kIcmp: l4_len = kIcmpHeaderLen; break;
+  }
+  const auto ip_total =
+      static_cast<std::uint16_t>(kIpv4MinHeaderLen + l4_len + payload_size);
+  out.push_back(std::byte{0x45});  // version 4, IHL 5
+  out.push_back(std::byte{0});     // DSCP/ECN
+  put_u16(out, ip_total);
+  put_u16(out, 0);       // identification
+  put_u16(out, 0x4000);  // flags: DF
+  out.push_back(static_cast<std::byte>(p.ttl));
+  out.push_back(static_cast<std::byte>(p.proto));
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, p.src_ip);
+  put_u32(out, p.dst_ip);
+  const std::uint16_t csum = internet_checksum(
+      std::span{out.data() + ip_start, kIpv4MinHeaderLen});
+  out[ip_start + 10] = static_cast<std::byte>(csum >> 8);
+  out[ip_start + 11] = static_cast<std::byte>(csum & 0xff);
+
+  // L4 header.
+  switch (static_cast<IpProto>(p.proto)) {
+    case IpProto::kTcp: {
+      put_u16(out, p.src_port);
+      put_u16(out, p.dst_port);
+      put_u32(out, p.tcp_seq);
+      put_u32(out, 0);                 // ack
+      out.push_back(std::byte{0x50});  // data offset 5
+      out.push_back(static_cast<std::byte>(p.tcp_flags));
+      put_u16(out, 0xffff);  // window
+      put_u16(out, 0);       // checksum (not computed; parser ignores)
+      put_u16(out, 0);       // urgent
+      break;
+    }
+    case IpProto::kUdp: {
+      put_u16(out, p.src_port);
+      put_u16(out, p.dst_port);
+      put_u16(out, static_cast<std::uint16_t>(kUdpHeaderLen + payload_size));
+      put_u16(out, 0);  // checksum optional for IPv4
+      break;
+    }
+    case IpProto::kIcmp: {
+      out.push_back(std::byte{8});  // echo request
+      out.push_back(std::byte{0});
+      put_u16(out, 0);  // checksum
+      put_u32(out, 0);  // id/seq
+      break;
+    }
+  }
+
+  if (p.payload) {
+    const auto* bytes = reinterpret_cast<const std::byte*>(p.payload->data());
+    out.insert(out.end(), bytes, bytes + p.payload->size());
+  }
+  if (payload_size > attached) {
+    out.insert(out.end(), payload_size - attached, std::byte{0});
+  }
+  return out;
+}
+
+std::optional<Packet> parse(std::span<const std::byte> frame, const ParseOptions& opts) {
+  if (frame.size() < kEthernetHeaderLen + kIpv4MinHeaderLen) return std::nullopt;
+  if (get_u16(frame, 12) != kEtherTypeIpv4) return std::nullopt;
+
+  const std::size_t ip = kEthernetHeaderLen;
+  const auto ver_ihl = static_cast<std::uint8_t>(frame[ip]);
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl < kIpv4MinHeaderLen || frame.size() < ip + ihl) return std::nullopt;
+
+  Packet p;
+  p.total_len = get_u16(frame, ip + 2);
+  p.ttl = static_cast<std::uint8_t>(frame[ip + 8]);
+  p.proto = static_cast<std::uint8_t>(frame[ip + 9]);
+  p.src_ip = get_u32(frame, ip + 12);
+  p.dst_ip = get_u32(frame, ip + 16);
+  if (p.total_len < ihl || frame.size() < ip + p.total_len) return std::nullopt;
+
+  const std::size_t l4 = ip + ihl;
+  std::size_t payload_off = l4;
+  switch (static_cast<IpProto>(p.proto)) {
+    case IpProto::kTcp: {
+      if (frame.size() < l4 + kTcpMinHeaderLen) return std::nullopt;
+      p.src_port = get_u16(frame, l4);
+      p.dst_port = get_u16(frame, l4 + 2);
+      p.tcp_seq = get_u32(frame, l4 + 4);
+      const std::size_t data_off = (static_cast<std::size_t>(frame[l4 + 12]) >> 4) * 4;
+      if (data_off < kTcpMinHeaderLen || frame.size() < l4 + data_off) return std::nullopt;
+      p.tcp_flags = static_cast<std::uint8_t>(frame[l4 + 13]) & 0x3f;
+      payload_off = l4 + data_off;
+      break;
+    }
+    case IpProto::kUdp: {
+      if (frame.size() < l4 + kUdpHeaderLen) return std::nullopt;
+      p.src_port = get_u16(frame, l4);
+      p.dst_port = get_u16(frame, l4 + 2);
+      payload_off = l4 + kUdpHeaderLen;
+      break;
+    }
+    case IpProto::kIcmp: {
+      if (frame.size() < l4 + kIcmpHeaderLen) return std::nullopt;
+      payload_off = l4 + kIcmpHeaderLen;
+      break;
+    }
+    default:
+      payload_off = l4;
+      break;
+  }
+
+  const std::size_t frame_payload_end = ip + p.total_len;
+  if (payload_off < frame_payload_end) {
+    const std::size_t n = frame_payload_end - payload_off;
+    p.payload = std::make_shared<const std::string>(
+        reinterpret_cast<const char*>(frame.data() + payload_off), n);
+    if (opts.parse_dns && p.is_udp() &&
+        (p.dst_port == ports::kDns || p.src_port == ports::kDns)) {
+      if (auto dns = dns_decode(frame.subspan(payload_off, n))) {
+        p.dns = std::make_shared<const DnsMessage>(std::move(*dns));
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace sonata::net

@@ -1,0 +1,35 @@
+// Wire-format serialization and parsing (Ethernet/IPv4/TCP/UDP/ICMP).
+//
+// This is the boundary the PISA parser model operates on: `serialize` turns
+// the in-memory Packet into the bytes a switch would receive, and `parse`
+// is the reconfigurable-parser reference implementation (with full bounds
+// checking) that reconstructs the Packet, including the DNS parse when the
+// packet is port-53 UDP.  pcap I/O round-trips through this module.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace sonata::net {
+
+// Internet checksum (RFC 1071) over a byte range.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+
+// Serialize to Ethernet + IPv4 + L4 (+payload). The IPv4 header checksum is
+// filled in; MAC addresses are synthetic constants.
+[[nodiscard]] std::vector<std::byte> serialize(const Packet& p);
+
+struct ParseOptions {
+  bool parse_dns = true;  // decode DNS payloads on UDP port 53
+};
+
+// Parse wire bytes back into a Packet. Returns nullopt for malformed or
+// non-IPv4 frames. The timestamp is not on the wire; callers set it.
+[[nodiscard]] std::optional<Packet> parse(std::span<const std::byte> frame,
+                                          const ParseOptions& opts = {});
+
+}  // namespace sonata::net

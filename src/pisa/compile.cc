@@ -1,0 +1,219 @@
+#include "pisa/compile.h"
+
+#include "pisa/config.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sonata::pisa {
+
+using query::Expr;
+using query::OpKind;
+using query::Operator;
+using query::Schema;
+using query::StreamNode;
+
+namespace {
+
+// Value bits of a reduce/distinct aggregate on the switch.
+constexpr int kAggregateBits = 32;
+constexpr int kDistinctValueBits = 1;
+
+bool op_switch_compilable(const Operator& op, const Schema& in) {
+  switch (op.kind) {
+    case OpKind::kFilter:
+      return op.predicate && op.predicate->switch_compilable(in);
+    case OpKind::kFilterIn:
+      return std::all_of(op.match_exprs.begin(), op.match_exprs.end(),
+                         [&](const query::ExprPtr& e) { return e && e->switch_compilable(in); });
+    case OpKind::kMap:
+      return std::all_of(op.projections.begin(), op.projections.end(),
+                         [&](const query::NamedExpr& p) {
+                           return p.expr && p.expr->switch_compilable(in);
+                         });
+    case OpKind::kDistinct:
+      // The whole tuple is the register key; every column must fit the PHV.
+      return std::all_of(in.columns().begin(), in.columns().end(),
+                         [](const query::Column& c) { return c.bits > 0; });
+    case OpKind::kReduce: {
+      for (const auto& k : op.keys) {
+        const auto idx = in.index_of(k);
+        if (!idx || in.at(*idx).bits <= 0) return false;
+      }
+      const auto vidx = in.index_of(op.value_col);
+      return vidx && in.at(*vidx).kind == query::ValueKind::kUint;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<FoldedThreshold> foldable_threshold(const StreamNode& node, std::size_t i) {
+  if (i == 0 || i >= node.ops.size()) return std::nullopt;
+  const Operator& prev = node.ops[i - 1];
+  const Operator& op = node.ops[i];
+  if (prev.kind != OpKind::kReduce || op.kind != OpKind::kFilter || !op.predicate) {
+    return std::nullopt;
+  }
+  const Expr& p = *op.predicate;
+  if (p.kind != Expr::Kind::kBin) return std::nullopt;
+  if (p.op != query::BinOp::kGt && p.op != query::BinOp::kGe) return std::nullopt;
+  if (!p.lhs || !p.rhs) return std::nullopt;
+  if (p.lhs->kind != Expr::Kind::kCol || p.lhs->col != prev.value_col) return std::nullopt;
+  if (p.rhs->kind != Expr::Kind::kConst || !p.rhs->constant.is_uint()) return std::nullopt;
+  return FoldedThreshold{p.rhs->constant.as_uint(), p.op == query::BinOp::kGt};
+}
+
+std::size_t max_switch_prefix(const StreamNode& node) {
+  assert(node.schemas.size() == node.ops.size() + 1);
+  bool after_reduce = false;
+  for (std::size_t i = 0; i < node.ops.size(); ++i) {
+    const Operator& op = node.ops[i];
+    if (after_reduce) {
+      // Only the immediately-following foldable threshold filter may ride
+      // along with a reduce; anything further runs at the stream processor.
+      if (foldable_threshold(node, i)) return i + 1;
+      return i;
+    }
+    if (!op_switch_compilable(op, node.schemas[i])) return i;
+    if (op.kind == OpKind::kReduce) after_reduce = true;
+  }
+  return node.ops.size();
+}
+
+std::vector<std::size_t> partition_points(const StreamNode& node) {
+  const std::size_t max = max_switch_prefix(node);
+  std::vector<std::size_t> points;
+  points.reserve(max + 1);
+  for (std::size_t k = 0; k <= max; ++k) points.push_back(k);
+  return points;
+}
+
+int stateful_key_bits(const StreamNode& node, std::size_t i) {
+  const Schema& in = node.schemas[i];
+  const Operator& op = node.ops[i];
+  if (op.kind == OpKind::kDistinct) return in.total_bits();
+  assert(op.kind == OpKind::kReduce);
+  int bits = 0;
+  for (const auto& k : op.keys) {
+    if (const auto idx = in.index_of(k)) bits += in.at(*idx).bits;
+  }
+  return bits;
+}
+
+namespace {
+
+void collect_op_columns(const Operator& op, std::vector<std::string>& out) {
+  switch (op.kind) {
+    case OpKind::kFilter:
+      if (op.predicate) op.predicate->collect_columns(out);
+      break;
+    case OpKind::kFilterIn:
+      for (const auto& e : op.match_exprs) {
+        if (e) e->collect_columns(out);
+      }
+      break;
+    case OpKind::kMap:
+      for (const auto& p : op.projections) {
+        if (p.expr) p.expr->collect_columns(out);
+      }
+      break;
+    case OpKind::kDistinct:
+      break;  // references the whole tuple; handled by caller
+    case OpKind::kReduce:
+      out.insert(out.end(), op.keys.begin(), op.keys.end());
+      out.push_back(op.value_col);
+      break;
+  }
+}
+
+// Metadata budget: the widest set of *live* columns at any point of the
+// switch-resident prefix, plus qid and report bits. A column is live at
+// point i if a later switch-resident operator references it or it survives
+// into the emitted schema.
+int metadata_bits(const StreamNode& node, std::size_t partition) {
+  if (partition == 0) return 0;
+  // live[i] = names live entering ops[i].
+  std::set<std::string> live;
+  for (const auto& c : node.schemas[partition].columns()) live.insert(c.name);
+  int max_bits = 0;
+  auto width_at = [&](std::size_t i, const std::set<std::string>& names) {
+    int bits = 0;
+    for (const auto& c : node.schemas[i].columns()) {
+      if (names.contains(c.name)) bits += c.bits;
+    }
+    return bits;
+  };
+  max_bits = width_at(partition, live);
+  for (std::size_t i = partition; i-- > 0;) {
+    const Operator& op = node.ops[i];
+    if (op.kind == OpKind::kMap) {
+      // map replaces the schema: live-before is exactly what it reads.
+      live.clear();
+    } else if (op.kind == OpKind::kDistinct) {
+      // distinct keys on the whole tuple.
+      for (const auto& c : node.schemas[i].columns()) live.insert(c.name);
+    }
+    std::vector<std::string> refs;
+    collect_op_columns(op, refs);
+    live.insert(refs.begin(), refs.end());
+    max_bits = std::max(max_bits, width_at(i, live));
+  }
+  return max_bits + kQidBits + kReportBits;
+}
+
+}  // namespace
+
+ProgramResources build_resources(const StreamNode& node, std::size_t partition,
+                                 const std::map<std::size_t, RegisterSizing>& sizing,
+                                 query::QueryId qid, int source_index, int level) {
+  assert(partition <= node.ops.size());
+  ProgramResources res;
+  res.qid = qid;
+  res.source_index = source_index;
+  res.level = level;
+  res.partition = partition;
+
+  const std::string prefix = "q" + std::to_string(qid) + ".s" + std::to_string(source_index) +
+                             ".L" + std::to_string(level) + "/t";
+  for (std::size_t i = 0; i < partition; ++i) {
+    const Operator& op = node.ops[i];
+    const std::string base = prefix + std::to_string(i) + ":";
+    switch (op.kind) {
+      case OpKind::kFilter: {
+        if (foldable_threshold(node, i)) break;  // folded into the reduce table
+        res.tables.push_back({base + "filter", op.kind, i, false, 0, 1});
+        break;
+      }
+      case OpKind::kFilterIn:
+        res.tables.push_back({base + "filter_in", op.kind, i, false, 0, 1});
+        break;
+      case OpKind::kMap:
+        res.tables.push_back(
+            {base + "map", op.kind, i, false, 0, static_cast<int>(op.projections.size())});
+        break;
+      case OpKind::kDistinct:
+      case OpKind::kReduce: {
+        const auto it = sizing.find(i);
+        const RegisterSizing rs = it != sizing.end() ? it->second : RegisterSizing{};
+        const int key_bits = stateful_key_bits(node, i);
+        const int value_bits = op.kind == OpKind::kDistinct ? kDistinctValueBits : kAggregateBits;
+        const std::uint64_t bits_per_reg =
+            static_cast<std::uint64_t>(rs.entries) * static_cast<std::uint64_t>(key_bits + value_bits);
+        const char* label = op.kind == OpKind::kDistinct ? "distinct" : "reduce";
+        res.tables.push_back({base + label + "[idx]", op.kind, i, false, 0, 1});
+        for (int d = 0; d < rs.depth; ++d) {
+          res.tables.push_back({base + label + "[reg" + std::to_string(d) + "]", op.kind, i, true,
+                                bits_per_reg, 1});
+        }
+        break;
+      }
+    }
+  }
+  res.metadata_bits = metadata_bits(node, partition);
+  return res;
+}
+
+}  // namespace sonata::pisa

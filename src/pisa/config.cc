@@ -1,0 +1,17 @@
+#include "pisa/config.h"
+
+#include <cstdio>
+
+namespace sonata::pisa {
+
+std::string SwitchConfig::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "S=%d stages, A=%d stateful/stage, B=%llu Kb/stage, M=%llu Kb metadata",
+                stages, stateful_actions_per_stage,
+                static_cast<unsigned long long>(register_bits_per_stage / 1024),
+                static_cast<unsigned long long>(metadata_bits / 1024));
+  return buf;
+}
+
+}  // namespace sonata::pisa

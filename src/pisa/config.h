@@ -1,0 +1,31 @@
+// PISA switch resource model (paper §3.2, Table 1).
+//
+// The evaluation parameterises four constraints: total pipeline stages (S),
+// stateful actions per stage (A), register bits per stage (B) and PHV
+// metadata bits (M). Defaults match the paper's simulated switch
+// (S=16, A=8, B=8 Mb per stage, a single stateful operator limited to 4 Mb
+// within a stage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sonata::pisa {
+
+struct SwitchConfig {
+  int stages = 16;                                  // S
+  int stateful_actions_per_stage = 8;               // A
+  int stateless_actions_per_stage = 100;            // typical 100-200 (§3.2)
+  std::uint64_t register_bits_per_stage = 8ULL * 1024 * 1024;  // B = 8 Mb
+  std::uint64_t max_bits_per_register = 4ULL * 1024 * 1024;    // per-op cap within a stage
+  std::uint64_t metadata_bits = 4 * 1024;           // M: PHV budget for query metadata
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Per-query overhead carried in the PHV besides the tuple columns: the
+// query identifier and the one-bit report flag (paper §3.1.3).
+inline constexpr int kQidBits = 16;
+inline constexpr int kReportBits = 1;
+
+}  // namespace sonata::pisa

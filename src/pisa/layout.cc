@@ -1,0 +1,60 @@
+#include "pisa/layout.h"
+
+namespace sonata::pisa {
+
+Layout assign_stages(const SwitchConfig& cfg, const std::vector<ProgramResources>& programs) {
+  Layout layout;
+  layout.stages.assign(static_cast<std::size_t>(cfg.stages), StageUsage{});
+  layout.table_stages.resize(programs.size());
+
+  // C5: total metadata across all programs.
+  int metadata = 0;
+  for (const auto& p : programs) metadata += p.metadata_bits;
+  layout.metadata_bits_used = metadata;
+  if (static_cast<std::uint64_t>(metadata) > cfg.metadata_bits) {
+    layout.error = "metadata budget exceeded: " + std::to_string(metadata) + " > " +
+                   std::to_string(cfg.metadata_bits) + " bits (C5)";
+    return layout;
+  }
+
+  for (std::size_t pi = 0; pi < programs.size(); ++pi) {
+    const auto& prog = programs[pi];
+    int prev_stage = -1;
+    layout.table_stages[pi].reserve(prog.tables.size());
+    for (const auto& table : prog.tables) {
+      if (table.stateful && table.register_bits > cfg.max_bits_per_register) {
+        layout.error = "table " + table.name + " needs " + std::to_string(table.register_bits) +
+                       " register bits; per-register cap is " +
+                       std::to_string(cfg.max_bits_per_register);
+        return layout;
+      }
+      int placed = -1;
+      for (int s = prev_stage + 1; s < cfg.stages; ++s) {
+        StageUsage& u = layout.stages[static_cast<std::size_t>(s)];
+        const bool stateful_ok = !table.stateful || u.stateful < cfg.stateful_actions_per_stage;
+        const bool actions_ok =
+            u.stateless_actions + table.actions <= cfg.stateless_actions_per_stage;
+        const bool bits_ok = u.register_bits + table.register_bits <= cfg.register_bits_per_stage;
+        if (stateful_ok && actions_ok && bits_ok) {
+          placed = s;
+          break;
+        }
+      }
+      if (placed < 0) {
+        layout.error = "no stage fits table " + table.name + " (S=" +
+                       std::to_string(cfg.stages) + ", C1-C4)";
+        return layout;
+      }
+      StageUsage& u = layout.stages[static_cast<std::size_t>(placed)];
+      if (table.stateful) ++u.stateful;
+      u.stateless_actions += table.actions;
+      u.register_bits += table.register_bits;
+      layout.table_stages[pi].push_back(placed);
+      prev_stage = placed;
+    }
+  }
+  layout.feasible = true;
+  return layout;
+}
+
+}  // namespace sonata::pisa

@@ -1,0 +1,42 @@
+// Stage layout: place every program's match-action tables into the
+// physical pipeline subject to the ILP's switch constraints (paper Table 2):
+//   C1  per-stage register bits  <= B
+//   C2  per-stage stateful ops   <= A
+//   C3  every table in a stage    < S
+//   C4  tables of one query in increasing stage order
+//   C5  total PHV metadata       <= M
+// plus the per-register cap within a stage.
+//
+// Independent queries share stages freely; dependent tables of the same
+// pipeline occupy strictly increasing stages. The greedy earliest-fit order
+// is optimal for C3/C4 given per-stage capacities, and the planner treats a
+// failed layout as an infeasible candidate plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pisa/config.h"
+#include "pisa/program.h"
+
+namespace sonata::pisa {
+
+struct StageUsage {
+  int stateful = 0;
+  int stateless_actions = 0;
+  std::uint64_t register_bits = 0;
+};
+
+struct Layout {
+  bool feasible = false;
+  std::string error;                           // why layout failed
+  std::vector<std::vector<int>> table_stages;  // [program][table] -> stage
+  std::vector<StageUsage> stages;
+  int metadata_bits_used = 0;
+};
+
+[[nodiscard]] Layout assign_stages(const SwitchConfig& cfg,
+                                   const std::vector<ProgramResources>& programs);
+
+}  // namespace sonata::pisa

@@ -1,0 +1,35 @@
+// P4-16 code generation: emit the data-plane program for the switch-resident
+// part of a set of planned pipelines (the paper's data-plane driver compiles
+// partitioned, refined queries to P4 for BMV2/Tofino — §5, Figure 6).
+//
+// The generated program follows the v1model pipeline:
+//   * fixed parser for Ethernet/IPv4/TCP/UDP,
+//   * per-(query, level) metadata fields for the live tuple columns,
+//   * one section per pipeline: filter guards, dynamic-filter match tables
+//    (entries installed by the runtime), map assignments, and
+//    hash-indexed register chains (d registers, stored key + aggregate)
+//    for distinct/reduce with threshold-crossing report logic,
+//   * a final mirror-to-monitoring-port block gated on the report flag.
+//
+// The output is syntactically-plausible, structured P4 meant for human
+// review and for driving a real driver; it is not round-tripped through a
+// P4 compiler in this repository.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pisa/switch.h"
+
+namespace sonata::pisa {
+
+struct P4Pipeline {
+  const query::StreamNode* node = nullptr;  // validated chain
+  CompiledSwitchQuery::Options options;     // qid/source/level/partition/sizing
+};
+
+// Generate one self-contained P4-16 program for all pipelines.
+[[nodiscard]] std::string generate_p4(const SwitchConfig& cfg,
+                                      const std::vector<P4Pipeline>& pipelines);
+
+}  // namespace sonata::pisa

@@ -1,0 +1,54 @@
+// Resource-accounting view of a compiled query: the ordered match-action
+// tables one (query, refinement-level) pipeline occupies on the switch.
+//
+// This is the input to stage layout (constraints C1-C5 of the planner ILP,
+// paper Table 2) and to the planner's feasibility checks. The *executable*
+// counterpart is CompiledSwitchQuery in switch.h; the two are produced by
+// the same compile step so they always agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/ops.h"
+#include "query/query.h"
+
+namespace sonata::pisa {
+
+struct TableSpec {
+  std::string name;            // e.g. "q3.s0.L8/t2:reduce[reg1]"
+  query::OpKind op = query::OpKind::kFilter;
+  std::size_t op_index = 0;    // index of the originating operator
+  bool stateful = false;       // accesses register memory
+  std::uint64_t register_bits = 0;  // bits this table's register array needs
+  int actions = 1;             // stateless action count (map: #projections)
+};
+
+// Register sizing chosen by the planner for one stateful operator.
+struct RegisterSizing {
+  std::size_t entries = 1024;  // n
+  int depth = 1;               // d
+};
+
+struct ProgramResources {
+  query::QueryId qid = 0;
+  int source_index = 0;     // which leaf of the query tree
+  int level = 0;            // refinement level (finest for unrefined plans)
+  std::size_t partition = 0;  // number of operators executed on the switch
+  std::vector<TableSpec> tables;
+  int metadata_bits = 0;    // M_q: PHV budget this pipeline consumes
+
+  [[nodiscard]] std::uint64_t total_register_bits() const noexcept {
+    std::uint64_t bits = 0;
+    for (const auto& t : tables) bits += t.register_bits;
+    return bits;
+  }
+  [[nodiscard]] int stateful_tables() const noexcept {
+    int n = 0;
+    for (const auto& t : tables) n += t.stateful ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace sonata::pisa

@@ -1,0 +1,99 @@
+#include "pisa/register.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sonata::pisa {
+
+std::uint64_t apply_reduce(query::ReduceFn fn, std::uint64_t current,
+                           std::uint64_t delta) noexcept {
+  switch (fn) {
+    case query::ReduceFn::kSum: return current + delta;
+    case query::ReduceFn::kMax: return std::max(current, delta);
+    case query::ReduceFn::kMin: return std::min(current, delta);
+    case query::ReduceFn::kBitOr: return current | delta;
+  }
+  return current;
+}
+
+RegisterChain::RegisterChain(const RegisterChainConfig& cfg)
+    : cfg_(cfg), hashes_(static_cast<std::size_t>(std::max(cfg.depth, 1))) {
+  assert(cfg_.entries_per_register > 0);
+  assert(cfg_.depth >= 1);
+  registers_.assign(static_cast<std::size_t>(cfg_.depth),
+                    std::vector<Slot>(cfg_.entries_per_register));
+}
+
+RegisterChain::UpdateResult RegisterChain::update(const query::Tuple& key, std::uint64_t delta,
+                                                  query::ReduceFn fn) {
+  const std::uint64_t fp = key.hash();
+  for (std::size_t d = 0; d < registers_.size(); ++d) {
+    Slot& slot = registers_[d][hashes_.index(d, fp, cfg_.entries_per_register)];
+    if (!slot.occupied) {
+      slot.occupied = true;
+      slot.key = key;
+      slot.value = delta;  // initial value for every reduce fn (incl. min)
+      ++stored_;
+      return {.stored = true, .newly_inserted = true, .overflow = false, .value = slot.value};
+    }
+    if (slot.key == key) {
+      slot.value = apply_reduce(fn, slot.value, delta);
+      return {.stored = true, .newly_inserted = false, .overflow = false, .value = slot.value};
+    }
+    // Occupied by a different key: fall through to the next register.
+  }
+  ++overflows_;
+  return {.stored = false, .newly_inserted = false, .overflow = true, .value = 0};
+}
+
+std::optional<std::uint64_t> RegisterChain::read(const query::Tuple& key) const {
+  const std::uint64_t fp = key.hash();
+  for (std::size_t d = 0; d < registers_.size(); ++d) {
+    const Slot& slot = registers_[d][hashes_.index(d, fp, cfg_.entries_per_register)];
+    if (slot.occupied && slot.key == key) return slot.value;
+  }
+  return std::nullopt;
+}
+
+bool RegisterChain::mark_reported(const query::Tuple& key) {
+  const std::uint64_t fp = key.hash();
+  for (std::size_t d = 0; d < registers_.size(); ++d) {
+    Slot& slot = registers_[d][hashes_.index(d, fp, cfg_.entries_per_register)];
+    if (slot.occupied && slot.key == key) {
+      const bool first = !slot.reported;
+      slot.reported = true;
+      return first;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<query::Tuple, std::uint64_t>> RegisterChain::entries() const {
+  std::vector<std::pair<query::Tuple, std::uint64_t>> out;
+  out.reserve(stored_);
+  for (const auto& reg : registers_) {
+    for (const auto& slot : reg) {
+      if (slot.occupied) out.emplace_back(slot.key, slot.value);
+    }
+  }
+  return out;
+}
+
+void RegisterChain::reset() {
+  for (auto& reg : registers_) {
+    for (auto& slot : reg) slot = Slot{};
+  }
+  stored_ = 0;
+  overflows_ = 0;
+}
+
+std::uint64_t RegisterChain::total_bits() const noexcept {
+  return static_cast<std::uint64_t>(cfg_.depth) * bits_per_register();
+}
+
+std::uint64_t RegisterChain::bits_per_register() const noexcept {
+  return static_cast<std::uint64_t>(cfg_.entries_per_register) *
+         static_cast<std::uint64_t>(cfg_.key_bits + cfg_.value_bits);
+}
+
+}  // namespace sonata::pisa

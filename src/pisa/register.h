@@ -1,0 +1,88 @@
+// Stateful register arrays with hash-based indexing and d-way collision
+// mitigation (paper §3.1.3).
+//
+// True hash tables are not available on PISA switches; Sonata uses a
+// sequence of up to d register arrays, each indexed by a different hash
+// function. Each slot stores the original key (so collisions are detected
+// exactly) plus the running aggregate. A key that collides in all d arrays
+// overflows: the packet is sent to the stream processor, which adjusts the
+// window's results (handled by the runtime).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/ops.h"
+#include "query/tuple.h"
+#include "util/hash.h"
+
+namespace sonata::pisa {
+
+struct RegisterChainConfig {
+  std::size_t entries_per_register = 1024;  // n
+  int depth = 1;                            // d
+  int key_bits = 32;                        // width of the stored key
+  int value_bits = 32;                      // width of the aggregate
+};
+
+class RegisterChain {
+ public:
+  explicit RegisterChain(const RegisterChainConfig& cfg);
+
+  struct UpdateResult {
+    bool stored = false;          // found a slot (new or existing)
+    bool newly_inserted = false;  // first packet for this key this window
+    bool overflow = false;        // collided in all d registers
+    std::uint64_t value = 0;      // aggregate after the update (if stored)
+  };
+
+  // Fold `delta` into the aggregate for `key` using `fn`.
+  UpdateResult update(const query::Tuple& key, std::uint64_t delta, query::ReduceFn fn);
+
+  // Read the aggregate for a key, if present.
+  [[nodiscard]] std::optional<std::uint64_t> read(const query::Tuple& key) const;
+
+  // Set the key's "already reported to the stream processor" flag; returns
+  // true when the flag was previously clear (i.e. report now). Used to send
+  // exactly one packet per key when the last switch operator is stateful
+  // (paper §3.1.3). Returns false if the key is not stored.
+  bool mark_reported(const query::Tuple& key);
+
+  // End-of-window poll: all stored (key, aggregate) pairs, register by
+  // register (deterministic order).
+  [[nodiscard]] std::vector<std::pair<query::Tuple, std::uint64_t>> entries() const;
+
+  // Clear all slots (the driver resets registers between windows).
+  void reset();
+
+  [[nodiscard]] std::uint64_t keys_stored() const noexcept { return stored_; }
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflows_; }
+
+  // Total register memory this chain occupies: d * n * (key + value bits).
+  [[nodiscard]] std::uint64_t total_bits() const noexcept;
+  // Memory of one register array (what a single stage must provide).
+  [[nodiscard]] std::uint64_t bits_per_register() const noexcept;
+
+  [[nodiscard]] const RegisterChainConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    bool reported = false;
+    query::Tuple key;
+    std::uint64_t value = 0;
+  };
+
+  RegisterChainConfig cfg_;
+  util::HashFamily hashes_;
+  std::vector<std::vector<Slot>> registers_;  // [depth][entries]
+  std::uint64_t stored_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+// Apply a reduce function to an existing aggregate.
+[[nodiscard]] std::uint64_t apply_reduce(query::ReduceFn fn, std::uint64_t current,
+                                         std::uint64_t delta) noexcept;
+
+}  // namespace sonata::pisa

@@ -1,0 +1,270 @@
+#include "pisa/switch.h"
+
+#include <cassert>
+
+#include "util/log.h"
+
+namespace sonata::pisa {
+
+using query::OpKind;
+using query::Operator;
+using query::Schema;
+using query::Tuple;
+
+CompiledSwitchQuery::CompiledSwitchQuery(const query::StreamNode& node, Options opts)
+    : node_(node), opts_(std::move(opts)) {
+  assert(node_.kind == query::StreamNode::Kind::kSource);
+  assert(node_.schemas.size() == node_.ops.size() + 1);
+  assert(opts_.partition <= node_.ops.size());
+
+  for (std::size_t i = 0; i < opts_.partition; ++i) {
+    const Operator& op = node_.ops[i];
+    const Schema& in = node_.schemas[i];
+    CompiledOp cop;
+    cop.kind = op.kind;
+    cop.op_index = i;
+    switch (op.kind) {
+      case OpKind::kFilter:
+        if (foldable_threshold(node_, i)) continue;  // folded into the reduce below
+        cop.pred = op.predicate->bind(in);
+        break;
+      case OpKind::kFilterIn:
+        for (const auto& m : op.match_exprs) cop.match.push_back(m->bind(in));
+        cop.table_name = op.table_name;
+        break;
+      case OpKind::kMap:
+        for (const auto& p : op.projections) cop.projections.push_back(p.expr->bind(in));
+        break;
+      case OpKind::kDistinct: {
+        const auto it = opts_.sizing.find(i);
+        const RegisterSizing rs = it != opts_.sizing.end() ? it->second : RegisterSizing{};
+        RegisterChainConfig rc;
+        rc.entries_per_register = rs.entries;
+        rc.depth = rs.depth;
+        rc.key_bits = stateful_key_bits(node_, i);
+        rc.value_bits = 1;
+        cop.chain = std::make_unique<RegisterChain>(rc);
+        break;
+      }
+      case OpKind::kReduce: {
+        for (const auto& k : op.keys) {
+          const auto idx = in.index_of(k);
+          assert(idx);
+          cop.key_idx.push_back(*idx);
+        }
+        const auto vidx = in.index_of(op.value_col);
+        assert(vidx);
+        cop.value_idx = *vidx;
+        cop.fn = op.fn;
+        const auto it = opts_.sizing.find(i);
+        const RegisterSizing rs = it != opts_.sizing.end() ? it->second : RegisterSizing{};
+        RegisterChainConfig rc;
+        rc.entries_per_register = rs.entries;
+        rc.depth = rs.depth;
+        rc.key_bits = stateful_key_bits(node_, i);
+        rc.value_bits = 32;
+        cop.chain = std::make_unique<RegisterChain>(rc);
+        // Fold the following threshold filter, if present and included in
+        // the partition.
+        if (i + 1 < opts_.partition) cop.folded = foldable_threshold(node_, i + 1);
+        break;
+      }
+    }
+    ops_.push_back(std::move(cop));
+  }
+
+  if (!ops_.empty() && ops_.back().kind == OpKind::kReduce) {
+    tail_reduce_ = &ops_.back();
+    // Polled aggregates re-enter the chain AT the reduce: the stream
+    // processor folds them into its own (overflow-corrected) state and
+    // applies the trailing threshold to the merged totals.
+    poll_entry_ = tail_reduce_->op_index;
+  } else {
+    poll_entry_ = opts_.partition;
+  }
+}
+
+std::optional<EmitRecord> CompiledSwitchQuery::process(const Tuple& source) {
+  ++packets_seen_;
+  Tuple current = source;
+  for (auto& cop : ops_) {
+    switch (cop.kind) {
+      case OpKind::kFilter: {
+        if (cop.pred(current).as_uint() == 0) return std::nullopt;
+        break;
+      }
+      case OpKind::kFilterIn: {
+        Tuple key;
+        key.values.reserve(cop.match.size());
+        for (const auto& m : cop.match) key.values.push_back(m(current));
+        if (!cop.entries.contains(key)) return std::nullopt;
+        break;
+      }
+      case OpKind::kMap: {
+        Tuple next;
+        next.values.reserve(cop.projections.size());
+        for (const auto& p : cop.projections) next.values.push_back(p(current));
+        current = std::move(next);
+        break;
+      }
+      case OpKind::kDistinct: {
+        const auto r = cop.chain->update(current, 1, query::ReduceFn::kBitOr);
+        if (r.overflow) {
+          ++emitted_;
+          ++overflows_;
+          return EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
+                            opts_.level, cop.op_index, std::move(current)};
+        }
+        if (!r.newly_inserted) return std::nullopt;  // duplicate within window
+        break;
+      }
+      case OpKind::kReduce: {
+        Tuple key = query::project(current, cop.key_idx);
+        const std::uint64_t delta = current.at(cop.value_idx).as_uint();
+        const auto r = cop.chain->update(key, delta, cop.fn);
+        if (r.overflow) {
+          ++emitted_;
+          ++overflows_;
+          // The SP re-runs the reduce (and everything after) for this key.
+          return EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
+                            opts_.level, cop.op_index, std::move(current)};
+        }
+        bool report = false;
+        if (cop.folded) {
+          const bool passes = cop.folded->strict ? r.value > cop.folded->threshold
+                                                 : r.value >= cop.folded->threshold;
+          if (passes) report = cop.chain->mark_reported(key);
+        } else {
+          report = r.newly_inserted;
+        }
+        if (!report) return std::nullopt;
+        Tuple out = std::move(key);
+        out.values.emplace_back(r.value);
+        ++emitted_;
+        return EmitRecord{EmitRecord::Kind::kKeyReport, opts_.qid, opts_.source_index,
+                          opts_.level, poll_entry_, std::move(out)};
+      }
+    }
+  }
+  // Stateless tail: the tuple itself streams to the SP.
+  ++emitted_;
+  return EmitRecord{EmitRecord::Kind::kStream, opts_.qid, opts_.source_index, opts_.level,
+                    opts_.partition, std::move(current)};
+}
+
+std::vector<Tuple> CompiledSwitchQuery::poll_aggregates() const {
+  std::vector<Tuple> out;
+  if (!tail_reduce_) return out;
+  // Shape each aggregate like a reduce-input tuple: keys at their key
+  // positions, the aggregate in the value column, anything else zeroed.
+  const Schema& in = node_.schemas[tail_reduce_->op_index];
+  for (auto& [key, value] : tail_reduce_->chain->entries()) {
+    Tuple t;
+    t.values.assign(in.size(), query::Value{std::uint64_t{0}});
+    for (std::size_t k = 0; k < tail_reduce_->key_idx.size(); ++k) {
+      t.values[tail_reduce_->key_idx[k]] = key.at(k);
+    }
+    t.values[tail_reduce_->value_idx] = query::Value{value};
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void CompiledSwitchQuery::reset_registers() {
+  for (auto& cop : ops_) {
+    if (cop.chain) cop.chain->reset();
+  }
+}
+
+bool CompiledSwitchQuery::set_filter_entries(const std::string& table_name,
+                                             std::vector<Tuple> entries) {
+  for (auto& cop : ops_) {
+    if (cop.kind == OpKind::kFilterIn && cop.table_name == table_name) {
+      cop.entries.clear();
+      for (auto& e : entries) cop.entries.insert(std::move(e));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Switch::install(std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines,
+                            const std::vector<ProgramResources>& resources) {
+  Layout layout = assign_stages(cfg_, resources);
+  if (!layout.feasible) return layout.error;
+  pipelines_ = std::move(pipelines);
+  layout_ = std::move(layout);
+  SONATA_DEBUG("pisa", "installed %zu pipelines, metadata %d bits", pipelines_.size(),
+               layout_.metadata_bits_used);
+  return {};
+}
+
+void Switch::process(const net::Packet& packet, std::vector<EmitRecord>& out) {
+  const Tuple source = query::materialize_tuple(packet);
+  process_tuple(source, out);
+}
+
+void Switch::process_tuple(const Tuple& source, std::vector<EmitRecord>& out) {
+  ++stats_.packets_processed;
+  for (const auto& [col, keys] : blocks_) {
+    if (col < source.size() && keys.contains(source.at(col))) {
+      ++stats_.dropped_packets;
+      return;  // guard table drops the packet at line rate
+    }
+  }
+  for (auto& p : pipelines_) {
+    if (auto rec = p->process(source)) {
+      ++stats_.records_emitted;
+      if (rec->kind == EmitRecord::Kind::kOverflow) ++stats_.overflow_records;
+      out.push_back(std::move(*rec));
+    }
+  }
+}
+
+int Switch::update_filter_entries(const std::string& table_name,
+                                  std::vector<query::Tuple> entries) {
+  int updated = 0;
+  for (auto& p : pipelines_) {
+    // Each pipeline gets its own copy: entry sets are per-table state.
+    if (p->set_filter_entries(table_name, entries)) {
+      ++updated;
+      stats_.filter_entry_updates += entries.size();
+      stats_.control_update_millis += kMillisPerEntryUpdate * static_cast<double>(entries.size());
+    }
+  }
+  return updated;
+}
+
+bool Switch::block(const std::string& field, const query::Value& key) {
+  const auto idx = query::source_schema().index_of(field);
+  if (!idx) return false;
+  for (auto& [col, keys] : blocks_) {
+    if (col == *idx) {
+      if (keys.insert(key).second) {
+        ++stats_.filter_entry_updates;
+        stats_.control_update_millis += kMillisPerEntryUpdate;
+      }
+      return true;
+    }
+  }
+  blocks_.push_back({*idx, {key}});
+  ++stats_.filter_entry_updates;
+  stats_.control_update_millis += kMillisPerEntryUpdate;
+  return true;
+}
+
+void Switch::clear_blocks() { blocks_.clear(); }
+
+std::size_t Switch::blocked_keys() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [col, keys] : blocks_) n += keys.size();
+  return n;
+}
+
+void Switch::reset_all_registers() {
+  for (auto& p : pipelines_) p->reset_registers();
+  ++stats_.register_resets;
+  stats_.control_update_millis += kMillisPerRegisterReset;
+}
+
+}  // namespace sonata::pisa

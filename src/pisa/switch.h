@@ -1,0 +1,194 @@
+// Executable PISA switch simulator.
+//
+// A Switch hosts one CompiledSwitchQuery per (query, source, refinement
+// level). Each packet is parsed once into a source tuple (the PHV), then
+// every installed pipeline processes it; pipelines that mark the report
+// flag cause a mirrored packet — an EmitRecord — on the monitoring port,
+// which the emitter turns into stream-processor input (paper Figure 6).
+//
+// The driver-facing surface (install / update_filter_entries /
+// poll_and_reset) mirrors what Sonata's runtime does to BMV2/Tofino over
+// Thrift, including the modelled per-update latency used by the
+// dynamic-refinement overhead micro-benchmark (paper §6.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pisa/compile.h"
+#include "pisa/config.h"
+#include "pisa/layout.h"
+#include "pisa/register.h"
+#include "query/field.h"
+#include "query/query.h"
+
+namespace sonata::pisa {
+
+// What the switch mirrors to the monitoring port for one packet.
+struct EmitRecord {
+  enum class Kind : std::uint8_t {
+    kStream,     // tuple passed a stateless switch prefix; SP continues at op_index
+    kKeyReport,  // first report for a register key (stateful tail); SP polls later
+    kOverflow,   // key collided in all d registers; SP takes over at op_index
+  };
+  Kind kind = Kind::kStream;
+  query::QueryId qid = 0;
+  int source_index = 0;
+  int level = 0;
+  std::size_t op_index = 0;  // where the tuple (re-)enters the operator chain
+  query::Tuple tuple;
+};
+
+// Executable form of one partitioned (and possibly refined) sub-query.
+class CompiledSwitchQuery {
+ public:
+  struct Options {
+    query::QueryId qid = 0;
+    int source_index = 0;
+    int level = 32;
+    std::size_t partition = 0;
+    std::map<std::size_t, RegisterSizing> sizing;  // stateful op index -> n, d
+  };
+
+  // `node` must stay alive and validated for the lifetime of this object.
+  CompiledSwitchQuery(const query::StreamNode& node, Options opts);
+
+  // Process one source tuple; returns a mirrored record if the report flag
+  // is set at the end of the pipeline.
+  [[nodiscard]] std::optional<EmitRecord> process(const query::Tuple& source);
+
+  // True when the pipeline ends in a register (reduce) the stream
+  // processor must poll at the end of each window.
+  [[nodiscard]] bool has_stateful_tail() const noexcept { return tail_reduce_ != nullptr; }
+
+  // End-of-window register poll (control channel). Returns ALL stored
+  // aggregates, shaped like the tail reduce's *input* tuples (value column
+  // carrying the aggregate, unused columns zeroed), so the stream processor
+  // ingests them at the reduce itself and merges them with any
+  // overflow-corrected partial counts before applying the trailing
+  // threshold (paper §3.1.3: the emitter reads the aggregated value for
+  // each key in its local store from the data-plane registers, and the SP
+  // adjusts results for collisions). The folded threshold still governs
+  // which keys generate *report packets* (the N the evaluation counts);
+  // polling is control-plane.
+  [[nodiscard]] std::vector<query::Tuple> poll_aggregates() const;
+
+  // Operator index where polled aggregates enter the stream processor:
+  // the tail reduce itself.
+  [[nodiscard]] std::size_t poll_entry_op() const noexcept { return poll_entry_; }
+
+  // Clear all register state (driver does this between windows).
+  void reset_registers();
+
+  // Replace the entry set of a dynamic-refinement filter table. Returns
+  // false if this pipeline has no such table.
+  bool set_filter_entries(const std::string& table_name,
+                          std::vector<query::Tuple> entries);
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+  [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_seen_; }
+  [[nodiscard]] std::uint64_t records_emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t overflow_records() const noexcept { return overflows_; }
+
+ private:
+  struct CompiledOp {
+    query::OpKind kind = query::OpKind::kFilter;
+    std::size_t op_index = 0;
+    // filter
+    query::Expr::Evaluator pred;
+    // filter_in
+    std::vector<query::Expr::Evaluator> match;
+    std::string table_name;
+    std::unordered_set<query::Tuple, query::TupleHasher> entries;
+    // map
+    std::vector<query::Expr::Evaluator> projections;
+    // distinct / reduce
+    std::vector<std::size_t> key_idx;
+    std::size_t value_idx = 0;
+    query::ReduceFn fn = query::ReduceFn::kSum;
+    std::unique_ptr<RegisterChain> chain;
+    // folded threshold on the tail reduce
+    std::optional<FoldedThreshold> folded;
+  };
+
+  const query::StreamNode& node_;
+  Options opts_;
+  std::vector<CompiledOp> ops_;
+  CompiledOp* tail_reduce_ = nullptr;  // set when the last op is a reduce
+  std::size_t poll_entry_ = 0;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+// Counters the evaluation reads per window.
+struct SwitchStats {
+  std::uint64_t packets_processed = 0;
+  std::uint64_t records_emitted = 0;   // packet tuples sent to the SP
+  std::uint64_t overflow_records = 0;  // subset of the above due to collisions
+  std::uint64_t dropped_packets = 0;   // closed-loop mitigation drops
+  std::uint64_t filter_entry_updates = 0;
+  std::uint64_t register_resets = 0;
+  double control_update_millis = 0.0;  // modelled driver latency
+};
+
+class Switch {
+ public:
+  explicit Switch(SwitchConfig cfg) : cfg_(std::move(cfg)) {}
+
+  // Install pipelines. Performs stage layout against the resource model and
+  // refuses (returning the layout error) if the programs do not fit.
+  [[nodiscard]] std::string install(std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines,
+                                    const std::vector<ProgramResources>& resources);
+
+  // Process one packet through every installed pipeline; emitted records
+  // are appended to `out`.
+  void process(const net::Packet& packet, std::vector<EmitRecord>& out);
+
+  // Process a pre-materialized source tuple (hot path for replays).
+  void process_tuple(const query::Tuple& source, std::vector<EmitRecord>& out);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<CompiledSwitchQuery>>& pipelines() const noexcept {
+    return pipelines_;
+  }
+  [[nodiscard]] const Layout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const SwitchConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
+
+  // -- driver surface -------------------------------------------------
+  // Update a dynamic filter table (any pipeline that owns `table_name`).
+  // Models per-entry update latency; returns number of pipelines updated.
+  int update_filter_entries(const std::string& table_name, std::vector<query::Tuple> entries);
+
+  // Reset all registers (end of window). Models reset latency.
+  void reset_all_registers();
+
+  // -- closed-loop mitigation (paper §8's long-term goal) -------------
+  // Install a drop rule: packets whose source field equals `key` are
+  // dropped before any telemetry pipeline sees them. `field` must be a
+  // registered packet field. Models the same driver latency as a filter
+  // entry update. Returns false for unknown fields.
+  bool block(const std::string& field, const query::Value& key);
+  void clear_blocks();
+  [[nodiscard]] std::size_t blocked_keys() const noexcept;
+
+  // Modelled driver latencies, calibrated to the paper's Tofino
+  // micro-benchmark: 200 entry updates ~ 127 ms, register reset ~ 4 ms.
+  static constexpr double kMillisPerEntryUpdate = 127.0 / 200.0;
+  static constexpr double kMillisPerRegisterReset = 4.0;
+
+ private:
+  SwitchConfig cfg_;
+  std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines_;
+  Layout layout_;
+  SwitchStats stats_;
+  // Guard table: source-schema column index -> blocked key values.
+  std::vector<std::pair<std::size_t, std::unordered_set<query::Value, query::ValueHasher>>>
+      blocks_;
+};
+
+}  // namespace sonata::pisa

@@ -1,0 +1,279 @@
+#include "planner/refine.h"
+
+#include <cassert>
+
+#include "query/field.h"
+
+namespace sonata::planner {
+
+using query::Expr;
+using query::ExprPtr;
+using query::OpKind;
+using query::Operator;
+using query::Query;
+using query::StreamNode;
+
+namespace {
+
+// Coarsen an expression to `level` for the key's kind. Identity at the
+// finest level.
+ExprPtr coarsen(const RefinementKey& key, ExprPtr e, int level) {
+  if (level >= key.finest_level()) return e;
+  return key.is_dns ? Expr::dns_prefix(std::move(e), level)
+                    : Expr::ip_prefix(std::move(e), level);
+}
+
+// Index of the last reduce in a chain, or npos.
+std::size_t last_reduce(const std::vector<Operator>& ops) {
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    if (ops[i].kind == OpKind::kReduce) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::optional<RefinementKey> trace_refinement_key(const StreamNode& node,
+                                                  const std::string& column) {
+  RefinementKey key;
+  key.key_column = column;
+  std::string current = column;
+  for (std::size_t i = node.ops.size(); i-- > 0;) {
+    const Operator& op = node.ops[i];
+    switch (op.kind) {
+      case OpKind::kMap: {
+        const query::NamedExpr* found = nullptr;
+        std::size_t proj = 0;
+        for (std::size_t p = 0; p < op.projections.size(); ++p) {
+          if (op.projections[p].name == current) {
+            found = &op.projections[p];
+            proj = p;
+            break;
+          }
+        }
+        if (!found) return std::nullopt;  // column does not survive this map
+        if (!found->expr || found->expr->kind != Expr::Kind::kCol) {
+          return std::nullopt;  // derived by arithmetic; not a clean rename
+        }
+        current = found->expr->col;
+        key.intro_map_op = i;
+        key.intro_proj = proj;
+        break;
+      }
+      case OpKind::kReduce: {
+        bool is_key = false;
+        for (const auto& k : op.keys) is_key = is_key || k == current;
+        if (!is_key) return std::nullopt;  // it's the aggregate, not a key
+        break;
+      }
+      case OpKind::kFilter:
+      case OpKind::kFilterIn:
+      case OpKind::kDistinct:
+        break;  // column passes through unchanged
+    }
+  }
+  const auto* field = query::FieldRegistry::instance().find(current);
+  if (!field || !field->hierarchical) return std::nullopt;
+  key.source_field = current;
+  key.is_dns = field->kind == query::ValueKind::kString;
+  return key;
+}
+
+std::optional<RefinementKey> find_refinement_key(const StreamNode& node) {
+  const std::size_t r = last_reduce(node.ops);
+  if (r == static_cast<std::size_t>(-1)) return std::nullopt;
+  // Try each reduce key; prefer the first that traces to a hierarchical
+  // source field.
+  for (const auto& k : node.ops[r].keys) {
+    // Trace from the node output: the key column survives the reduce and
+    // any trailing filters, so tracing from the end is equivalent as long
+    // as no trailing map renames it — trace handles that generally.
+    if (auto key = trace_refinement_key(node, k)) return key;
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<StreamNode> make_refined_node(const StreamNode& node, const RefinementKey& key,
+                                              const RefineOptions& opts) {
+  assert(node.kind == StreamNode::Kind::kSource);
+  auto out = std::make_shared<StreamNode>();
+  out->kind = StreamNode::Kind::kSource;
+  out->ops = node.ops;
+
+  // 1. Coarsen the key column at its introduction point (Figure 4's
+  //    "Map dIP/16"), or append an in-place coarsening map when the key is
+  //    the raw source field (keeps the full schema; runs at the SP side of
+  //    the join for raw-packet sources like Zorro's left input).
+  if (opts.level < key.finest_level()) {
+    if (key.intro_map_op) {
+      Operator& m = out->ops[*key.intro_map_op];
+      m.projections[key.intro_proj].expr =
+          coarsen(key, m.projections[key.intro_proj].expr, opts.level);
+    } else {
+      // Identity map over the node's output schema with the key coarsened.
+      const query::Schema& schema = node.output_schema();
+      std::vector<query::NamedExpr> projections;
+      projections.reserve(schema.size());
+      for (const auto& c : schema.columns()) {
+        ExprPtr e = Expr::column(c.name);
+        if (c.name == key.key_column) e = coarsen(key, std::move(e), opts.level);
+        projections.push_back({c.name, std::move(e)});
+      }
+      out->ops.push_back(Operator::map(std::move(projections)));
+    }
+  }
+
+  // 2. Relax the trailing threshold filter (the filter right after the last
+  //    reduce, comparing the aggregate against a constant).
+  if (opts.relaxed_threshold) {
+    const std::size_t r = last_reduce(out->ops);
+    if (r != static_cast<std::size_t>(-1) && r + 1 < out->ops.size() &&
+        out->ops[r + 1].kind == OpKind::kFilter && out->ops[r + 1].predicate &&
+        out->ops[r + 1].predicate->kind == Expr::Kind::kBin) {
+      const Expr& p = *out->ops[r + 1].predicate;
+      if ((p.op == query::BinOp::kGt || p.op == query::BinOp::kGe) && p.lhs && p.rhs &&
+          p.rhs->kind == Expr::Kind::kConst) {
+        out->ops[r + 1].predicate = Expr::bin(p.op, p.lhs, Expr::lit(*opts.relaxed_threshold));
+      }
+    }
+  }
+
+  // 3. Prepend the dynamic filter fed by the previous level's output
+  //    (Figure 4's "Filter dIP/8"). The first level of a chain has none.
+  if (opts.prev_level != kNoPrevLevel) {
+    std::vector<ExprPtr> match;
+    match.push_back(coarsen(key, Expr::column(key.source_field), opts.prev_level));
+    out->ops.insert(out->ops.begin(),
+                    Operator::filter_in(std::move(match), opts.filter_table_name));
+  }
+
+  const std::string err = query::validate_stream_node(*out);
+  assert(err.empty() && "refined node failed validation");
+  (void)err;
+  return out;
+}
+
+namespace {
+
+// Deep-copy a tree, replacing each source (in DFS order) via `refiner`.
+std::shared_ptr<StreamNode> clone_with_sources(
+    const StreamNode& node, int& source_counter,
+    const std::function<std::shared_ptr<StreamNode>(const StreamNode&, int)>& refiner) {
+  if (node.kind == StreamNode::Kind::kSource) {
+    return refiner(node, source_counter++);
+  }
+  auto out = std::make_shared<StreamNode>();
+  out->kind = StreamNode::Kind::kJoin;
+  out->join_keys = node.join_keys;
+  out->left = clone_with_sources(*node.left, source_counter, refiner);
+  out->right = clone_with_sources(*node.right, source_counter, refiner);
+  out->ops = node.ops;
+  return out;
+}
+
+}  // namespace
+
+bool has_stateful_op(const StreamNode& node) {
+  for (const auto& op : node.ops) {
+    if (op.stateful()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Clone the join skeleton keeping only surviving sources; join-node ops are
+// dropped (post-join operators are excluded from winner queries). Returns
+// nullptr for fully-excluded subtrees.
+query::StreamNodePtr winner_tree(const StreamNode& node, int& counter,
+                                 const std::vector<std::shared_ptr<StreamNode>>& per_source) {
+  if (node.kind == StreamNode::Kind::kSource) {
+    return per_source.at(static_cast<std::size_t>(counter++));
+  }
+  auto left = winner_tree(*node.left, counter, per_source);
+  auto right = winner_tree(*node.right, counter, per_source);
+  if (!left) return right;
+  if (!right) return left;
+  auto out = std::make_shared<StreamNode>();
+  out->kind = StreamNode::Kind::kJoin;
+  out->join_keys = node.join_keys;
+  out->left = std::move(left);
+  out->right = std::move(right);
+  return out;
+}
+
+}  // namespace
+
+query::Query make_winner_query(const query::Query& base, int level,
+                               const std::vector<std::shared_ptr<StreamNode>>& per_source) {
+  int counter = 0;
+  auto root = winner_tree(*base.root(), counter, per_source);
+  assert(root && "winner query with no surviving sources");
+  query::Query out(base.name() + "@W" + std::to_string(level), base.id(), base.window(),
+                   std::move(root));
+  const std::string err = out.validate();
+  assert(err.empty() && "winner query failed validation");
+  (void)err;
+  return out;
+}
+
+std::vector<int> winner_source_remap(const query::Query& base) {
+  std::vector<int> remap;
+  int next = 0;
+  for (const auto* src : base.sources()) {
+    remap.push_back(has_stateful_op(*src) ? next++ : -1);
+  }
+  return remap;
+}
+
+std::vector<std::size_t> relaxable_filters(const std::vector<Operator>& ops) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operator& op = ops[i];
+    if (op.kind != OpKind::kFilter || !op.predicate) continue;
+    const Expr& p = *op.predicate;
+    if (p.kind != Expr::Kind::kBin) continue;
+    if (p.op != query::BinOp::kGt && p.op != query::BinOp::kGe) continue;
+    if (!p.lhs || !p.rhs) continue;
+    if (p.lhs->kind != Expr::Kind::kCol) continue;
+    if (p.rhs->kind != Expr::Kind::kConst || !p.rhs->constant.is_uint()) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+void apply_threshold_relaxations(std::vector<Operator>& ops,
+                                 const std::map<std::size_t, std::uint64_t>& relaxed) {
+  for (const auto& [idx, constant] : relaxed) {
+    if (idx >= ops.size()) continue;
+    Operator& op = ops[idx];
+    if (op.kind != OpKind::kFilter || !op.predicate) continue;
+    const Expr& p = *op.predicate;
+    op.predicate = Expr::bin(p.op, p.lhs, Expr::lit(constant));
+  }
+}
+
+Query make_level_query(const Query& q, const std::vector<RefinementKey>& keys, int level,
+                       const std::vector<std::optional<std::uint64_t>>& relaxed,
+                       const std::map<std::size_t, std::uint64_t>* root_relaxed) {
+  int counter = 0;
+  auto root = clone_with_sources(
+      *q.root(), counter,
+      [&](const StreamNode& src, int index) -> std::shared_ptr<StreamNode> {
+        RefineOptions opts;
+        opts.level = level;
+        opts.prev_level = kNoPrevLevel;
+        opts.relaxed_threshold = relaxed.at(static_cast<std::size_t>(index));
+        return make_refined_node(src, keys.at(static_cast<std::size_t>(index)), opts);
+      });
+  if (root_relaxed && root->kind == StreamNode::Kind::kJoin) {
+    apply_threshold_relaxations(root->ops, *root_relaxed);
+  }
+  Query out(q.name() + "@L" + std::to_string(level), q.id(), q.window(), std::move(root));
+  const std::string err = out.validate();
+  assert(err.empty() && "level query failed validation");
+  (void)err;
+  return out;
+}
+
+}  // namespace sonata::planner

@@ -1,0 +1,119 @@
+// Dynamic query refinement: key detection and query augmentation
+// (paper §4.1, Figure 4).
+//
+// A refinement key is a hierarchical field (IPv4 address, DNS name) behind
+// the key column of the query's final stateful operator (or behind the join
+// key, for sources with no stateful operator of their own — e.g. the raw
+// packet side of the Zorro query). Refining at level r rewrites a source
+// chain to:
+//   * prepend a filter_in that keeps only traffic whose coarse key was
+//     reported by the previous refinement level in the previous window, and
+//   * coarsen the key column (mask the IP to /r, truncate the DNS name to
+//     r labels) where it is introduced, and
+//   * relax the trailing threshold (computed from training data) so coarse
+//     levels never drop traffic the original query would report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "query/query.h"
+
+namespace sonata::planner {
+
+// Sentinel refinement level meaning "the original, unrefined granularity".
+inline constexpr int kFinestIpLevel = 32;
+inline constexpr int kFinestDnsLevel = 255;
+// Sentinel for "no previous level" (the coarsest step of a chain, *->r).
+inline constexpr int kNoPrevLevel = -1;
+
+struct RefinementKey {
+  std::string key_column;    // column name at the node's output
+  std::string source_field;  // hierarchical packet field behind it
+  bool is_dns = false;       // IP prefixes vs DNS label counts
+  // Where the key column is introduced: the map op whose projection
+  // `intro_proj` creates it. nullopt when the key is the raw source field
+  // (no map introduces it) — coarsening then appends an in-place map.
+  std::optional<std::size_t> intro_map_op;
+  std::size_t intro_proj = 0;
+
+  [[nodiscard]] int finest_level() const noexcept {
+    return is_dns ? kFinestDnsLevel : kFinestIpLevel;
+  }
+};
+
+// Trace `column` (a name in the node's *output* schema) backwards through
+// the op chain to a hierarchical source field. Returns nullopt if the trace
+// fails (renamed through arithmetic, not hierarchical, ...).
+[[nodiscard]] std::optional<RefinementKey> trace_refinement_key(const query::StreamNode& node,
+                                                                const std::string& column);
+
+// Refinement key for a source node: the hierarchical key of its last
+// stateful operator. For nodes without stateful operators, callers should
+// trace the parent join key instead.
+[[nodiscard]] std::optional<RefinementKey> find_refinement_key(const query::StreamNode& node);
+
+// Options for building one refined source chain.
+struct RefineOptions {
+  int level = kFinestIpLevel;      // granularity to execute at
+  int prev_level = kNoPrevLevel;   // previous chain level (kNoPrevLevel: none)
+  std::string filter_table_name;   // filter_in table id (when prev_level set)
+  // Replacement for the trailing threshold filter's constant (relaxed
+  // threshold at coarse levels); nullopt keeps the original.
+  std::optional<std::uint64_t> relaxed_threshold;
+};
+
+// Build the augmented copy of a source node per RefineOptions. The result
+// is validated (schemas computed). Coarsening at the finest level is a
+// no-op, so refined and original chains agree at the finest granularity.
+[[nodiscard]] std::shared_ptr<query::StreamNode> make_refined_node(
+    const query::StreamNode& node, const RefinementKey& key, const RefineOptions& opts);
+
+// Clone a whole query with every source refined at one level (no filter_in,
+// thresholds optionally relaxed per source). Used by the estimator to
+// compute per-level winner sets. `relaxed[i]` applies to source i;
+// `root_relaxed` (optional) maps root-chain op indices of post-join
+// threshold filters to their relaxed constants.
+[[nodiscard]] query::Query make_level_query(
+    const query::Query& q, const std::vector<RefinementKey>& keys, int level,
+    const std::vector<std::optional<std::uint64_t>>& relaxed,
+    const std::map<std::size_t, std::uint64_t>* root_relaxed = nullptr);
+
+// Build the *winner query* for a coarse refinement level: the query whose
+// per-window output keys seed the next level's dynamic filters. Faithful to
+// the paper's §4.2 and the Figure 9 case study:
+//   * only sources with stateful operators execute (raw-packet sides of a
+//     join — e.g. Zorro's payload stream — run at the finest level only);
+//   * post-join operators are excluded entirely (payload scans cannot run
+//     at coarse granularity; dropping filters before ">"-thresholds is
+//     strictly conservative, so no winner is ever missed);
+//   * each surviving source is replaced by `per_source[i]` (the planned,
+//     augmented chain for that level: coarsened keys, relaxed thresholds,
+//     dynamic filter fed by the previous level).
+// `per_source[i]` may be null for excluded sources. Returns a validated
+// query; at least one source must survive.
+[[nodiscard]] query::Query make_winner_query(
+    const query::Query& base, int level,
+    const std::vector<std::shared_ptr<query::StreamNode>>& per_source);
+
+// Executor-side source indices: remap[i] is the position of original
+// source i among surviving sources (-1 if excluded at coarse levels).
+[[nodiscard]] std::vector<int> winner_source_remap(const query::Query& base);
+
+// True if the source node contains a stateful operator (distinct/reduce).
+[[nodiscard]] bool has_stateful_op(const query::StreamNode& node);
+
+// Threshold filters eligible for relaxation in an op chain: kFilter ops
+// whose predicate is (column > constant) or (column >= constant).
+[[nodiscard]] std::vector<std::size_t> relaxable_filters(
+    const std::vector<query::Operator>& ops);
+
+// Rewrite the constants of threshold filters in `ops` (op index -> new
+// constant). Ops not present in the map are left alone.
+void apply_threshold_relaxations(std::vector<query::Operator>& ops,
+                                 const std::map<std::size_t, std::uint64_t>& relaxed);
+
+}  // namespace sonata::planner

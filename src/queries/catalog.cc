@@ -1,0 +1,262 @@
+#include "queries/catalog.h"
+
+#include <cassert>
+
+#include "net/headers.h"
+#include "query/field.h"
+
+namespace sonata::queries {
+
+using namespace query::dsl;  // col, lit, operators
+using query::Expr;
+using query::NamedExpr;
+using query::Query;
+using query::QueryBuilder;
+using query::ReduceFn;
+using util::Nanos;
+
+namespace {
+
+namespace f = query::fields;
+
+constexpr std::uint64_t kTcp = 6;
+constexpr std::uint64_t kUdp = 17;
+constexpr std::uint64_t kSyn = net::tcp_flags::kSyn;
+constexpr std::uint64_t kSynAck = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+constexpr std::uint64_t kAck = net::tcp_flags::kAck;
+constexpr std::uint64_t kFin = net::tcp_flags::kFin;
+
+query::ExprPtr fcol(std::string_view name) { return col(std::string(name)); }
+
+Query finish(Query q) {
+  const std::string err = q.validate();
+  assert(err.empty() && "catalog query failed validation");
+  (void)err;
+  return q;
+}
+
+}  // namespace
+
+// 1. Detect hosts with too many newly opened TCP connections (paper Query 1).
+Query make_newly_opened_tcp(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .filter(fcol(f::kProto) == lit(kTcp) && fcol(f::kTcpFlags) == lit(kSyn))
+                    .map({{"dIP", fcol(f::kDstIp)}, {"count", lit(1)}})
+                    .reduce({"dIP"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.newly_opened))
+                    .build("newly_opened_tcp", 1, window));
+}
+
+// 2. Distributed SSH brute force: many sources send same-sized SSH packets
+// to one host (Javed & Paxson).
+Query make_ssh_brute_force(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .filter(fcol(f::kProto) == lit(kTcp) &&
+                            fcol(f::kDstPort) == lit(net::ports::kSsh))
+                    .map({{"dIP", fcol(f::kDstIp)},
+                          {"len", fcol(f::kPktLen)},
+                          {"sIP", fcol(f::kSrcIp)}})
+                    .distinct()
+                    .map({{"dIP", col("dIP")}, {"len", col("len")}, {"count", lit(1)}})
+                    .reduce({"dIP", "len"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.ssh_brute))
+                    .build("ssh_brute_force", 2, window));
+}
+
+// 3. Superspreader: a source contacting many distinct destinations.
+Query make_superspreader(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .map({{"sIP", fcol(f::kSrcIp)}, {"dIP", fcol(f::kDstIp)}})
+                    .distinct()
+                    .map({{"sIP", col("sIP")}, {"count", lit(1)}})
+                    .reduce({"sIP"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.superspreader))
+                    .build("superspreader", 3, window));
+}
+
+// 4. Port scan: a source probing many distinct destination ports.
+Query make_port_scan(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .filter(fcol(f::kProto) == lit(kTcp) && fcol(f::kTcpFlags) == lit(kSyn))
+                    .map({{"sIP", fcol(f::kSrcIp)}, {"dPort", fcol(f::kDstPort)}})
+                    .distinct()
+                    .map({{"sIP", col("sIP")}, {"count", lit(1)}})
+                    .reduce({"sIP"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.port_scan))
+                    .build("port_scan", 4, window));
+}
+
+// 5. DDoS: many distinct sources hitting one destination.
+Query make_ddos(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .map({{"sIP", fcol(f::kSrcIp)}, {"dIP", fcol(f::kDstIp)}})
+                    .distinct()
+                    .map({{"dIP", col("dIP")}, {"count", lit(1)}})
+                    .reduce({"dIP"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.ddos))
+                    .build("ddos", 5, window));
+}
+
+// 6. TCP SYN flood (NetQRE-style): per host, SYNs plus SYN-ACKs far exceed
+// completed handshakes. Three sub-queries joined on the victim address;
+// the imbalance test is written without subtraction so unsigned arithmetic
+// cannot wrap.
+Query make_syn_flood(const Thresholds& th, Nanos window) {
+  auto syns = QueryBuilder::packet_stream()
+                  .filter(fcol(f::kProto) == lit(kTcp) && fcol(f::kTcpFlags) == lit(kSyn))
+                  .map({{"dIP", fcol(f::kDstIp)}, {"syn", lit(1)}})
+                  .reduce({"dIP"}, ReduceFn::kSum, "syn");
+  auto synacks = QueryBuilder::packet_stream()
+                     .filter(fcol(f::kProto) == lit(kTcp) && fcol(f::kTcpFlags) == lit(kSynAck))
+                     .map({{"dIP", fcol(f::kSrcIp)}, {"synack", lit(1)}})
+                     .reduce({"dIP"}, ReduceFn::kSum, "synack");
+  auto acks = QueryBuilder::packet_stream()
+                  .filter(fcol(f::kProto) == lit(kTcp) && fcol(f::kTcpFlags) == lit(kAck))
+                  .map({{"dIP", fcol(f::kDstIp)}, {"ack", lit(1)}})
+                  .reduce({"dIP"}, ReduceFn::kSum, "ack");
+  Query q = std::move(syns)
+                .join({"dIP"}, std::move(synacks))
+                .join({"dIP"}, std::move(acks))
+                .filter(col("syn") + col("synack") > lit(2) * col("ack") + lit(th.syn_flood))
+                .map({{"dIP", col("dIP")}, {"syn", col("syn")}, {"ack", col("ack")}})
+                .build("syn_flood", 6, window);
+  // The imbalance predicate is not monotone under key coarsening (normal
+  // traffic is ACK-heavy and can mask a victim inside a coarse prefix), so
+  // dynamic refinement would risk false negatives (paper §4.1).
+  q.set_refinable(false);
+  return finish(std::move(q));
+}
+
+// 7. Incomplete TCP flows: many more SYNs than FINs per host.
+Query make_incomplete_flows(const Thresholds& th, Nanos window) {
+  auto syns = QueryBuilder::packet_stream()
+                  .filter(fcol(f::kProto) == lit(kTcp) && fcol(f::kTcpFlags) == lit(kSyn))
+                  .map({{"dIP", fcol(f::kDstIp)}, {"syn", lit(1)}})
+                  .reduce({"dIP"}, ReduceFn::kSum, "syn");
+  auto fins = QueryBuilder::packet_stream()
+                  .filter(fcol(f::kProto) == lit(kTcp) &&
+                          (fcol(f::kTcpFlags) & lit(kFin)) == lit(kFin))
+                  .map({{"dIP", fcol(f::kDstIp)}, {"fin", lit(1)}})
+                  .reduce({"dIP"}, ReduceFn::kSum, "fin");
+  Query q = std::move(syns)
+                .join({"dIP"}, std::move(fins))
+                .filter(col("syn") > col("fin") + lit(th.incomplete_flows))
+                .build("incomplete_flows", 7, window);
+  // syn - fin is not monotone under coarsening (FIN-heavy neighbours mask a
+  // victim inside a coarse prefix); refinement could miss it.
+  q.set_refinable(false);
+  return finish(std::move(q));
+}
+
+// 8. Slowloris (paper Query 2): hosts with many connections but few bytes.
+// The ratio is scaled by kSlowlorisScale because the average needs division,
+// which only the stream processor can perform (paper §2.2).
+Query make_slowloris(const Thresholds& th, Nanos window) {
+  auto conns = QueryBuilder::packet_stream()
+                   .filter(fcol(f::kProto) == lit(kTcp))
+                   .map({{"dIP", fcol(f::kDstIp)},
+                         {"sIP", fcol(f::kSrcIp)},
+                         {"sPort", fcol(f::kSrcPort)}})
+                   .distinct()
+                   .map({{"dIP", col("dIP")}, {"conns", lit(1)}})
+                   .reduce({"dIP"}, ReduceFn::kSum, "conns");
+  auto bytes = QueryBuilder::packet_stream()
+                   .filter(fcol(f::kProto) == lit(kTcp))
+                   .map({{"dIP", fcol(f::kDstIp)}, {"bytes", fcol(f::kPktLen)}})
+                   .reduce({"dIP"}, ReduceFn::kSum, "bytes")
+                   .filter(col("bytes") > lit(th.slowloris_bytes));
+  return finish(std::move(conns)
+                    .join({"dIP"}, std::move(bytes))
+                    .map({{"dIP", col("dIP")},
+                          {"ratio", lit(kSlowlorisScale) * col("conns") / col("bytes")}})
+                    .filter(col("ratio") > lit(th.slowloris_ratio))
+                    .build("slowloris", 8, window));
+}
+
+// 9. DNS tunneling (Chimera-style): a client receiving resolutions for very
+// many distinct names.
+Query make_dns_tunnel(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .filter(fcol(f::kProto) == lit(kUdp) &&
+                            fcol(f::kSrcPort) == lit(net::ports::kDns) &&
+                            fcol(f::kDnsIsResponse) == lit(1))
+                    .map({{"dIP", fcol(f::kDstIp)}, {"qname", fcol(f::kDnsQname)}})
+                    .distinct()
+                    .map({{"dIP", col("dIP")}, {"count", lit(1)}})
+                    .reduce({"dIP"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.dns_tunnel))
+                    .build("dns_tunnel", 9, window));
+}
+
+// 10. Zorro telnet attack (paper Query 3): hosts receiving many same-sized
+// telnet packets followed by payloads containing the keyword.
+Query make_zorro(const Thresholds& th, Nanos window) {
+  auto probes =
+      QueryBuilder::packet_stream()
+          .filter(fcol(f::kProto) == lit(kTcp) &&
+                  fcol(f::kDstPort) == lit(net::ports::kTelnet))
+          .map({{"dIP", fcol(f::kDstIp)},
+                {"bucket", fcol(f::kPayloadLen) / lit(kZorroSizeBucket)},
+                {"cnt1", lit(1)}})
+          .reduce({"dIP", "bucket"}, ReduceFn::kSum, "cnt1")
+          .filter(col("cnt1") > lit(th.zorro_probes));
+  return finish(QueryBuilder::packet_stream()
+                    .filter(fcol(f::kProto) == lit(kTcp) &&
+                            fcol(f::kDstPort) == lit(net::ports::kTelnet))
+                    .join({"dIP"}, std::move(probes))
+                    .filter(Expr::payload_contains(col("payload"), "zorro"))
+                    .map({{"dIP", col("dIP")}, {"count2", lit(1)}})
+                    .reduce({"dIP"}, ReduceFn::kSum, "count2")
+                    .filter(col("count2") > lit(th.zorro_keyword))
+                    .build("zorro", 10, window));
+}
+
+// 11. DNS reflection: floods of ANY-type responses at a victim.
+Query make_dns_reflection(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .filter(fcol(f::kProto) == lit(kUdp) &&
+                            fcol(f::kSrcPort) == lit(net::ports::kDns) &&
+                            fcol(f::kDnsIsResponse) == lit(1) &&
+                            fcol(f::kDnsQtype) == lit(net::dns_types::kAny))
+                    .map({{"dIP", fcol(f::kDstIp)}, {"count", lit(1)}})
+                    .reduce({"dIP"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.dns_reflection))
+                    .build("dns_reflection", 11, window));
+}
+
+// 12 (extension). Fast flux: one domain name resolved unusually often —
+// keyed on dns.rr.name, demonstrating DNS-hierarchy refinement keys.
+Query make_fast_flux(const Thresholds& th, Nanos window) {
+  return finish(QueryBuilder::packet_stream()
+                    .filter(fcol(f::kProto) == lit(kUdp) &&
+                            fcol(f::kSrcPort) == lit(net::ports::kDns) &&
+                            fcol(f::kDnsIsResponse) == lit(1))
+                    .map({{"qname", fcol(f::kDnsQname)}, {"count", lit(1)}})
+                    .reduce({"qname"}, ReduceFn::kSum, "count")
+                    .filter(col("count") > lit(th.fast_flux))
+                    .build("fast_flux", 12, window));
+}
+
+std::vector<Query> evaluation_queries(const Thresholds& th, Nanos window) {
+  std::vector<Query> qs;
+  qs.push_back(make_newly_opened_tcp(th, window));
+  qs.push_back(make_ssh_brute_force(th, window));
+  qs.push_back(make_superspreader(th, window));
+  qs.push_back(make_port_scan(th, window));
+  qs.push_back(make_ddos(th, window));
+  qs.push_back(make_syn_flood(th, window));
+  qs.push_back(make_incomplete_flows(th, window));
+  qs.push_back(make_slowloris(th, window));
+  return qs;
+}
+
+std::vector<Query> full_catalog(const Thresholds& th, Nanos window) {
+  std::vector<Query> qs = evaluation_queries(th, window);
+  qs.push_back(make_dns_tunnel(th, window));
+  qs.push_back(make_zorro(th, window));
+  qs.push_back(make_dns_reflection(th, window));
+  qs.push_back(make_fast_flux(th, window));
+  return qs;
+}
+
+}  // namespace sonata::queries

@@ -1,0 +1,74 @@
+// The telemetry query catalogue — the eleven queries of the paper's
+// Table 3, expressed in the C++ DSL, plus one extension query (DNS fast
+// flux) that exercises dns.rr.name as a refinement key.
+//
+// Query ids match Table 3 rows. Queries 1-8 touch only L3/L4 header fields
+// and form the evaluation set of Figures 7 and 8; queries 9-11 need DNS
+// fields or payloads (Figure 9 uses query 10, Zorro).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace sonata::queries {
+
+struct Thresholds {
+  // 1. Newly opened TCP connections: SYNs per destination host.
+  std::uint64_t newly_opened = 1000;
+  // 2. SSH brute force: distinct sources sending same-sized SSH packets.
+  std::uint64_t ssh_brute = 40;
+  // 3. Superspreader: distinct destinations per source.
+  std::uint64_t superspreader = 200;
+  // 4. Port scan: distinct destination ports per source.
+  std::uint64_t port_scan = 100;
+  // 5. DDoS: distinct sources per destination.
+  std::uint64_t ddos = 1000;
+  // 6. TCP SYN flood: syn + synack vs. 2*ack imbalance.
+  std::uint64_t syn_flood = 500;
+  // 7. Incomplete TCP flows: SYNs minus FINs per destination.
+  std::uint64_t incomplete_flows = 300;
+  // 8. Slowloris: minimum bytes (Th1) and scaled connections-per-byte (Th2).
+  std::uint64_t slowloris_bytes = 10000;
+  std::uint64_t slowloris_ratio = 500;  // conns * kSlowlorisScale / bytes
+  // 9. DNS tunneling: distinct query names resolved per client.
+  std::uint64_t dns_tunnel = 100;
+  // 10. Zorro: same-size-bucket telnet packets (Th1), keyword packets (Th2).
+  std::uint64_t zorro_probes = 50;
+  std::uint64_t zorro_keyword = 3;
+  // 11. DNS reflection: ANY-type responses per victim.
+  std::uint64_t dns_reflection = 500;
+  // 12 (extension). Fast flux: resolutions per domain name.
+  std::uint64_t fast_flux = 100;
+};
+
+// Fixed-point scale for Slowloris' connections-per-byte ratio (integer
+// division would truncate the true ratio to zero).
+inline constexpr std::uint64_t kSlowlorisScale = 1'000'000;
+
+// Telnet packet-size rounding factor for the Zorro query (power of two so
+// the switch can compute it with a shift — paper §2.2).
+inline constexpr std::uint64_t kZorroSizeBucket = 32;
+
+// Individual query constructors (validated before return).
+query::Query make_newly_opened_tcp(const Thresholds& th, util::Nanos window);
+query::Query make_ssh_brute_force(const Thresholds& th, util::Nanos window);
+query::Query make_superspreader(const Thresholds& th, util::Nanos window);
+query::Query make_port_scan(const Thresholds& th, util::Nanos window);
+query::Query make_ddos(const Thresholds& th, util::Nanos window);
+query::Query make_syn_flood(const Thresholds& th, util::Nanos window);
+query::Query make_incomplete_flows(const Thresholds& th, util::Nanos window);
+query::Query make_slowloris(const Thresholds& th, util::Nanos window);
+query::Query make_dns_tunnel(const Thresholds& th, util::Nanos window);
+query::Query make_zorro(const Thresholds& th, util::Nanos window);
+query::Query make_dns_reflection(const Thresholds& th, util::Nanos window);
+query::Query make_fast_flux(const Thresholds& th, util::Nanos window);
+
+// The eight header-only queries of Figures 7/8, ids 1-8, in Table 3 order.
+std::vector<query::Query> evaluation_queries(const Thresholds& th, util::Nanos window);
+
+// All twelve queries.
+std::vector<query::Query> full_catalog(const Thresholds& th, util::Nanos window);
+
+}  // namespace sonata::queries

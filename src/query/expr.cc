@@ -1,0 +1,356 @@
+#include "query/expr.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "net/dns.h"
+#include "util/ip.h"
+
+namespace sonata::query {
+
+namespace {
+
+[[nodiscard]] bool is_comparison(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+    case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] bool is_logical(BinOp op) noexcept {
+  return op == BinOp::kAnd || op == BinOp::kOr;
+}
+
+[[nodiscard]] std::uint64_t apply_bin(BinOp op, std::uint64_t a, std::uint64_t b) noexcept {
+  switch (op) {
+    case BinOp::kAdd: return a + b;
+    case BinOp::kSub: return a - b;
+    case BinOp::kMul: return a * b;
+    case BinOp::kDiv: return b == 0 ? 0 : a / b;
+    case BinOp::kMod: return b == 0 ? 0 : a % b;
+    case BinOp::kBitAnd: return a & b;
+    case BinOp::kBitOr: return a | b;
+    case BinOp::kShl: return b >= 64 ? 0 : a << b;
+    case BinOp::kShr: return b >= 64 ? 0 : a >> b;
+    case BinOp::kEq: return a == b;
+    case BinOp::kNe: return a != b;
+    case BinOp::kLt: return a < b;
+    case BinOp::kLe: return a <= b;
+    case BinOp::kGt: return a > b;
+    case BinOp::kGe: return a >= b;
+    case BinOp::kAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case BinOp::kOr: return (a != 0 || b != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view to_string(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+ExprPtr Expr::column(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCol;
+  e->col = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::lit(std::uint64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = Value{v};
+  return e;
+}
+
+ExprPtr Expr::lit(std::string s) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = Value{std::move(s)};
+  return e;
+}
+
+ExprPtr Expr::bin(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBin;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::ip_prefix(ExprPtr a, int bits) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kIpPrefix;
+  e->arg = std::move(a);
+  e->level = bits;
+  return e;
+}
+
+ExprPtr Expr::dns_prefix(ExprPtr a, int labels) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kDnsPrefix;
+  e->arg = std::move(a);
+  e->level = labels;
+  return e;
+}
+
+ExprPtr Expr::payload_contains(ExprPtr a, std::string keyword) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kPayloadContains;
+  e->arg = std::move(a);
+  e->keyword = std::move(keyword);
+  return e;
+}
+
+std::string Expr::validate(const Schema& schema) const {
+  switch (kind) {
+    case Kind::kCol:
+      if (!schema.index_of(col)) return "unknown column: " + col;
+      return {};
+    case Kind::kConst:
+      return {};
+    case Kind::kBin: {
+      if (!lhs || !rhs) return "binary expression with null operand";
+      if (auto err = lhs->validate(schema); !err.empty()) return err;
+      if (auto err = rhs->validate(schema); !err.empty()) return err;
+      const bool lstr = lhs->result_kind(schema) == ValueKind::kString;
+      const bool rstr = rhs->result_kind(schema) == ValueKind::kString;
+      if (is_comparison(op)) {
+        if (lstr != rstr) return "comparison between string and numeric";
+        return {};
+      }
+      if (lstr || rstr) return "arithmetic on string operand";
+      return {};
+    }
+    case Kind::kIpPrefix:
+      if (!arg) return "ip_prefix with null argument";
+      if (auto err = arg->validate(schema); !err.empty()) return err;
+      if (arg->result_kind(schema) != ValueKind::kUint) return "ip_prefix on string";
+      if (level < 0 || level > 32) return "ip_prefix level out of range";
+      return {};
+    case Kind::kDnsPrefix:
+      if (!arg) return "dns_prefix with null argument";
+      if (auto err = arg->validate(schema); !err.empty()) return err;
+      if (arg->result_kind(schema) != ValueKind::kString) return "dns_prefix on numeric";
+      if (level < 0) return "dns_prefix level out of range";
+      return {};
+    case Kind::kPayloadContains:
+      if (!arg) return "payload_contains with null argument";
+      if (auto err = arg->validate(schema); !err.empty()) return err;
+      if (arg->result_kind(schema) != ValueKind::kString) return "payload_contains on numeric";
+      return {};
+  }
+  return "corrupt expression";
+}
+
+ValueKind Expr::result_kind(const Schema& schema) const {
+  switch (kind) {
+    case Kind::kCol: {
+      const auto idx = schema.index_of(col);
+      return idx ? schema.at(*idx).kind : ValueKind::kUint;
+    }
+    case Kind::kConst:
+      return constant.kind();
+    case Kind::kBin:
+      return ValueKind::kUint;  // comparisons/arithmetic yield numbers
+    case Kind::kIpPrefix:
+      return ValueKind::kUint;
+    case Kind::kDnsPrefix:
+      return ValueKind::kString;
+    case Kind::kPayloadContains:
+      return ValueKind::kUint;
+  }
+  return ValueKind::kUint;
+}
+
+int Expr::result_bits(const Schema& schema) const {
+  switch (kind) {
+    case Kind::kCol: {
+      const auto idx = schema.index_of(col);
+      return idx ? schema.at(*idx).bits : 32;
+    }
+    case Kind::kConst: {
+      if (constant.is_string()) return 256;
+      const std::uint64_t v = constant.as_uint();
+      const int w = 64 - std::countl_zero(v | 1);
+      return std::max(w, 1);
+    }
+    case Kind::kBin:
+      if (is_comparison(op) || is_logical(op)) return 1;
+      return std::max(lhs->result_bits(schema), rhs->result_bits(schema));
+    case Kind::kIpPrefix:
+      return 32;  // masked addresses stay full width in metadata
+    case Kind::kDnsPrefix:
+      return arg->result_bits(schema);
+    case Kind::kPayloadContains:
+      return 1;
+  }
+  return 32;
+}
+
+bool Expr::switch_compilable(const Schema& schema) const {
+  switch (kind) {
+    case Kind::kCol: {
+      const auto idx = schema.index_of(col);
+      if (!idx) return false;
+      // Columns with no metadata budget (payloads) never enter the PHV.
+      return schema.at(*idx).bits > 0;
+    }
+    case Kind::kConst:
+      return true;
+    case Kind::kBin: {
+      if (!lhs->switch_compilable(schema) || !rhs->switch_compilable(schema)) return false;
+      switch (op) {
+        case BinOp::kDiv:
+        case BinOp::kMod:
+        case BinOp::kMul:
+          // Only powers of two (a shift / mask in the ALU); real division
+          // is not available in PISA ALUs (paper §2.2, Slowloris example).
+          return rhs->kind == Kind::kConst && rhs->constant.is_uint() &&
+                 std::has_single_bit(rhs->constant.as_uint());
+        default:
+          return true;
+      }
+    }
+    case Kind::kIpPrefix:
+      return arg->switch_compilable(schema);
+    case Kind::kDnsPrefix:
+      // Label truncation is performed by the programmable parser when it
+      // extracts the name, so it is available wherever the name itself is.
+      return arg->switch_compilable(schema);
+    case Kind::kPayloadContains:
+      return false;  // payload scans only at the stream processor
+  }
+  return false;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kCol:
+      return col;
+    case Kind::kConst:
+      return constant.is_string() ? "'" + constant.to_string() + "'" : constant.to_string();
+    case Kind::kBin:
+      return "(" + lhs->to_string() + " " + std::string(query::to_string(op)) + " " +
+             rhs->to_string() + ")";
+    case Kind::kIpPrefix:
+      return arg->to_string() + "/" + std::to_string(level);
+    case Kind::kDnsPrefix:
+      return arg->to_string() + "@" + std::to_string(level);
+    case Kind::kPayloadContains:
+      return arg->to_string() + ".contains('" + keyword + "')";
+  }
+  return "?";
+}
+
+void Expr::collect_columns(std::vector<std::string>& out) const {
+  switch (kind) {
+    case Kind::kCol:
+      out.push_back(col);
+      break;
+    case Kind::kConst:
+      break;
+    case Kind::kBin:
+      if (lhs) lhs->collect_columns(out);
+      if (rhs) rhs->collect_columns(out);
+      break;
+    case Kind::kIpPrefix:
+    case Kind::kDnsPrefix:
+    case Kind::kPayloadContains:
+      if (arg) arg->collect_columns(out);
+      break;
+  }
+}
+
+Expr::Evaluator Expr::bind(const Schema& schema) const {
+  switch (kind) {
+    case Kind::kCol: {
+      const auto idx = schema.index_of(col);
+      const std::size_t i = idx.value_or(0);
+      return [i](const Tuple& t) { return t.at(i); };
+    }
+    case Kind::kConst: {
+      const Value v = constant;
+      return [v](const Tuple&) { return v; };
+    }
+    case Kind::kBin: {
+      auto l = lhs->bind(schema);
+      auto r = rhs->bind(schema);
+      const BinOp o = op;
+      if (is_comparison(o)) {
+        return [l = std::move(l), r = std::move(r), o](const Tuple& t) -> Value {
+          const Value a = l(t);
+          const Value b = r(t);
+          if (a.is_string() || b.is_string()) {
+            const bool eq = a == b;
+            bool res = false;
+            switch (o) {
+              case BinOp::kEq: res = eq; break;
+              case BinOp::kNe: res = !eq; break;
+              case BinOp::kLt: res = a < b; break;
+              case BinOp::kLe: res = a < b || eq; break;
+              case BinOp::kGt: res = b < a; break;
+              case BinOp::kGe: res = b < a || eq; break;
+              default: break;
+            }
+            return Value{static_cast<std::uint64_t>(res)};
+          }
+          return Value{apply_bin(o, a.as_uint(), b.as_uint())};
+        };
+      }
+      return [l = std::move(l), r = std::move(r), o](const Tuple& t) -> Value {
+        return Value{apply_bin(o, l(t).as_uint(), r(t).as_uint())};
+      };
+    }
+    case Kind::kIpPrefix: {
+      auto a = arg->bind(schema);
+      const int bits = level;
+      return [a = std::move(a), bits](const Tuple& t) -> Value {
+        return Value{static_cast<std::uint64_t>(
+            util::ipv4_prefix(static_cast<std::uint32_t>(a(t).as_uint()), bits))};
+      };
+    }
+    case Kind::kDnsPrefix: {
+      auto a = arg->bind(schema);
+      const auto labels = static_cast<std::size_t>(level);
+      return [a = std::move(a), labels](const Tuple& t) -> Value {
+        return Value{net::dns_name_prefix(a(t).as_string(), labels)};
+      };
+    }
+    case Kind::kPayloadContains: {
+      auto a = arg->bind(schema);
+      const std::string kw = keyword;
+      return [a = std::move(a), kw](const Tuple& t) -> Value {
+        const bool hit = a(t).as_string().find(kw) != std::string_view::npos;
+        return Value{static_cast<std::uint64_t>(hit)};
+      };
+    }
+  }
+  return [](const Tuple&) { return Value{std::uint64_t{0}}; };
+}
+
+}  // namespace sonata::query

@@ -1,0 +1,106 @@
+// Expression AST for filter predicates and map projections.
+//
+// Expressions are *structured* (not opaque lambdas) so that the data-plane
+// compiler can decide which of them a PISA switch can execute and translate
+// them to match-action rules (paper §3.1.2). Anything the switch cannot
+// express — division by non-powers-of-two, payload scans — is flagged
+// non-compilable and forces the partition point earlier in the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "query/tuple.h"
+#include "query/value.h"
+
+namespace sonata::query {
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+[[nodiscard]] std::string_view to_string(BinOp op) noexcept;
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kCol,              // column reference by name
+    kConst,            // literal value
+    kBin,              // binary operation
+    kIpPrefix,         // ipv4 prefix mask: keep top `level` bits
+    kDnsPrefix,        // dns name truncation: keep last `level` labels
+    kPayloadContains,  // substring search in a string column (stream-only)
+  };
+
+  Kind kind = Kind::kConst;
+  std::string col;       // kCol: column name
+  Value constant;        // kConst
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs, rhs;      // kBin
+  ExprPtr arg;           // kIpPrefix / kDnsPrefix / kPayloadContains
+  int level = 32;        // prefix bits or label count
+  std::string keyword;   // kPayloadContains
+
+  // -- factories ------------------------------------------------------
+  static ExprPtr column(std::string name);
+  static ExprPtr lit(std::uint64_t v);
+  static ExprPtr lit(std::string s);
+  static ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr ip_prefix(ExprPtr a, int bits);
+  static ExprPtr dns_prefix(ExprPtr a, int labels);
+  static ExprPtr payload_contains(ExprPtr a, std::string keyword);
+
+  // -- analysis -------------------------------------------------------
+  // Validates column references and type use against `schema`; returns an
+  // error message or empty string when well-formed.
+  [[nodiscard]] std::string validate(const Schema& schema) const;
+
+  [[nodiscard]] ValueKind result_kind(const Schema& schema) const;
+  // Metadata bit width of the result when carried on the switch.
+  [[nodiscard]] int result_bits(const Schema& schema) const;
+
+  // Can a PISA switch evaluate this expression (given the columns of
+  // `schema` are already in the PHV)?  See file comment for the rules.
+  [[nodiscard]] bool switch_compilable(const Schema& schema) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Appends the names of all columns this expression references.
+  void collect_columns(std::vector<std::string>& out) const;
+
+  // -- evaluation -----------------------------------------------------
+  // Binds column references to indices in `schema` and returns a fast
+  // evaluator. Booleans are represented as uint 0/1.
+  using Evaluator = std::function<Value(const Tuple&)>;
+  [[nodiscard]] Evaluator bind(const Schema& schema) const;
+};
+
+// Convenience builders so queries read close to the paper's syntax.
+namespace dsl {
+inline ExprPtr col(std::string name) { return Expr::column(std::move(name)); }
+inline ExprPtr lit(std::uint64_t v) { return Expr::lit(v); }
+inline ExprPtr lit(std::string s) { return Expr::lit(std::move(s)); }
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kAdd, a, b); }
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kSub, a, b); }
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kMul, a, b); }
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kDiv, a, b); }
+inline ExprPtr operator%(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kMod, a, b); }
+inline ExprPtr operator&(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kBitAnd, a, b); }
+inline ExprPtr operator==(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kEq, a, b); }
+inline ExprPtr operator!=(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kNe, a, b); }
+inline ExprPtr operator<(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kLt, a, b); }
+inline ExprPtr operator<=(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kLe, a, b); }
+inline ExprPtr operator>(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kGt, a, b); }
+inline ExprPtr operator>=(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kGe, a, b); }
+inline ExprPtr operator&&(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kAnd, a, b); }
+inline ExprPtr operator||(ExprPtr a, ExprPtr b) { return Expr::bin(BinOp::kOr, a, b); }
+}  // namespace dsl
+
+}  // namespace sonata::query

@@ -1,0 +1,104 @@
+#include "query/field.h"
+
+namespace sonata::query {
+
+namespace {
+
+std::optional<Value> dns_or_nothing(const net::Packet& p, Value v) {
+  if (!p.dns) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+FieldRegistry& FieldRegistry::instance() {
+  static FieldRegistry registry;
+  return registry;
+}
+
+FieldRegistry::FieldRegistry() {
+  using net::Packet;
+  auto u = [](std::uint64_t v) { return Value{v}; };
+
+  fields_ = {
+      {std::string(fields::kSrcIp), ValueKind::kUint, 32, true, /*hierarchical=*/true,
+       [u](const Packet& p) { return u(p.src_ip); }},
+      {std::string(fields::kDstIp), ValueKind::kUint, 32, true, /*hierarchical=*/true,
+       [u](const Packet& p) { return u(p.dst_ip); }},
+      {std::string(fields::kSrcPort), ValueKind::kUint, 16, true, false,
+       [u](const Packet& p) { return u(p.src_port); }},
+      {std::string(fields::kDstPort), ValueKind::kUint, 16, true, false,
+       [u](const Packet& p) { return u(p.dst_port); }},
+      {std::string(fields::kProto), ValueKind::kUint, 8, true, false,
+       [u](const Packet& p) { return u(p.proto); }},
+      {std::string(fields::kTcpFlags), ValueKind::kUint, 8, true, false,
+       [u](const Packet& p) -> std::optional<Value> {
+         if (!p.is_tcp()) return std::nullopt;
+         return u(p.tcp_flags);
+       }},
+      {std::string(fields::kPktLen), ValueKind::kUint, 16, true, false,
+       [u](const Packet& p) { return u(p.total_len); }},
+      {std::string(fields::kPayloadLen), ValueKind::kUint, 16, true, false,
+       [u](const Packet& p) { return u(p.payload_len()); }},
+      {std::string(fields::kTtl), ValueKind::kUint, 8, true, false,
+       [u](const Packet& p) { return u(p.ttl); }},
+      // Payload bytes: only the stream processor can see these (paper §2.1).
+      {std::string(fields::kPayload), ValueKind::kString, 0, /*switch_parseable=*/false, false,
+       [](const Packet& p) -> std::optional<Value> {
+         if (!p.payload) return std::nullopt;
+         return Value{p.payload};
+       }},
+      // DNS fields: extractable by a custom P4 parser specification, hence
+      // switch-parseable (paper §2.1's extensibility example). The name is
+      // hierarchical and a valid refinement key (§4.1).
+      {std::string(fields::kDnsQname), ValueKind::kString, 256, true, /*hierarchical=*/true,
+       [](const Packet& p) -> std::optional<Value> {
+         if (!p.dns) return std::nullopt;
+         // Aliasing shared_ptr: share ownership of the DnsMessage, point at
+         // its qname — no copy per packet.
+         return Value{SharedStr(p.dns, &p.dns->qname)};
+       }},
+      {std::string(fields::kDnsQtype), ValueKind::kUint, 16, true, false,
+       [u](const Packet& p) -> std::optional<Value> {
+         return dns_or_nothing(p, u(p.dns ? p.dns->qtype : 0));
+       }},
+      {std::string(fields::kDnsAnCount), ValueKind::kUint, 16, true, false,
+       [u](const Packet& p) -> std::optional<Value> {
+         return dns_or_nothing(p, u(p.dns ? p.dns->answer_count : 0));
+       }},
+      {std::string(fields::kDnsIsResponse), ValueKind::kUint, 1, true, false,
+       [u](const Packet& p) -> std::optional<Value> {
+         return dns_or_nothing(p, u(p.dns && p.dns->is_response ? 1 : 0));
+       }},
+  };
+}
+
+bool FieldRegistry::register_field(FieldDef def) {
+  if (find(def.name) != nullptr) return false;
+  fields_.push_back(std::move(def));
+  return true;
+}
+
+const FieldDef* FieldRegistry::find(std::string_view name) const noexcept {
+  for (const auto& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Tuple materialize_tuple(const net::Packet& p, const FieldRegistry& registry) {
+  Tuple t;
+  t.values.reserve(registry.fields().size());
+  for (const auto& f : registry.fields()) t.values.push_back(registry.extract(f, p));
+  return t;
+}
+
+Value FieldRegistry::extract(const FieldDef& def, const net::Packet& p) const {
+  if (auto v = def.accessor(p)) return *v;
+  // Non-applicable fields default to 0 / empty string so schemas stay fixed.
+  if (def.kind == ValueKind::kUint) return Value{std::uint64_t{0}};
+  static const SharedStr kEmpty = std::make_shared<const std::string>();
+  return Value{kEmpty};
+}
+
+}  // namespace sonata::query

@@ -1,0 +1,85 @@
+// Extensible packet-field registry (the "extensible tuple abstraction" of
+// paper §2.1).
+//
+// A field maps a dotted name (e.g. "ipv4.dIP", "dns.rr.name") to an
+// accessor over the parsed Packet, a value kind, a metadata bit width, and
+// whether the switch's reconfigurable parser can extract it. Queries
+// reference fields by name; the planner uses `switch_parseable` and `bits`
+// to decide what the data plane can touch and to account PHV budget.
+//
+// Operators can register custom fields (e.g. in-band telemetry metadata)
+// at startup; the built-in set covers the standard protocols.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.h"
+#include "query/tuple.h"
+#include "query/value.h"
+
+namespace sonata::query {
+
+// Extracts a field value from a packet; nullopt when the field does not
+// apply (e.g. tcp.flags on a UDP packet) — tuples then carry 0/"".
+using FieldAccessor = std::function<std::optional<Value>(const net::Packet&)>;
+
+struct FieldDef {
+  std::string name;
+  ValueKind kind = ValueKind::kUint;
+  int bits = 32;                // metadata width on the switch
+  bool switch_parseable = true; // can the PISA parser extract it?
+  // Hierarchical fields can serve as refinement keys (paper §4.1):
+  // IPv4 addresses refine by prefix length, DNS names by label count.
+  bool hierarchical = false;
+  FieldAccessor accessor;
+};
+
+class FieldRegistry {
+ public:
+  // The process-wide registry, pre-populated with the built-in fields.
+  static FieldRegistry& instance();
+
+  // Registers a custom field; returns false (and ignores the call) if a
+  // field with the same name exists.
+  bool register_field(FieldDef def);
+
+  [[nodiscard]] const FieldDef* find(std::string_view name) const noexcept;
+  [[nodiscard]] const std::vector<FieldDef>& fields() const noexcept { return fields_; }
+
+  // Extract one field from a packet, defaulting non-applicable values.
+  [[nodiscard]] Value extract(const FieldDef& def, const net::Packet& p) const;
+
+ private:
+  FieldRegistry();
+  std::vector<FieldDef> fields_;
+};
+
+// Materialize the full source tuple for a packet: one value per registered
+// field, in registry order (matching query::source_schema()).
+[[nodiscard]] Tuple materialize_tuple(const net::Packet& p,
+                                      const FieldRegistry& registry = FieldRegistry::instance());
+
+// Built-in field names (kept short, mirroring the paper's query syntax).
+namespace fields {
+inline constexpr std::string_view kSrcIp = "sIP";
+inline constexpr std::string_view kDstIp = "dIP";
+inline constexpr std::string_view kSrcPort = "sPort";
+inline constexpr std::string_view kDstPort = "dPort";
+inline constexpr std::string_view kProto = "proto";
+inline constexpr std::string_view kTcpFlags = "tcp.flags";
+inline constexpr std::string_view kPktLen = "pktlen";      // IP total length
+inline constexpr std::string_view kPayloadLen = "nBytes";  // payload bytes
+inline constexpr std::string_view kTtl = "ttl";
+inline constexpr std::string_view kPayload = "payload";        // stream-only
+inline constexpr std::string_view kDnsQname = "dns.rr.name";
+inline constexpr std::string_view kDnsQtype = "dns.qtype";
+inline constexpr std::string_view kDnsAnCount = "dns.ancount";
+inline constexpr std::string_view kDnsIsResponse = "dns.qr";
+}  // namespace fields
+
+}  // namespace sonata::query

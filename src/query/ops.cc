@@ -1,0 +1,147 @@
+#include "query/ops.h"
+
+namespace sonata::query {
+
+std::string_view to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kFilter: return "filter";
+    case OpKind::kFilterIn: return "filter_in";
+    case OpKind::kMap: return "map";
+    case OpKind::kDistinct: return "distinct";
+    case OpKind::kReduce: return "reduce";
+  }
+  return "?";
+}
+
+std::string_view to_string(ReduceFn f) noexcept {
+  switch (f) {
+    case ReduceFn::kSum: return "sum";
+    case ReduceFn::kMax: return "max";
+    case ReduceFn::kMin: return "min";
+    case ReduceFn::kBitOr: return "bit_or";
+  }
+  return "?";
+}
+
+Schema Operator::output_schema(const Schema& in, std::string* err) const {
+  err->clear();
+  switch (kind) {
+    case OpKind::kFilter: {
+      if (!predicate) { *err = "filter without predicate"; return in; }
+      if (auto e = predicate->validate(in); !e.empty()) { *err = e; return in; }
+      return in;
+    }
+    case OpKind::kFilterIn: {
+      if (match_exprs.empty()) { *err = "filter_in without match expressions"; return in; }
+      for (const auto& m : match_exprs) {
+        if (!m) { *err = "filter_in with null match expression"; return in; }
+        if (auto e = m->validate(in); !e.empty()) { *err = e; return in; }
+      }
+      return in;
+    }
+    case OpKind::kMap: {
+      if (projections.empty()) { *err = "map without projections"; return in; }
+      Schema out;
+      for (const auto& p : projections) {
+        if (!p.expr) { *err = "map projection '" + p.name + "' is null"; return in; }
+        if (auto e = p.expr->validate(in); !e.empty()) { *err = e; return in; }
+        if (out.index_of(p.name)) { *err = "duplicate column in map: " + p.name; return in; }
+        out.add(Column{p.name, p.expr->result_kind(in), p.expr->result_bits(in)});
+      }
+      return out;
+    }
+    case OpKind::kDistinct:
+      return in;
+    case OpKind::kReduce: {
+      if (keys.empty()) { *err = "reduce without keys"; return in; }
+      Schema out;
+      for (const auto& k : keys) {
+        const auto idx = in.index_of(k);
+        if (!idx) { *err = "reduce key not in schema: " + k; return in; }
+        out.add(in.at(*idx));
+      }
+      const auto vidx = in.index_of(value_col);
+      if (!vidx) { *err = "reduce value column not in schema: " + value_col; return in; }
+      if (in.at(*vidx).kind != ValueKind::kUint) { *err = "reduce over string column"; return in; }
+      out.add(Column{value_col, ValueKind::kUint, 32});
+      return out;
+    }
+  }
+  *err = "corrupt operator";
+  return in;
+}
+
+std::string Operator::to_string() const {
+  switch (kind) {
+    case OpKind::kFilter:
+      return "filter(" + (predicate ? predicate->to_string() : "?") + ")";
+    case OpKind::kFilterIn: {
+      std::string out = "filter_in[" + table_name + "](";
+      for (std::size_t i = 0; i < match_exprs.size(); ++i) {
+        if (i) out += ", ";
+        out += match_exprs[i]->to_string();
+      }
+      return out + ")";
+    }
+    case OpKind::kMap: {
+      std::string out = "map(";
+      for (std::size_t i = 0; i < projections.size(); ++i) {
+        if (i) out += ", ";
+        out += projections[i].name + "=" + projections[i].expr->to_string();
+      }
+      return out + ")";
+    }
+    case OpKind::kDistinct:
+      return "distinct()";
+    case OpKind::kReduce: {
+      std::string out = "reduce(keys=(";
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i) out += ", ";
+        out += keys[i];
+      }
+      out += "), f=";
+      out += std::string(query::to_string(fn));
+      return out + "(" + value_col + "))";
+    }
+  }
+  return "?";
+}
+
+Operator Operator::filter(ExprPtr pred) {
+  Operator op;
+  op.kind = OpKind::kFilter;
+  op.predicate = std::move(pred);
+  return op;
+}
+
+Operator Operator::filter_in(std::vector<ExprPtr> match, std::string table_name) {
+  Operator op;
+  op.kind = OpKind::kFilterIn;
+  op.match_exprs = std::move(match);
+  op.table_name = std::move(table_name);
+  return op;
+}
+
+Operator Operator::map(std::vector<NamedExpr> projections) {
+  Operator op;
+  op.kind = OpKind::kMap;
+  op.projections = std::move(projections);
+  return op;
+}
+
+Operator Operator::distinct() {
+  Operator op;
+  op.kind = OpKind::kDistinct;
+  return op;
+}
+
+Operator Operator::reduce(std::vector<std::string> keys, ReduceFn fn, std::string value_col) {
+  Operator op;
+  op.kind = OpKind::kReduce;
+  op.keys = std::move(keys);
+  op.fn = fn;
+  op.value_col = std::move(value_col);
+  return op;
+}
+
+}  // namespace sonata::query

@@ -1,0 +1,66 @@
+// Dataflow operators (paper §2.1): filter, map, distinct, reduce — plus the
+// dynamic-refinement filter (`filter_in`) that the query planner injects and
+// the runtime repopulates between windows (paper §4.1, Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+#include "query/tuple.h"
+
+namespace sonata::query {
+
+enum class OpKind : std::uint8_t { kFilter, kFilterIn, kMap, kDistinct, kReduce };
+
+[[nodiscard]] std::string_view to_string(OpKind k) noexcept;
+
+enum class ReduceFn : std::uint8_t { kSum, kMax, kMin, kBitOr };
+
+[[nodiscard]] std::string_view to_string(ReduceFn f) noexcept;
+
+struct NamedExpr {
+  std::string name;
+  ExprPtr expr;
+};
+
+struct Operator {
+  OpKind kind = OpKind::kFilter;
+
+  // kFilter: keep tuples where predicate evaluates non-zero.
+  ExprPtr predicate;
+
+  // kFilterIn: keep tuples whose projected key is in a runtime-updated set
+  // (a match-action table whose entries the runtime installs at the end of
+  // each window with the previous refinement level's output).
+  std::vector<ExprPtr> match_exprs;
+  std::string table_name;  // identifies the table for runtime updates
+
+  // kMap: replace the tuple with the projected columns.
+  std::vector<NamedExpr> projections;
+
+  // kReduce: group by `keys`, fold `value_col` with `fn`. The aggregate
+  // keeps the value column's name. distinct takes no parameters.
+  std::vector<std::string> keys;
+  ReduceFn fn = ReduceFn::kSum;
+  std::string value_col;
+
+  [[nodiscard]] bool stateful() const noexcept {
+    return kind == OpKind::kDistinct || kind == OpKind::kReduce;
+  }
+
+  // Schema transformation. On error returns the input schema and sets *err.
+  [[nodiscard]] Schema output_schema(const Schema& in, std::string* err) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  // -- factories ------------------------------------------------------
+  static Operator filter(ExprPtr pred);
+  static Operator filter_in(std::vector<ExprPtr> match, std::string table_name);
+  static Operator map(std::vector<NamedExpr> projections);
+  static Operator distinct();
+  static Operator reduce(std::vector<std::string> keys, ReduceFn fn, std::string value_col);
+};
+
+}  // namespace sonata::query

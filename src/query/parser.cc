@@ -1,0 +1,542 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+
+namespace sonata::query {
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  kEnd, kIdent, kNumber, kString,
+  kLParen, kRParen, kLBrace, kRBrace, kComma, kDot, kAssign,
+  kOrOr, kAndAnd, kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent, kAmp,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;        // ident (dotted) or string contents
+  std::uint64_t number = 0;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[nodiscard]] std::vector<ParseError>& errors() noexcept { return errors_; }
+
+ private:
+  void error(const std::string& msg) { errors_.push_back({msg, line_, column_}); }
+
+  char look(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void bump() {
+    if (pos_ >= text_.size()) return;
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(look()))) bump();
+      if (look() == '#') {
+        while (pos_ < text_.size() && look() != '\n') bump();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void advance() {
+    skip_ws_and_comments();
+    current_ = Token{};
+    current_.line = line_;
+    current_.column = column_;
+    const char c = look();
+    if (c == '\0') {
+      current_.kind = Tok::kEnd;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      // Dotted identifier: tcp.flags, dns.rr.name. A dot is part of the
+      // identifier only when followed by an alphanumeric AND not starting a
+      // dataflow operator keyword chain (".filter(") — operators always
+      // follow whitespace or ')' in practice, so we join dots greedily but
+      // back off when the next segment is an operator name followed by '('.
+      std::string ident;
+      for (;;) {
+        while (std::isalnum(static_cast<unsigned char>(look())) || look() == '_') {
+          ident.push_back(look());
+          bump();
+        }
+        if (look() == '.' &&
+            (std::isalpha(static_cast<unsigned char>(look(1))) || look(1) == '_')) {
+          // Lookahead: is the next segment an operator invocation?
+          std::size_t j = pos_ + 1;
+          std::string seg;
+          while (j < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                                      text_[j] == '_')) {
+            seg.push_back(text_[j]);
+            ++j;
+          }
+          const bool op_like = j < text_.size() && text_[j] == '(' &&
+                               (seg == "filter" || seg == "map" || seg == "distinct" ||
+                                seg == "reduce" || seg == "join");
+          if (op_like) break;
+          ident.push_back('.');
+          bump();  // consume '.'
+          continue;
+        }
+        break;
+      }
+      current_.kind = Tok::kIdent;
+      current_.text = std::move(ident);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t value = 0;
+      const char* begin = text_.data() + pos_;
+      const char* end = text_.data() + text_.size();
+      const auto [next, ec] = std::from_chars(begin, end, value);
+      if (ec != std::errc{}) error("bad number");
+      while (text_.data() + pos_ < next) bump();
+      // Time suffix "s" handled by the query-header parser via idents; a
+      // bare trailing 's' binds to the number (e.g. "3s").
+      if (look() == 's') {
+        current_.text = "s";
+        bump();
+      }
+      current_.kind = Tok::kNumber;
+      current_.number = value;
+      return;
+    }
+    if (c == '\'') {
+      bump();
+      std::string s;
+      while (look() != '\'' && look() != '\0') {
+        s.push_back(look());
+        bump();
+      }
+      if (look() != '\'') {
+        error("unterminated string literal");
+      } else {
+        bump();
+      }
+      current_.kind = Tok::kString;
+      current_.text = std::move(s);
+      return;
+    }
+    auto two = [&](char a, char b, Tok t) {
+      if (look() == a && look(1) == b) {
+        bump();
+        bump();
+        current_.kind = t;
+        return true;
+      }
+      return false;
+    };
+    if (two('|', '|', Tok::kOrOr) || two('&', '&', Tok::kAndAnd) || two('=', '=', Tok::kEq) ||
+        two('!', '=', Tok::kNe) || two('<', '=', Tok::kLe) || two('>', '=', Tok::kGe)) {
+      return;
+    }
+    bump();
+    switch (c) {
+      case '(': current_.kind = Tok::kLParen; return;
+      case ')': current_.kind = Tok::kRParen; return;
+      case '{': current_.kind = Tok::kLBrace; return;
+      case '}': current_.kind = Tok::kRBrace; return;
+      case ',': current_.kind = Tok::kComma; return;
+      case '.': current_.kind = Tok::kDot; return;
+      case '=': current_.kind = Tok::kAssign; return;
+      case '<': current_.kind = Tok::kLt; return;
+      case '>': current_.kind = Tok::kGt; return;
+      case '+': current_.kind = Tok::kPlus; return;
+      case '-': current_.kind = Tok::kMinus; return;
+      case '*': current_.kind = Tok::kStar; return;
+      case '/': current_.kind = Tok::kSlash; return;
+      case '%': current_.kind = Tok::kPercent; return;
+      case '&': current_.kind = Tok::kAmp; return;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+        current_.kind = Tok::kEnd;
+        return;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  Token current_;
+  std::vector<ParseError> errors_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  ParseResult parse_file() {
+    ParseResult result;
+    while (lex_.peek().kind != Tok::kEnd && errors_.empty()) {
+      if (auto q = parse_query()) result.queries.push_back(std::move(*q));
+    }
+    result.errors = std::move(errors_);
+    for (const auto& e : lex_.errors()) result.errors.push_back(e);
+    if (!result.errors.empty()) result.queries.clear();
+    return result;
+  }
+
+  ExprParseResult parse_single_expression() {
+    ExprParseResult result;
+    result.expr = parse_expr();
+    if (lex_.peek().kind != Tok::kEnd) error("trailing input after expression");
+    result.errors = std::move(errors_);
+    for (const auto& e : lex_.errors()) result.errors.push_back(e);
+    if (!result.errors.empty()) result.expr = nullptr;
+    return result;
+  }
+
+ private:
+  void error(const std::string& msg) {
+    errors_.push_back({msg, lex_.peek().line, lex_.peek().column});
+  }
+
+  bool expect(Tok kind, const char* what) {
+    if (lex_.peek().kind != kind) {
+      error(std::string("expected ") + what);
+      return false;
+    }
+    lex_.take();
+    return true;
+  }
+
+  bool accept(Tok kind) {
+    if (lex_.peek().kind != kind) return false;
+    lex_.take();
+    return true;
+  }
+
+  std::optional<std::string> expect_ident(const char* what) {
+    if (lex_.peek().kind != Tok::kIdent) {
+      error(std::string("expected ") + what);
+      return std::nullopt;
+    }
+    return lex_.take().text;
+  }
+
+  // query NAME id N [window Ns] [refinable true|false] { STREAM }
+  std::optional<Query> parse_query() {
+    const auto kw = expect_ident("'query'");
+    if (!kw || *kw != "query") {
+      error("expected 'query'");
+      return std::nullopt;
+    }
+    const auto name = expect_ident("query name");
+    if (!name) return std::nullopt;
+
+    QueryId qid = 0;
+    util::Nanos window = util::seconds(3);
+    bool refinable = true;
+    for (;;) {
+      if (lex_.peek().kind != Tok::kIdent) break;
+      const std::string attr = lex_.peek().text;
+      if (attr == "id") {
+        lex_.take();
+        if (lex_.peek().kind != Tok::kNumber) {
+          error("expected query id number");
+          return std::nullopt;
+        }
+        qid = static_cast<QueryId>(lex_.take().number);
+      } else if (attr == "window") {
+        lex_.take();
+        if (lex_.peek().kind != Tok::kNumber) {
+          error("expected window duration (e.g. 3s)");
+          return std::nullopt;
+        }
+        const Token t = lex_.take();
+        if (t.text != "s") error("window duration must use the 's' suffix");
+        window = util::seconds(static_cast<double>(t.number));
+      } else if (attr == "refinable") {
+        lex_.take();
+        const auto v = expect_ident("true or false");
+        if (!v) return std::nullopt;
+        if (*v != "true" && *v != "false") {
+          error("refinable must be true or false");
+          return std::nullopt;
+        }
+        refinable = *v == "true";
+      } else {
+        break;
+      }
+    }
+    if (!expect(Tok::kLBrace, "'{'")) return std::nullopt;
+    auto builder = parse_stream();
+    if (!builder) return std::nullopt;
+    if (!expect(Tok::kRBrace, "'}'")) return std::nullopt;
+
+    Query q = std::move(*builder).build(*name, qid, window);
+    q.set_refinable(refinable);
+    if (const auto err = q.validate(); !err.empty()) {
+      error("query '" + *name + "' failed validation: " + err);
+      return std::nullopt;
+    }
+    return q;
+  }
+
+  // packetStream (.OP)*
+  std::optional<QueryBuilder> parse_stream() {
+    const auto kw = expect_ident("'packetStream'");
+    if (!kw || *kw != "packetStream") {
+      error("expected 'packetStream'");
+      return std::nullopt;
+    }
+    QueryBuilder builder = QueryBuilder::packet_stream();
+    while (accept(Tok::kDot)) {
+      const auto op = expect_ident("operator name");
+      if (!op) return std::nullopt;
+      if (!expect(Tok::kLParen, "'('")) return std::nullopt;
+      if (*op == "filter") {
+        auto pred = parse_expr();
+        if (!pred) return std::nullopt;
+        builder.filter(std::move(pred));
+      } else if (*op == "map") {
+        std::vector<NamedExpr> projections;
+        do {
+          const auto pname = expect_ident("projection name");
+          if (!pname) return std::nullopt;
+          if (!expect(Tok::kAssign, "'='")) return std::nullopt;
+          auto e = parse_expr();
+          if (!e) return std::nullopt;
+          projections.push_back({*pname, std::move(e)});
+        } while (accept(Tok::kComma));
+        builder.map(std::move(projections));
+      } else if (*op == "distinct") {
+        builder.distinct();
+      } else if (*op == "reduce") {
+        auto keys = parse_keys_clause();
+        if (!keys) return std::nullopt;
+        if (!expect(Tok::kComma, "','")) return std::nullopt;
+        const auto fn_name = expect_ident("reduce function");
+        if (!fn_name) return std::nullopt;
+        ReduceFn fn;
+        if (*fn_name == "sum") {
+          fn = ReduceFn::kSum;
+        } else if (*fn_name == "max") {
+          fn = ReduceFn::kMax;
+        } else if (*fn_name == "min") {
+          fn = ReduceFn::kMin;
+        } else if (*fn_name == "bit_or") {
+          fn = ReduceFn::kBitOr;
+        } else {
+          error("unknown reduce function '" + *fn_name + "'");
+          return std::nullopt;
+        }
+        if (!expect(Tok::kLParen, "'('")) return std::nullopt;
+        const auto col_name = expect_ident("value column");
+        if (!col_name) return std::nullopt;
+        if (!expect(Tok::kRParen, "')'")) return std::nullopt;
+        builder.reduce(std::move(*keys), fn, *col_name);
+      } else if (*op == "join") {
+        auto keys = parse_keys_clause();
+        if (!keys) return std::nullopt;
+        if (!expect(Tok::kComma, "','")) return std::nullopt;
+        auto right = parse_stream();
+        if (!right) return std::nullopt;
+        builder.join(std::move(*keys), std::move(*right));
+      } else {
+        error("unknown operator '" + *op + "'");
+        return std::nullopt;
+      }
+      if (!expect(Tok::kRParen, "')'")) return std::nullopt;
+    }
+    return builder;
+  }
+
+  // keys=(a, b, ...)
+  std::optional<std::vector<std::string>> parse_keys_clause() {
+    const auto kw = expect_ident("'keys'");
+    if (!kw || *kw != "keys") {
+      error("expected 'keys'");
+      return std::nullopt;
+    }
+    if (!expect(Tok::kAssign, "'='")) return std::nullopt;
+    if (!expect(Tok::kLParen, "'('")) return std::nullopt;
+    std::vector<std::string> keys;
+    do {
+      const auto k = expect_ident("key column");
+      if (!k) return std::nullopt;
+      keys.push_back(*k);
+    } while (accept(Tok::kComma));
+    if (!expect(Tok::kRParen, "')'")) return std::nullopt;
+    return keys;
+  }
+
+  // Precedence climbing: || < && < comparison < add < mul/&.
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    auto lhs = parse_and();
+    while (lhs && lex_.peek().kind == Tok::kOrOr) {
+      lex_.take();
+      auto rhs = parse_and();
+      if (!rhs) return nullptr;
+      lhs = Expr::bin(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    auto lhs = parse_cmp();
+    while (lhs && lex_.peek().kind == Tok::kAndAnd) {
+      lex_.take();
+      auto rhs = parse_cmp();
+      if (!rhs) return nullptr;
+      lhs = Expr::bin(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    auto lhs = parse_add();
+    if (!lhs) return nullptr;
+    BinOp op;
+    switch (lex_.peek().kind) {
+      case Tok::kEq: op = BinOp::kEq; break;
+      case Tok::kNe: op = BinOp::kNe; break;
+      case Tok::kLt: op = BinOp::kLt; break;
+      case Tok::kLe: op = BinOp::kLe; break;
+      case Tok::kGt: op = BinOp::kGt; break;
+      case Tok::kGe: op = BinOp::kGe; break;
+      default: return lhs;
+    }
+    lex_.take();
+    auto rhs = parse_add();
+    if (!rhs) return nullptr;
+    return Expr::bin(op, std::move(lhs), std::move(rhs));
+  }
+
+  ExprPtr parse_add() {
+    auto lhs = parse_mul();
+    for (;;) {
+      if (!lhs) return nullptr;
+      BinOp op;
+      if (lex_.peek().kind == Tok::kPlus) {
+        op = BinOp::kAdd;
+      } else if (lex_.peek().kind == Tok::kMinus) {
+        op = BinOp::kSub;
+      } else {
+        return lhs;
+      }
+      lex_.take();
+      auto rhs = parse_mul();
+      if (!rhs) return nullptr;
+      lhs = Expr::bin(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parse_mul() {
+    auto lhs = parse_primary();
+    for (;;) {
+      if (!lhs) return nullptr;
+      BinOp op;
+      switch (lex_.peek().kind) {
+        case Tok::kStar: op = BinOp::kMul; break;
+        case Tok::kSlash: op = BinOp::kDiv; break;
+        case Tok::kPercent: op = BinOp::kMod; break;
+        case Tok::kAmp: op = BinOp::kBitAnd; break;
+        default: return lhs;
+      }
+      lex_.take();
+      auto rhs = parse_primary();
+      if (!rhs) return nullptr;
+      lhs = Expr::bin(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = lex_.peek();
+    switch (t.kind) {
+      case Tok::kNumber: {
+        const auto v = lex_.take().number;
+        return Expr::lit(v);
+      }
+      case Tok::kString: {
+        return Expr::lit(lex_.take().text);
+      }
+      case Tok::kLParen: {
+        lex_.take();
+        auto e = parse_expr();
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        return e;
+      }
+      case Tok::kIdent: {
+        Token ident = lex_.take();
+        if (lex_.peek().kind == Tok::kLParen) {
+          // Built-in function call: contains / prefix / labels.
+          lex_.take();
+          if (ident.text == "contains") {
+            auto arg = parse_expr();
+            if (!arg || !expect(Tok::kComma, "','")) return nullptr;
+            if (lex_.peek().kind != Tok::kString) {
+              error("contains() needs a string literal keyword");
+              return nullptr;
+            }
+            const std::string kw = lex_.take().text;
+            if (!expect(Tok::kRParen, "')'")) return nullptr;
+            return Expr::payload_contains(std::move(arg), kw);
+          }
+          if (ident.text == "prefix" || ident.text == "labels") {
+            auto arg = parse_expr();
+            if (!arg || !expect(Tok::kComma, "','")) return nullptr;
+            if (lex_.peek().kind != Tok::kNumber) {
+              error(ident.text + "() needs a numeric level");
+              return nullptr;
+            }
+            const auto level = static_cast<int>(lex_.take().number);
+            if (!expect(Tok::kRParen, "')'")) return nullptr;
+            return ident.text == "prefix" ? Expr::ip_prefix(std::move(arg), level)
+                                          : Expr::dns_prefix(std::move(arg), level);
+          }
+          error("unknown function '" + ident.text + "'");
+          return nullptr;
+        }
+        return Expr::column(std::move(ident.text));
+      }
+      default:
+        error("expected expression");
+        return nullptr;
+    }
+  }
+
+  Lexer lex_;
+  std::vector<ParseError> errors_;
+};
+
+}  // namespace
+
+ParseResult parse_queries(std::string_view text) { return Parser(text).parse_file(); }
+
+ExprParseResult parse_expression(std::string_view text) {
+  return Parser(text).parse_single_expression();
+}
+
+}  // namespace sonata::query

@@ -1,0 +1,60 @@
+// Text front-end for the query DSL: parse queries from the declarative
+// syntax the paper uses, so operators can keep telemetry queries in plain
+// files (see tools/sonata_run).
+//
+//   # Detect hosts with too many newly opened TCP connections (Query 1).
+//   query newly_opened_tcp id 1 window 3s {
+//     packetStream
+//       .filter(proto == 6 && tcp.flags == 2)
+//       .map(dIP = dIP, count = 1)
+//       .reduce(keys=(dIP), sum(count))
+//       .filter(count > 1000)
+//   }
+//
+// Joins nest a packetStream as the second argument:
+//
+//   .join(keys=(dIP), packetStream.filter(...).reduce(...))
+//
+// Expressions support || && == != < <= > >= + - * / % & literals
+// (integers, 'strings'), dotted field names, and the built-ins
+// contains(col, 'word'), prefix(col, bits), labels(col, n).
+// `refinable false` opts a query out of dynamic refinement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query.h"
+
+namespace sonata::query {
+
+struct ParseError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return "line " + std::to_string(line) + ":" + std::to_string(column) + ": " + message;
+  }
+};
+
+struct ParseResult {
+  std::vector<Query> queries;  // validated
+  std::vector<ParseError> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+// Parse a whole file (any number of `query` blocks).
+[[nodiscard]] ParseResult parse_queries(std::string_view text);
+
+// Parse a single expression against a schema (used by tests and tools).
+struct ExprParseResult {
+  ExprPtr expr;  // null on error
+  std::vector<ParseError> errors;
+};
+[[nodiscard]] ExprParseResult parse_expression(std::string_view text);
+
+}  // namespace sonata::query

@@ -1,0 +1,197 @@
+#include "query/query.h"
+
+#include <functional>
+
+namespace sonata::query {
+
+Schema source_schema(const FieldRegistry& registry) {
+  Schema s;
+  for (const auto& f : registry.fields()) {
+    s.add(Column{f.name, f.kind, f.bits});
+  }
+  return s;
+}
+
+namespace {
+
+// Recursively validate a node; returns error or empty string.
+std::string validate_node(StreamNode& node) {
+  Schema in;
+  switch (node.kind) {
+    case StreamNode::Kind::kSource:
+      in = source_schema();
+      break;
+    case StreamNode::Kind::kJoin: {
+      if (!node.left || !node.right) return "join with missing child";
+      if (auto e = validate_node(*node.left); !e.empty()) return e;
+      if (auto e = validate_node(*node.right); !e.empty()) return e;
+      if (node.join_keys.empty()) return "join without keys";
+      const Schema& ls = node.left->output_schema();
+      const Schema& rs = node.right->output_schema();
+      // Join output: keys, then left non-keys, then right non-keys. Name
+      // clashes between the sides get a "_r" suffix on the right column.
+      Schema out;
+      for (const auto& k : node.join_keys) {
+        const auto li = ls.index_of(k);
+        const auto ri = rs.index_of(k);
+        if (!li) return "join key missing from left input: " + k;
+        if (!ri) return "join key missing from right input: " + k;
+        if (ls.at(*li).kind != rs.at(*ri).kind) return "join key kind mismatch: " + k;
+        out.add(ls.at(*li));
+      }
+      auto is_key = [&](const std::string& name) {
+        for (const auto& k : node.join_keys) {
+          if (k == name) return true;
+        }
+        return false;
+      };
+      for (const auto& c : ls.columns()) {
+        if (!is_key(c.name)) out.add(c);
+      }
+      for (const auto& c : rs.columns()) {
+        if (is_key(c.name)) continue;
+        Column copy = c;
+        if (out.index_of(copy.name)) copy.name += "_r";
+        if (out.index_of(copy.name)) return "unresolvable join column clash: " + c.name;
+        out.add(copy);
+      }
+      in = std::move(out);
+      break;
+    }
+  }
+
+  node.schemas.clear();
+  node.schemas.push_back(in);
+  std::string err;
+  for (const auto& op : node.ops) {
+    Schema next = op.output_schema(node.schemas.back(), &err);
+    if (!err.empty()) return err;
+    node.schemas.push_back(std::move(next));
+  }
+  return {};
+}
+
+void collect_sources(StreamNode* node, std::vector<StreamNode*>& out) {
+  if (!node) return;
+  if (node->kind == StreamNode::Kind::kSource) {
+    out.push_back(node);
+    return;
+  }
+  collect_sources(node->left.get(), out);
+  collect_sources(node->right.get(), out);
+}
+
+std::size_t count_ops(const StreamNode* node) {
+  if (!node) return 0;
+  std::size_t n = node->ops.size();
+  if (node->kind == StreamNode::Kind::kJoin) {
+    n += 1 + count_ops(node->left.get()) + count_ops(node->right.get());
+  }
+  return n;
+}
+
+void print_node(const StreamNode* node, std::string& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (node->kind == StreamNode::Kind::kSource) {
+    out += pad + "packetStream\n";
+  } else {
+    out += pad + "join(keys=(";
+    for (std::size_t i = 0; i < node->join_keys.size(); ++i) {
+      if (i) out += ", ";
+      out += node->join_keys[i];
+    }
+    out += "),\n";
+    print_node(node->left.get(), out, indent + 1);
+    out += pad + " ,\n";
+    print_node(node->right.get(), out, indent + 1);
+    out += pad + ")\n";
+  }
+  for (const auto& op : node->ops) {
+    out += pad + "." + op.to_string() + "\n";
+  }
+}
+
+}  // namespace
+
+std::string validate_stream_node(StreamNode& node) { return validate_node(node); }
+
+std::string Query::validate() {
+  if (!root_) return "query has no root";
+  return validate_node(*root_);
+}
+
+std::vector<StreamNode*> Query::sources() const {
+  std::vector<StreamNode*> out;
+  collect_sources(root_.get(), out);
+  return out;
+}
+
+std::size_t Query::operator_count() const { return count_ops(root_.get()); }
+
+std::string Query::to_string() const {
+  std::string out = name_ + " (qid=" + std::to_string(id_) + "):\n";
+  if (root_) print_node(root_.get(), out, 1);
+  return out;
+}
+
+QueryBuilder QueryBuilder::packet_stream() { return QueryBuilder{}; }
+
+QueryBuilder& QueryBuilder::filter(ExprPtr pred) & {
+  node_->ops.push_back(Operator::filter(std::move(pred)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::filter_in(std::vector<ExprPtr> match, std::string table_name) & {
+  node_->ops.push_back(Operator::filter_in(std::move(match), std::move(table_name)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::map(std::vector<NamedExpr> projections) & {
+  node_->ops.push_back(Operator::map(std::move(projections)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::distinct() & {
+  node_->ops.push_back(Operator::distinct());
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::reduce(std::vector<std::string> keys, ReduceFn fn,
+                                   std::string value_col) & {
+  node_->ops.push_back(Operator::reduce(std::move(keys), fn, std::move(value_col)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::join(std::vector<std::string> keys, QueryBuilder other) & {
+  auto join_node = std::make_shared<StreamNode>();
+  join_node->kind = StreamNode::Kind::kJoin;
+  join_node->join_keys = std::move(keys);
+  join_node->left = std::move(node_);
+  join_node->right = std::move(other.node_);
+  node_ = std::move(join_node);
+  return *this;
+}
+
+QueryBuilder&& QueryBuilder::filter(ExprPtr pred) && {
+  return std::move(filter(std::move(pred)));
+}
+QueryBuilder&& QueryBuilder::filter_in(std::vector<ExprPtr> match, std::string table_name) && {
+  return std::move(filter_in(std::move(match), std::move(table_name)));
+}
+QueryBuilder&& QueryBuilder::map(std::vector<NamedExpr> projections) && {
+  return std::move(map(std::move(projections)));
+}
+QueryBuilder&& QueryBuilder::distinct() && { return std::move(distinct()); }
+QueryBuilder&& QueryBuilder::reduce(std::vector<std::string> keys, ReduceFn fn,
+                                    std::string value_col) && {
+  return std::move(reduce(std::move(keys), fn, std::move(value_col)));
+}
+QueryBuilder&& QueryBuilder::join(std::vector<std::string> keys, QueryBuilder other) && {
+  return std::move(join(std::move(keys), std::move(other)));
+}
+
+Query QueryBuilder::build(std::string name, QueryId id, util::Nanos window) && {
+  return Query{std::move(name), id, window, std::move(node_)};
+}
+
+}  // namespace sonata::query

@@ -1,0 +1,130 @@
+// Query graphs and the fluent builder.
+//
+// A query is a tree: leaves are packet streams, internal nodes are joins,
+// and every node carries a linear chain of dataflow operators. Joins always
+// execute at the stream processor (paper §3.1.2); each leaf's operator chain
+// is the unit the planner partitions between switch and stream processor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/field.h"
+#include "query/ops.h"
+#include "util/time.h"
+
+namespace sonata::query {
+
+using QueryId = std::uint16_t;
+
+struct StreamNode;
+using StreamNodePtr = std::shared_ptr<StreamNode>;
+
+struct StreamNode {
+  enum class Kind : std::uint8_t { kSource, kJoin };
+
+  Kind kind = Kind::kSource;
+
+  // kJoin only: inner join of the two children on `join_keys`.
+  std::vector<std::string> join_keys;
+  StreamNodePtr left;
+  StreamNodePtr right;
+
+  // Operators applied to this node's (source or join) output, in order.
+  std::vector<Operator> ops;
+
+  // Filled by Query::validate(): schema entering ops[i] is schemas[i];
+  // schemas.back() is the node's output schema.
+  std::vector<Schema> schemas;
+
+  [[nodiscard]] const Schema& output_schema() const { return schemas.back(); }
+};
+
+// The schema a packet stream presents: one column per registered field.
+[[nodiscard]] Schema source_schema(const FieldRegistry& registry = FieldRegistry::instance());
+
+// Type-check a (sub)tree and fill in per-operator schemas. Returns an error
+// message or empty string. Used by Query::validate and by the planner when
+// it builds augmented (refined) chains.
+[[nodiscard]] std::string validate_stream_node(StreamNode& node);
+
+class Query {
+ public:
+  Query() = default;
+  Query(std::string name, QueryId id, util::Nanos window, StreamNodePtr root)
+      : name_(std::move(name)), id_(id), window_(window), root_(std::move(root)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] QueryId id() const noexcept { return id_; }
+  [[nodiscard]] util::Nanos window() const noexcept { return window_; }
+  [[nodiscard]] const StreamNodePtr& root() const noexcept { return root_; }
+
+  // Whether dynamic refinement preserves this query's results (paper §4.1:
+  // queries filtering on aggregated counts greater than a threshold). The
+  // operator declares it; the planner additionally requires every source to
+  // trace a hierarchical key. Defaults to true.
+  [[nodiscard]] bool refinable() const noexcept { return refinable_; }
+  void set_refinable(bool refinable) noexcept { refinable_ = refinable; }
+
+  // Type-checks the whole tree and computes per-operator schemas.
+  // Returns an error message, or empty string on success.
+  [[nodiscard]] std::string validate();
+
+  // All leaf (packet-source) nodes, left-to-right. These are the
+  // data-plane-eligible sub-queries the planner partitions.
+  [[nodiscard]] std::vector<StreamNode*> sources() const;
+
+  // Number of operators in the whole tree (used by the Table 3 report).
+  [[nodiscard]] std::size_t operator_count() const;
+
+  // Pretty-print the query in a form close to the paper's examples.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  QueryId id_ = 0;
+  util::Nanos window_ = util::seconds(3);
+  StreamNodePtr root_;
+  bool refinable_ = true;
+};
+
+// Fluent builder mirroring the paper's syntax:
+//
+//   auto q = QueryBuilder::packet_stream()
+//                .filter(col("tcp.flags") == lit(2))
+//                .map({{"dIP", col("dIP")}, {"count", lit(1)}})
+//                .reduce({"dIP"}, ReduceFn::kSum, "count")
+//                .filter(col("count") > lit(threshold))
+//                .build("newly_opened_tcp", 1, util::seconds(3));
+class QueryBuilder {
+ public:
+  static QueryBuilder packet_stream();
+
+  QueryBuilder& filter(ExprPtr pred) &;
+  QueryBuilder& filter_in(std::vector<ExprPtr> match, std::string table_name) &;
+  QueryBuilder& map(std::vector<NamedExpr> projections) &;
+  QueryBuilder& distinct() &;
+  QueryBuilder& reduce(std::vector<std::string> keys, ReduceFn fn, std::string value_col) &;
+  // Join this pipeline (left) with `other` (right) on `keys`; subsequent
+  // operators apply to the join output.
+  QueryBuilder& join(std::vector<std::string> keys, QueryBuilder other) &;
+
+  // rvalue-qualified overloads so chained temporaries work.
+  QueryBuilder&& filter(ExprPtr pred) &&;
+  QueryBuilder&& filter_in(std::vector<ExprPtr> match, std::string table_name) &&;
+  QueryBuilder&& map(std::vector<NamedExpr> projections) &&;
+  QueryBuilder&& distinct() &&;
+  QueryBuilder&& reduce(std::vector<std::string> keys, ReduceFn fn, std::string value_col) &&;
+  QueryBuilder&& join(std::vector<std::string> keys, QueryBuilder other) &&;
+
+  // Finalize. The returned query is not yet validated; call validate().
+  [[nodiscard]] Query build(std::string name, QueryId id,
+                            util::Nanos window = util::seconds(3)) &&;
+
+ private:
+  StreamNodePtr node_ = std::make_shared<StreamNode>();
+};
+
+}  // namespace sonata::query

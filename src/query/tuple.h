@@ -1,0 +1,82 @@
+// Tuples and schemas.
+//
+// A Tuple is one row flowing through a dataflow pipeline; a Schema names
+// its columns and records each column's kind and bit width (widths drive
+// the PHV-metadata accounting, constraint C5 of the planner's ILP).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/value.h"
+
+namespace sonata::query {
+
+struct Column {
+  std::string name;
+  ValueKind kind = ValueKind::kUint;
+  // Width in bits when carried as switch metadata. String columns use a
+  // fixed budget (e.g. 256 for a DNS name); payloads are not carriable.
+  int bits = 32;
+
+  friend bool operator==(const Column&, const Column&) = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return cols_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cols_.empty(); }
+  [[nodiscard]] const Column& at(std::size_t i) const { return cols_.at(i); }
+  [[nodiscard]] const std::vector<Column>& columns() const noexcept { return cols_; }
+
+  // Index of a column by name; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> index_of(std::string_view name) const noexcept;
+
+  // Total bits to carry this schema as switch metadata.
+  [[nodiscard]] int total_bits() const noexcept;
+
+  void add(Column c) { cols_.push_back(std::move(c)); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+struct Tuple {
+  std::vector<Value> values;
+
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> v) : values(std::move(v)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+  [[nodiscard]] const Value& at(std::size_t i) const { return values.at(i); }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0x531a0badcafeULL;
+    for (const auto& v : values) h = util::hash_combine(h, v.hash());
+    return h;
+  }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) noexcept { return a.values == b.values; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Project a subset of columns (by index) out of a tuple — used for group-by
+// keys and join keys.
+[[nodiscard]] Tuple project(const Tuple& t, std::span<const std::size_t> idxs);
+
+struct TupleHasher {
+  std::size_t operator()(const Tuple& t) const noexcept { return t.hash(); }
+};
+
+}  // namespace sonata::query

@@ -1,0 +1,10 @@
+#include "query/value.h"
+
+namespace sonata::query {
+
+std::string Value::to_string() const {
+  if (is_uint()) return std::to_string(as_uint());
+  return std::string(as_string());
+}
+
+}  // namespace sonata::query

@@ -1,0 +1,85 @@
+// Value/tuple model for Sonata's dataflow queries.
+//
+// Packet-header fields naturally form key-value tuples (paper §2.1). A
+// Value is either a 64-bit unsigned integer (addresses, ports, counters,
+// flags — everything the switch can process) or a shared string (DNS names,
+// payloads — which only the stream processor can process). Strings are
+// shared_ptr so tuples copy cheaply even when they carry packet payloads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "util/hash.h"
+
+namespace sonata::query {
+
+using SharedStr = std::shared_ptr<const std::string>;
+
+enum class ValueKind : std::uint8_t { kUint, kString };
+
+class Value {
+ public:
+  Value() : v_(std::uint64_t{0}) {}
+  Value(std::uint64_t u) : v_(u) {}                   // NOLINT(google-explicit-constructor)
+  Value(SharedStr s) : v_(std::move(s)) {}            // NOLINT(google-explicit-constructor)
+  explicit Value(std::string s) : v_(std::make_shared<const std::string>(std::move(s))) {}
+
+  [[nodiscard]] ValueKind kind() const noexcept {
+    return std::holds_alternative<std::uint64_t>(v_) ? ValueKind::kUint : ValueKind::kString;
+  }
+  [[nodiscard]] bool is_uint() const noexcept { return kind() == ValueKind::kUint; }
+  [[nodiscard]] bool is_string() const noexcept { return kind() == ValueKind::kString; }
+
+  // Numeric access; returns 0 for strings (queries are validated so that
+  // arithmetic never reaches a string column).
+  [[nodiscard]] std::uint64_t as_uint() const noexcept {
+    const auto* u = std::get_if<std::uint64_t>(&v_);
+    return u ? *u : 0;
+  }
+
+  // String access; empty view for numeric values or null strings.
+  [[nodiscard]] std::string_view as_string() const noexcept {
+    const auto* s = std::get_if<SharedStr>(&v_);
+    return (s && *s) ? std::string_view(**s) : std::string_view{};
+  }
+
+  [[nodiscard]] SharedStr shared_string() const noexcept {
+    const auto* s = std::get_if<SharedStr>(&v_);
+    return s ? *s : nullptr;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    if (is_uint()) return util::hash_u64(as_uint(), 0);
+    return util::fnv1a64(as_string());
+  }
+
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    if (a.kind() != b.kind()) return false;
+    if (a.is_uint()) return a.as_uint() == b.as_uint();
+    return a.as_string() == b.as_string();
+  }
+  friend bool operator!=(const Value& a, const Value& b) noexcept { return !(a == b); }
+
+  // Ordering: numerics by value, strings lexicographically; numerics sort
+  // before strings (only used for deterministic output ordering).
+  friend bool operator<(const Value& a, const Value& b) noexcept {
+    if (a.kind() != b.kind()) return a.is_uint();
+    if (a.is_uint()) return a.as_uint() < b.as_uint();
+    return a.as_string() < b.as_string();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<std::uint64_t, SharedStr> v_;
+};
+
+struct ValueHasher {
+  std::size_t operator()(const Value& v) const noexcept { return v.hash(); }
+};
+
+}  // namespace sonata::query

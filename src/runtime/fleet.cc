@@ -1,0 +1,192 @@
+#include "runtime/fleet.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace sonata::runtime {
+
+using planner::PlannedPipeline;
+using planner::PlannedQuery;
+using query::Tuple;
+
+Fleet::Fleet(planner::Plan plan, std::size_t switch_count) : plan_(std::move(plan)) {
+  assert(switch_count >= 1);
+  // Shared stream executors, exactly as in Runtime.
+  for (const PlannedQuery& pq : plan_.queries) {
+    QueryState qs;
+    qs.pq = &pq;
+    for (const int level : pq.chain) {
+      LevelExec le;
+      le.level = level;
+      le.exec = std::make_unique<stream::QueryExecutor>(pq.exec_queries.at(level));
+      qs.levels.push_back(std::move(le));
+    }
+    queries_.push_back(std::move(qs));
+    for (const PlannedPipeline& p : pq.pipelines) {
+      if (p.partition == 0) raw_feeds_.push_back({p.qid, p.level, p.source_index});
+    }
+  }
+
+  // One identical switch program per ingress point.
+  for (std::size_t i = 0; i < switch_count; ++i) {
+    auto sw = std::make_unique<pisa::Switch>(plan_.switch_config);
+    std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> pipelines;
+    std::vector<pisa::ProgramResources> resources;
+    for (const PlannedQuery& pq : plan_.queries) {
+      for (const PlannedPipeline& p : pq.pipelines) {
+        if (p.partition == 0) continue;
+        pisa::CompiledSwitchQuery::Options opts;
+        opts.qid = p.qid;
+        opts.source_index = p.source_index;
+        opts.level = p.level;
+        opts.partition = p.partition;
+        opts.sizing = p.sizing;
+        pipelines.push_back(std::make_unique<pisa::CompiledSwitchQuery>(*p.node, opts));
+        resources.push_back(pisa::build_resources(*p.node, p.partition, p.sizing, p.qid,
+                                                  p.source_index, p.level));
+      }
+    }
+    const std::string err = sw->install(std::move(pipelines), resources);
+    assert(err.empty() && "plan does not fit the switch it was planned for");
+    (void)err;
+    switches_.push_back(std::move(sw));
+  }
+}
+
+int Fleet::remap_source(query::QueryId qid, int level, int source_index) const {
+  for (const auto& qs : queries_) {
+    if (qs.pq->base->id() != qid) continue;
+    const auto it = qs.pq->source_remap.find(level);
+    if (it == qs.pq->source_remap.end()) return source_index;
+    return it->second.at(static_cast<std::size_t>(source_index));
+  }
+  return source_index;
+}
+
+stream::QueryExecutor& Fleet::executor(query::QueryId qid, int level) {
+  for (auto& qs : queries_) {
+    if (qs.pq->base->id() != qid) continue;
+    for (auto& le : qs.levels) {
+      if (le.level == level) return *le.exec;
+    }
+  }
+  assert(false && "no executor for (qid, level)");
+  __builtin_unreachable();
+}
+
+void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
+  ++current_.packets;
+  const Tuple source = query::materialize_tuple(packet);
+  scratch_.clear();
+  switches_.at(switch_index)->process_tuple(source, scratch_);
+  for (const auto& rec : scratch_) {
+    if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++current_.overflow_records;
+    const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
+    if (src_idx >= 0 && rec.kind != pisa::EmitRecord::Kind::kKeyReport) {
+      executor(rec.qid, rec.level).ingest(src_idx, rec.tuple, rec.op_index);
+    }
+  }
+  const bool raw = plan_.raw_mirror && !raw_feeds_.empty();
+  if (raw) {
+    ++current_.raw_mirror_packets;
+    for (const auto& feed : raw_feeds_) {
+      const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
+      if (src_idx >= 0) executor(feed.qid, feed.level).ingest(src_idx, source, 0);
+    }
+  }
+  if (raw || !scratch_.empty()) ++current_.tuples_to_sp;
+}
+
+void Fleet::ingest(const net::Packet& packet) {
+  const std::uint64_t flow =
+      util::hash_combine(util::hash_combine(packet.src_ip, packet.dst_ip),
+                         (static_cast<std::uint64_t>(packet.src_port) << 24) ^
+                             (static_cast<std::uint64_t>(packet.dst_port) << 8) ^ packet.proto);
+  ingest_at(static_cast<std::size_t>(flow % switches_.size()), packet);
+}
+
+WindowStats Fleet::close_window() {
+  std::vector<double> control_before;
+  control_before.reserve(switches_.size());
+  for (const auto& sw : switches_) control_before.push_back(sw->stats().control_update_millis);
+
+  // 1. Poll every switch; partial aggregates merge at the shared reduce.
+  for (const auto& sw : switches_) {
+    for (const auto& p : sw->pipelines()) {
+      if (!p->has_stateful_tail()) continue;
+      const int src_idx =
+          remap_source(p->options().qid, p->options().level, p->options().source_index);
+      if (src_idx < 0) continue;
+      auto& exec = executor(p->options().qid, p->options().level);
+      for (Tuple& t : p->poll_aggregates()) {
+        exec.ingest(src_idx, std::move(t), p->poll_entry_op());
+      }
+    }
+  }
+
+  // 2. Close coarse-to-fine; winners install on EVERY switch.
+  for (auto& qs : queries_) {
+    const PlannedQuery& pq = *qs.pq;
+    for (std::size_t li = 0; li < qs.levels.size(); ++li) {
+      std::vector<Tuple> outputs = qs.levels[li].exec->end_window();
+      const bool finest = li + 1 == qs.levels.size();
+      if (finest) {
+        current_.results.push_back({pq.base->id(), pq.base->name(), std::move(outputs)});
+        continue;
+      }
+      const int level = qs.levels[li].level;
+      const int next = qs.levels[li + 1].level;
+      const auto& schema = pq.exec_queries.at(level).root()->output_schema();
+      const std::string& key_col = pq.keys.empty() ? std::string{} : pq.keys.front().key_column;
+      const auto idx = schema.index_of(key_col);
+      std::vector<Tuple> winners;
+      if (idx) {
+        std::unordered_set<Tuple, query::TupleHasher> dedup;
+        for (const Tuple& out : outputs) {
+          Tuple key;
+          key.values.push_back(out.at(*idx));
+          if (dedup.insert(key).second) winners.push_back(std::move(key));
+        }
+      }
+      for (const auto& p : pq.pipelines) {
+        if (p.level != next || p.filter_table.empty()) continue;
+        for (const auto& sw : switches_) sw->update_filter_entries(p.filter_table, winners);
+        qs.levels[li + 1].exec->set_filter_entries(p.filter_table, winners);
+      }
+      auto& installed = current_.winners[pq.base->id()];
+      installed.insert(installed.end(), winners.begin(), winners.end());
+    }
+  }
+
+  // 3. Reset all registers. Control latency = the slowest switch's update
+  //    time this window (updates run in parallel across the fleet).
+  double control = 0.0;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    switches_[i]->reset_all_registers();
+    control = std::max(control, switches_[i]->stats().control_update_millis - control_before[i]);
+  }
+  current_.control_update_millis = control;
+
+  current_.window_index = window_counter_++;
+  WindowStats out = std::move(current_);
+  current_ = WindowStats{};
+  return out;
+}
+
+std::vector<WindowStats> Fleet::run_trace(std::span<const net::Packet> trace) {
+  std::vector<WindowStats> out;
+  const util::Nanos w = plan_.window;
+  std::size_t begin = 0;
+  while (begin < trace.size()) {
+    const std::uint64_t idx = util::window_index(trace[begin].ts, w);
+    std::size_t end = begin;
+    while (end < trace.size() && util::window_index(trace[end].ts, w) == idx) ++end;
+    for (std::size_t i = begin; i < end; ++i) ingest(trace[i]);
+    out.push_back(close_window());
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace sonata::runtime

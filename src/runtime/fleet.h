@@ -1,0 +1,81 @@
+// Network-wide telemetry: one plan deployed on a fleet of switches that
+// each observe a share of the traffic, with a single stream processor
+// merging their state (paper §8's first future-work item; cf. the authors'
+// follow-up on network-wide heavy-hitter detection with commodity
+// switches).
+//
+// The merge falls out of Sonata's overflow-correction design: every
+// switch's end-of-window register poll re-enters the shared stream
+// executors *at the reduce* as deltas, so per-switch partial aggregates
+// combine exactly. A key whose count stays below threshold on every single
+// switch is still detected when the network-wide sum crosses it — the
+// headline capability of network-wide telemetry. Dynamic-refinement winner
+// keys are computed once (over merged state) and installed on every
+// switch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pisa/switch.h"
+#include "planner/planner.h"
+#include "runtime/runtime.h"
+
+namespace sonata::runtime {
+
+class Fleet {
+ public:
+  // Deploys `plan` on `switch_count` identical switches. The plan's base
+  // queries must outlive the Fleet.
+  Fleet(planner::Plan plan, std::size_t switch_count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return switches_.size(); }
+
+  // Ingest a packet at a specific ingress switch.
+  void ingest_at(std::size_t switch_index, const net::Packet& packet);
+
+  // Default routing: hash the flow 5-tuple onto a switch (models ECMP-like
+  // traffic spread across ingress points).
+  void ingest(const net::Packet& packet);
+
+  // Close the window fleet-wide: poll every switch, merge at the stream
+  // processor, refine, reset. Aggregated stats (packets/tuples summed over
+  // switches).
+  WindowStats close_window();
+
+  std::vector<WindowStats> run_trace(std::span<const net::Packet> trace);
+
+  [[nodiscard]] const pisa::Switch& data_plane(std::size_t i) const { return *switches_.at(i); }
+  [[nodiscard]] const planner::Plan& plan() const noexcept { return plan_; }
+
+ private:
+  stream::QueryExecutor& executor(query::QueryId qid, int level);
+  [[nodiscard]] int remap_source(query::QueryId qid, int level, int source_index) const;
+
+  planner::Plan plan_;
+  std::vector<std::unique_ptr<pisa::Switch>> switches_;
+
+  struct LevelExec {
+    int level = planner::kFinestIpLevel;
+    std::unique_ptr<stream::QueryExecutor> exec;
+  };
+  struct QueryState {
+    const planner::PlannedQuery* pq = nullptr;
+    std::vector<LevelExec> levels;
+  };
+  std::vector<QueryState> queries_;
+  struct RawFeed {
+    query::QueryId qid;
+    int level;
+    int source_index;
+  };
+  std::vector<RawFeed> raw_feeds_;
+
+  WindowStats current_;
+  std::uint64_t window_counter_ = 0;
+  std::vector<pisa::EmitRecord> scratch_;
+};
+
+}  // namespace sonata::runtime

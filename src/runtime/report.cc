@@ -1,0 +1,117 @@
+#include "runtime/report.h"
+
+#include <cstring>
+
+namespace sonata::runtime {
+
+namespace {
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::byte>((v >> shift) & 0xff));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8() noexcept {
+    if (pos_ + 1 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() noexcept {
+    const auto hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  std::uint64_t u64() noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | u8();
+    return v;
+  }
+  std::string str(std::size_t n) noexcept {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<std::byte> encode_report(const pisa::EmitRecord& record) {
+  std::vector<std::byte> out;
+  out.reserve(16 + record.tuple.size() * 9);
+  put_u16(out, kReportMagic);
+  put_u8(out, static_cast<std::uint8_t>(record.kind));
+  put_u16(out, record.qid);
+  put_u8(out, static_cast<std::uint8_t>(record.source_index));
+  put_u16(out, static_cast<std::uint16_t>(record.level));
+  put_u16(out, static_cast<std::uint16_t>(record.op_index));
+  put_u8(out, static_cast<std::uint8_t>(record.tuple.size()));
+  for (const auto& v : record.tuple.values) {
+    if (v.is_uint()) {
+      put_u8(out, 0);
+      put_u64(out, v.as_uint());
+    } else {
+      put_u8(out, 1);
+      const auto s = v.as_string();
+      put_u16(out, static_cast<std::uint16_t>(s.size()));
+      for (const char c : s) out.push_back(static_cast<std::byte>(c));
+    }
+  }
+  return out;
+}
+
+std::optional<pisa::EmitRecord> decode_report(std::span<const std::byte> data) {
+  Reader r(data);
+  if (r.u16() != kReportMagic) return std::nullopt;
+  pisa::EmitRecord record;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(pisa::EmitRecord::Kind::kOverflow)) return std::nullopt;
+  record.kind = static_cast<pisa::EmitRecord::Kind>(kind);
+  record.qid = r.u16();
+  record.source_index = r.u8();
+  record.level = static_cast<std::int16_t>(r.u16());
+  record.op_index = r.u16();
+  const std::uint8_t ncols = r.u8();
+  if (!r.ok()) return std::nullopt;
+  record.tuple.values.reserve(ncols);
+  for (std::uint8_t c = 0; c < ncols; ++c) {
+    const std::uint8_t tag = r.u8();
+    if (tag == 0) {
+      record.tuple.values.emplace_back(r.u64());
+    } else if (tag == 1) {
+      const std::uint16_t len = r.u16();
+      if (!r.ok()) return std::nullopt;
+      record.tuple.values.emplace_back(query::Value{r.str(len)});
+    } else {
+      return std::nullopt;
+    }
+    if (!r.ok()) return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;  // trailing bytes: corrupted report
+  return record;
+}
+
+}  // namespace sonata::runtime

@@ -1,0 +1,38 @@
+// Wire format for mirrored report packets (paper §5, Figure 6): the switch
+// embeds the query identifier and the query-specific intermediate results
+// in the mirrored packet; the emitter parses them by qid and forwards
+// tuples to the stream processor.
+//
+// Layout (big endian):
+//   magic   u16  = 0x50A7 ("SONATA")
+//   kind    u8   (EmitRecord::Kind)
+//   qid     u16
+//   source  u8
+//   level   u16  (0xffff encodes level -1; never used in practice)
+//   op      u16  (operator index where the tuple re-enters the SP chain)
+//   ncols   u8
+//   per column:
+//     tag   u8   0 = uint64, 1 = string
+//     uint64: value u64
+//     string: len u16, bytes
+//
+// decode_report is fully bounds-checked: truncated or corrupted reports
+// yield nullopt, never a crash (fuzzed in report_test).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pisa/switch.h"
+
+namespace sonata::runtime {
+
+inline constexpr std::uint16_t kReportMagic = 0x50A7;
+
+[[nodiscard]] std::vector<std::byte> encode_report(const pisa::EmitRecord& record);
+
+[[nodiscard]] std::optional<pisa::EmitRecord> decode_report(std::span<const std::byte> data);
+
+}  // namespace sonata::runtime

@@ -1,0 +1,220 @@
+#include "stream/executor.h"
+
+#include <cassert>
+
+#include "pisa/register.h"  // apply_reduce
+
+namespace sonata::stream {
+
+using query::OpKind;
+using query::Operator;
+using query::Schema;
+using query::StreamNode;
+using query::Tuple;
+
+ChainExecutor::ChainExecutor(const StreamNode& node) : node_(node) {
+  assert(node_.schemas.size() == node_.ops.size() + 1);
+  ops_.reserve(node_.ops.size());
+  for (std::size_t i = 0; i < node_.ops.size(); ++i) {
+    const Operator& op = node_.ops[i];
+    const Schema& in = node_.schemas[i];
+    BoundOp bop;
+    bop.kind = op.kind;
+    switch (op.kind) {
+      case OpKind::kFilter:
+        bop.pred = op.predicate->bind(in);
+        break;
+      case OpKind::kFilterIn:
+        for (const auto& m : op.match_exprs) bop.match.push_back(m->bind(in));
+        bop.table_name = op.table_name;
+        break;
+      case OpKind::kMap:
+        for (const auto& p : op.projections) bop.projections.push_back(p.expr->bind(in));
+        break;
+      case OpKind::kDistinct:
+        break;
+      case OpKind::kReduce: {
+        for (const auto& k : op.keys) {
+          const auto idx = in.index_of(k);
+          assert(idx);
+          bop.key_idx.push_back(*idx);
+        }
+        const auto vidx = in.index_of(op.value_col);
+        assert(vidx);
+        bop.value_idx = *vidx;
+        bop.fn = op.fn;
+        break;
+      }
+    }
+    ops_.push_back(std::move(bop));
+  }
+}
+
+void ChainExecutor::ingest(Tuple t, std::size_t entry) {
+  ++ingested_;
+  process(std::move(t), entry);
+}
+
+void ChainExecutor::process(Tuple&& t, std::size_t i) {
+  for (; i < ops_.size(); ++i) {
+    BoundOp& op = ops_[i];
+    switch (op.kind) {
+      case OpKind::kFilter:
+        if (op.pred(t).as_uint() == 0) return;
+        break;
+      case OpKind::kFilterIn: {
+        Tuple key;
+        key.values.reserve(op.match.size());
+        for (const auto& m : op.match) key.values.push_back(m(t));
+        if (!op.entries.contains(key)) return;
+        break;
+      }
+      case OpKind::kMap: {
+        Tuple next;
+        next.values.reserve(op.projections.size());
+        for (const auto& p : op.projections) next.values.push_back(p(t));
+        t = std::move(next);
+        break;
+      }
+      case OpKind::kDistinct: {
+        if (!op.seen.insert(t).second) return;  // duplicate within window
+        break;
+      }
+      case OpKind::kReduce: {
+        Tuple key = query::project(t, op.key_idx);
+        const std::uint64_t delta = t.at(op.value_idx).as_uint();
+        auto [it, inserted] = op.agg.try_emplace(std::move(key), delta);
+        if (!inserted) it->second = pisa::apply_reduce(op.fn, it->second, delta);
+        return;  // consumed; flushed at window end
+      }
+    }
+  }
+  pending_.push_back(std::move(t));
+}
+
+std::vector<Tuple> ChainExecutor::end_window() {
+  // Flush reduces in ascending order: outputs of an earlier reduce flow into
+  // later operators (possibly another reduce, flushed next).
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    BoundOp& op = ops_[i];
+    if (op.kind != OpKind::kReduce) continue;
+    auto state = std::move(op.agg);
+    op.agg.clear();
+    for (auto& [key, value] : state) {
+      Tuple out = key;
+      out.values.emplace_back(value);
+      process(std::move(out), i + 1);
+    }
+  }
+  for (auto& op : ops_) {
+    op.seen.clear();
+    op.agg.clear();
+  }
+  std::vector<Tuple> out = std::move(pending_);
+  pending_.clear();
+  return out;
+}
+
+bool ChainExecutor::set_filter_entries(const std::string& table_name,
+                                       std::vector<Tuple> entries) {
+  bool found = false;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (node_.ops[i].kind == OpKind::kFilterIn && node_.ops[i].table_name == table_name) {
+      ops_[i].entries.clear();
+      for (auto& e : entries) ops_[i].entries.insert(std::move(e));
+      found = true;
+    }
+  }
+  return found;
+}
+
+NodeExecutor::NodeExecutor(const StreamNode& node) : node_(node), chain_(node) {
+  if (node.kind == StreamNode::Kind::kJoin) {
+    left_ = std::make_unique<NodeExecutor>(*node.left);
+    right_ = std::make_unique<NodeExecutor>(*node.right);
+  }
+}
+
+std::vector<Tuple> NodeExecutor::end_window() {
+  if (node_.kind == StreamNode::Kind::kJoin) {
+    const std::vector<Tuple> lhs = left_->end_window();
+    const std::vector<Tuple> rhs = right_->end_window();
+
+    const Schema& ls = node_.left->output_schema();
+    const Schema& rs = node_.right->output_schema();
+    std::vector<std::size_t> lkeys, rkeys;
+    for (const auto& k : node_.join_keys) {
+      lkeys.push_back(*ls.index_of(k));
+      rkeys.push_back(*rs.index_of(k));
+    }
+    auto is_key = [&](const std::vector<std::size_t>& keys, std::size_t i) {
+      return std::find(keys.begin(), keys.end(), i) != keys.end();
+    };
+
+    // Build on the right, probe with the left.
+    std::unordered_map<Tuple, std::vector<const Tuple*>, query::TupleHasher> built;
+    built.reserve(rhs.size());
+    for (const auto& r : rhs) built[query::project(r, rkeys)].push_back(&r);
+
+    for (const auto& l : lhs) {
+      const auto it = built.find(query::project(l, lkeys));
+      if (it == built.end()) continue;
+      for (const Tuple* r : it->second) {
+        // Output layout must match validate_node(): keys, left non-keys,
+        // right non-keys.
+        Tuple joined;
+        joined.values.reserve(ls.size() + rs.size());
+        for (std::size_t k : lkeys) joined.values.push_back(l.at(k));
+        for (std::size_t i = 0; i < ls.size(); ++i) {
+          if (!is_key(lkeys, i)) joined.values.push_back(l.at(i));
+        }
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+          if (!is_key(rkeys, i)) joined.values.push_back(r->at(i));
+        }
+        chain_.ingest(std::move(joined), 0);
+      }
+    }
+  }
+  return chain_.end_window();
+}
+
+namespace {
+void collect_source_executors(NodeExecutor* exec, std::vector<NodeExecutor*>& out) {
+  if (exec->node().kind == StreamNode::Kind::kSource) {
+    out.push_back(exec);
+    return;
+  }
+  collect_source_executors(exec->left(), out);
+  collect_source_executors(exec->right(), out);
+}
+}  // namespace
+
+QueryExecutor::QueryExecutor(const query::Query& q) : query_(&q) {
+  root_ = std::make_unique<NodeExecutor>(*q.root());
+  collect_source_executors(root_.get(), sources_);
+}
+
+void QueryExecutor::ingest(int source_index, Tuple t, std::size_t entry) {
+  sources_.at(static_cast<std::size_t>(source_index))->chain().ingest(std::move(t), entry);
+}
+
+void QueryExecutor::ingest_packet(const net::Packet& p) {
+  ingest_source_tuple(query::materialize_tuple(p));
+}
+
+void QueryExecutor::ingest_source_tuple(const Tuple& source_tuple) {
+  for (auto* src : sources_) src->chain().ingest(source_tuple, 0);
+}
+
+std::vector<Tuple> QueryExecutor::end_window() { return root_->end_window(); }
+
+bool QueryExecutor::set_filter_entries(const std::string& table_name,
+                                       std::vector<Tuple> entries) {
+  bool found = false;
+  for (auto* src : sources_) {
+    if (src->chain().set_filter_entries(table_name, entries)) found = true;
+  }
+  return found;
+}
+
+}  // namespace sonata::stream

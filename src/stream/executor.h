@@ -1,0 +1,122 @@
+// The stream processor: a windowed dataflow interpreter standing in for
+// Spark Streaming (see DESIGN.md substitutions).
+//
+// Execution model. Tuples are ingested during a window and results are
+// produced at window end. A ChainExecutor runs one node's operator chain
+// with per-operator keyed state; a tuple may enter at any operator index —
+// this is how partitioned execution works:
+//   * stateless switch tails stream tuples in at the partition point,
+//   * register overflow packets re-enter at the stateful operator that
+//     overflowed (the SP re-aggregates them, paper §3.1.3),
+//   * end-of-window register polls enter after the reduce (and folded
+//     threshold) the switch already applied.
+// Joins always run here: children are flushed at window end and hash-joined
+// (paper §3.1.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.h"
+#include "query/query.h"
+
+namespace sonata::stream {
+
+class ChainExecutor {
+ public:
+  // Binds evaluators for all operators of `node` (which must be validated
+  // and outlive the executor).
+  explicit ChainExecutor(const query::StreamNode& node);
+
+  // Run `t` through ops[entry..). Outputs reaching the chain end are
+  // buffered for end_window().
+  void ingest(query::Tuple t, std::size_t entry);
+
+  // Flush stateful operators (ascending), collect outputs, clear state.
+  [[nodiscard]] std::vector<query::Tuple> end_window();
+
+  // Update a dynamic-refinement filter table executed on the SP side.
+  bool set_filter_entries(const std::string& table_name, std::vector<query::Tuple> entries);
+
+  [[nodiscard]] std::uint64_t tuples_ingested() const noexcept { return ingested_; }
+
+ private:
+  struct BoundOp {
+    query::OpKind kind = query::OpKind::kFilter;
+    query::Expr::Evaluator pred;                      // filter
+    std::vector<query::Expr::Evaluator> match;        // filter_in
+    std::string table_name;
+    std::unordered_set<query::Tuple, query::TupleHasher> entries;
+    std::vector<query::Expr::Evaluator> projections;  // map
+    std::vector<std::size_t> key_idx;                 // reduce
+    std::size_t value_idx = 0;
+    query::ReduceFn fn = query::ReduceFn::kSum;
+    // per-window state
+    std::unordered_set<query::Tuple, query::TupleHasher> seen;        // distinct
+    std::unordered_map<query::Tuple, std::uint64_t, query::TupleHasher> agg;  // reduce
+  };
+
+  void process(query::Tuple&& t, std::size_t i);
+
+  const query::StreamNode& node_;
+  std::vector<BoundOp> ops_;
+  std::vector<query::Tuple> pending_;
+  std::uint64_t ingested_ = 0;
+};
+
+// Executes a whole (sub)tree: join children recursively, then this node's
+// chain.
+class NodeExecutor {
+ public:
+  explicit NodeExecutor(const query::StreamNode& node);
+
+  [[nodiscard]] const query::StreamNode& node() const noexcept { return node_; }
+  [[nodiscard]] ChainExecutor& chain() noexcept { return chain_; }
+  [[nodiscard]] NodeExecutor* left() noexcept { return left_.get(); }
+  [[nodiscard]] NodeExecutor* right() noexcept { return right_.get(); }
+
+  // Flush children, join their outputs (if a join node), run them through
+  // this node's chain, and flush it.
+  [[nodiscard]] std::vector<query::Tuple> end_window();
+
+ private:
+  const query::StreamNode& node_;
+  std::unique_ptr<NodeExecutor> left_;
+  std::unique_ptr<NodeExecutor> right_;
+  ChainExecutor chain_;
+};
+
+// Stream-processor-side execution of one query. Sources are indexed in the
+// same DFS order as Query::sources().
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const query::Query& q);
+
+  // Ingest a tuple into source `source_index` at operator `entry`.
+  void ingest(int source_index, query::Tuple t, std::size_t entry);
+
+  // Convenience for unpartitioned (All-SP) execution: materialize the
+  // packet once and feed every source at entry 0.
+  void ingest_packet(const net::Packet& p);
+  void ingest_source_tuple(const query::Tuple& source_tuple);
+
+  // Close the window: run joins and flushes; returns the query's results.
+  [[nodiscard]] std::vector<query::Tuple> end_window();
+
+  bool set_filter_entries(const std::string& table_name, std::vector<query::Tuple> entries);
+
+  [[nodiscard]] const query::Query& query() const noexcept { return *query_; }
+  [[nodiscard]] const query::Schema& output_schema() const {
+    return query_->root()->output_schema();
+  }
+
+ private:
+  const query::Query* query_;
+  std::unique_ptr<NodeExecutor> root_;
+  std::vector<NodeExecutor*> sources_;  // DFS order, matches Query::sources()
+};
+
+}  // namespace sonata::stream

@@ -1,0 +1,30 @@
+// Streaming-driver code generation (paper §5, Figure 6): emit the
+// stream-processor side of a partitioned query as a Spark Structured
+// Streaming job (Scala). The generated job consumes the emitter's tuple
+// stream for one query, applies the operators the switch did NOT execute,
+// and reports each window's results back to the runtime.
+//
+// Like the P4 generator, the output is structured, reviewable code meant to
+// drive a real deployment; it is not compiled in this repository.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace sonata::stream {
+
+struct SparkPipeline {
+  const query::StreamNode* node = nullptr;  // validated source chain
+  std::size_t partition = 0;                // ops [partition..) run here
+  int source_index = 0;
+};
+
+// Generate the Spark job for one query: residual per-source chains, then
+// join(s) and post-join operators.
+[[nodiscard]] std::string generate_spark(const query::Query& q,
+                                         const std::vector<SparkPipeline>& sources);
+
+}  // namespace sonata::stream

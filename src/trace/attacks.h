@@ -1,0 +1,145 @@
+// Attack traffic injectors — one per telemetry query of Table 3 (paper §6.1
+// evaluates on CAIDA traces; our synthetic substitute injects ground-truth
+// positives so detection results are checkable).
+//
+// Every injector appends packets to `out` (unsorted; TraceBuilder sorts) and
+// is fully determined by its config plus the Rng.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace sonata::trace {
+
+// 1. SYN flood: spoofed sources hammer one victim with TCP SYNs.
+struct SynFloodConfig {
+  std::uint32_t victim = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  double pps = 5000.0;
+};
+void inject_syn_flood(std::vector<net::Packet>& out, const SynFloodConfig& cfg, util::Rng& rng);
+
+// 2. SSH brute force (distributed, per Javed & Paxson): many sources open
+// short SSH connections with near-identical packet sizes to one victim.
+struct SshBruteForceConfig {
+  std::uint32_t victim = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  double attempts_per_sec = 120.0;
+  std::size_t source_count = 600;  // brute-forcing botnet size
+};
+void inject_ssh_brute_force(std::vector<net::Packet>& out, const SshBruteForceConfig& cfg,
+                            util::Rng& rng);
+
+// 3. Superspreader: one host contacts many distinct destinations.
+struct SuperspreaderConfig {
+  std::uint32_t spreader = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  std::size_t distinct_destinations = 4000;
+};
+void inject_superspreader(std::vector<net::Packet>& out, const SuperspreaderConfig& cfg,
+                          util::Rng& rng);
+
+// 4. Port scan: one scanner probes many ports on one target.
+struct PortScanConfig {
+  std::uint32_t scanner = 0;
+  std::uint32_t target = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  std::uint16_t first_port = 1;
+  std::uint16_t last_port = 4096;
+};
+void inject_port_scan(std::vector<net::Packet>& out, const PortScanConfig& cfg, util::Rng& rng);
+
+// 5. DDoS: many distinct sources target one victim.
+struct DdosConfig {
+  std::uint32_t victim = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  std::size_t distinct_sources = 5000;
+  double pps = 8000.0;
+};
+void inject_ddos(std::vector<net::Packet>& out, const DdosConfig& cfg, util::Rng& rng);
+
+// 6. Incomplete TCP flows: SYNs that never finish (victim of connection
+// exhaustion; distinct from a raw SYN flood by completing the handshake).
+struct IncompleteFlowsConfig {
+  std::uint32_t attacker = 0;
+  std::uint32_t victim = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  double conns_per_sec = 400.0;
+};
+void inject_incomplete_flows(std::vector<net::Packet>& out, const IncompleteFlowsConfig& cfg,
+                             util::Rng& rng);
+
+// 7. Slowloris: a handful of sources keep very many open connections to one
+// victim, each transferring almost nothing.
+struct SlowlorisConfig {
+  std::uint32_t victim = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  std::size_t attacker_count = 4;
+  std::size_t conns_per_attacker = 400;
+};
+void inject_slowloris(std::vector<net::Packet>& out, const SlowlorisConfig& cfg, util::Rng& rng);
+
+// 8. Telnet "zorro" malware spread: many similar-sized telnet packets to a
+// victim, then shell commands containing the keyword (paper Query 3).
+struct ZorroConfig {
+  std::uint32_t attacker = 0;
+  std::uint32_t victim = 0;
+  double start_sec = 10.0;
+  double probe_duration_sec = 8.0;
+  double probe_pps = 200.0;
+  std::uint16_t probe_payload_bytes = 64;  // "similar-sized" probes
+  double shell_at_sec = 20.0;              // when the keyword packets appear
+  int shell_packets = 5;
+};
+void inject_zorro(std::vector<net::Packet>& out, const ZorroConfig& cfg, util::Rng& rng);
+
+// 9. DNS tunneling: one client exfiltrates via many long unique subdomains
+// of one parent domain.
+struct DnsTunnelConfig {
+  std::uint32_t client = 0;
+  std::uint32_t resolver = 0;
+  std::string parent_domain = "tun.evil-exfil.com";
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  double queries_per_sec = 250.0;
+};
+void inject_dns_tunnel(std::vector<net::Packet>& out, const DnsTunnelConfig& cfg, util::Rng& rng);
+
+// 10. DNS reflection/amplification: many resolvers send large ANY responses
+// to a victim that never asked.
+struct DnsReflectionConfig {
+  std::uint32_t victim = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  std::size_t reflector_count = 800;
+  double pps = 4000.0;
+  std::uint16_t amplification_bytes = 900;
+};
+void inject_dns_reflection(std::vector<net::Packet>& out, const DnsReflectionConfig& cfg,
+                           util::Rng& rng);
+
+// 11. Malicious domain: a single name resolving to many distinct addresses
+// over time (fast flux) — exercises dns.rr.name as a refinement key.
+struct MaliciousDomainConfig {
+  std::string domain = "cc.bad-flux.net";
+  std::uint32_t resolver = 0;
+  double start_sec = 5.0;
+  double duration_sec = 10.0;
+  std::size_t distinct_resolutions = 600;
+  std::size_t client_count = 50;
+};
+void inject_malicious_domain(std::vector<net::Packet>& out, const MaliciousDomainConfig& cfg,
+                             util::Rng& rng);
+
+}  // namespace sonata::trace

@@ -1,0 +1,193 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+
+#include "net/headers.h"
+#include "util/ip.h"
+
+namespace sonata::trace {
+
+using net::Packet;
+using net::tcp_flags::kAck;
+using net::tcp_flags::kFin;
+using net::tcp_flags::kPsh;
+using net::tcp_flags::kSyn;
+using util::Nanos;
+
+namespace {
+
+// Random globally-spread unicast-looking address (avoid 0/8, 10/8, 127/8,
+// 224+/8 so attack victims can use reserved-looking space without clashes).
+std::uint32_t random_address(util::Rng& rng) {
+  for (;;) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform(1, 223));
+    if (a == 10 || a == 127) continue;
+    return util::ipv4(a, static_cast<std::uint32_t>(rng.uniform(256)),
+                      static_cast<std::uint32_t>(rng.uniform(256)),
+                      static_cast<std::uint32_t>(rng.uniform(1, 255)));
+  }
+}
+
+std::vector<std::uint32_t> random_pool(std::size_t n, util::Rng& rng) {
+  std::vector<std::uint32_t> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pool.push_back(random_address(rng));
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  while (pool.size() < n) pool.push_back(random_address(rng));
+  return pool;
+}
+
+const char* const kTlds[] = {"com", "net", "org", "io", "info"};
+const char* const kSlds[] = {"example",  "acme",   "globex", "initech", "umbrella",
+                             "hooli",    "stark",  "wayne",  "cyberdyne", "tyrell"};
+
+std::string random_domain(util::Rng& rng, std::size_t index) {
+  // A Zipf-able pool of names with realistic label hierarchy; index keeps
+  // names stable so popularity ranks are meaningful.
+  const char* tld = kTlds[index % std::size(kTlds)];
+  const char* sld = kSlds[(index / std::size(kTlds)) % std::size(kSlds)];
+  const std::uint64_t host = index / (std::size(kTlds) * std::size(kSlds));
+  std::string name;
+  switch (rng.uniform(3)) {
+    case 0: name = "www"; break;
+    case 1: name = "api"; break;
+    default: name = "cdn" + std::to_string(rng.uniform(4)); break;
+  }
+  return name + std::to_string(host) + "." + sld + std::to_string(host % 97) + "." + tld;
+}
+
+std::uint16_t pick_server_port(util::Rng& rng, double telnet_fraction) {
+  if (rng.bernoulli(telnet_fraction)) return net::ports::kTelnet;
+  // Rough service mix on a border link for the rest.
+  const std::uint64_t r = rng.uniform(100);
+  if (r < 46) return net::ports::kHttps;
+  if (r < 77) return net::ports::kHttp;
+  if (r < 82) return 25;  // smtp
+  if (r < 86) return net::ports::kSsh;
+  if (r < 92) return 8080;
+  return static_cast<std::uint16_t>(rng.uniform(1024, 49151));
+}
+
+}  // namespace
+
+Universe make_universe(const BackgroundConfig& cfg, std::uint64_t seed) {
+  util::Rng rng(util::mix64(seed ^ 0xa11ce5ULL));
+  Universe u;
+  u.clients = random_pool(cfg.client_pool, rng);
+  u.servers = random_pool(cfg.server_pool, rng);
+  u.resolvers = random_pool(cfg.resolver_pool, rng);
+  u.domains.reserve(cfg.domain_pool);
+  for (std::size_t i = 0; i < cfg.domain_pool; ++i) u.domains.push_back(random_domain(rng, i));
+  return u;
+}
+
+std::vector<Packet> generate_background(const BackgroundConfig& cfg, const Universe& universe,
+                                        util::Rng& rng) {
+  std::vector<Packet> out;
+  const auto flow_count =
+      static_cast<std::size_t>(cfg.duration_sec * cfg.flows_per_sec);
+  out.reserve(flow_count * static_cast<std::size_t>(cfg.mean_flow_packets + 3));
+
+  const util::ZipfSampler client_zipf(universe.clients.size(), cfg.zipf_s);
+  const util::ZipfSampler server_zipf(universe.servers.size(), cfg.zipf_s);
+  const util::ZipfSampler domain_zipf(universe.domains.size(), cfg.zipf_s);
+
+  const Nanos duration = util::seconds(cfg.duration_sec);
+
+  auto payload_len = [&]() {
+    const double len = rng.lognormal(cfg.pkt_len_mu, cfg.pkt_len_sigma);
+    return static_cast<std::uint16_t>(std::clamp(len, 16.0, 1400.0));
+  };
+
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    const Nanos start = rng.uniform(duration);
+    const std::uint32_t client = universe.clients[client_zipf(rng)];
+    const auto sport = static_cast<std::uint16_t>(rng.uniform(32768, 60999));
+    const double kind = rng.uniform01();
+
+    if (kind < cfg.dns_fraction) {
+      // DNS lookup: query out, response back ~10 ms later.
+      const std::uint32_t resolver = universe.resolvers[rng.uniform(universe.resolvers.size())];
+      const std::size_t domain_idx = domain_zipf(rng);
+      net::DnsMessage q;
+      q.id = static_cast<std::uint16_t>(rng.uniform(65536));
+      q.qname = universe.domains[domain_idx];
+      q.qtype = rng.bernoulli(0.15) ? net::dns_types::kAaaa : net::dns_types::kA;
+      out.push_back(Packet::udp(start, client, resolver, sport, net::ports::kDns, 0)
+                        .with_dns(q));
+      net::DnsMessage r = q;
+      r.is_response = true;
+      const auto answers = static_cast<std::size_t>(1 + rng.uniform(3));
+      for (std::size_t i = 0; i < answers; ++i) r.answer_addrs.push_back(random_address(rng));
+      out.push_back(Packet::udp(start + util::kNanosPerMilli * 10, resolver, client,
+                                net::ports::kDns, sport, 0)
+                        .with_dns(r));
+      continue;
+    }
+
+    const std::uint32_t server = universe.servers[server_zipf(rng)];
+    if (kind < cfg.dns_fraction + cfg.icmp_fraction) {
+      Packet p;
+      p.ts = start;
+      p.src_ip = client;
+      p.dst_ip = server;
+      p.proto = static_cast<std::uint8_t>(net::IpProto::kIcmp);
+      p.total_len = 64;
+      out.push_back(p);
+      continue;
+    }
+
+    if (kind < cfg.dns_fraction + cfg.icmp_fraction + cfg.udp_fraction) {
+      // Short UDP exchange (QUIC-ish / NTP-ish).
+      const auto dport = static_cast<std::uint16_t>(
+          rng.bernoulli(0.7) ? 443 : rng.uniform(1024, 65535));
+      const std::uint64_t pkts = 1 + rng.geometric(0.4);
+      Nanos t = start;
+      for (std::uint64_t i = 0; i < pkts; ++i) {
+        const bool outbound = (i % 2 == 0);
+        out.push_back(Packet::udp(t, outbound ? client : server, outbound ? server : client,
+                                  outbound ? sport : dport, outbound ? dport : sport,
+                                  static_cast<std::uint16_t>(net::kIpv4MinHeaderLen +
+                                                             net::kUdpHeaderLen + payload_len())));
+        t += util::kNanosPerMilli * (1 + rng.uniform(20));
+      }
+      continue;
+    }
+
+    // TCP flow: handshake, data both ways, teardown.
+    const std::uint16_t dport = pick_server_port(rng, cfg.telnet_fraction);
+    Nanos t = start;
+    std::uint32_t seq = static_cast<std::uint32_t>(rng());
+    out.push_back(Packet::tcp(t, client, server, sport, dport, kSyn, 40));
+    t += util::kNanosPerMilli * (1 + rng.uniform(30));
+    out.push_back(Packet::tcp(t, server, client, dport, sport, kSyn | kAck, 40));
+    t += util::kNanosPerMilli * (1 + rng.uniform(5));
+    out.push_back(Packet::tcp(t, client, server, sport, dport, kAck, 40));
+
+    const std::uint64_t data_pkts = 1 + rng.geometric(1.0 / cfg.mean_flow_packets);
+    for (std::uint64_t i = 0; i < data_pkts; ++i) {
+      t += util::kNanosPerMilli * (1 + rng.uniform(15));
+      const bool outbound = rng.bernoulli(0.35);  // responses dominate bytes
+      const std::uint16_t len = static_cast<std::uint16_t>(
+          net::kIpv4MinHeaderLen + net::kTcpMinHeaderLen + payload_len());
+      Packet p = Packet::tcp(t, outbound ? client : server, outbound ? server : client,
+                             outbound ? sport : dport, outbound ? dport : sport, kAck | kPsh, len);
+      p.tcp_seq = seq;
+      seq += len;
+      out.push_back(p);
+    }
+    // ~6% of background flows never complete teardown (real links see
+    // plenty of half-open flows, which the incomplete-flows query must
+    // not confuse with an attack).
+    if (!rng.bernoulli(0.06)) {
+      t += util::kNanosPerMilli * (1 + rng.uniform(10));
+      out.push_back(Packet::tcp(t, client, server, sport, dport, kFin | kAck, 40));
+      t += util::kNanosPerMilli * (1 + rng.uniform(10));
+      out.push_back(Packet::tcp(t, server, client, dport, sport, kFin | kAck, 40));
+    }
+  }
+  return out;
+}
+
+}  // namespace sonata::trace

@@ -1,0 +1,59 @@
+// Synthetic background traffic (the CAIDA-trace substitute; see DESIGN.md).
+//
+// The model generates bidirectional flows on a border link: Zipf-popular
+// endpoints (heavy-tailed key distributions are what make dynamic
+// refinement pay off), TCP flows with handshake/data/teardown, UDP flows,
+// a DNS query/response mix over a Zipf domain pool, and a little ICMP.
+// Everything is driven by one seeded Rng, so traces are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace sonata::trace {
+
+struct BackgroundConfig {
+  double duration_sec = 30.0;
+  double flows_per_sec = 2000.0;
+
+  std::size_t client_pool = 20000;   // distinct client hosts
+  std::size_t server_pool = 4000;    // distinct server hosts
+  std::size_t resolver_pool = 64;    // DNS resolvers
+  std::size_t domain_pool = 3000;    // distinct DNS names
+  double zipf_s = 1.05;              // endpoint/domain popularity skew
+
+  double dns_fraction = 0.08;        // share of flows that are DNS lookups
+  double udp_fraction = 0.07;        // non-DNS UDP
+  double icmp_fraction = 0.01;
+
+  double mean_flow_packets = 8.0;    // geometric data-packet count per flow
+  double pkt_len_mu = 6.0;           // log-normal data packet payload bytes
+  double pkt_len_sigma = 0.8;
+
+  // Share of TCP flows aimed at telnet (port 23). Default matches a modern
+  // border link; raise it for IoT-heavy links (the Zorro case study).
+  double telnet_fraction = 0.02;
+};
+
+// One entry of the synthetic host/domain universe.
+struct Universe {
+  std::vector<std::uint32_t> clients;
+  std::vector<std::uint32_t> servers;
+  std::vector<std::uint32_t> resolvers;
+  std::vector<std::string> domains;
+};
+
+// Deterministically build the address/domain universe for a seed.
+[[nodiscard]] Universe make_universe(const BackgroundConfig& cfg, std::uint64_t seed);
+
+// Generate background packets (unsorted; TraceBuilder sorts after merging
+// attacks in).
+[[nodiscard]] std::vector<net::Packet> generate_background(const BackgroundConfig& cfg,
+                                                           const Universe& universe,
+                                                           util::Rng& rng);
+
+}  // namespace sonata::trace

@@ -1,0 +1,86 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace sonata::trace {
+
+TraceBuilder& TraceBuilder::background(const BackgroundConfig& cfg) {
+  universe_ = make_universe(cfg, seed_);
+  auto pkts = generate_background(cfg, universe_, rng_);
+  packets_.insert(packets_.end(), std::make_move_iterator(pkts.begin()),
+                  std::make_move_iterator(pkts.end()));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::add(const SynFloodConfig& cfg) {
+  inject_syn_flood(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const SshBruteForceConfig& cfg) {
+  inject_ssh_brute_force(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const SuperspreaderConfig& cfg) {
+  inject_superspreader(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const PortScanConfig& cfg) {
+  inject_port_scan(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const DdosConfig& cfg) {
+  inject_ddos(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const IncompleteFlowsConfig& cfg) {
+  inject_incomplete_flows(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const SlowlorisConfig& cfg) {
+  inject_slowloris(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const ZorroConfig& cfg) {
+  inject_zorro(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const DnsTunnelConfig& cfg) {
+  inject_dns_tunnel(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const DnsReflectionConfig& cfg) {
+  inject_dns_reflection(packets_, cfg, rng_);
+  return *this;
+}
+TraceBuilder& TraceBuilder::add(const MaliciousDomainConfig& cfg) {
+  inject_malicious_domain(packets_, cfg, rng_);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::add_packets(std::vector<net::Packet> packets) {
+  packets_.insert(packets_.end(), std::make_move_iterator(packets.begin()),
+                  std::make_move_iterator(packets.end()));
+  return *this;
+}
+
+std::vector<net::Packet> TraceBuilder::build() {
+  std::stable_sort(packets_.begin(), packets_.end(),
+                   [](const net::Packet& a, const net::Packet& b) { return a.ts < b.ts; });
+  return std::move(packets_);
+}
+
+std::vector<std::span<const net::Packet>> split_windows(std::span<const net::Packet> trace,
+                                                        util::Nanos window) {
+  std::vector<std::span<const net::Packet>> out;
+  std::size_t begin = 0;
+  while (begin < trace.size()) {
+    const std::uint64_t idx = util::window_index(trace[begin].ts, window);
+    std::size_t end = begin;
+    while (end < trace.size() && util::window_index(trace[end].ts, window) == idx) ++end;
+    out.push_back(trace.subspan(begin, end - begin));
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace sonata::trace

@@ -1,0 +1,55 @@
+// TraceBuilder: compose background traffic and attacks into one
+// time-ordered trace; split traces into training/evaluation halves the way
+// the paper feeds historical windows to the query planner (§3.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+#include "trace/attacks.h"
+#include "trace/generator.h"
+
+namespace sonata::trace {
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  TraceBuilder& background(const BackgroundConfig& cfg);
+
+  TraceBuilder& add(const SynFloodConfig& cfg);
+  TraceBuilder& add(const SshBruteForceConfig& cfg);
+  TraceBuilder& add(const SuperspreaderConfig& cfg);
+  TraceBuilder& add(const PortScanConfig& cfg);
+  TraceBuilder& add(const DdosConfig& cfg);
+  TraceBuilder& add(const IncompleteFlowsConfig& cfg);
+  TraceBuilder& add(const SlowlorisConfig& cfg);
+  TraceBuilder& add(const ZorroConfig& cfg);
+  TraceBuilder& add(const DnsTunnelConfig& cfg);
+  TraceBuilder& add(const DnsReflectionConfig& cfg);
+  TraceBuilder& add(const MaliciousDomainConfig& cfg);
+
+  // Append hand-crafted packets (merged and time-sorted like everything
+  // else) — for tests and bespoke scenarios.
+  TraceBuilder& add_packets(std::vector<net::Packet> packets);
+
+  // The universe the background was generated from (victims/attackers can
+  // be drawn from it so attacks hide among real hosts).
+  [[nodiscard]] const Universe& universe() const noexcept { return universe_; }
+
+  // Sorts by timestamp and returns the trace.
+  [[nodiscard]] std::vector<net::Packet> build();
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+  Universe universe_;
+  std::vector<net::Packet> packets_;
+};
+
+// Split a time-ordered trace into per-window spans of width `window`.
+[[nodiscard]] std::vector<std::span<const net::Packet>> split_windows(
+    std::span<const net::Packet> trace, util::Nanos window);
+
+}  // namespace sonata::trace

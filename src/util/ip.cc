@@ -1,0 +1,34 @@
+#include "util/ip.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace sonata::util {
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                              (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<std::uint32_t> ipv4_from_string(std::string_view text) {
+  std::uint32_t addr = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || next == p) return std::nullopt;
+    addr = (addr << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return addr;
+}
+
+}  // namespace sonata::util

@@ -1,0 +1,42 @@
+// IPv4 address helpers: textual conversion and the prefix arithmetic that
+// dynamic refinement relies on (dIP/8, dIP/16, ... are refinement levels).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sonata::util {
+
+// Mask keeping the top `prefix_len` bits of an IPv4 address (host byte order).
+// prefix_len == 0 maps every address to 0 (the "*" coarsest level).
+[[nodiscard]] constexpr std::uint32_t ipv4_prefix(std::uint32_t addr, int prefix_len) noexcept {
+  if (prefix_len <= 0) return 0;
+  if (prefix_len >= 32) return addr;
+  return addr & ~((1u << (32 - prefix_len)) - 1u);
+}
+
+[[nodiscard]] constexpr std::uint32_t ipv4_mask(int prefix_len) noexcept {
+  if (prefix_len <= 0) return 0;
+  if (prefix_len >= 32) return 0xffffffffu;
+  return ~((1u << (32 - prefix_len)) - 1u);
+}
+
+// True if `addr` falls inside `prefix`/`prefix_len`.
+[[nodiscard]] constexpr bool ipv4_in_prefix(std::uint32_t addr, std::uint32_t prefix,
+                                            int prefix_len) noexcept {
+  return ipv4_prefix(addr, prefix_len) == ipv4_prefix(prefix, prefix_len);
+}
+
+// "a.b.c.d" formatting / parsing (host byte order).
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+[[nodiscard]] std::optional<std::uint32_t> ipv4_from_string(std::string_view text);
+
+// Convenience: build an address from dotted octets.
+[[nodiscard]] constexpr std::uint32_t ipv4(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                                           std::uint32_t d) noexcept {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace sonata::util

@@ -1,0 +1,35 @@
+#include "util/log.h"
+
+#include <atomic>
+
+namespace sonata::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_prefix(LogLevel level, std::string_view component) {
+  std::fprintf(stderr, "[%s] %.*s: ", level_name(level), static_cast<int>(component.size()),
+               component.data());
+}
+}  // namespace detail
+
+}  // namespace sonata::util

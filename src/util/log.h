@@ -1,0 +1,35 @@
+// Minimal leveled logger. Sonata components log planning and runtime events;
+// benchmarks run with the level raised to keep output machine-readable.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace sonata::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_prefix(LogLevel level, std::string_view component);
+}
+
+// Printf-style logging: SONATA_LOG(kInfo, "planner", "chose %d levels", n);
+#define SONATA_LOG(level, component, ...)                                      \
+  do {                                                                         \
+    if (static_cast<int>(level) >= static_cast<int>(::sonata::util::log_level())) { \
+      ::sonata::util::detail::log_prefix((level), (component));                \
+      std::fprintf(stderr, __VA_ARGS__);                                       \
+      std::fputc('\n', stderr);                                                \
+    }                                                                          \
+  } while (false)
+
+#define SONATA_DEBUG(component, ...) SONATA_LOG(::sonata::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define SONATA_INFO(component, ...) SONATA_LOG(::sonata::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define SONATA_WARN(component, ...) SONATA_LOG(::sonata::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define SONATA_ERROR(component, ...) SONATA_LOG(::sonata::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace sonata::util

@@ -1,0 +1,122 @@
+// Deterministic random-number generation and the samplers the synthetic
+// traffic model needs (Zipf endpoint popularity, log-normal flow sizes).
+//
+// Everything is seeded explicitly so traces, plans and benchmark results are
+// reproducible run-to-run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace sonata::util {
+
+// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x50A7A0ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      w = mix64(x);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~static_cast<result_type>(0); }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = -bound % bound;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  // Standard normal via Box-Muller (single value; simple and adequate here).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * normal());
+  }
+
+  // Geometric number of failures before first success, p in (0,1].
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+  }
+
+  [[nodiscard]] double exponential(double rate) noexcept {
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+// Zipf(s) sampler over ranks [0, n). Uses the classic inverse-CDF over a
+// precomputed table; n is at most a few hundred thousand in our traces.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, normalised to 1.0
+};
+
+}  // namespace sonata::util

@@ -1,0 +1,40 @@
+// Small statistics helpers: the planner feeds the ILP the *median* of
+// per-window cost estimates (paper §3.3), and the evaluation reports
+// order-of-magnitude tuple counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sonata::util {
+
+// Median of a sample (by copy; samples here are tiny). Returns 0 for empty.
+[[nodiscard]] double median(std::span<const double> xs);
+[[nodiscard]] std::uint64_t median_u64(std::span<const std::uint64_t> xs);
+
+// Quantile in [0,1] with linear interpolation. Returns 0 for empty input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+// Streaming mean/variance/min/max accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sonata::util

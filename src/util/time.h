@@ -1,0 +1,25 @@
+// Time model: packet timestamps are nanoseconds since trace start; stateful
+// operators are evaluated per window of duration W (paper uses W = 3 s).
+#pragma once
+
+#include <cstdint>
+
+namespace sonata::util {
+
+using Nanos = std::uint64_t;
+
+inline constexpr Nanos kNanosPerSec = 1'000'000'000ULL;
+inline constexpr Nanos kNanosPerMilli = 1'000'000ULL;
+
+[[nodiscard]] constexpr Nanos seconds(double s) noexcept {
+  return static_cast<Nanos>(s * static_cast<double>(kNanosPerSec));
+}
+
+[[nodiscard]] constexpr double to_seconds(Nanos t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSec);
+}
+
+// Which window a timestamp falls in for window size `w`.
+[[nodiscard]] constexpr std::uint64_t window_index(Nanos t, Nanos w) noexcept { return t / w; }
+
+}  // namespace sonata::util

@@ -1,0 +1,160 @@
+// Coverage for the smaller surfaces: logging, printable summaries, value
+// ordering, builder lvalue chaining, window materialization with gaps,
+// plan/runtime edge cases (empty query sets, single-packet windows).
+#include <gtest/gtest.h>
+
+#include "pisa/config.h"
+#include "planner/planner.h"
+#include "queries/catalog.h"
+#include "runtime/runtime.h"
+#include "trace/trace.h"
+#include "util/ip.h"
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace sonata {
+namespace {
+
+using query::Value;
+
+TEST(Log, LevelsAreSticky) {
+  const auto before = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  util::set_log_level(util::LogLevel::kDebug);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kDebug);
+  SONATA_DEBUG("test", "debug line %d", 1);  // exercised, goes to stderr
+  util::set_log_level(before);
+}
+
+TEST(Value, OrderingIsTotalEnough) {
+  const Value a{std::uint64_t{1}};
+  const Value b{std::uint64_t{2}};
+  const Value s1{std::string("abc")};
+  const Value s2{std::string("abd")};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(s1 < s2);
+  EXPECT_TRUE(a < s1);   // numerics sort before strings
+  EXPECT_FALSE(s1 < a);
+  EXPECT_EQ(a.to_string(), "1");
+  EXPECT_EQ(s1.to_string(), "abc");
+}
+
+TEST(Schema, ToStringListsColumns) {
+  query::Schema s({{"dIP", query::ValueKind::kUint, 32}, {"count", query::ValueKind::kUint, 32}});
+  EXPECT_EQ(s.to_string(), "(dIP, count)");
+  query::Tuple t{{Value{std::uint64_t{7}}, Value{std::string("x")}}};
+  EXPECT_EQ(t.to_string(), "(7, x)");
+}
+
+TEST(SwitchConfig, ToStringMentionsEveryConstraint) {
+  pisa::SwitchConfig cfg;
+  const auto s = cfg.to_string();
+  EXPECT_NE(s.find("S=16"), std::string::npos);
+  EXPECT_NE(s.find("A=8"), std::string::npos);
+  EXPECT_NE(s.find("B=8192 Kb"), std::string::npos);
+  EXPECT_NE(s.find("M=4 Kb"), std::string::npos);
+}
+
+TEST(Builder, LvalueChainingWorksToo) {
+  using namespace query::dsl;
+  query::QueryBuilder b = query::QueryBuilder::packet_stream();
+  b.filter(col("proto") == lit(6));
+  b.map({{"dIP", col("dIP")}, {"c", lit(1)}});
+  b.reduce({"dIP"}, query::ReduceFn::kSum, "c");
+  auto q = std::move(b).build("lvalue", 50);
+  EXPECT_EQ(q.validate(), "");
+  EXPECT_EQ(q.operator_count(), 3u);
+}
+
+TEST(Planner, EmptyQuerySetYieldsEmptyPlan) {
+  trace::BackgroundConfig bg;
+  bg.duration_sec = 3.0;
+  bg.flows_per_sec = 50.0;
+  const auto trace = trace::TraceBuilder(3).background(bg).build();
+  const std::vector<query::Query> none;
+  const auto plan = planner::Planner(planner::PlannerConfig{}).plan(none, trace);
+  EXPECT_TRUE(plan.queries.empty());
+  EXPECT_FALSE(plan.raw_mirror);
+  runtime::Runtime rt(plan);  // runs without pipelines
+  const auto windows = rt.run_trace(trace);
+  for (const auto& ws : windows) EXPECT_EQ(ws.tuples_to_sp, 0u);
+}
+
+TEST(Planner, SummaryMentionsModeChainsAndPartitions) {
+  queries::Thresholds th;
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(3)));
+  trace::BackgroundConfig bg;
+  bg.duration_sec = 6.0;
+  bg.flows_per_sec = 100.0;
+  const auto trace = trace::TraceBuilder(4).background(bg).build();
+  const auto plan = planner::Planner(planner::PlannerConfig{}).plan(qs, trace);
+  const auto s = plan.summary();
+  EXPECT_NE(s.find("Sonata"), std::string::npos);
+  EXPECT_NE(s.find("newly_opened_tcp"), std::string::npos);
+  EXPECT_NE(s.find("chain="), std::string::npos);
+  EXPECT_NE(s.find("partition="), std::string::npos);
+}
+
+TEST(Windows, MaterializeHandlesGapsInTime) {
+  // Packets in windows 0 and 3 only (silence in between): windows come out
+  // as two non-empty groups, no phantom empties, all packets accounted for.
+  std::vector<net::Packet> trace;
+  trace.push_back(net::Packet::tcp(util::seconds(0.5), 1, 2, 3, 4, 0, 40));
+  trace.push_back(net::Packet::tcp(util::seconds(1.0), 1, 2, 3, 4, 0, 40));
+  trace.push_back(net::Packet::tcp(util::seconds(10.2), 5, 6, 7, 8, 0, 40));
+  const auto windows = planner::materialize_windows(trace, util::seconds(3));
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].size(), 2u);
+  EXPECT_EQ(windows[1].size(), 1u);
+}
+
+TEST(Runtime, SingleWindowSinglePacket) {
+  queries::Thresholds th;
+  th.newly_opened = 0;  // everything crosses
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(3)));
+  std::vector<net::Packet> trace{
+      net::Packet::tcp(0, 1, util::ipv4(9, 9, 9, 9), 1, 80, net::tcp_flags::kSyn, 40)};
+  const auto plan = planner::Planner(planner::PlannerConfig{}).plan(qs, trace);
+  runtime::Runtime rt(plan);
+  const auto windows = rt.run_trace(trace);
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].results.size(), 1u);
+  ASSERT_EQ(windows[0].results[0].outputs.size(), 1u);
+  EXPECT_EQ(windows[0].results[0].outputs[0].at(0).as_uint(), util::ipv4(9, 9, 9, 9));
+}
+
+TEST(Expr, ToStringReadsLikeTheDsl) {
+  using namespace query::dsl;
+  const auto e = (col("proto") == lit(6) && col("count") > lit(40));
+  EXPECT_EQ(e->to_string(), "((proto == 6) && (count > 40))");
+  EXPECT_EQ(query::Expr::ip_prefix(col("dIP"), 8)->to_string(), "dIP/8");
+  EXPECT_EQ(query::Expr::payload_contains(col("payload"), "zorro")->to_string(),
+            "payload.contains('zorro')");
+  EXPECT_EQ(query::Expr::lit(std::string("x"))->to_string(), "'x'");
+}
+
+TEST(Stats, EdgeCases) {
+  util::Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);  // single sample
+  EXPECT_DOUBLE_EQ(util::quantile({}, 0.5), 0.0);
+}
+
+TEST(Fields, RegisterRejectsDuplicates) {
+  auto& reg = query::FieldRegistry::instance();
+  query::FieldDef dup;
+  dup.name = "dIP";  // already built in
+  dup.accessor = [](const net::Packet&) { return std::nullopt; };
+  EXPECT_FALSE(reg.register_field(dup));
+}
+
+}  // namespace
+}  // namespace sonata

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/dns.h"
+#include "net/headers.h"
+#include "net/packet.h"
+#include "net/pcap.h"
+#include "net/wire.h"
+#include "util/ip.h"
+
+namespace sonata::net {
+namespace {
+
+using util::ipv4;
+
+TEST(Packet, TcpFactory) {
+  const Packet p = Packet::tcp(7, ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 1234, 80, tcp_flags::kSyn, 40);
+  EXPECT_EQ(p.ts, 7u);
+  EXPECT_TRUE(p.is_tcp());
+  EXPECT_FALSE(p.is_udp());
+  EXPECT_EQ(p.tcp_flags, tcp_flags::kSyn);
+  EXPECT_EQ(p.payload_len(), 0);
+  EXPECT_FALSE(p.has_payload());
+}
+
+TEST(Packet, PayloadAdjustsTotalLen) {
+  Packet p = Packet::tcp(0, 1, 2, 3, 4, tcp_flags::kAck, 40);
+  p.with_payload("hello");
+  EXPECT_EQ(p.payload_len(), 5);
+  EXPECT_EQ(p.total_len, kIpv4MinHeaderLen + kTcpMinHeaderLen + 5);
+  EXPECT_TRUE(p.has_payload());
+}
+
+TEST(Packet, WithDnsKeepsParse) {
+  DnsMessage q;
+  q.qname = "www.example.com";
+  q.qtype = dns_types::kA;
+  Packet p = Packet::udp(0, 1, 2, 5353, ports::kDns, 0).with_dns(q);
+  ASSERT_TRUE(p.dns);
+  EXPECT_EQ(p.dns->qname, "www.example.com");
+  EXPECT_TRUE(p.has_payload());
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example bytes from RFC 1071 discussions.
+  const std::byte data[] = {std::byte{0x00}, std::byte{0x01}, std::byte{0xf2}, std::byte{0x03},
+                            std::byte{0xf4}, std::byte{0xf5}, std::byte{0xf6}, std::byte{0xf7}};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Wire, TcpRoundTrip) {
+  Packet p = Packet::tcp(0, ipv4(10, 0, 0, 1), ipv4(192, 168, 1, 2), 43210, 443,
+                         tcp_flags::kSyn | tcp_flags::kAck, 40);
+  p.ttl = 57;
+  p.tcp_seq = 0xdeadbeef;
+  const auto frame = serialize(p);
+  const auto back = parse(frame);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->src_ip, p.src_ip);
+  EXPECT_EQ(back->dst_ip, p.dst_ip);
+  EXPECT_EQ(back->src_port, p.src_port);
+  EXPECT_EQ(back->dst_port, p.dst_port);
+  EXPECT_EQ(back->tcp_flags, p.tcp_flags);
+  EXPECT_EQ(back->tcp_seq, p.tcp_seq);
+  EXPECT_EQ(back->ttl, p.ttl);
+  EXPECT_EQ(back->total_len, p.total_len);
+}
+
+TEST(Wire, TcpPayloadRoundTrip) {
+  Packet p = Packet::tcp(0, 1, 2, 3, 23, tcp_flags::kPsh, 0);
+  p.with_payload("run zorro now");
+  const auto frame = serialize(p);
+  const auto back = parse(frame);
+  ASSERT_TRUE(back);
+  ASSERT_TRUE(back->payload);
+  EXPECT_EQ(*back->payload, "run zorro now");
+}
+
+TEST(Wire, UdpDnsRoundTripParsesDns) {
+  DnsMessage q;
+  q.id = 77;
+  q.qname = "cdn1.acme0.com";
+  q.qtype = dns_types::kAaaa;
+  Packet p = Packet::udp(0, ipv4(10, 1, 1, 1), ipv4(8, 8, 8, 8), 5555, ports::kDns, 0).with_dns(q);
+  const auto frame = serialize(p);
+  const auto back = parse(frame);
+  ASSERT_TRUE(back);
+  ASSERT_TRUE(back->dns);
+  EXPECT_EQ(back->dns->qname, "cdn1.acme0.com");
+  EXPECT_EQ(back->dns->qtype, dns_types::kAaaa);
+  EXPECT_FALSE(back->dns->is_response);
+}
+
+TEST(Wire, IcmpRoundTrip) {
+  Packet p;
+  p.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  p.src_ip = 1;
+  p.dst_ip = 2;
+  p.total_len = kIpv4MinHeaderLen + kIcmpHeaderLen;
+  const auto frame = serialize(p);
+  const auto back = parse(frame);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->proto, p.proto);
+}
+
+TEST(Wire, IpHeaderChecksumValid) {
+  const Packet p = Packet::tcp(0, 11, 22, 33, 44, tcp_flags::kSyn, 40);
+  const auto frame = serialize(p);
+  // Checksum over the IPv4 header (with embedded checksum) must be 0.
+  EXPECT_EQ(internet_checksum(std::span{frame.data() + kEthernetHeaderLen, kIpv4MinHeaderLen}),
+            0);
+}
+
+TEST(Wire, RejectsTruncatedFrames) {
+  const Packet p = Packet::tcp(0, 1, 2, 3, 4, tcp_flags::kSyn, 40);
+  auto frame = serialize(p);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{10}, kEthernetHeaderLen + 4,
+                           frame.size() - 1}) {
+    EXPECT_FALSE(parse(std::span{frame.data(), keep})) << "kept " << keep;
+  }
+}
+
+TEST(Wire, RejectsNonIpv4) {
+  const Packet p = Packet::tcp(0, 1, 2, 3, 4, tcp_flags::kSyn, 40);
+  auto frame = serialize(p);
+  frame[12] = std::byte{0x86};  // ethertype -> not IPv4
+  frame[13] = std::byte{0xdd};
+  EXPECT_FALSE(parse(frame));
+}
+
+TEST(Dns, LabelCount) {
+  EXPECT_EQ(dns_label_count(""), 0u);
+  EXPECT_EQ(dns_label_count("."), 0u);
+  EXPECT_EQ(dns_label_count("com"), 1u);
+  EXPECT_EQ(dns_label_count("example.com"), 2u);
+  EXPECT_EQ(dns_label_count("a.b.example.com"), 4u);
+}
+
+TEST(Dns, NamePrefixLevels) {
+  EXPECT_EQ(dns_name_prefix("a.b.example.com", 0), ".");
+  EXPECT_EQ(dns_name_prefix("a.b.example.com", 1), "com");
+  EXPECT_EQ(dns_name_prefix("a.b.example.com", 2), "example.com");
+  EXPECT_EQ(dns_name_prefix("a.b.example.com", 4), "a.b.example.com");
+  EXPECT_EQ(dns_name_prefix("a.b.example.com", 9), "a.b.example.com");
+}
+
+TEST(Dns, PrefixHierarchical) {
+  // Coarsening commutes like IP prefixes: prefix(prefix(n, 3), 2) == prefix(n, 2).
+  const std::string n = "x.y.example.com";
+  EXPECT_EQ(dns_name_prefix(dns_name_prefix(n, 3), 2), dns_name_prefix(n, 2));
+}
+
+TEST(Dns, EncodeDecodeQuery) {
+  DnsMessage q;
+  q.id = 4242;
+  q.qname = "tunnel.evil-exfil.com";
+  q.qtype = dns_types::kTxt;
+  const auto bytes = dns_encode(q);
+  const auto back = dns_decode(bytes);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->id, 4242);
+  EXPECT_EQ(back->qname, q.qname);
+  EXPECT_EQ(back->qtype, dns_types::kTxt);
+  EXPECT_FALSE(back->is_response);
+  EXPECT_EQ(back->answer_count, 0);
+}
+
+TEST(Dns, EncodeDecodeResponseWithAnswers) {
+  DnsMessage r;
+  r.id = 9;
+  r.qname = "www.example.com";
+  r.is_response = true;
+  r.answer_addrs = {ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8)};
+  const auto bytes = dns_encode(r);
+  const auto back = dns_decode(bytes);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->is_response);
+  ASSERT_EQ(back->answer_addrs.size(), 2u);
+  EXPECT_EQ(back->answer_addrs[0], ipv4(1, 2, 3, 4));
+  EXPECT_EQ(back->answer_addrs[1], ipv4(5, 6, 7, 8));
+}
+
+TEST(Dns, AmplificationBytesSurviveRoundTrip) {
+  DnsMessage r;
+  r.qname = "big.example.org";
+  r.is_response = true;
+  r.extra_answer_bytes = 700;
+  const auto bytes = dns_encode(r);
+  const auto back = dns_decode(bytes);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->extra_answer_bytes, 700);
+}
+
+TEST(Dns, DecodeRejectsGarbage) {
+  std::vector<std::byte> junk(5, std::byte{0xff});
+  EXPECT_FALSE(dns_decode(junk));
+}
+
+TEST(Pcap, RoundTrip) {
+  const std::string path = (std::filesystem::temp_directory_path() / "sonata_pcap_test.pcap");
+  {
+    PcapWriter writer(path);
+    Packet a = Packet::tcp(util::seconds(1.5), ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2), 1000, 80,
+                           tcp_flags::kSyn, 40);
+    Packet b = Packet::udp(util::seconds(2.25), ipv4(3, 3, 3, 3), ipv4(4, 4, 4, 4), 53, 53, 0);
+    DnsMessage q;
+    q.qname = "pcap.example.com";
+    b.with_dns(q);
+    writer.write(a);
+    writer.write(b);
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  PcapReader reader(path);
+  const auto pkts = reader.read_all();
+  ASSERT_EQ(pkts.size(), 2u);
+  EXPECT_EQ(pkts[0].src_ip, ipv4(1, 1, 1, 1));
+  EXPECT_EQ(pkts[0].tcp_flags, tcp_flags::kSyn);
+  // Timestamps survive at microsecond resolution.
+  EXPECT_EQ(pkts[0].ts, util::seconds(1.5));
+  ASSERT_TRUE(pkts[1].dns);
+  EXPECT_EQ(pkts[1].dns->qname, "pcap.example.com");
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, ReaderRejectsBadMagic) {
+  const std::string path = (std::filesystem::temp_directory_path() / "sonata_bad.pcap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[24] = {1, 2, 3};
+  std::fwrite(junk, 1, sizeof junk, f);
+  std::fclose(f);
+  EXPECT_THROW(PcapReader reader(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sonata::net

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "net/headers.h"
+#include "query/parser.h"
+#include "stream/executor.h"
+#include "util/ip.h"
+
+namespace sonata::query {
+namespace {
+
+using util::ipv4;
+
+// --- expressions -----------------------------------------------------------
+
+std::uint64_t eval_on_syn(const ExprPtr& e) {
+  const auto p = net::Packet::tcp(0, ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 1000, 22,
+                                  net::tcp_flags::kSyn, 44);
+  return e->bind(source_schema())(materialize_tuple(p)).as_uint();
+}
+
+TEST(ExprParser, LiteralsAndColumns) {
+  auto r = parse_expression("dPort == 22");
+  ASSERT_TRUE(r.expr) << (r.errors.empty() ? "" : r.errors[0].to_string());
+  EXPECT_EQ(eval_on_syn(r.expr), 1u);
+  EXPECT_EQ(eval_on_syn(parse_expression("dPort == 23").expr), 0u);
+}
+
+TEST(ExprParser, DottedFieldNames) {
+  auto r = parse_expression("tcp.flags == 2");
+  ASSERT_TRUE(r.expr);
+  EXPECT_EQ(r.expr->lhs->col, "tcp.flags");
+  EXPECT_EQ(eval_on_syn(r.expr), 1u);
+}
+
+TEST(ExprParser, Precedence) {
+  // * binds tighter than +, + tighter than comparison, && tighter than ||.
+  auto r = parse_expression("1 + 2 * 3 == 7 && 2 > 1 || 0 > 1");
+  ASSERT_TRUE(r.expr);
+  EXPECT_EQ(eval_on_syn(r.expr), 1u);
+  EXPECT_EQ(eval_on_syn(parse_expression("(1 + 2) * 3 == 9").expr), 1u);
+}
+
+TEST(ExprParser, Functions) {
+  auto prefix = parse_expression("prefix(dIP, 8)");
+  ASSERT_TRUE(prefix.expr);
+  EXPECT_EQ(prefix.expr->kind, Expr::Kind::kIpPrefix);
+  EXPECT_EQ(eval_on_syn(prefix.expr), ipv4(5, 0, 0, 0));
+
+  auto labels = parse_expression("labels(dns.rr.name, 2)");
+  ASSERT_TRUE(labels.expr);
+  EXPECT_EQ(labels.expr->kind, Expr::Kind::kDnsPrefix);
+
+  auto contains = parse_expression("contains(payload, 'zorro')");
+  ASSERT_TRUE(contains.expr);
+  EXPECT_EQ(contains.expr->kind, Expr::Kind::kPayloadContains);
+  EXPECT_EQ(contains.expr->keyword, "zorro");
+}
+
+TEST(ExprParser, StringsAndComparison) {
+  auto r = parse_expression("dns.rr.name == 'evil.com'");
+  ASSERT_TRUE(r.expr);
+  EXPECT_EQ(r.expr->rhs->constant.as_string(), "evil.com");
+}
+
+TEST(ExprParser, Errors) {
+  EXPECT_FALSE(parse_expression("dPort ==").expr);
+  EXPECT_FALSE(parse_expression("(1 + 2").expr);
+  EXPECT_FALSE(parse_expression("frobnicate(1, 2)").expr);
+  EXPECT_FALSE(parse_expression("'unterminated").expr);
+  EXPECT_FALSE(parse_expression("1 2").expr);  // trailing input
+  const auto r = parse_expression("@");
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_EQ(r.errors[0].line, 1);
+}
+
+// --- full queries ------------------------------------------------------------
+
+constexpr std::string_view kQuery1 = R"(
+# Detect hosts with too many newly opened TCP connections.
+query newly_opened_tcp id 1 window 3s {
+  packetStream
+    .filter(proto == 6 && tcp.flags == 2)
+    .map(dIP = dIP, count = 1)
+    .reduce(keys=(dIP), sum(count))
+    .filter(count > 5)
+}
+)";
+
+TEST(QueryParser, Query1RoundTrip) {
+  const auto result = parse_queries(kQuery1);
+  ASSERT_TRUE(result.ok()) << result.errors[0].to_string();
+  ASSERT_EQ(result.queries.size(), 1u);
+  const auto& q = result.queries[0];
+  EXPECT_EQ(q.name(), "newly_opened_tcp");
+  EXPECT_EQ(q.id(), 1);
+  EXPECT_EQ(q.window(), util::seconds(3));
+  EXPECT_EQ(q.operator_count(), 4u);
+  EXPECT_TRUE(q.refinable());
+}
+
+TEST(QueryParser, ParsedQueryExecutesCorrectly) {
+  const auto result = parse_queries(kQuery1);
+  ASSERT_TRUE(result.ok());
+  stream::QueryExecutor exec(result.queries[0]);
+  const auto victim = ipv4(9, 9, 9, 9);
+  for (int i = 0; i < 8; ++i) {
+    exec.ingest_packet(net::Packet::tcp(0, ipv4(1, 1, 1, std::uint32_t(i)), victim, 1, 80,
+                                        net::tcp_flags::kSyn, 40));
+  }
+  exec.ingest_packet(net::Packet::tcp(0, 1, ipv4(8, 8, 8, 8), 1, 80, net::tcp_flags::kSyn, 40));
+  const auto out = exec.end_window();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(0).as_uint(), victim);
+  EXPECT_EQ(out[0].at(1).as_uint(), 8u);
+}
+
+TEST(QueryParser, JoinQuery) {
+  constexpr std::string_view text = R"(
+query slowloris id 8 window 3s {
+  packetStream
+    .filter(proto == 6)
+    .map(dIP = dIP, sIP = sIP, sPort = sPort)
+    .distinct()
+    .map(dIP = dIP, conns = 1)
+    .reduce(keys=(dIP), sum(conns))
+    .join(keys=(dIP), packetStream
+      .filter(proto == 6)
+      .map(dIP = dIP, bytes = pktlen)
+      .reduce(keys=(dIP), sum(bytes))
+      .filter(bytes > 1000))
+    .map(dIP = dIP, ratio = 1000000 * conns / bytes)
+    .filter(ratio > 500)
+}
+)";
+  const auto result = parse_queries(text);
+  ASSERT_TRUE(result.ok()) << result.errors[0].to_string();
+  const auto& q = result.queries[0];
+  EXPECT_EQ(q.sources().size(), 2u);
+  EXPECT_EQ(q.root()->kind, StreamNode::Kind::kJoin);
+  EXPECT_TRUE(q.root()->output_schema().index_of("ratio"));
+}
+
+TEST(QueryParser, MultipleQueriesPerFile) {
+  constexpr std::string_view text = R"(
+query a id 1 { packetStream.map(dIP = dIP, c = 1).reduce(keys=(dIP), sum(c)) }
+query b id 2 refinable false { packetStream.filter(proto == 17) }
+)";
+  const auto result = parse_queries(text);
+  ASSERT_TRUE(result.ok()) << result.errors[0].to_string();
+  ASSERT_EQ(result.queries.size(), 2u);
+  EXPECT_TRUE(result.queries[0].refinable());
+  EXPECT_FALSE(result.queries[1].refinable());
+  EXPECT_EQ(result.queries[1].id(), 2);
+}
+
+TEST(QueryParser, DistinctAndReduceFns) {
+  constexpr std::string_view text = R"(
+query m id 3 {
+  packetStream
+    .map(sIP = sIP, len = pktlen)
+    .distinct()
+    .map(sIP = sIP, len = len)
+    .reduce(keys=(sIP), max(len))
+}
+)";
+  const auto result = parse_queries(text);
+  ASSERT_TRUE(result.ok()) << result.errors[0].to_string();
+  const auto& ops = result.queries[0].sources()[0]->ops;
+  EXPECT_EQ(ops[1].kind, OpKind::kDistinct);
+  EXPECT_EQ(ops[3].fn, ReduceFn::kMax);
+}
+
+TEST(QueryParser, ReportsValidationErrorsWithQueryName) {
+  constexpr std::string_view text = R"(
+query broken id 9 { packetStream.map(x = no_such_field) }
+)";
+  const auto result = parse_queries(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("broken"), std::string::npos);
+  EXPECT_TRUE(result.queries.empty());
+}
+
+TEST(QueryParser, SyntaxErrorsCarryLocations) {
+  const auto result = parse_queries("query x id 1 {\n  packetStream\n    .bogus()\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors[0].line, 3);
+  EXPECT_NE(result.errors[0].message.find("bogus"), std::string::npos);
+}
+
+TEST(QueryParser, RejectsBadReduceFunction) {
+  const auto result = parse_queries(
+      "query x id 1 { packetStream.map(a = dIP, c = 1).reduce(keys=(a), avg(c)) }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("avg"), std::string::npos);
+}
+
+TEST(QueryParser, CommentsAndWhitespaceIgnored) {
+  const auto result = parse_queries(R"(
+# leading comment
+query c id 4 {   # trailing comment
+  packetStream   # another
+    .filter(proto == 6)
+}
+)");
+  ASSERT_TRUE(result.ok()) << result.errors[0].to_string();
+  EXPECT_EQ(result.queries[0].name(), "c");
+}
+
+TEST(QueryParser, EquivalentToCatalogQuery) {
+  // The parsed Query 1 compiles to the same switch layout as the
+  // programmatic catalogue version.
+  const auto parsed = parse_queries(kQuery1);
+  ASSERT_TRUE(parsed.ok());
+  const auto* src = parsed.queries[0].sources()[0];
+  EXPECT_EQ(src->ops.size(), 4u);
+  EXPECT_EQ(src->ops[0].kind, OpKind::kFilter);
+  EXPECT_EQ(src->ops[1].kind, OpKind::kMap);
+  EXPECT_EQ(src->ops[2].kind, OpKind::kReduce);
+  EXPECT_EQ(src->ops[3].kind, OpKind::kFilter);
+}
+
+}  // namespace
+}  // namespace sonata::query

@@ -1,0 +1,108 @@
+// Planner optimality invariants. The baseline plans are *restrictions* of
+// Sonata's candidate space (Table 4 = extra ILP constraints), so for any
+// workload and switch the objective must satisfy:
+//
+//   est(Sonata) <= est(Max-DP), est(Fix-REF), est(Filter-DP), est(All-SP)
+//   est(any mode) <= est(All-SP)            (the all-raw fallback)
+//
+// and more resources can never make the estimate worse (endpoint check).
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+#include "queries/catalog.h"
+#include "runtime/runtime.h"
+#include "test_trace.h"
+
+namespace sonata::planner {
+namespace {
+
+// Scenario, training windows, queries and estimator pool are expensive to
+// build; share them across the tests of one seed.
+struct Fixture {
+  testing::Scenario scenario;
+  std::vector<TupleWindow> windows;
+  std::vector<query::Query> queries;
+  std::unique_ptr<EstimatorPool> pool;
+};
+
+Fixture& fixture(std::uint64_t seed) {
+  static std::map<std::uint64_t, Fixture> cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    Fixture f;
+    f.scenario = testing::make_scenario(seed, /*bg_flows_per_sec=*/180.0);
+    f.windows = materialize_windows(f.scenario.trace, util::seconds(3));
+    f.queries = queries::evaluation_queries(f.scenario.thresholds, util::seconds(3));
+    it = cache.emplace(seed, std::move(f)).first;
+    it->second.pool = std::make_unique<EstimatorPool>(it->second.queries, it->second.windows,
+                                                      std::vector<int>{8, 16, 24},
+                                                      std::vector<int>{1, 2});
+  }
+  return it->second;
+}
+
+class PlannerInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerInvariants, ModeOrderingHolds) {
+  Fixture& f = fixture(GetParam());
+  const auto& wins = f.windows;
+  const auto& queries = f.queries;
+  EstimatorPool& pool = *f.pool;
+
+  std::map<PlanMode, std::uint64_t> est;
+  for (const auto mode : {PlanMode::kSonata, PlanMode::kAllSP, PlanMode::kFilterDP,
+                          PlanMode::kMaxDP, PlanMode::kFixRef}) {
+    PlannerConfig cfg;
+    cfg.mode = mode;
+    est[mode] = Planner(cfg).plan_windows(queries, wins, &pool).est_total_tuples;
+  }
+
+  EXPECT_LE(est[PlanMode::kSonata], est[PlanMode::kMaxDP]);
+  EXPECT_LE(est[PlanMode::kSonata], est[PlanMode::kFixRef]);
+  EXPECT_LE(est[PlanMode::kSonata], est[PlanMode::kFilterDP]);
+  EXPECT_LE(est[PlanMode::kSonata], est[PlanMode::kAllSP]);
+  // The all-raw fallback bounds every mode by All-SP.
+  for (const auto& [mode, value] : est) {
+    EXPECT_LE(value, est[PlanMode::kAllSP]) << to_string(mode);
+  }
+}
+
+TEST_P(PlannerInvariants, MoreResourcesNeverHurt) {
+  Fixture& f = fixture(GetParam());
+  const auto& wins = f.windows;
+  const auto& queries = f.queries;
+  EstimatorPool& pool = *f.pool;
+
+  auto est_for = [&](int stages, std::uint64_t mb_per_stage) {
+    PlannerConfig cfg;
+    cfg.switch_config.stages = stages;
+    cfg.switch_config.register_bits_per_stage = mb_per_stage * 1024 * 1024;
+    cfg.switch_config.max_bits_per_register = cfg.switch_config.register_bits_per_stage / 2;
+    return Planner(cfg).plan_windows(queries, wins, &pool).est_total_tuples;
+  };
+
+  EXPECT_LE(est_for(16, 8), est_for(2, 8));   // more stages
+  EXPECT_LE(est_for(16, 8), est_for(16, 1));  // more register memory
+}
+
+TEST_P(PlannerInvariants, LayoutAlwaysFeasibleAndInstallable) {
+  Fixture& f = fixture(GetParam());
+  const auto& wins = f.windows;
+  const auto& queries = f.queries;
+  EstimatorPool& pool = *f.pool;
+
+  for (const int stages : {2, 8, 16}) {
+    PlannerConfig cfg;
+    cfg.switch_config.stages = stages;
+    const auto plan = Planner(cfg).plan_windows(queries, wins, &pool);
+    EXPECT_TRUE(plan.layout.feasible) << "stages=" << stages << ": " << plan.layout.error;
+    // The Runtime asserts installability; constructing it is the check.
+    runtime::Runtime rt(plan);
+    (void)rt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerInvariants, ::testing::Values(11));
+
+}  // namespace
+}  // namespace sonata::planner

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include "net/headers.h"
+#include "queries/catalog.h"
+#include "query/expr.h"
+#include "query/field.h"
+#include "query/query.h"
+#include "util/ip.h"
+
+namespace sonata::query {
+namespace {
+
+using namespace dsl;
+using util::ipv4;
+
+TEST(Value, KindsAndAccess) {
+  const Value u{std::uint64_t{42}};
+  EXPECT_TRUE(u.is_uint());
+  EXPECT_EQ(u.as_uint(), 42u);
+  EXPECT_EQ(u.as_string(), "");
+
+  const Value s{std::string("abc")};
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.as_string(), "abc");
+  EXPECT_EQ(s.as_uint(), 0u);
+}
+
+TEST(Value, EqualityAcrossKinds) {
+  EXPECT_EQ(Value{std::uint64_t{1}}, Value{std::uint64_t{1}});
+  EXPECT_NE(Value{std::uint64_t{1}}, Value{std::uint64_t{2}});
+  EXPECT_NE(Value{std::uint64_t{1}}, Value{std::string("1")});
+  EXPECT_EQ(Value{std::string("x")}, Value{std::string("x")});
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value{std::string("key")}.hash(), Value{std::string("key")}.hash());
+  EXPECT_EQ(Value{std::uint64_t{9}}.hash(), Value{std::uint64_t{9}}.hash());
+}
+
+TEST(Tuple, ProjectAndHash) {
+  Tuple t{{Value{std::uint64_t{1}}, Value{std::uint64_t{2}}, Value{std::string("x")}}};
+  const std::size_t idx[] = {2, 0};
+  const Tuple p = project(t, idx);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).as_string(), "x");
+  EXPECT_EQ(p.at(1).as_uint(), 1u);
+  EXPECT_EQ(t.hash(), Tuple{t}.hash());
+}
+
+TEST(Schema, IndexAndBits) {
+  Schema s({{"a", ValueKind::kUint, 32}, {"b", ValueKind::kUint, 16}});
+  EXPECT_EQ(s.index_of("b"), 1u);
+  EXPECT_FALSE(s.index_of("c"));
+  EXPECT_EQ(s.total_bits(), 48);
+}
+
+TEST(Field, RegistryHasBuiltins) {
+  auto& reg = FieldRegistry::instance();
+  EXPECT_NE(reg.find(fields::kDstIp), nullptr);
+  EXPECT_NE(reg.find(fields::kDnsQname), nullptr);
+  EXPECT_EQ(reg.find("no.such.field"), nullptr);
+  EXPECT_TRUE(reg.find(fields::kDstIp)->hierarchical);
+  EXPECT_FALSE(reg.find(fields::kPayload)->switch_parseable);
+}
+
+TEST(Field, MaterializeTcp) {
+  const auto p =
+      net::Packet::tcp(0, ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 1111, 22, net::tcp_flags::kSyn, 44);
+  const Schema schema = source_schema();
+  const Tuple t = materialize_tuple(p);
+  ASSERT_EQ(t.size(), schema.size());
+  EXPECT_EQ(t.at(*schema.index_of(fields::kSrcIp)).as_uint(), ipv4(1, 2, 3, 4));
+  EXPECT_EQ(t.at(*schema.index_of(fields::kDstPort)).as_uint(), 22u);
+  EXPECT_EQ(t.at(*schema.index_of(fields::kTcpFlags)).as_uint(), net::tcp_flags::kSyn);
+  // Non-applicable DNS fields default to 0 / "".
+  EXPECT_EQ(t.at(*schema.index_of(fields::kDnsQname)).as_string(), "");
+}
+
+TEST(Field, MaterializeDnsSharesQname) {
+  net::DnsMessage q;
+  q.qname = "share.me.org";
+  const auto p = net::Packet::udp(0, 1, 2, 53, 53, 0).with_dns(q);
+  const Schema schema = source_schema();
+  const Tuple t = materialize_tuple(p);
+  EXPECT_EQ(t.at(*schema.index_of(fields::kDnsQname)).as_string(), "share.me.org");
+}
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"a", ValueKind::kUint, 32},
+                  {"b", ValueKind::kUint, 16},
+                  {"s", ValueKind::kString, 256},
+                  {"payload", ValueKind::kString, 0}}};
+  Tuple tuple_{{Value{std::uint64_t{100}}, Value{std::uint64_t{7}},
+                Value{std::string("x.example.com")}, Value{std::string("contains zorro here")}}};
+
+  std::uint64_t eval(const ExprPtr& e) { return e->bind(schema_)(tuple_).as_uint(); }
+  std::string eval_s(const ExprPtr& e) {
+    return std::string(e->bind(schema_)(tuple_).as_string());
+  }
+};
+
+TEST_F(ExprTest, Arithmetic) {
+  EXPECT_EQ(eval(col("a") + col("b")), 107u);
+  EXPECT_EQ(eval(col("a") - col("b")), 93u);
+  EXPECT_EQ(eval(col("a") * lit(3)), 300u);
+  EXPECT_EQ(eval(col("a") / lit(8)), 12u);
+  EXPECT_EQ(eval(col("a") % lit(8)), 4u);
+  EXPECT_EQ(eval(col("a") & lit(0xff)), 100u);
+}
+
+TEST_F(ExprTest, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(eval(col("a") / lit(0)), 0u);
+  EXPECT_EQ(eval(col("a") % lit(0)), 0u);
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_EQ(eval(col("a") > lit(99)), 1u);
+  EXPECT_EQ(eval(col("a") > lit(100)), 0u);
+  EXPECT_EQ(eval(col("a") >= lit(100)), 1u);
+  EXPECT_EQ(eval(col("a") == lit(100)), 1u);
+  EXPECT_EQ(eval(col("a") != lit(100)), 0u);
+  EXPECT_EQ(eval(col("b") < col("a")), 1u);
+}
+
+TEST_F(ExprTest, StringComparison) {
+  EXPECT_EQ(eval(col("s") == lit(std::string("x.example.com"))), 1u);
+  EXPECT_EQ(eval(col("s") == lit(std::string("y"))), 0u);
+}
+
+TEST_F(ExprTest, Logical) {
+  EXPECT_EQ(eval(col("a") > lit(1) && col("b") > lit(1)), 1u);
+  EXPECT_EQ(eval(col("a") > lit(1) && col("b") > lit(100)), 0u);
+  EXPECT_EQ(eval(col("a") > lit(1000) || col("b") == lit(7)), 1u);
+}
+
+TEST_F(ExprTest, IpPrefix) {
+  Tuple t{{Value{std::uint64_t{ipv4(10, 20, 30, 40)}}, Value{std::uint64_t{0}},
+           Value{std::string("")}, Value{std::string("")}}};
+  const auto e = Expr::ip_prefix(col("a"), 16);
+  EXPECT_EQ(e->bind(schema_)(t).as_uint(), ipv4(10, 20, 0, 0));
+}
+
+TEST_F(ExprTest, DnsPrefix) {
+  EXPECT_EQ(eval_s(Expr::dns_prefix(col("s"), 2)), "example.com");
+  EXPECT_EQ(eval_s(Expr::dns_prefix(col("s"), 1)), "com");
+}
+
+TEST_F(ExprTest, PayloadContains) {
+  EXPECT_EQ(eval(Expr::payload_contains(col("payload"), "zorro")), 1u);
+  EXPECT_EQ(eval(Expr::payload_contains(col("payload"), "nothere")), 0u);
+}
+
+TEST_F(ExprTest, ValidateCatchesBadColumns) {
+  EXPECT_NE((col("zzz") > lit(1))->validate(schema_), "");
+  EXPECT_EQ((col("a") > lit(1))->validate(schema_), "");
+  // String/numeric mixing.
+  EXPECT_NE((col("s") > lit(1))->validate(schema_), "");
+  EXPECT_NE((col("s") + col("a"))->validate(schema_), "");
+  EXPECT_NE(Expr::ip_prefix(col("s"), 8)->validate(schema_), "");
+  EXPECT_NE(Expr::dns_prefix(col("a"), 2)->validate(schema_), "");
+  EXPECT_NE(Expr::payload_contains(col("a"), "x")->validate(schema_), "");
+}
+
+TEST_F(ExprTest, SwitchCompilability) {
+  // Plain field/constant comparisons compile.
+  EXPECT_TRUE((col("a") == lit(2))->switch_compilable(schema_));
+  // Division by a power of two compiles (shift); by anything else, not.
+  EXPECT_TRUE((col("a") / lit(32))->switch_compilable(schema_));
+  EXPECT_FALSE((col("a") / lit(10))->switch_compilable(schema_));
+  EXPECT_FALSE((col("a") / col("b"))->switch_compilable(schema_));
+  // Payload scans never compile; neither do references to 0-bit columns.
+  EXPECT_FALSE(Expr::payload_contains(col("payload"), "x")->switch_compilable(schema_));
+  EXPECT_FALSE((col("payload") == lit(std::string("x")))->switch_compilable(schema_));
+  // IP prefix masks compile.
+  EXPECT_TRUE(Expr::ip_prefix(col("a"), 8)->switch_compilable(schema_));
+}
+
+TEST_F(ExprTest, ResultBits) {
+  EXPECT_EQ(col("b")->result_bits(schema_), 16);
+  EXPECT_EQ((col("a") > lit(1))->result_bits(schema_), 1);
+  EXPECT_EQ(Expr::ip_prefix(col("a"), 8)->result_bits(schema_), 32);
+}
+
+TEST_F(ExprTest, CollectColumns) {
+  std::vector<std::string> cols;
+  (col("a") + col("b") * lit(2))->collect_columns(cols);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], "a");
+  EXPECT_EQ(cols[1], "b");
+}
+
+TEST(Ops, MapSchema) {
+  Schema in({{"x", ValueKind::kUint, 32}, {"y", ValueKind::kUint, 16}});
+  const auto op = Operator::map({{"sum", col("x") + col("y")}, {"one", lit(1)}});
+  std::string err;
+  const Schema out = op.output_schema(in, &err);
+  EXPECT_EQ(err, "");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.at(0).name, "sum");
+  EXPECT_EQ(out.at(1).name, "one");
+}
+
+TEST(Ops, MapRejectsDuplicates) {
+  Schema in({{"x", ValueKind::kUint, 32}});
+  const auto op = Operator::map({{"a", col("x")}, {"a", col("x")}});
+  std::string err;
+  (void)op.output_schema(in, &err);
+  EXPECT_NE(err, "");
+}
+
+TEST(Ops, ReduceSchema) {
+  Schema in({{"k", ValueKind::kUint, 32}, {"v", ValueKind::kUint, 32}});
+  const auto op = Operator::reduce({"k"}, ReduceFn::kSum, "v");
+  std::string err;
+  const Schema out = op.output_schema(in, &err);
+  EXPECT_EQ(err, "");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.at(0).name, "k");
+  EXPECT_EQ(out.at(1).name, "v");
+}
+
+TEST(Ops, ReduceRejectsMissingKey) {
+  Schema in({{"k", ValueKind::kUint, 32}, {"v", ValueKind::kUint, 32}});
+  std::string err;
+  (void)Operator::reduce({"zz"}, ReduceFn::kSum, "v").output_schema(in, &err);
+  EXPECT_NE(err, "");
+  (void)Operator::reduce({"k"}, ReduceFn::kSum, "zz").output_schema(in, &err);
+  EXPECT_NE(err, "");
+}
+
+TEST(Ops, ReduceRejectsStringValue) {
+  Schema in({{"k", ValueKind::kUint, 32}, {"s", ValueKind::kString, 64}});
+  std::string err;
+  (void)Operator::reduce({"k"}, ReduceFn::kSum, "s").output_schema(in, &err);
+  EXPECT_NE(err, "");
+}
+
+TEST(Builder, SimpleQueryValidates) {
+  auto q = QueryBuilder::packet_stream()
+               .filter(col("tcp.flags") == lit(2))
+               .map({{"dIP", col("dIP")}, {"count", lit(1)}})
+               .reduce({"dIP"}, ReduceFn::kSum, "count")
+               .filter(col("count") > lit(10))
+               .build("test", 1);
+  EXPECT_EQ(q.validate(), "");
+  EXPECT_EQ(q.sources().size(), 1u);
+  EXPECT_EQ(q.operator_count(), 4u);
+  const auto& out = q.root()->output_schema();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.at(0).name, "dIP");
+  EXPECT_EQ(out.at(1).name, "count");
+}
+
+TEST(Builder, BadColumnFailsValidation) {
+  auto q = QueryBuilder::packet_stream()
+               .map({{"x", col("no_such_field")}})
+               .build("bad", 2);
+  EXPECT_NE(q.validate(), "");
+}
+
+TEST(Builder, JoinSchemaLayout) {
+  auto right = QueryBuilder::packet_stream()
+                   .map({{"dIP", col("dIP")}, {"bytes", col("pktlen")}})
+                   .reduce({"dIP"}, ReduceFn::kSum, "bytes");
+  auto q = QueryBuilder::packet_stream()
+               .map({{"dIP", col("dIP")}, {"conns", lit(1)}})
+               .reduce({"dIP"}, ReduceFn::kSum, "conns")
+               .join({"dIP"}, std::move(right))
+               .build("join_test", 3);
+  ASSERT_EQ(q.validate(), "");
+  const auto& out = q.root()->output_schema();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.at(0).name, "dIP");
+  EXPECT_EQ(out.at(1).name, "conns");
+  EXPECT_EQ(out.at(2).name, "bytes");
+  EXPECT_EQ(q.sources().size(), 2u);
+}
+
+TEST(Builder, JoinColumnClashGetsSuffix) {
+  auto right = QueryBuilder::packet_stream()
+                   .map({{"dIP", col("dIP")}, {"n", lit(1)}})
+                   .reduce({"dIP"}, ReduceFn::kSum, "n");
+  auto q = QueryBuilder::packet_stream()
+               .map({{"dIP", col("dIP")}, {"n", lit(1)}})
+               .reduce({"dIP"}, ReduceFn::kSum, "n")
+               .join({"dIP"}, std::move(right))
+               .build("clash", 4);
+  ASSERT_EQ(q.validate(), "");
+  const auto& out = q.root()->output_schema();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.at(1).name, "n");
+  EXPECT_EQ(out.at(2).name, "n_r");
+}
+
+TEST(Builder, JoinMissingKeyFails) {
+  auto right = QueryBuilder::packet_stream().map({{"x", col("sIP")}});
+  auto q = QueryBuilder::packet_stream()
+               .map({{"dIP", col("dIP")}})
+               .join({"dIP"}, std::move(right))
+               .build("bad_join", 5);
+  EXPECT_NE(q.validate(), "");
+}
+
+TEST(Catalog, AllQueriesValidateAndHaveDistinctIds) {
+  queries::Thresholds th;
+  const auto all = queries::full_catalog(th, util::seconds(3));
+  EXPECT_EQ(all.size(), 12u);
+  std::set<QueryId> ids;
+  for (const auto& q : all) ids.insert(q.id());
+  EXPECT_EQ(ids.size(), all.size());
+}
+
+TEST(Catalog, EvaluationQueriesAreHeaderOnly) {
+  queries::Thresholds th;
+  const auto qs = queries::evaluation_queries(th, util::seconds(3));
+  ASSERT_EQ(qs.size(), 8u);
+  // None of the top-8 queries may reference the payload or DNS fields
+  // (paper §6.2 evaluates the layer-3/4 queries).
+  for (const auto& q : qs) {
+    for (const auto* src : q.sources()) {
+      for (const auto& schema : src->schemas) {
+        (void)schema;
+      }
+      std::vector<std::string> refs;
+      for (const auto& op : src->ops) {
+        if (op.predicate) op.predicate->collect_columns(refs);
+        for (const auto& p : op.projections) {
+          if (p.expr) p.expr->collect_columns(refs);
+        }
+      }
+      for (const auto& r : refs) {
+        EXPECT_NE(r, "payload") << q.name();
+        EXPECT_EQ(r.find("dns."), std::string::npos) << q.name();
+      }
+    }
+  }
+}
+
+TEST(Catalog, RefinabilityFlags) {
+  queries::Thresholds th;
+  EXPECT_TRUE(queries::make_newly_opened_tcp(th, util::seconds(3)).refinable());
+  EXPECT_TRUE(queries::make_slowloris(th, util::seconds(3)).refinable());
+  EXPECT_FALSE(queries::make_syn_flood(th, util::seconds(3)).refinable());
+  EXPECT_FALSE(queries::make_incomplete_flows(th, util::seconds(3)).refinable());
+}
+
+TEST(Catalog, ZorroReferencesPayload) {
+  queries::Thresholds th;
+  const auto q = queries::make_zorro(th, util::seconds(3));
+  bool found = false;
+  // The payload filter lives on the join node's op chain.
+  for (const auto& op : q.root()->ops) {
+    if (op.predicate) {
+      std::vector<std::string> refs;
+      op.predicate->collect_columns(refs);
+      for (const auto& r : refs) found = found || r == "payload";
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Catalog, QueryToStringMentionsOperators) {
+  queries::Thresholds th;
+  const auto q = queries::make_newly_opened_tcp(th, util::seconds(3));
+  const std::string s = q.to_string();
+  EXPECT_NE(s.find("filter"), std::string::npos);
+  EXPECT_NE(s.find("reduce"), std::string::npos);
+  EXPECT_NE(s.find("packetStream"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sonata::query

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/headers.h"
+#include "trace/trace.h"
+#include "util/ip.h"
+
+namespace sonata::trace {
+namespace {
+
+using net::Packet;
+using util::ipv4;
+
+BackgroundConfig small_bg() {
+  BackgroundConfig cfg;
+  cfg.duration_sec = 6.0;
+  cfg.flows_per_sec = 300.0;
+  cfg.client_pool = 2000;
+  cfg.server_pool = 500;
+  return cfg;
+}
+
+TEST(Generator, Deterministic) {
+  const auto cfg = small_bg();
+  auto a = TraceBuilder(42).background(cfg).build();
+  auto b = TraceBuilder(42).background(cfg).build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].src_ip, b[i].src_ip);
+    EXPECT_EQ(a[i].dst_ip, b[i].dst_ip);
+    EXPECT_EQ(a[i].total_len, b[i].total_len);
+  }
+}
+
+TEST(Generator, SeedChangesTrace) {
+  const auto cfg = small_bg();
+  auto a = TraceBuilder(1).background(cfg).build();
+  auto b = TraceBuilder(2).background(cfg).build();
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].src_ip != b[i].src_ip || a[i].ts != b[i].ts;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, SortedAndWithinDuration) {
+  const auto cfg = small_bg();
+  auto trace = TraceBuilder(7).background(cfg).build();
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 1; i < trace.size(); ++i) EXPECT_GE(trace[i].ts, trace[i - 1].ts);
+  // Flows start within the duration; trailing packets may spill a little.
+  EXPECT_LT(util::to_seconds(trace.back().ts), cfg.duration_sec + 2.0);
+}
+
+TEST(Generator, ProtocolMixRoughlyAsConfigured) {
+  const auto cfg = small_bg();
+  auto trace = TraceBuilder(11).background(cfg).build();
+  std::map<int, std::size_t> by_proto;
+  std::size_t dns = 0;
+  for (const auto& p : trace) {
+    ++by_proto[p.proto];
+    if (p.dns) ++dns;
+  }
+  EXPECT_GT(by_proto[6], trace.size() / 2);  // TCP dominates
+  EXPECT_GT(by_proto[17], 0u);
+  EXPECT_GT(by_proto[1], 0u);
+  EXPECT_GT(dns, 0u);
+}
+
+TEST(Generator, TcpFlowsHaveHandshakes) {
+  auto trace = TraceBuilder(13).background(small_bg()).build();
+  std::size_t syns = 0, synacks = 0, fins = 0;
+  for (const auto& p : trace) {
+    if (!p.is_tcp()) continue;
+    if (p.tcp_flags == net::tcp_flags::kSyn) ++syns;
+    if (p.tcp_flags == (net::tcp_flags::kSyn | net::tcp_flags::kAck)) ++synacks;
+    if (p.tcp_flags & net::tcp_flags::kFin) ++fins;
+  }
+  EXPECT_GT(syns, 0u);
+  // Nearly every SYN is answered; most flows tear down.
+  EXPECT_NEAR(static_cast<double>(synacks) / static_cast<double>(syns), 1.0, 0.05);
+  EXPECT_GT(fins, syns);  // two FINs per completed flow
+}
+
+TEST(Generator, ZipfPopularitySkew) {
+  auto trace = TraceBuilder(17).background(small_bg()).build();
+  std::map<std::uint32_t, std::size_t> per_server;
+  for (const auto& p : trace) {
+    if (p.is_tcp() && p.tcp_flags == net::tcp_flags::kSyn) ++per_server[p.dst_ip];
+  }
+  ASSERT_GT(per_server.size(), 50u);
+  std::vector<std::size_t> counts;
+  for (auto& [ip, c] : per_server) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  // Heavy tail: top destination sees far more than the median one.
+  EXPECT_GT(counts[0], counts[counts.size() / 2] * 5);
+}
+
+TEST(Attacks, SynFloodTargetsVictim) {
+  const auto victim = ipv4(99, 1, 2, 3);
+  SynFloodConfig cfg;
+  cfg.victim = victim;
+  cfg.start_sec = 1.0;
+  cfg.duration_sec = 2.0;
+  cfg.pps = 1000;
+  auto trace = TraceBuilder(3).add(cfg).build();
+  ASSERT_GT(trace.size(), 1500u);
+  for (const auto& p : trace) {
+    EXPECT_EQ(p.dst_ip, victim);
+    EXPECT_EQ(p.tcp_flags, net::tcp_flags::kSyn);
+    EXPECT_GE(util::to_seconds(p.ts), 1.0);
+    EXPECT_LT(util::to_seconds(p.ts), 3.0);
+  }
+}
+
+TEST(Attacks, SshBruteForceUsesManySources) {
+  SshBruteForceConfig cfg;
+  cfg.victim = ipv4(99, 2, 2, 2);
+  cfg.attempts_per_sec = 100;
+  cfg.duration_sec = 3.0;
+  cfg.source_count = 150;
+  auto trace = TraceBuilder(4).add(cfg).build();
+  std::set<std::uint32_t> sources;
+  std::size_t ssh = 0;
+  for (const auto& p : trace) {
+    if (p.dst_port == net::ports::kSsh) {
+      ++ssh;
+      sources.insert(p.src_ip);
+    }
+  }
+  EXPECT_GT(ssh, 200u);
+  EXPECT_GT(sources.size(), 100u);
+}
+
+TEST(Attacks, SuperspreaderReachesDistinctDestinations) {
+  SuperspreaderConfig cfg;
+  cfg.spreader = ipv4(99, 3, 3, 3);
+  cfg.distinct_destinations = 500;
+  auto trace = TraceBuilder(5).add(cfg).build();
+  std::set<std::uint32_t> dsts;
+  for (const auto& p : trace) {
+    EXPECT_EQ(p.src_ip, cfg.spreader);
+    dsts.insert(p.dst_ip);
+  }
+  EXPECT_GE(dsts.size(), 450u);
+}
+
+TEST(Attacks, PortScanCoversPorts) {
+  PortScanConfig cfg;
+  cfg.scanner = ipv4(99, 4, 4, 4);
+  cfg.target = ipv4(99, 5, 5, 5);
+  cfg.first_port = 1;
+  cfg.last_port = 512;
+  auto trace = TraceBuilder(6).add(cfg).build();
+  std::set<std::uint16_t> ports;
+  for (const auto& p : trace) ports.insert(p.dst_port);
+  EXPECT_GT(ports.size(), 400u);
+}
+
+TEST(Attacks, DdosUsesDistinctSources) {
+  DdosConfig cfg;
+  cfg.victim = ipv4(99, 6, 6, 6);
+  cfg.distinct_sources = 800;
+  cfg.pps = 600;
+  cfg.duration_sec = 3.0;
+  auto trace = TraceBuilder(7).add(cfg).build();
+  std::set<std::uint32_t> srcs;
+  for (const auto& p : trace) {
+    EXPECT_EQ(p.dst_ip, cfg.victim);
+    srcs.insert(p.src_ip);
+  }
+  EXPECT_GT(srcs.size(), 700u);
+}
+
+TEST(Attacks, IncompleteFlowsNeverFin) {
+  IncompleteFlowsConfig cfg;
+  cfg.attacker = ipv4(99, 7, 7, 7);
+  cfg.victim = ipv4(99, 8, 8, 8);
+  auto trace = TraceBuilder(8).add(cfg).build();
+  std::size_t syn = 0;
+  for (const auto& p : trace) {
+    EXPECT_EQ(p.tcp_flags & net::tcp_flags::kFin, 0);
+    if (p.tcp_flags == net::tcp_flags::kSyn) ++syn;
+  }
+  EXPECT_GT(syn, 100u);
+}
+
+TEST(Attacks, SlowlorisManyConnectionsFewBytes) {
+  SlowlorisConfig cfg;
+  cfg.victim = ipv4(99, 9, 9, 9);
+  cfg.attacker_count = 2;
+  cfg.conns_per_attacker = 50;
+  auto trace = TraceBuilder(9).add(cfg).build();
+  std::set<std::pair<std::uint32_t, std::uint16_t>> conns;
+  std::uint64_t bytes = 0;
+  for (const auto& p : trace) {
+    if (p.dst_ip == cfg.victim) {
+      conns.insert({p.src_ip, p.src_port});
+      bytes += p.total_len;
+    }
+  }
+  EXPECT_EQ(conns.size(), 100u);
+  // Low volume: averages under 200 bytes per connection.
+  EXPECT_LT(bytes / conns.size(), 400u);
+}
+
+TEST(Attacks, ZorroProbesThenKeyword) {
+  ZorroConfig cfg;
+  cfg.attacker = ipv4(99, 10, 10, 10);
+  cfg.victim = ipv4(99, 7, 0, 25);
+  auto trace = TraceBuilder(10).add(cfg).build();
+  std::size_t probes = 0, keyword = 0;
+  for (const auto& p : trace) {
+    EXPECT_EQ(p.dst_port, net::ports::kTelnet);
+    if (p.payload && p.payload->find("zorro") != std::string::npos) {
+      ++keyword;
+      EXPECT_GE(util::to_seconds(p.ts), cfg.shell_at_sec);
+    } else {
+      ++probes;
+    }
+  }
+  EXPECT_EQ(keyword, static_cast<std::size_t>(cfg.shell_packets));
+  EXPECT_GT(probes, 500u);
+}
+
+TEST(Attacks, DnsTunnelUniqueNamesUnderParent) {
+  DnsTunnelConfig cfg;
+  cfg.client = ipv4(99, 11, 11, 11);
+  cfg.resolver = ipv4(8, 8, 4, 4);
+  cfg.queries_per_sec = 100;
+  cfg.duration_sec = 3.0;
+  auto trace = TraceBuilder(11).add(cfg).build();
+  std::set<std::string> names;
+  std::size_t responses = 0;
+  for (const auto& p : trace) {
+    ASSERT_TRUE(p.dns);
+    EXPECT_NE(p.dns->qname.find(cfg.parent_domain), std::string::npos);
+    names.insert(p.dns->qname);
+    if (p.dns->is_response) ++responses;
+  }
+  EXPECT_GT(names.size(), 200u);
+  EXPECT_GT(responses, 200u);
+}
+
+TEST(Attacks, DnsReflectionLargeAnyResponses) {
+  DnsReflectionConfig cfg;
+  cfg.victim = ipv4(99, 12, 12, 12);
+  cfg.pps = 500;
+  cfg.duration_sec = 2.0;
+  auto trace = TraceBuilder(12).add(cfg).build();
+  ASSERT_GT(trace.size(), 600u);
+  for (const auto& p : trace) {
+    EXPECT_EQ(p.dst_ip, cfg.victim);
+    ASSERT_TRUE(p.dns);
+    EXPECT_TRUE(p.dns->is_response);
+    EXPECT_EQ(p.dns->qtype, net::dns_types::kAny);
+    EXPECT_GT(p.payload_len(), 800u);
+  }
+}
+
+TEST(Attacks, MaliciousDomainFreshResolutions) {
+  MaliciousDomainConfig cfg;
+  cfg.resolver = ipv4(8, 8, 8, 8);
+  cfg.distinct_resolutions = 200;
+  auto trace = TraceBuilder(13).add(cfg).build();
+  std::set<std::uint32_t> resolutions;
+  for (const auto& p : trace) {
+    ASSERT_TRUE(p.dns);
+    EXPECT_EQ(p.dns->qname, cfg.domain);
+    for (auto a : p.dns->answer_addrs) resolutions.insert(a);
+  }
+  EXPECT_GE(resolutions.size(), 190u);
+}
+
+TEST(Trace, SplitWindowsPartitionsCompletely) {
+  auto trace = TraceBuilder(20).background(small_bg()).build();
+  const auto windows = split_windows(trace, util::seconds(3));
+  std::size_t total = 0;
+  for (const auto& w : windows) {
+    ASSERT_FALSE(w.empty());
+    const auto idx = util::window_index(w.front().ts, util::seconds(3));
+    for (const auto& p : w) EXPECT_EQ(util::window_index(p.ts, util::seconds(3)), idx);
+    total += w.size();
+  }
+  EXPECT_EQ(total, trace.size());
+  EXPECT_GE(windows.size(), 2u);
+}
+
+TEST(Trace, AttacksMergeSortedWithBackground) {
+  SynFloodConfig flood;
+  flood.victim = ipv4(99, 1, 1, 1);
+  flood.start_sec = 2.0;
+  flood.duration_sec = 1.0;
+  flood.pps = 500;
+  auto trace = TraceBuilder(21).background(small_bg()).add(flood).build();
+  for (std::size_t i = 1; i < trace.size(); ++i) EXPECT_GE(trace[i].ts, trace[i - 1].ts);
+  std::size_t victim_syns = 0;
+  for (const auto& p : trace) {
+    if (p.dst_ip == flood.victim && p.tcp_flags == net::tcp_flags::kSyn) ++victim_syns;
+  }
+  EXPECT_GT(victim_syns, 400u);
+}
+
+}  // namespace
+}  // namespace sonata::trace

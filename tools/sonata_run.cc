@@ -1,0 +1,292 @@
+// sonata_run — the operator-facing CLI:
+//
+//   sonata_run --queries FILE [--pcap FILE] [--mode sonata|all-sp|filter-dp|
+//              max-dp|fix-ref] [--window SECONDS] [--emit-p4 FILE]
+//              [--train-pcap FILE] [--synthetic SECONDS] [--seed N]
+//
+// Loads telemetry queries from the declarative DSL (see query/parser.h),
+// plans them against training traffic (a pcap or a synthetic trace), prints
+// the plan, optionally emits the generated P4 program for the switch side,
+// runs the full window loop, and reports per-window detections and
+// stream-processor load.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "net/pcap.h"
+#include "pisa/p4gen.h"
+#include "stream/sparkgen.h"
+#include "planner/planner.h"
+#include "query/parser.h"
+#include "runtime/runtime.h"
+#include "trace/trace.h"
+#include "util/ip.h"
+#include "util/log.h"
+
+using namespace sonata;
+
+namespace {
+
+struct Args {
+  std::string queries_path;
+  std::string pcap_path;
+  std::string train_pcap_path;
+  std::string emit_p4_path;
+  std::string emit_spark_path;
+  std::string mode = "sonata";
+  double window_sec = 3.0;
+  double synthetic_sec = 0.0;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sonata_run --queries FILE [--pcap FILE | --synthetic SECONDS]\n"
+               "                  [--train-pcap FILE] [--mode sonata|all-sp|filter-dp|"
+               "max-dp|fix-ref]\n"
+               "                  [--window SECONDS] [--emit-p4 FILE] [--emit-spark FILE]\n"
+               "                  [--seed N] [--verbose]\n");
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--queries") {
+      const char* v = value();
+      if (!v) return false;
+      args.queries_path = v;
+    } else if (arg == "--pcap") {
+      const char* v = value();
+      if (!v) return false;
+      args.pcap_path = v;
+    } else if (arg == "--train-pcap") {
+      const char* v = value();
+      if (!v) return false;
+      args.train_pcap_path = v;
+    } else if (arg == "--emit-p4") {
+      const char* v = value();
+      if (!v) return false;
+      args.emit_p4_path = v;
+    } else if (arg == "--emit-spark") {
+      const char* v = value();
+      if (!v) return false;
+      args.emit_spark_path = v;
+    } else if (arg == "--mode") {
+      const char* v = value();
+      if (!v) return false;
+      args.mode = v;
+    } else if (arg == "--window") {
+      const char* v = value();
+      if (!v) return false;
+      args.window_sec = std::atof(v);
+    } else if (arg == "--synthetic") {
+      const char* v = value();
+      if (!v) return false;
+      args.synthetic_sec = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--verbose") {
+      args.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (args.queries_path.empty()) {
+    std::fprintf(stderr, "--queries is required\n");
+    return false;
+  }
+  if (args.pcap_path.empty() && args.synthetic_sec <= 0.0) {
+    std::fprintf(stderr, "need --pcap FILE or --synthetic SECONDS\n");
+    return false;
+  }
+  return true;
+}
+
+std::optional<planner::PlanMode> mode_from_string(const std::string& s) {
+  if (s == "sonata") return planner::PlanMode::kSonata;
+  if (s == "all-sp") return planner::PlanMode::kAllSP;
+  if (s == "filter-dp") return planner::PlanMode::kFilterDP;
+  if (s == "max-dp") return planner::PlanMode::kMaxDP;
+  if (s == "fix-ref") return planner::PlanMode::kFixRef;
+  return std::nullopt;
+}
+
+std::string value_to_display(const query::Value& v) {
+  if (v.is_string()) return std::string(v.as_string());
+  // Heuristic: values that look like routable IPv4 addresses print dotted.
+  const std::uint64_t u = v.as_uint();
+  if (u > 0xffffff && u <= 0xffffffffULL) {
+    return util::ipv4_to_string(static_cast<std::uint32_t>(u));
+  }
+  return std::to_string(u);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  if (args.verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  // 1. Queries.
+  std::ifstream in(args.queries_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.queries_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = query::parse_queries(buffer.str());
+  if (!parsed.ok()) {
+    for (const auto& e : parsed.errors) {
+      std::fprintf(stderr, "%s: %s\n", args.queries_path.c_str(), e.to_string().c_str());
+    }
+    return 1;
+  }
+  std::printf("Loaded %zu quer%s from %s\n", parsed.queries.size(),
+              parsed.queries.size() == 1 ? "y" : "ies", args.queries_path.c_str());
+
+  // 2. Traffic.
+  std::vector<net::Packet> trace;
+  if (!args.pcap_path.empty()) {
+    try {
+      trace = net::PcapReader(args.pcap_path).read_all();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pcap error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("Read %zu packets from %s\n", trace.size(), args.pcap_path.c_str());
+  } else {
+    trace::BackgroundConfig bg;
+    bg.duration_sec = args.synthetic_sec;
+    bg.flows_per_sec = 600.0;
+    trace = trace::TraceBuilder(args.seed).background(bg).build();
+    std::printf("Generated %zu synthetic packets (%.0f s, seed %llu)\n", trace.size(),
+                args.synthetic_sec, static_cast<unsigned long long>(args.seed));
+  }
+  if (trace.empty()) {
+    std::fprintf(stderr, "no packets to process\n");
+    return 1;
+  }
+
+  std::vector<net::Packet> training;
+  if (!args.train_pcap_path.empty()) {
+    try {
+      training = net::PcapReader(args.train_pcap_path).read_all();
+      std::printf("Training on %zu packets from %s\n", training.size(),
+                  args.train_pcap_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "training pcap error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // 3. Plan.
+  const auto mode = mode_from_string(args.mode);
+  if (!mode) {
+    std::fprintf(stderr, "unknown mode: %s\n", args.mode.c_str());
+    return 2;
+  }
+  planner::PlannerConfig cfg;
+  cfg.mode = *mode;
+  cfg.window = util::seconds(args.window_sec);
+  planner::Planner planner(cfg);
+  const auto plan = planner.plan(parsed.queries, training.empty() ? trace : training);
+  std::printf("\n%s\n", plan.summary().c_str());
+
+  // 4. Optional P4 emission for the switch side.
+  if (!args.emit_p4_path.empty()) {
+    std::vector<pisa::P4Pipeline> pipelines;
+    for (const auto& pq : plan.queries) {
+      for (const auto& p : pq.pipelines) {
+        if (p.partition == 0) continue;
+        pisa::P4Pipeline pp;
+        pp.node = p.node.get();
+        pp.options.qid = p.qid;
+        pp.options.source_index = p.source_index;
+        pp.options.level = p.level;
+        pp.options.partition = p.partition;
+        pp.options.sizing = p.sizing;
+        pipelines.push_back(std::move(pp));
+      }
+    }
+    const auto p4 = pisa::generate_p4(plan.switch_config, pipelines);
+    std::ofstream out(args.emit_p4_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.emit_p4_path.c_str());
+      return 1;
+    }
+    out << p4;
+    std::printf("Wrote generated P4 (%zu pipelines, %zu bytes) to %s\n\n", pipelines.size(),
+                p4.size(), args.emit_p4_path.c_str());
+  }
+
+  // 5. Optional Spark job emission for the stream-processor side (the
+  //    finest level of each query).
+  if (!args.emit_spark_path.empty()) {
+    std::ofstream out(args.emit_spark_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.emit_spark_path.c_str());
+      return 1;
+    }
+    for (const auto& pq : plan.queries) {
+      std::vector<stream::SparkPipeline> sources;
+      const int finest = pq.chain.back();
+      for (const auto& p : pq.pipelines) {
+        if (p.level != finest) continue;
+        sources.push_back({p.node.get(), p.partition, p.source_index});
+      }
+      out << stream::generate_spark(*pq.base, sources) << "\n";
+    }
+    std::printf("Wrote generated Spark jobs to %s\n\n", args.emit_spark_path.c_str());
+  }
+
+  // 6. Run.
+  runtime::Runtime rt(plan);
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_tuples = 0;
+  std::uint64_t total_detections = 0;
+  for (const auto& ws : rt.run_trace(trace)) {
+    total_packets += ws.packets;
+    total_tuples += ws.tuples_to_sp;
+    for (const auto& result : ws.results) {
+      for (const auto& t : result.outputs) {
+        ++total_detections;
+        std::string row;
+        for (std::size_t c = 0; c < t.size(); ++c) {
+          if (c) row += ", ";
+          row += value_to_display(t.at(c));
+        }
+        std::printf("window %4llu  [%s]  (%s)\n",
+                    static_cast<unsigned long long>(ws.window_index), result.name.c_str(),
+                    row.c_str());
+      }
+    }
+  }
+  std::printf("\n%llu detections; stream processor saw %llu of %llu packets (%.4f%%)\n",
+              static_cast<unsigned long long>(total_detections),
+              static_cast<unsigned long long>(total_tuples),
+              static_cast<unsigned long long>(total_packets),
+              total_packets == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(total_tuples) / static_cast<double>(total_packets));
+  return 0;
+}
