@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fleet_scale.dir/ext_fleet_scale.cc.o"
+  "CMakeFiles/ext_fleet_scale.dir/ext_fleet_scale.cc.o.d"
+  "ext_fleet_scale"
+  "ext_fleet_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fleet_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_collisions.dir/fig3_collisions.cc.o"
+  "CMakeFiles/fig3_collisions.dir/fig3_collisions.cc.o.d"
+  "fig3_collisions"
+  "fig3_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_refinement_costs.dir/fig5_refinement_costs.cc.o"
+  "CMakeFiles/fig5_refinement_costs.dir/fig5_refinement_costs.cc.o.d"
+  "fig5_refinement_costs"
+  "fig5_refinement_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_refinement_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_single_query.dir/fig7a_single_query.cc.o"
+  "CMakeFiles/fig7a_single_query.dir/fig7a_single_query.cc.o.d"
+  "fig7a_single_query"
+  "fig7a_single_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_single_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_multi_query.dir/fig7b_multi_query.cc.o"
+  "CMakeFiles/fig7b_multi_query.dir/fig7b_multi_query.cc.o.d"
+  "fig7b_multi_query"
+  "fig7b_multi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_multi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

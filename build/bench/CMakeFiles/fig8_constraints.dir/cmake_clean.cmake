@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_constraints.dir/fig8_constraints.cc.o"
+  "CMakeFiles/fig8_constraints.dir/fig8_constraints.cc.o.d"
+  "fig8_constraints"
+  "fig8_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_update_overhead.dir/micro_update_overhead.cc.o"
+  "CMakeFiles/micro_update_overhead.dir/micro_update_overhead.cc.o.d"
+  "micro_update_overhead"
+  "micro_update_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_update_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

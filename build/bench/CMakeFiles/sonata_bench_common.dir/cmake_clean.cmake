@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_bench_common.dir/common.cc.o"
+  "CMakeFiles/sonata_bench_common.dir/common.cc.o.d"
+  "libsonata_bench_common.a"
+  "libsonata_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsonata_bench_common.a"
+)

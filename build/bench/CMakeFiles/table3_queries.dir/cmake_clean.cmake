@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_queries.dir/table3_queries.cc.o"
+  "CMakeFiles/table3_queries.dir/table3_queries.cc.o.d"
+  "table3_queries"
+  "table3_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

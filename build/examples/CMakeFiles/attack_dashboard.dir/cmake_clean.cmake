@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_dashboard.dir/attack_dashboard.cpp.o"
+  "CMakeFiles/attack_dashboard.dir/attack_dashboard.cpp.o.d"
+  "attack_dashboard"
+  "attack_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_field.dir/custom_field.cpp.o"
+  "CMakeFiles/custom_field.dir/custom_field.cpp.o.d"
+  "custom_field"
+  "custom_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

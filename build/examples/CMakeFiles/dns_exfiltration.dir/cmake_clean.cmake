@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_exfiltration.dir/dns_exfiltration.cpp.o"
+  "CMakeFiles/dns_exfiltration.dir/dns_exfiltration.cpp.o.d"
+  "dns_exfiltration"
+  "dns_exfiltration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_exfiltration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_net.dir/dns.cc.o"
+  "CMakeFiles/sonata_net.dir/dns.cc.o.d"
+  "CMakeFiles/sonata_net.dir/packet.cc.o"
+  "CMakeFiles/sonata_net.dir/packet.cc.o.d"
+  "CMakeFiles/sonata_net.dir/pcap.cc.o"
+  "CMakeFiles/sonata_net.dir/pcap.cc.o.d"
+  "CMakeFiles/sonata_net.dir/wire.cc.o"
+  "CMakeFiles/sonata_net.dir/wire.cc.o.d"
+  "libsonata_net.a"
+  "libsonata_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

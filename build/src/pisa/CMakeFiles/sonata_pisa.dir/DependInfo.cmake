@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pisa/compile.cc" "src/pisa/CMakeFiles/sonata_pisa.dir/compile.cc.o" "gcc" "src/pisa/CMakeFiles/sonata_pisa.dir/compile.cc.o.d"
+  "/root/repo/src/pisa/config.cc" "src/pisa/CMakeFiles/sonata_pisa.dir/config.cc.o" "gcc" "src/pisa/CMakeFiles/sonata_pisa.dir/config.cc.o.d"
+  "/root/repo/src/pisa/layout.cc" "src/pisa/CMakeFiles/sonata_pisa.dir/layout.cc.o" "gcc" "src/pisa/CMakeFiles/sonata_pisa.dir/layout.cc.o.d"
+  "/root/repo/src/pisa/p4gen.cc" "src/pisa/CMakeFiles/sonata_pisa.dir/p4gen.cc.o" "gcc" "src/pisa/CMakeFiles/sonata_pisa.dir/p4gen.cc.o.d"
+  "/root/repo/src/pisa/register.cc" "src/pisa/CMakeFiles/sonata_pisa.dir/register.cc.o" "gcc" "src/pisa/CMakeFiles/sonata_pisa.dir/register.cc.o.d"
+  "/root/repo/src/pisa/switch.cc" "src/pisa/CMakeFiles/sonata_pisa.dir/switch.cc.o" "gcc" "src/pisa/CMakeFiles/sonata_pisa.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/sonata_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sonata_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sonata_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

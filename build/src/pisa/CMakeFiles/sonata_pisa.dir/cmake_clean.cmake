@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_pisa.dir/compile.cc.o"
+  "CMakeFiles/sonata_pisa.dir/compile.cc.o.d"
+  "CMakeFiles/sonata_pisa.dir/config.cc.o"
+  "CMakeFiles/sonata_pisa.dir/config.cc.o.d"
+  "CMakeFiles/sonata_pisa.dir/layout.cc.o"
+  "CMakeFiles/sonata_pisa.dir/layout.cc.o.d"
+  "CMakeFiles/sonata_pisa.dir/p4gen.cc.o"
+  "CMakeFiles/sonata_pisa.dir/p4gen.cc.o.d"
+  "CMakeFiles/sonata_pisa.dir/register.cc.o"
+  "CMakeFiles/sonata_pisa.dir/register.cc.o.d"
+  "CMakeFiles/sonata_pisa.dir/switch.cc.o"
+  "CMakeFiles/sonata_pisa.dir/switch.cc.o.d"
+  "libsonata_pisa.a"
+  "libsonata_pisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_planner.dir/estimator.cc.o"
+  "CMakeFiles/sonata_planner.dir/estimator.cc.o.d"
+  "CMakeFiles/sonata_planner.dir/planner.cc.o"
+  "CMakeFiles/sonata_planner.dir/planner.cc.o.d"
+  "CMakeFiles/sonata_planner.dir/refine.cc.o"
+  "CMakeFiles/sonata_planner.dir/refine.cc.o.d"
+  "libsonata_planner.a"
+  "libsonata_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

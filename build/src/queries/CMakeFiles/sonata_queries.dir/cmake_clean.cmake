@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_queries.dir/catalog.cc.o"
+  "CMakeFiles/sonata_queries.dir/catalog.cc.o.d"
+  "libsonata_queries.a"
+  "libsonata_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

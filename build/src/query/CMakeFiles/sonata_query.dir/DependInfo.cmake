@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/sonata_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/sonata_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/field.cc" "src/query/CMakeFiles/sonata_query.dir/field.cc.o" "gcc" "src/query/CMakeFiles/sonata_query.dir/field.cc.o.d"
+  "/root/repo/src/query/ops.cc" "src/query/CMakeFiles/sonata_query.dir/ops.cc.o" "gcc" "src/query/CMakeFiles/sonata_query.dir/ops.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/sonata_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/sonata_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/sonata_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/sonata_query.dir/query.cc.o.d"
+  "/root/repo/src/query/tuple.cc" "src/query/CMakeFiles/sonata_query.dir/tuple.cc.o" "gcc" "src/query/CMakeFiles/sonata_query.dir/tuple.cc.o.d"
+  "/root/repo/src/query/value.cc" "src/query/CMakeFiles/sonata_query.dir/value.cc.o" "gcc" "src/query/CMakeFiles/sonata_query.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sonata_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sonata_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_query.dir/expr.cc.o"
+  "CMakeFiles/sonata_query.dir/expr.cc.o.d"
+  "CMakeFiles/sonata_query.dir/field.cc.o"
+  "CMakeFiles/sonata_query.dir/field.cc.o.d"
+  "CMakeFiles/sonata_query.dir/ops.cc.o"
+  "CMakeFiles/sonata_query.dir/ops.cc.o.d"
+  "CMakeFiles/sonata_query.dir/parser.cc.o"
+  "CMakeFiles/sonata_query.dir/parser.cc.o.d"
+  "CMakeFiles/sonata_query.dir/query.cc.o"
+  "CMakeFiles/sonata_query.dir/query.cc.o.d"
+  "CMakeFiles/sonata_query.dir/tuple.cc.o"
+  "CMakeFiles/sonata_query.dir/tuple.cc.o.d"
+  "CMakeFiles/sonata_query.dir/value.cc.o"
+  "CMakeFiles/sonata_query.dir/value.cc.o.d"
+  "libsonata_query.a"
+  "libsonata_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_runtime.dir/fleet.cc.o"
+  "CMakeFiles/sonata_runtime.dir/fleet.cc.o.d"
+  "CMakeFiles/sonata_runtime.dir/report.cc.o"
+  "CMakeFiles/sonata_runtime.dir/report.cc.o.d"
+  "CMakeFiles/sonata_runtime.dir/runtime.cc.o"
+  "CMakeFiles/sonata_runtime.dir/runtime.cc.o.d"
+  "libsonata_runtime.a"
+  "libsonata_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

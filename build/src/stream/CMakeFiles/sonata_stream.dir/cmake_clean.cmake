@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_stream.dir/executor.cc.o"
+  "CMakeFiles/sonata_stream.dir/executor.cc.o.d"
+  "CMakeFiles/sonata_stream.dir/sparkgen.cc.o"
+  "CMakeFiles/sonata_stream.dir/sparkgen.cc.o.d"
+  "libsonata_stream.a"
+  "libsonata_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

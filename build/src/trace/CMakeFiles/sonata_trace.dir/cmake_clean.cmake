@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_trace.dir/attacks.cc.o"
+  "CMakeFiles/sonata_trace.dir/attacks.cc.o.d"
+  "CMakeFiles/sonata_trace.dir/generator.cc.o"
+  "CMakeFiles/sonata_trace.dir/generator.cc.o.d"
+  "CMakeFiles/sonata_trace.dir/trace.cc.o"
+  "CMakeFiles/sonata_trace.dir/trace.cc.o.d"
+  "libsonata_trace.a"
+  "libsonata_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

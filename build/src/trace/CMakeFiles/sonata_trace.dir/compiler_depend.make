@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sonata_trace.
+# This may be replaced when dependencies are built.

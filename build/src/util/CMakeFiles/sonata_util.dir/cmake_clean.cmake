@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_util.dir/hash.cc.o"
+  "CMakeFiles/sonata_util.dir/hash.cc.o.d"
+  "CMakeFiles/sonata_util.dir/ip.cc.o"
+  "CMakeFiles/sonata_util.dir/ip.cc.o.d"
+  "CMakeFiles/sonata_util.dir/log.cc.o"
+  "CMakeFiles/sonata_util.dir/log.cc.o.d"
+  "CMakeFiles/sonata_util.dir/rng.cc.o"
+  "CMakeFiles/sonata_util.dir/rng.cc.o.d"
+  "CMakeFiles/sonata_util.dir/stats.cc.o"
+  "CMakeFiles/sonata_util.dir/stats.cc.o.d"
+  "libsonata_util.a"
+  "libsonata_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_semantics_test.dir/catalog_semantics_test.cc.o"
+  "CMakeFiles/catalog_semantics_test.dir/catalog_semantics_test.cc.o.d"
+  "catalog_semantics_test"
+  "catalog_semantics_test.pdb"
+  "catalog_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

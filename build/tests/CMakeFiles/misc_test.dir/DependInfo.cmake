@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/misc_test.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/misc_test.dir/misc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/sonata_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/sonata_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/sonata_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sonata_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/sonata_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sonata_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/sonata_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sonata_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sonata_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_invariants_test.dir/planner_invariants_test.cc.o"
+  "CMakeFiles/planner_invariants_test.dir/planner_invariants_test.cc.o.d"
+  "planner_invariants_test"
+  "planner_invariants_test.pdb"
+  "planner_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_run.dir/sonata_run.cc.o"
+  "CMakeFiles/sonata_run.dir/sonata_run.cc.o.d"
+  "sonata_run"
+  "sonata_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
