@@ -16,7 +16,7 @@
 #include "planner/planner.h"
 #include "queries/catalog.h"
 #include "query/query.h"
-#include "runtime/runtime.h"
+#include "runtime/engine.h"
 #include "trace/trace.h"
 #include "util/ip.h"
 
@@ -71,11 +71,13 @@ int main() {
 
   // ------------------------------------------------------------------
   // 4. Run the window loop and report detections + stream-processor load.
+  //    make_engine picks the driver from the topology; {.switches = 8,
+  //    .worker_threads = 8} would run the same plan on a parallel fleet.
   // ------------------------------------------------------------------
-  runtime::Runtime rt(plan);
+  const auto engine = runtime::make_engine(plan);
   std::uint64_t total_packets = 0;
   std::uint64_t total_tuples = 0;
-  for (const auto& ws : rt.run_trace(trace)) {
+  for (const auto& ws : engine->run_trace(trace)) {
     total_packets += ws.packets;
     total_tuples += ws.tuples_to_sp;
     for (const auto& result : ws.results) {

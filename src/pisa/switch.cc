@@ -221,6 +221,12 @@ void Switch::process_tuple(const Tuple& source, std::vector<EmitRecord>& out) {
   }
 }
 
+const std::vector<EmitRecord>& Switch::process_tuple(const Tuple& source) {
+  emit_buffer_.clear();
+  process_tuple(source, emit_buffer_);
+  return emit_buffer_;
+}
+
 int Switch::update_filter_entries(const std::string& table_name,
                                   std::vector<query::Tuple> entries) {
   int updated = 0;

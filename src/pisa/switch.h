@@ -152,6 +152,12 @@ class Switch {
   // Process a pre-materialized source tuple (hot path for replays).
   void process_tuple(const query::Tuple& source, std::vector<EmitRecord>& out);
 
+  // Thread-confined variant: processes into the switch's internal emit
+  // buffer (cleared per call) and returns it. A Switch must be driven by at
+  // most one thread at a time — the fleet pins each switch to a single
+  // worker, so this buffer never crosses threads between window barriers.
+  const std::vector<EmitRecord>& process_tuple(const query::Tuple& source);
+
   [[nodiscard]] const std::vector<std::unique_ptr<CompiledSwitchQuery>>& pipelines() const noexcept {
     return pipelines_;
   }
@@ -186,6 +192,7 @@ class Switch {
   std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines_;
   Layout layout_;
   SwitchStats stats_;
+  std::vector<EmitRecord> emit_buffer_;  // thread-confined, see process_tuple
   // Guard table: source-schema column index -> blocked key values.
   std::vector<std::pair<std::size_t, std::unordered_set<query::Value, query::ValueHasher>>>
       blocks_;

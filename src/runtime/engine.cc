@@ -1,0 +1,36 @@
+#include "runtime/engine.h"
+
+#include "runtime/fleet.h"
+#include "runtime/runtime.h"
+#include "util/time.h"
+
+namespace sonata::runtime {
+
+WindowStats TelemetryEngine::process_window(std::span<const net::Packet> packets) {
+  for (const auto& p : packets) ingest(p);
+  return close_window();
+}
+
+std::vector<WindowStats> TelemetryEngine::run_trace(std::span<const net::Packet> trace) {
+  std::vector<WindowStats> out;
+  const util::Nanos w = plan().window;
+  std::size_t begin = 0;
+  while (begin < trace.size()) {
+    const std::uint64_t idx = util::window_index(trace[begin].ts, w);
+    std::size_t end = begin;
+    while (end < trace.size() && util::window_index(trace[end].ts, w) == idx) ++end;
+    out.push_back(process_window(trace.subspan(begin, end - begin)));
+    begin = end;
+  }
+  return out;
+}
+
+std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan, const EngineOptions& opts) {
+  if (opts.switches <= 1 && opts.worker_threads == 0) {
+    return std::make_unique<Runtime>(std::move(plan));
+  }
+  return std::make_unique<Fleet>(std::move(plan), std::max<std::size_t>(opts.switches, 1),
+                                 opts.worker_threads);
+}
+
+}  // namespace sonata::runtime

@@ -1,0 +1,59 @@
+// The unified driver interface.
+//
+// Every execution driver — single-switch `Runtime`, serial or parallel
+// `Fleet` — is a TelemetryEngine: packets go in via ingest(), windows close
+// via close_window(), and run_trace() provides the shared trace-replay
+// window loop. Tools, examples, benchmarks and tests program against this
+// interface; `make_engine` picks the driver from topology options so
+// callers never hard-code one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "planner/planner.h"
+#include "runtime/stream_processor.h"
+
+namespace sonata::runtime {
+
+class TelemetryEngine {
+ public:
+  virtual ~TelemetryEngine() = default;
+
+  // Ingest one packet into the current window (routing to a data plane is
+  // driver-specific).
+  virtual void ingest(const net::Packet& packet) = 0;
+
+  // Close the current window: poll registers, merge at the stream
+  // processor, refine, reset. Returns the window's aggregated stats.
+  virtual WindowStats close_window() = 0;
+
+  // -- stats accessors --------------------------------------------------
+  [[nodiscard]] virtual const planner::Plan& plan() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t data_plane_count() const noexcept = 0;
+  [[nodiscard]] virtual const pisa::Switch& data_plane(std::size_t i) const = 0;
+  [[nodiscard]] virtual const Emitter& emitter() const noexcept = 0;
+
+  // Batch interface: process one window's packets and close the window.
+  WindowStats process_window(std::span<const net::Packet> packets);
+
+  // Replay a whole trace, splitting it into windows by the plan's window
+  // size. Returns per-window stats.
+  std::vector<WindowStats> run_trace(std::span<const net::Packet> trace);
+};
+
+// Topology options for make_engine.
+struct EngineOptions {
+  std::size_t switches = 1;        // ingress switches sharing the plan
+  std::size_t worker_threads = 0;  // fleet workers; 0 = run in the caller
+};
+
+// Build the right driver for a topology: a single-switch Runtime for
+// {switches == 1, worker_threads == 0}, a (possibly parallel) Fleet
+// otherwise. The plan's base queries must outlive the engine.
+[[nodiscard]] std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan,
+                                                           const EngineOptions& opts = {});
+
+}  // namespace sonata::runtime

@@ -1,5 +1,6 @@
 #include "runtime/fleet.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/hash.h"
@@ -10,27 +11,15 @@ using planner::PlannedPipeline;
 using planner::PlannedQuery;
 using query::Tuple;
 
-Fleet::Fleet(planner::Plan plan, std::size_t switch_count) : plan_(std::move(plan)) {
+Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads)
+    : plan_(std::move(plan)), sp_(plan_) {
   assert(switch_count >= 1);
-  // Shared stream executors, exactly as in Runtime.
-  for (const PlannedQuery& pq : plan_.queries) {
-    QueryState qs;
-    qs.pq = &pq;
-    for (const int level : pq.chain) {
-      LevelExec le;
-      le.level = level;
-      le.exec = std::make_unique<stream::QueryExecutor>(pq.exec_queries.at(level));
-      qs.levels.push_back(std::move(le));
-    }
-    queries_.push_back(std::move(qs));
-    for (const PlannedPipeline& p : pq.pipelines) {
-      if (p.partition == 0) raw_feeds_.push_back({p.qid, p.level, p.source_index});
-    }
-  }
+  raw_mirror_ = sp_.wants_raw_mirror();
 
   // One identical switch program per ingress point.
   for (std::size_t i = 0; i < switch_count; ++i) {
-    auto sw = std::make_unique<pisa::Switch>(plan_.switch_config);
+    auto shard = std::make_unique<Shard>();
+    shard->sw = std::make_unique<pisa::Switch>(plan_.switch_config);
     std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> pipelines;
     std::vector<pisa::ProgramResources> resources;
     for (const PlannedQuery& pq : plan_.queries) {
@@ -47,55 +36,90 @@ Fleet::Fleet(planner::Plan plan, std::size_t switch_count) : plan_(std::move(pla
                                                   p.source_index, p.level));
       }
     }
-    const std::string err = sw->install(std::move(pipelines), resources);
+    const std::string err = shard->sw->install(std::move(pipelines), resources);
     assert(err.empty() && "plan does not fit the switch it was planned for");
     (void)err;
-    switches_.push_back(std::move(sw));
+    shards_.push_back(std::move(shard));
   }
-}
 
-int Fleet::remap_source(query::QueryId qid, int level, int source_index) const {
-  for (const auto& qs : queries_) {
-    if (qs.pq->base->id() != qid) continue;
-    const auto it = qs.pq->source_remap.find(level);
-    if (it == qs.pq->source_remap.end()) return source_index;
-    return it->second.at(static_cast<std::size_t>(source_index));
-  }
-  return source_index;
-}
-
-stream::QueryExecutor& Fleet::executor(query::QueryId qid, int level) {
-  for (auto& qs : queries_) {
-    if (qs.pq->base->id() != qid) continue;
-    for (auto& le : qs.levels) {
-      if (le.level == level) return *le.exec;
+  // Pin shard i to worker i % threads; each shard has exactly one consumer.
+  const std::size_t threads = std::min(worker_threads, switch_count);
+  for (std::size_t w = 0; w < threads; ++w) {
+    auto worker = std::make_unique<Worker>();
+    for (std::size_t i = w; i < shards_.size(); i += threads) {
+      worker->shards.push_back(shards_[i].get());
     }
+    workers_.push_back(std::move(worker));
   }
-  assert(false && "no executor for (qid, level)");
-  __builtin_unreachable();
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  }
+}
+
+Fleet::~Fleet() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) wake(*w);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Fleet::process_on_shard(Shard& shard, const net::Packet& packet) {
+  const Tuple source = query::materialize_tuple(packet);
+  const auto& recs = shard.sw->process_tuple(source);
+  shard.records.insert(shard.records.end(), recs.begin(), recs.end());
+  if (raw_mirror_) {
+    ++shard.raw_mirror_packets;
+    shard.raw_sources.push_back(source);
+  }
+  if (raw_mirror_ || !recs.empty()) ++shard.tuples_to_sp;
+}
+
+void Fleet::worker_loop(Worker& w) {
+  for (;;) {
+    bool did_work = false;
+    for (Shard* shard : w.shards) {
+      net::Packet p;
+      while (shard->queue.try_pop(p)) {
+        process_on_shard(*shard, p);
+        // Release-publish the buffer writes; the driver's acquire load at
+        // the barrier makes them visible without locks.
+        shard->drained.fetch_add(1, std::memory_order_release);
+        did_work = true;
+      }
+    }
+    if (did_work) continue;
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::unique_lock lk(w.mutex);
+    w.cv.wait(lk, [&] { return w.signal || stop_.load(std::memory_order_acquire); });
+    w.signal = false;
+  }
+}
+
+void Fleet::wake(Worker& w) {
+  {
+    std::lock_guard lk(w.mutex);
+    w.signal = true;
+  }
+  w.cv.notify_one();
 }
 
 void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
   ++current_.packets;
-  const Tuple source = query::materialize_tuple(packet);
-  scratch_.clear();
-  switches_.at(switch_index)->process_tuple(source, scratch_);
-  for (const auto& rec : scratch_) {
-    if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++current_.overflow_records;
-    const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
-    if (src_idx >= 0 && rec.kind != pisa::EmitRecord::Kind::kKeyReport) {
-      executor(rec.qid, rec.level).ingest(src_idx, rec.tuple, rec.op_index);
-    }
+  Shard& shard = *shards_.at(switch_index);
+  if (workers_.empty()) {
+    process_on_shard(shard, packet);
+    return;
   }
-  const bool raw = plan_.raw_mirror && !raw_feeds_.empty();
-  if (raw) {
-    ++current_.raw_mirror_packets;
-    for (const auto& feed : raw_feeds_) {
-      const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
-      if (src_idx >= 0) executor(feed.qid, feed.level).ingest(src_idx, source, 0);
-    }
+  Worker& w = *workers_[switch_index % workers_.size()];
+  const bool was_empty = shard.queue.empty();
+  while (!shard.queue.try_push(packet)) {
+    // Shard backlogged: make sure its worker is awake and yield to it.
+    wake(w);
+    std::this_thread::yield();
   }
-  if (raw || !scratch_.empty()) ++current_.tuples_to_sp;
+  ++shard.enqueued;
+  if (was_empty) wake(w);
 }
 
 void Fleet::ingest(const net::Packet& packet) {
@@ -103,89 +127,67 @@ void Fleet::ingest(const net::Packet& packet) {
       util::hash_combine(util::hash_combine(packet.src_ip, packet.dst_ip),
                          (static_cast<std::uint64_t>(packet.src_port) << 24) ^
                              (static_cast<std::uint64_t>(packet.dst_port) << 8) ^ packet.proto);
-  ingest_at(static_cast<std::size_t>(flow % switches_.size()), packet);
+  ingest_at(static_cast<std::size_t>(flow % shards_.size()), packet);
+}
+
+void Fleet::drain_barrier() {
+  if (workers_.empty()) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    while (shards_[i]->drained.load(std::memory_order_acquire) != shards_[i]->enqueued) {
+      // Workers may have raced to sleep around the last push; keep them
+      // awake until their queues are dry.
+      wake(*workers_[i % workers_.size()]);
+      std::this_thread::yield();
+    }
+  }
 }
 
 WindowStats Fleet::close_window() {
+  // 0. Window barrier: every shard queue drained, worker buffers published.
+  drain_barrier();
+
   std::vector<double> control_before;
-  control_before.reserve(switches_.size());
-  for (const auto& sw : switches_) control_before.push_back(sw->stats().control_update_millis);
+  control_before.reserve(shards_.size());
+  for (const auto& s : shards_) control_before.push_back(s->sw->stats().control_update_millis);
 
-  // 1. Poll every switch; partial aggregates merge at the shared reduce.
-  for (const auto& sw : switches_) {
-    for (const auto& p : sw->pipelines()) {
-      if (!p->has_stateful_tail()) continue;
-      const int src_idx =
-          remap_source(p->options().qid, p->options().level, p->options().source_index);
-      if (src_idx < 0) continue;
-      auto& exec = executor(p->options().qid, p->options().level);
-      for (Tuple& t : p->poll_aggregates()) {
-        exec.ingest(src_idx, std::move(t), p->poll_entry_op());
-      }
+  // 1. Merge shard outputs into the shared stream executors in ascending
+  //    switch order — deterministic regardless of worker interleaving.
+  for (auto& s : shards_) {
+    for (const auto& rec : s->records) {
+      if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++current_.overflow_records;
+      sp_.deliver(rec);
     }
+    for (const auto& src : s->raw_sources) sp_.deliver_raw(src);
+    current_.tuples_to_sp += s->tuples_to_sp;
+    current_.raw_mirror_packets += s->raw_mirror_packets;
+    s->records.clear();
+    s->raw_sources.clear();
+    s->tuples_to_sp = 0;
+    s->raw_mirror_packets = 0;
   }
 
-  // 2. Close coarse-to-fine; winners install on EVERY switch.
-  for (auto& qs : queries_) {
-    const PlannedQuery& pq = *qs.pq;
-    for (std::size_t li = 0; li < qs.levels.size(); ++li) {
-      std::vector<Tuple> outputs = qs.levels[li].exec->end_window();
-      const bool finest = li + 1 == qs.levels.size();
-      if (finest) {
-        current_.results.push_back({pq.base->id(), pq.base->name(), std::move(outputs)});
-        continue;
-      }
-      const int level = qs.levels[li].level;
-      const int next = qs.levels[li + 1].level;
-      const auto& schema = pq.exec_queries.at(level).root()->output_schema();
-      const std::string& key_col = pq.keys.empty() ? std::string{} : pq.keys.front().key_column;
-      const auto idx = schema.index_of(key_col);
-      std::vector<Tuple> winners;
-      if (idx) {
-        std::unordered_set<Tuple, query::TupleHasher> dedup;
-        for (const Tuple& out : outputs) {
-          Tuple key;
-          key.values.push_back(out.at(*idx));
-          if (dedup.insert(key).second) winners.push_back(std::move(key));
-        }
-      }
-      for (const auto& p : pq.pipelines) {
-        if (p.level != next || p.filter_table.empty()) continue;
-        for (const auto& sw : switches_) sw->update_filter_entries(p.filter_table, winners);
-        qs.levels[li + 1].exec->set_filter_entries(p.filter_table, winners);
-      }
-      auto& installed = current_.winners[pq.base->id()];
-      installed.insert(installed.end(), winners.begin(), winners.end());
-    }
-  }
+  // 2. Poll every switch; partial aggregates merge at the shared reduce.
+  for (const auto& s : shards_) sp_.poll_switch(*s->sw);
 
-  // 3. Reset all registers. Control latency = the slowest switch's update
+  // 3. Close coarse-to-fine; winners install on EVERY switch.
+  std::vector<pisa::Switch*> switches;
+  switches.reserve(shards_.size());
+  for (const auto& s : shards_) switches.push_back(s->sw.get());
+  sp_.close_levels(current_, switches);
+
+  // 4. Reset all registers. Control latency = the slowest switch's update
   //    time this window (updates run in parallel across the fleet).
   double control = 0.0;
-  for (std::size_t i = 0; i < switches_.size(); ++i) {
-    switches_[i]->reset_all_registers();
-    control = std::max(control, switches_[i]->stats().control_update_millis - control_before[i]);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->sw->reset_all_registers();
+    control =
+        std::max(control, shards_[i]->sw->stats().control_update_millis - control_before[i]);
   }
   current_.control_update_millis = control;
 
   current_.window_index = window_counter_++;
   WindowStats out = std::move(current_);
   current_ = WindowStats{};
-  return out;
-}
-
-std::vector<WindowStats> Fleet::run_trace(std::span<const net::Packet> trace) {
-  std::vector<WindowStats> out;
-  const util::Nanos w = plan_.window;
-  std::size_t begin = 0;
-  while (begin < trace.size()) {
-    const std::uint64_t idx = util::window_index(trace[begin].ts, w);
-    std::size_t end = begin;
-    while (end < trace.size() && util::window_index(trace[end].ts, w) == idx) ++end;
-    for (std::size_t i = begin; i < end; ++i) ingest(trace[i]);
-    out.push_back(close_window());
-    begin = end;
-  }
   return out;
 }
 

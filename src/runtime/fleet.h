@@ -12,70 +12,112 @@
 // headline capability of network-wide telemetry. Dynamic-refinement winner
 // keys are computed once (over merged state) and installed on every
 // switch.
+//
+// Threading model (DESIGN.md "Parallel fleet execution"). Each switch is a
+// *shard*: the switch itself, a bounded SPSC ingest queue fed by the
+// driver thread, and per-window output buffers (mirrored records, raw
+// mirror tuples, counters) written only by the shard's worker. With
+// `worker_threads == 0` shards execute inline in the caller; otherwise
+// shard i is pinned to worker i % worker_threads and the per-switch hot
+// path (parse -> match-action -> register updates -> emit) runs
+// concurrently during the window. close_window() is the barrier: the
+// driver waits until every queue is drained, then merges shard buffers in
+// ascending switch order — the same order the inline path produces — so
+// results and tuple counts are bit-identical for any thread count.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <span>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "pisa/switch.h"
 #include "planner/planner.h"
-#include "runtime/runtime.h"
+#include "runtime/engine.h"
+#include "runtime/spsc_queue.h"
+#include "runtime/stream_processor.h"
 
 namespace sonata::runtime {
 
-class Fleet {
+class Fleet final : public TelemetryEngine {
  public:
-  // Deploys `plan` on `switch_count` identical switches. The plan's base
+  // Deploys `plan` on `switch_count` identical switches, processed by
+  // `worker_threads` workers (0 = inline in the calling thread; capped at
+  // `switch_count` since a switch is single-consumer). The plan's base
   // queries must outlive the Fleet.
-  Fleet(planner::Plan plan, std::size_t switch_count);
+  Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads = 0);
+  ~Fleet() override;
 
-  [[nodiscard]] std::size_t size() const noexcept { return switches_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t worker_threads() const noexcept { return workers_.size(); }
 
   // Ingest a packet at a specific ingress switch.
   void ingest_at(std::size_t switch_index, const net::Packet& packet);
 
   // Default routing: hash the flow 5-tuple onto a switch (models ECMP-like
-  // traffic spread across ingress points).
-  void ingest(const net::Packet& packet);
+  // traffic spread across ingress points). Thread-count independent.
+  void ingest(const net::Packet& packet) override;
 
-  // Close the window fleet-wide: poll every switch, merge at the stream
-  // processor, refine, reset. Aggregated stats (packets/tuples summed over
-  // switches).
-  WindowStats close_window();
+  // Close the window fleet-wide: drain every shard queue (the window
+  // barrier), merge shard outputs in switch order, poll every switch,
+  // refine, reset. Aggregated stats (packets/tuples summed over switches).
+  WindowStats close_window() override;
 
-  std::vector<WindowStats> run_trace(std::span<const net::Packet> trace);
-
-  [[nodiscard]] const pisa::Switch& data_plane(std::size_t i) const { return *switches_.at(i); }
-  [[nodiscard]] const planner::Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const planner::Plan& plan() const noexcept override { return plan_; }
+  [[nodiscard]] std::size_t data_plane_count() const noexcept override { return shards_.size(); }
+  [[nodiscard]] const pisa::Switch& data_plane(std::size_t i) const override {
+    return *shards_.at(i)->sw;
+  }
+  [[nodiscard]] const Emitter& emitter() const noexcept override { return sp_.emitter(); }
 
  private:
-  stream::QueryExecutor& executor(query::QueryId qid, int level);
-  [[nodiscard]] int remap_source(query::QueryId qid, int level, int source_index) const;
+  // Ring sized for a healthy window burst; the driver spins (yield + wake)
+  // when a shard falls this far behind.
+  static constexpr std::size_t kQueueCapacity = 1024;
+
+  struct Shard {
+    std::unique_ptr<pisa::Switch> sw;
+    SpscQueue<net::Packet> queue{kQueueCapacity};
+
+    // Written only by the shard's worker between barriers; read and cleared
+    // by the driver thread after the barrier (publication via `drained`).
+    std::vector<pisa::EmitRecord> records;     // mirrored records, arrival order
+    std::vector<query::Tuple> raw_sources;     // raw-mirror tuples, arrival order
+    std::uint64_t tuples_to_sp = 0;
+    std::uint64_t raw_mirror_packets = 0;
+
+    std::uint64_t enqueued = 0;                // driver-only
+    std::atomic<std::uint64_t> drained{0};     // worker-written (release)
+  };
+
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool signal = false;  // guarded by mutex
+    std::vector<Shard*> shards;
+    std::thread thread;
+  };
+
+  // The per-switch data-plane hot path; runs on the shard's worker (or the
+  // driver thread when worker_threads == 0).
+  void process_on_shard(Shard& shard, const net::Packet& packet);
+  void worker_loop(Worker& w);
+  void wake(Worker& w);
+  void drain_barrier();
 
   planner::Plan plan_;
-  std::vector<std::unique_ptr<pisa::Switch>> switches_;
+  StreamProcessor sp_;
+  bool raw_mirror_ = false;  // sp_.wants_raw_mirror(), cached for workers
 
-  struct LevelExec {
-    int level = planner::kFinestIpLevel;
-    std::unique_ptr<stream::QueryExecutor> exec;
-  };
-  struct QueryState {
-    const planner::PlannedQuery* pq = nullptr;
-    std::vector<LevelExec> levels;
-  };
-  std::vector<QueryState> queries_;
-  struct RawFeed {
-    query::QueryId qid;
-    int level;
-    int source_index;
-  };
-  std::vector<RawFeed> raw_feeds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
 
   WindowStats current_;
   std::uint64_t window_counter_ = 0;
-  std::vector<pisa::EmitRecord> scratch_;
 };
 
 }  // namespace sonata::runtime

@@ -6,44 +6,20 @@
 
 namespace sonata::runtime {
 
-using planner::kNoPrevLevel;
 using planner::PlannedPipeline;
 using planner::PlannedQuery;
 using query::Tuple;
 
-void Emitter::deliver(const pisa::EmitRecord& rec, stream::QueryExecutor& exec,
-                      int exec_source_index) {
-  ++total_;
-  auto& s = stats_[rec.qid];
-  ++s.tuples;
-  if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++s.overflows;
-  if (rec.kind != pisa::EmitRecord::Kind::kKeyReport) {
-    // Key reports only notify the SP which registers to poll; the polled
-    // aggregates are ingested at window end.
-    exec.ingest(exec_source_index, rec.tuple, rec.op_index);
-  }
-}
-
-Runtime::Runtime(planner::Plan plan) : plan_(std::move(plan)), switch_(plan_.switch_config) {
-  // Build executable switch pipelines + resources for installed partitions.
+Runtime::Runtime(planner::Plan plan)
+    : plan_(std::move(plan)), switch_(plan_.switch_config), sp_(plan_) {
+  // Build executable switch pipelines + resources for installed partitions
+  // (partition-0 pipelines stay on the SP; StreamProcessor feeds them from
+  // the raw mirror).
   std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> pipelines;
   std::vector<pisa::ProgramResources> resources;
   for (const PlannedQuery& pq : plan_.queries) {
-    QueryState qs;
-    qs.pq = &pq;
-    for (const int level : pq.chain) {
-      LevelExec le;
-      le.level = level;
-      le.exec = std::make_unique<stream::QueryExecutor>(pq.exec_queries.at(level));
-      qs.levels.push_back(std::move(le));
-    }
-    queries_.push_back(std::move(qs));
-
     for (const PlannedPipeline& p : pq.pipelines) {
-      if (p.partition == 0) {
-        raw_feeds_.push_back({p.qid, p.level, p.source_index});
-        continue;
-      }
+      if (p.partition == 0) continue;
       pisa::CompiledSwitchQuery::Options opts;
       opts.qid = p.qid;
       opts.source_index = p.source_index;
@@ -60,27 +36,6 @@ Runtime::Runtime(planner::Plan plan) : plan_(std::move(plan)), switch_(plan_.swi
   (void)err;
 }
 
-int Runtime::remap_source(query::QueryId qid, int level, int source_index) const {
-  for (const auto& qs : queries_) {
-    if (qs.pq->base->id() != qid) continue;
-    const auto it = qs.pq->source_remap.find(level);
-    if (it == qs.pq->source_remap.end()) return source_index;
-    return it->second.at(static_cast<std::size_t>(source_index));
-  }
-  return source_index;
-}
-
-stream::QueryExecutor& Runtime::executor(query::QueryId qid, int level) {
-  for (auto& qs : queries_) {
-    if (qs.pq->base->id() != qid) continue;
-    for (auto& le : qs.levels) {
-      if (le.level == level) return *le.exec;
-    }
-  }
-  assert(false && "no executor for (qid, level)");
-  __builtin_unreachable();
-}
-
 void Runtime::ingest(const net::Packet& packet) {
   ++current_.packets;
   const Tuple source = query::materialize_tuple(packet);
@@ -92,17 +47,13 @@ void Runtime::ingest(const net::Packet& packet) {
       ++current_.overflow_records;
       ++total_overflows_;
     }
-    emitter_.deliver(rec, executor(rec.qid, rec.level),
-                     remap_source(rec.qid, rec.level, rec.source_index));
+    sp_.deliver(rec);
   }
-  const bool raw = plan_.raw_mirror && !raw_feeds_.empty();
+  const bool raw = sp_.wants_raw_mirror();
   if (raw) {
     ++current_.raw_mirror_packets;
     ++total_records_;
-    for (const auto& feed : raw_feeds_) {
-      const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
-      if (src_idx >= 0) executor(feed.qid, feed.level).ingest(src_idx, source, 0);
-    }
+    sp_.deliver_raw(source);
   }
   // One mirrored packet per original packet: the PHV carries a single
   // report bit plus every query's intermediate results (paper §3.1.3), so
@@ -112,71 +63,28 @@ void Runtime::ingest(const net::Packet& packet) {
 
 WindowStats Runtime::close_window() {
   // 1. Poll switch registers for stateful tails (control channel).
-  for (const auto& p : switch_.pipelines()) {
-    if (!p->has_stateful_tail()) continue;
-    auto& exec = executor(p->options().qid, p->options().level);
-    const int src_idx =
-        remap_source(p->options().qid, p->options().level, p->options().source_index);
-    if (src_idx < 0) continue;
-    for (Tuple& t : p->poll_aggregates()) {
-      exec.ingest(src_idx, std::move(t), p->poll_entry_op());
-    }
-  }
+  sp_.poll_switch(switch_);
 
-  // 2. Close levels coarse-to-fine; feed winners into the next level's
+  // 2. Close levels coarse-to-fine; winners install into the next level's
   //    dynamic filter tables (they take effect for the next window).
   const double control_before = switch_.stats().control_update_millis;
-  for (auto& qs : queries_) {
-    const PlannedQuery& pq = *qs.pq;
-    for (std::size_t li = 0; li < qs.levels.size(); ++li) {
-      std::vector<Tuple> outputs = qs.levels[li].exec->end_window();
-      const bool finest = li + 1 == qs.levels.size();
-      if (finest) {
-        current_.results.push_back({pq.base->id(), pq.base->name(), std::move(outputs)});
-        continue;
-      }
-      // Winner keys: the refinement key column of this level's output.
-      const int level = qs.levels[li].level;
-      const int next = qs.levels[li + 1].level;
-      const auto& schema = pq.exec_queries.at(level).root()->output_schema();
-      const std::string& key_col =
-          pq.keys.empty() ? std::string{} : pq.keys.front().key_column;
-      const auto idx = schema.index_of(key_col);
-      std::vector<Tuple> winners;
-      if (idx) {
-        std::unordered_set<Tuple, query::TupleHasher> dedup;
-        for (const Tuple& out : outputs) {
-          Tuple key;
-          key.values.push_back(out.at(*idx));
-          if (dedup.insert(key).second) winners.push_back(std::move(key));
-        }
-      }
-      // Install on both sides: every source's next-level pipeline.
-      for (const auto& p : pq.pipelines) {
-        if (p.level != next || p.filter_table.empty()) continue;
-        switch_.update_filter_entries(p.filter_table, winners);
-        qs.levels[li + 1].exec->set_filter_entries(p.filter_table, winners);
-      }
-      auto& installed = current_.winners[pq.base->id()];
-      installed.insert(installed.end(), winners.begin(), winners.end());
-    }
-  }
+  pisa::Switch* const switches[] = {&switch_};
+  sp_.close_levels(current_, switches);
 
   // 3. Closed-loop mitigation: block the keys behind this window's
   //    detections (takes effect from the next window; paper Section 8).
   for (const auto& policy : mitigations_) {
-    for (const auto& qs : queries_) {
-      if (qs.pq->base->id() != policy.qid) continue;
-      const int finest = qs.pq->chain.back();
-      const auto& schema = qs.pq->exec_queries.at(finest).root()->output_schema();
-      const auto col = schema.index_of(policy.output_column);
-      if (!col) continue;
-      for (const auto& result : current_.results) {
-        if (result.qid != policy.qid) continue;
-        for (const auto& t : result.outputs) {
-          if (switch_.blocked_keys() >= policy.max_entries) break;
-          switch_.block(policy.packet_field, t.at(*col));
-        }
+    const PlannedQuery* pq = sp_.planned(policy.qid);
+    if (!pq) continue;
+    const int finest = pq->chain.back();
+    const auto& schema = pq->exec_queries.at(finest).root()->output_schema();
+    const auto col = schema.index_of(policy.output_column);
+    if (!col) continue;
+    for (const auto& result : current_.results) {
+      if (result.qid != policy.qid) continue;
+      for (const auto& t : result.outputs) {
+        if (switch_.blocked_keys() >= policy.max_entries) break;
+        switch_.block(policy.packet_field, t.at(*col));
       }
     }
   }
@@ -201,25 +109,6 @@ WindowStats Runtime::close_window() {
   current_.window_index = window_counter_++;
   WindowStats out = std::move(current_);
   current_ = WindowStats{};
-  return out;
-}
-
-WindowStats Runtime::process_window(std::span<const net::Packet> packets) {
-  for (const auto& p : packets) ingest(p);
-  return close_window();
-}
-
-std::vector<WindowStats> Runtime::run_trace(std::span<const net::Packet> trace) {
-  std::vector<WindowStats> out;
-  const util::Nanos w = plan_.window;
-  std::size_t begin = 0;
-  while (begin < trace.size()) {
-    const std::uint64_t idx = util::window_index(trace[begin].ts, w);
-    std::size_t end = begin;
-    while (end < trace.size() && util::window_index(trace[end].ts, w) == idx) ++end;
-    out.push_back(process_window(trace.subspan(begin, end - begin)));
-    begin = end;
-  }
   return out;
 }
 

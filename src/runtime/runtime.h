@@ -1,6 +1,6 @@
-// Sonata's runtime (paper Figure 6): drives the PISA switch, the emitter
-// and the stream processor through the window loop, and performs dynamic
-// refinement between windows.
+// Sonata's single-switch runtime (paper Figure 6): drives one PISA switch
+// and the shared stream processor through the window loop, and performs
+// dynamic refinement between windows.
 //
 // Per window:
 //   1. every packet runs through the installed switch pipelines; mirrored
@@ -14,6 +14,11 @@
 //   3. registers are reset; the finest level's outputs are the window's
 //      detections.
 //
+// The control-plane state (executors, source remapping, winner
+// installation) lives in the shared runtime::StreamProcessor; the Runtime
+// only owns the switch, the window loop, and the single-switch policies
+// (closed-loop mitigation, re-planning trigger).
+//
 // Tuple accounting matches the paper's evaluation: N counts packets the
 // switch sends toward the stream processor (streamed tuples, per-key
 // reports, collision overflows, and the shared raw mirror), not the
@@ -21,80 +26,32 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "pisa/switch.h"
 #include "planner/planner.h"
-#include "stream/executor.h"
+#include "runtime/engine.h"
+#include "runtime/stream_processor.h"
 
 namespace sonata::runtime {
 
-// The emitter (paper §5): parses mirrored packets by qid and forwards
-// tuples to the stream processor. In-process it is the routing + accounting
-// boundary between data plane and stream processor.
-class Emitter {
- public:
-  struct PerQuery {
-    std::uint64_t tuples = 0;
-    std::uint64_t overflows = 0;
-  };
-
-  void deliver(const pisa::EmitRecord& rec, stream::QueryExecutor& exec,
-               int exec_source_index);
-
-  [[nodiscard]] const std::map<query::QueryId, PerQuery>& per_query() const noexcept {
-    return stats_;
-  }
-  [[nodiscard]] std::uint64_t total_tuples() const noexcept { return total_; }
-
- private:
-  std::map<query::QueryId, PerQuery> stats_;
-  std::uint64_t total_ = 0;
-};
-
-struct QueryResult {
-  query::QueryId qid = 0;
-  std::string name;
-  std::vector<query::Tuple> outputs;  // finest-level results this window
-};
-
-struct WindowStats {
-  std::uint64_t window_index = 0;
-  std::uint64_t packets = 0;
-  std::uint64_t tuples_to_sp = 0;       // mirrored tuples + raw mirror
-  std::uint64_t raw_mirror_packets = 0; // subset of the above
-  std::uint64_t overflow_records = 0;
-  double control_update_millis = 0.0;   // driver latency at window end
-  std::uint64_t dropped_packets = 0;     // closed-loop mitigation drops
-  std::vector<QueryResult> results;
-  // Winner keys installed into next-level dynamic filters at the end of
-  // this window, per query (all coarse levels merged).
-  std::map<query::QueryId, std::vector<query::Tuple>> winners;
-};
-
-class Runtime {
+class Runtime final : public TelemetryEngine {
  public:
   // Takes ownership of a copy of the plan; the *base queries* the plan
   // references must outlive the Runtime.
   explicit Runtime(planner::Plan plan);
 
-  // Batch interface: process one window's packets and close the window.
-  WindowStats process_window(std::span<const net::Packet> packets);
+  // Streaming interface (TelemetryEngine).
+  void ingest(const net::Packet& packet) override;
+  WindowStats close_window() override;
 
-  // Streaming interface (used by the case-study benchmark).
-  void ingest(const net::Packet& packet);
-  WindowStats close_window();
-
-  // Convenience: run a whole trace, splitting it into windows by the plan's
-  // window size. Returns per-window stats.
-  std::vector<WindowStats> run_trace(std::span<const net::Packet> trace);
-
+  [[nodiscard]] const planner::Plan& plan() const noexcept override { return plan_; }
+  [[nodiscard]] std::size_t data_plane_count() const noexcept override { return 1; }
+  [[nodiscard]] const pisa::Switch& data_plane(std::size_t) const override { return switch_; }
   [[nodiscard]] const pisa::Switch& data_plane() const noexcept { return switch_; }
-  [[nodiscard]] const Emitter& emitter() const noexcept { return emitter_; }
-  [[nodiscard]] const planner::Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const Emitter& emitter() const noexcept override { return sp_.emitter(); }
 
   // Fraction of mirrored records caused by register-chain overflow since
   // start; the paper's runtime triggers re-planning when this spikes.
@@ -127,33 +84,9 @@ class Runtime {
   [[nodiscard]] bool replan_recommended() const noexcept { return replan_recommended_; }
 
  private:
-  struct LevelExec {
-    int level = planner::kFinestIpLevel;
-    std::unique_ptr<stream::QueryExecutor> exec;
-  };
-  struct QueryState {
-    const planner::PlannedQuery* pq = nullptr;
-    std::vector<LevelExec> levels;  // chain order (coarse -> fine)
-  };
-
-  stream::QueryExecutor& executor(query::QueryId qid, int level);
-  // Executor-side source index for an original source at a level (-1 when
-  // that source does not execute at the level — raw sources at coarse
-  // levels; see PlannedQuery::source_remap).
-  [[nodiscard]] int remap_source(query::QueryId qid, int level, int source_index) const;
-
   planner::Plan plan_;
   pisa::Switch switch_;
-  Emitter emitter_;
-  std::vector<QueryState> queries_;
-  // Pipelines kept at the stream processor (partition == 0), needing the
-  // raw mirror: (qid, level, source).
-  struct RawFeed {
-    query::QueryId qid;
-    int level;
-    int source_index;
-  };
-  std::vector<RawFeed> raw_feeds_;
+  StreamProcessor sp_;
 
   std::vector<MitigationPolicy> mitigations_;
   ReplanPolicy replan_policy_;

@@ -1,0 +1,60 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The fleet's ingest path: the driver thread (sole producer) routes each
+// packet to its ingress switch's queue; that switch's worker (sole
+// consumer) drains it. Lock-free — one release store per side; the
+// producer's store publishes the slot, the consumer's acquire load pairs
+// with it, so popped values are fully visible without locks (and clean
+// under ThreadSanitizer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace sonata::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false when the ring is full.
+  bool try_push(const T& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) == slots_.size()) return false;
+    slots_[head & (slots_.size() - 1)] = v;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[tail & (slots_.size() - 1)]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer-written
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-written
+};
+
+}  // namespace sonata::runtime

@@ -1,0 +1,136 @@
+#include "runtime/stream_processor.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace sonata::runtime {
+
+using planner::PlannedPipeline;
+using planner::PlannedQuery;
+using query::Tuple;
+
+void Emitter::record(const pisa::EmitRecord& rec) {
+  ++total_;
+  auto& s = stats_[rec.qid];
+  ++s.tuples;
+  if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++s.overflows;
+}
+
+StreamProcessor::StreamProcessor(const planner::Plan& plan) : plan_(&plan) {
+  for (const PlannedQuery& pq : plan_->queries) {
+    QueryState qs;
+    qs.pq = &pq;
+    for (const int level : pq.chain) {
+      LevelExec le;
+      le.level = level;
+      le.exec = std::make_unique<stream::QueryExecutor>(pq.exec_queries.at(level));
+      qs.levels.push_back(std::move(le));
+    }
+    queries_.push_back(std::move(qs));
+    for (const PlannedPipeline& p : pq.pipelines) {
+      if (p.partition == 0) raw_feeds_.push_back({p.qid, p.level, p.source_index});
+    }
+  }
+}
+
+const PlannedQuery* StreamProcessor::planned(query::QueryId qid) const noexcept {
+  for (const auto& qs : queries_) {
+    if (qs.pq->base->id() == qid) return qs.pq;
+  }
+  return nullptr;
+}
+
+int StreamProcessor::remap_source(query::QueryId qid, int level, int source_index) const {
+  if (const PlannedQuery* pq = planned(qid)) {
+    const auto it = pq->source_remap.find(level);
+    if (it == pq->source_remap.end()) return source_index;
+    return it->second.at(static_cast<std::size_t>(source_index));
+  }
+  return source_index;
+}
+
+stream::QueryExecutor& StreamProcessor::executor(query::QueryId qid, int level) {
+  for (auto& qs : queries_) {
+    if (qs.pq->base->id() != qid) continue;
+    for (auto& le : qs.levels) {
+      if (le.level == level) return *le.exec;
+    }
+  }
+  assert(false && "no executor for (qid, level)");
+  __builtin_unreachable();
+}
+
+void StreamProcessor::deliver(const pisa::EmitRecord& rec) {
+  emitter_.record(rec);
+  if (rec.kind == pisa::EmitRecord::Kind::kKeyReport) {
+    // Key reports only notify the SP which registers to poll; the polled
+    // aggregates are ingested at window end.
+    return;
+  }
+  const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
+  if (src_idx < 0) return;
+  executor(rec.qid, rec.level).ingest(src_idx, rec.tuple, rec.op_index);
+}
+
+void StreamProcessor::deliver_raw(const Tuple& source) {
+  for (const auto& feed : raw_feeds_) {
+    const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
+    if (src_idx >= 0) executor(feed.qid, feed.level).ingest(src_idx, source, 0);
+  }
+}
+
+void StreamProcessor::poll_switch(const pisa::Switch& sw) {
+  for (const auto& p : sw.pipelines()) {
+    if (!p->has_stateful_tail()) continue;
+    const int src_idx =
+        remap_source(p->options().qid, p->options().level, p->options().source_index);
+    if (src_idx < 0) continue;
+    auto& exec = executor(p->options().qid, p->options().level);
+    for (Tuple& t : p->poll_aggregates()) {
+      exec.ingest(src_idx, std::move(t), p->poll_entry_op());
+    }
+  }
+}
+
+void StreamProcessor::close_levels(WindowStats& window,
+                                   std::span<pisa::Switch* const> switches) {
+  // Close coarse-to-fine; each level's winner keys go into the next level's
+  // dynamic filter tables on every switch and on the SP side.
+  for (auto& qs : queries_) {
+    const PlannedQuery& pq = *qs.pq;
+    for (std::size_t li = 0; li < qs.levels.size(); ++li) {
+      std::vector<Tuple> outputs = qs.levels[li].exec->end_window();
+      const bool finest = li + 1 == qs.levels.size();
+      if (finest) {
+        window.results.push_back({pq.base->id(), pq.base->name(), std::move(outputs)});
+        continue;
+      }
+      // Winner keys: the refinement key column of this level's output.
+      const int level = qs.levels[li].level;
+      const int next = qs.levels[li + 1].level;
+      const auto& schema = pq.exec_queries.at(level).root()->output_schema();
+      const std::string& key_col =
+          pq.keys.empty() ? std::string{} : pq.keys.front().key_column;
+      const auto idx = schema.index_of(key_col);
+      std::vector<Tuple> winners;
+      if (idx) {
+        std::unordered_set<Tuple, query::TupleHasher> dedup;
+        for (const Tuple& out : outputs) {
+          Tuple key;
+          key.values.push_back(out.at(*idx));
+          if (dedup.insert(key).second) winners.push_back(std::move(key));
+        }
+      }
+      // Install on both sides: every source's next-level pipeline.
+      for (const auto& p : pq.pipelines) {
+        if (p.level != next || p.filter_table.empty()) continue;
+        for (pisa::Switch* sw : switches) sw->update_filter_entries(p.filter_table, winners);
+        qs.levels[li + 1].exec->set_filter_entries(p.filter_table, winners);
+      }
+      auto& installed = window.winners[pq.base->id()];
+      installed.insert(installed.end(), winners.begin(), winners.end());
+    }
+  }
+}
+
+}  // namespace sonata::runtime

@@ -1,0 +1,132 @@
+// The stream-processor side of the runtime, shared by every driver.
+//
+// Sonata's control plane is the same whether one switch or a fleet feeds
+// it: per-(query, level) stream executors, the per-level source remapping,
+// mirrored-record routing + accounting (the emitter), end-of-window
+// register polls, and the coarse-to-fine close that installs each level's
+// winner keys into the next level's dynamic filter tables. `Runtime` (one
+// switch) and `Fleet` (many switches) used to duplicate all of it; the
+// StreamProcessor is now the single source of truth, and the drivers only
+// own their data planes and the window loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pisa/switch.h"
+#include "planner/planner.h"
+#include "stream/executor.h"
+
+namespace sonata::runtime {
+
+// The emitter (paper §5): the accounting boundary between data plane and
+// stream processor. Counts every mirrored record per query.
+class Emitter {
+ public:
+  struct PerQuery {
+    std::uint64_t tuples = 0;
+    std::uint64_t overflows = 0;
+  };
+
+  void record(const pisa::EmitRecord& rec);
+
+  [[nodiscard]] const std::map<query::QueryId, PerQuery>& per_query() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t total_tuples() const noexcept { return total_; }
+
+ private:
+  std::map<query::QueryId, PerQuery> stats_;
+  std::uint64_t total_ = 0;
+};
+
+struct QueryResult {
+  query::QueryId qid = 0;
+  std::string name;
+  std::vector<query::Tuple> outputs;  // finest-level results this window
+};
+
+struct WindowStats {
+  std::uint64_t window_index = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t tuples_to_sp = 0;       // mirrored tuples + raw mirror
+  std::uint64_t raw_mirror_packets = 0; // subset of the above
+  std::uint64_t overflow_records = 0;
+  double control_update_millis = 0.0;   // driver latency at window end
+  std::uint64_t dropped_packets = 0;     // closed-loop mitigation drops
+  std::vector<QueryResult> results;
+  // Winner keys installed into next-level dynamic filters at the end of
+  // this window, per query (all coarse levels merged).
+  std::map<query::QueryId, std::vector<query::Tuple>> winners;
+};
+
+class StreamProcessor {
+ public:
+  // `plan` must outlive the StreamProcessor (drivers own the plan copy).
+  explicit StreamProcessor(const planner::Plan& plan);
+
+  StreamProcessor(const StreamProcessor&) = delete;
+  StreamProcessor& operator=(const StreamProcessor&) = delete;
+
+  // Route one mirrored record into the right executor (key reports only
+  // notify the SP which registers to poll; they count but do not ingest).
+  void deliver(const pisa::EmitRecord& rec);
+
+  // Feed the shared raw mirror: `source` enters every SP-kept pipeline
+  // (partition == 0) whose source executes at its level.
+  void deliver_raw(const query::Tuple& source);
+
+  // True when the plan mirrors raw packets and some pipeline consumes them.
+  [[nodiscard]] bool wants_raw_mirror() const noexcept {
+    return plan_->raw_mirror && !raw_feeds_.empty();
+  }
+
+  // End-of-window register poll for one switch's stateful tails (control
+  // channel); polled aggregates merge at the shared reduce.
+  void poll_switch(const pisa::Switch& sw);
+
+  // Close every level coarse-to-fine: finest outputs land in
+  // `window.results`; coarse winners install into the next level's dynamic
+  // filter tables on the SP side and on every switch in `switches` (they
+  // take effect for the next window).
+  void close_levels(WindowStats& window, std::span<pisa::Switch* const> switches);
+
+  [[nodiscard]] stream::QueryExecutor& executor(query::QueryId qid, int level);
+  // Executor-side source index for an original source at a level (-1 when
+  // that source does not execute at the level — raw sources at coarse
+  // levels; see PlannedQuery::source_remap).
+  [[nodiscard]] int remap_source(query::QueryId qid, int level, int source_index) const;
+
+  // The planned query behind `qid` (nullptr when unknown).
+  [[nodiscard]] const planner::PlannedQuery* planned(query::QueryId qid) const noexcept;
+
+  [[nodiscard]] const Emitter& emitter() const noexcept { return emitter_; }
+
+ private:
+  struct LevelExec {
+    int level = planner::kFinestIpLevel;
+    std::unique_ptr<stream::QueryExecutor> exec;
+  };
+  struct QueryState {
+    const planner::PlannedQuery* pq = nullptr;
+    std::vector<LevelExec> levels;  // chain order (coarse -> fine)
+  };
+  // Pipelines kept at the stream processor (partition == 0), needing the
+  // raw mirror: (qid, level, source).
+  struct RawFeed {
+    query::QueryId qid;
+    int level;
+    int source_index;
+  };
+
+  const planner::Plan* plan_;
+  std::vector<QueryState> queries_;
+  std::vector<RawFeed> raw_feeds_;
+  Emitter emitter_;
+};
+
+}  // namespace sonata::runtime

@@ -3,12 +3,17 @@
 //   sonata_run --queries FILE [--pcap FILE] [--mode sonata|all-sp|filter-dp|
 //              max-dp|fix-ref] [--window SECONDS] [--emit-p4 FILE]
 //              [--train-pcap FILE] [--synthetic SECONDS] [--seed N]
+//              [--switches N] [--threads N]
 //
 // Loads telemetry queries from the declarative DSL (see query/parser.h),
 // plans them against training traffic (a pcap or a synthetic trace), prints
 // the plan, optionally emits the generated P4 program for the switch side,
 // runs the full window loop, and reports per-window detections and
-// stream-processor load.
+// stream-processor load. `--switches N` deploys the plan on an N-switch
+// fleet (ECMP-hashed ingress); `--threads N` processes the fleet on N
+// worker threads — both run behind the same TelemetryEngine interface, and
+// results are identical for any switch/thread combination that sees the
+// whole trace.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,7 +24,7 @@
 #include "stream/sparkgen.h"
 #include "planner/planner.h"
 #include "query/parser.h"
-#include "runtime/runtime.h"
+#include "runtime/engine.h"
 #include "trace/trace.h"
 #include "util/ip.h"
 #include "util/log.h"
@@ -38,6 +43,8 @@ struct Args {
   double window_sec = 3.0;
   double synthetic_sec = 0.0;
   std::uint64_t seed = 1;
+  std::size_t switches = 1;
+  std::size_t threads = 0;
   bool verbose = false;
 };
 
@@ -47,7 +54,7 @@ void usage() {
                "                  [--train-pcap FILE] [--mode sonata|all-sp|filter-dp|"
                "max-dp|fix-ref]\n"
                "                  [--window SECONDS] [--emit-p4 FILE] [--emit-spark FILE]\n"
-               "                  [--seed N] [--verbose]\n");
+               "                  [--switches N] [--threads N] [--seed N] [--verbose]\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -96,6 +103,18 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--switches") {
+      const char* v = value();
+      if (!v) return false;
+      args.switches = std::strtoull(v, nullptr, 10);
+      if (args.switches == 0) {
+        std::fprintf(stderr, "--switches must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (!v) return false;
+      args.threads = std::strtoull(v, nullptr, 10);
     } else if (arg == "--verbose") {
       args.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -259,12 +278,19 @@ int main(int argc, char** argv) {
     std::printf("Wrote generated Spark jobs to %s\n\n", args.emit_spark_path.c_str());
   }
 
-  // 6. Run.
-  runtime::Runtime rt(plan);
+  // 6. Run: every topology goes through the same TelemetryEngine interface.
+  runtime::EngineOptions topo;
+  topo.switches = args.switches;
+  topo.worker_threads = args.threads;
+  const auto engine = runtime::make_engine(plan, topo);
+  if (args.switches > 1 || args.threads > 0) {
+    std::printf("Deploying on %zu switch%s (%zu worker thread%s)\n", args.switches,
+                args.switches == 1 ? "" : "es", args.threads, args.threads == 1 ? "" : "s");
+  }
   std::uint64_t total_packets = 0;
   std::uint64_t total_tuples = 0;
   std::uint64_t total_detections = 0;
-  for (const auto& ws : rt.run_trace(trace)) {
+  for (const auto& ws : engine->run_trace(trace)) {
     total_packets += ws.packets;
     total_tuples += ws.tuples_to_sp;
     for (const auto& result : ws.results) {
