@@ -84,20 +84,20 @@ CompiledSwitchQuery::CompiledSwitchQuery(const query::StreamNode& node, Options 
   }
 }
 
-std::optional<EmitRecord> CompiledSwitchQuery::process(const Tuple& source) {
+bool CompiledSwitchQuery::process_into(const Tuple& source, EmitSink& sink) {
   ++packets_seen_;
   Tuple current = source;
   for (auto& cop : ops_) {
     switch (cop.kind) {
       case OpKind::kFilter: {
-        if (cop.pred(current).as_uint() == 0) return std::nullopt;
+        if (cop.pred(current).as_uint() == 0) return false;
         break;
       }
       case OpKind::kFilterIn: {
         Tuple key;
         key.values.reserve(cop.match.size());
         for (const auto& m : cop.match) key.values.push_back(m(current));
-        if (!cop.entries.contains(key)) return std::nullopt;
+        if (!cop.entries.contains(key)) return false;
         break;
       }
       case OpKind::kMap: {
@@ -112,10 +112,11 @@ std::optional<EmitRecord> CompiledSwitchQuery::process(const Tuple& source) {
         if (r.overflow) {
           ++emitted_;
           ++overflows_;
-          return EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
-                            opts_.level, cop.op_index, std::move(current)};
+          sink.append(EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
+                                 opts_.level, cop.op_index, std::move(current)});
+          return true;
         }
-        if (!r.newly_inserted) return std::nullopt;  // duplicate within window
+        if (!r.newly_inserted) return false;  // duplicate within window
         break;
       }
       case OpKind::kReduce: {
@@ -126,8 +127,9 @@ std::optional<EmitRecord> CompiledSwitchQuery::process(const Tuple& source) {
           ++emitted_;
           ++overflows_;
           // The SP re-runs the reduce (and everything after) for this key.
-          return EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
-                            opts_.level, cop.op_index, std::move(current)};
+          sink.append(EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
+                                 opts_.level, cop.op_index, std::move(current)});
+          return true;
         }
         bool report = false;
         if (cop.folded) {
@@ -137,19 +139,27 @@ std::optional<EmitRecord> CompiledSwitchQuery::process(const Tuple& source) {
         } else {
           report = r.newly_inserted;
         }
-        if (!report) return std::nullopt;
+        if (!report) return false;
         Tuple out = std::move(key);
         out.values.emplace_back(r.value);
         ++emitted_;
-        return EmitRecord{EmitRecord::Kind::kKeyReport, opts_.qid, opts_.source_index,
-                          opts_.level, poll_entry_, std::move(out)};
+        sink.append(EmitRecord{EmitRecord::Kind::kKeyReport, opts_.qid, opts_.source_index,
+                               opts_.level, poll_entry_, std::move(out)});
+        return true;
       }
     }
   }
   // Stateless tail: the tuple itself streams to the SP.
   ++emitted_;
-  return EmitRecord{EmitRecord::Kind::kStream, opts_.qid, opts_.source_index, opts_.level,
-                    opts_.partition, std::move(current)};
+  sink.append(EmitRecord{EmitRecord::Kind::kStream, opts_.qid, opts_.source_index, opts_.level,
+                         opts_.partition, std::move(current)});
+  return true;
+}
+
+std::optional<EmitRecord> CompiledSwitchQuery::process(const Tuple& source) {
+  EmitSink sink;
+  if (!process_into(source, sink)) return std::nullopt;
+  return std::move(sink.records().front());
 }
 
 std::vector<Tuple> CompiledSwitchQuery::poll_aggregates() const {
@@ -199,12 +209,7 @@ std::string Switch::install(std::vector<std::unique_ptr<CompiledSwitchQuery>> pi
   return {};
 }
 
-void Switch::process(const net::Packet& packet, std::vector<EmitRecord>& out) {
-  const Tuple source = query::materialize_tuple(packet);
-  process_tuple(source, out);
-}
-
-void Switch::process_tuple(const Tuple& source, std::vector<EmitRecord>& out) {
+void Switch::process_one(const Tuple& source, EmitSink& sink) {
   ++stats_.packets_processed;
   for (const auto& [col, keys] : blocks_) {
     if (col < source.size() && keys.contains(source.at(col))) {
@@ -212,19 +217,29 @@ void Switch::process_tuple(const Tuple& source, std::vector<EmitRecord>& out) {
       return;  // guard table drops the packet at line rate
     }
   }
+  const std::size_t before = sink.size();
   for (auto& p : pipelines_) {
-    if (auto rec = p->process(source)) {
+    if (p->process_into(source, sink)) {
       ++stats_.records_emitted;
-      if (rec->kind == EmitRecord::Kind::kOverflow) ++stats_.overflow_records;
-      out.push_back(std::move(*rec));
+      if (sink.records().back().kind == EmitRecord::Kind::kOverflow) ++stats_.overflow_records;
     }
   }
+  if (sink.size() != before) sink.note_packet_with_records();
 }
 
-const std::vector<EmitRecord>& Switch::process_tuple(const Tuple& source) {
-  emit_buffer_.clear();
-  process_tuple(source, emit_buffer_);
-  return emit_buffer_;
+void Switch::process_batch(std::span<const Tuple> sources, EmitSink& sink) {
+  for (const Tuple& source : sources) process_one(source, sink);
+}
+
+void Switch::process(const net::Packet& packet, std::vector<EmitRecord>& out) {
+  const Tuple source = query::materialize_tuple(packet);
+  process_tuple(source, out);
+}
+
+void Switch::process_tuple(const Tuple& source, std::vector<EmitRecord>& out) {
+  scratch_sink_.clear();
+  process_one(source, scratch_sink_);
+  for (EmitRecord& rec : scratch_sink_.records()) out.push_back(std::move(rec));
 }
 
 int Switch::update_filter_entries(const std::string& table_name,

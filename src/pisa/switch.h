@@ -12,11 +12,15 @@
 // dynamic-refinement overhead micro-benchmark (paper §6.2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "pisa/compile.h"
@@ -43,6 +47,43 @@ struct EmitRecord {
   query::Tuple tuple;
 };
 
+// Caller-owned arena for mirrored records — the batched data path's
+// replacement for returning optional<EmitRecord> per packet. Records are
+// appended in packet-arrival order; clear() keeps the capacity, so a
+// driver that reuses one sink per shard allocates only until the high-water
+// mark of a window. The packets_with_records counter feeds the drivers'
+// tuple accounting (one mirrored packet per source packet with at least one
+// emission, paper §3.1.3).
+class EmitSink {
+ public:
+  template <typename... Args>
+  EmitRecord& append(Args&&... args) {
+    return records_.emplace_back(std::forward<Args>(args)...);
+  }
+
+  // Drop everything but keep the allocation (arena reuse).
+  void clear() noexcept {
+    records_.clear();
+    packets_with_records_ = 0;
+  }
+
+  [[nodiscard]] std::span<EmitRecord> records() noexcept { return records_; }
+  [[nodiscard]] std::span<const EmitRecord> records() const noexcept {
+    return {records_.data(), records_.size()};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  [[nodiscard]] std::uint64_t packets_with_records() const noexcept {
+    return packets_with_records_;
+  }
+  void note_packet_with_records() noexcept { ++packets_with_records_; }
+
+ private:
+  std::vector<EmitRecord> records_;
+  std::uint64_t packets_with_records_ = 0;
+};
+
 // Executable form of one partitioned (and possibly refined) sub-query.
 class CompiledSwitchQuery {
  public:
@@ -57,8 +98,12 @@ class CompiledSwitchQuery {
   // `node` must stay alive and validated for the lifetime of this object.
   CompiledSwitchQuery(const query::StreamNode& node, Options opts);
 
-  // Process one source tuple; returns a mirrored record if the report flag
-  // is set at the end of the pipeline.
+  // Process one source tuple; a mirrored record is appended to `sink` if
+  // the report flag is set at the end of the pipeline. Returns whether a
+  // record was emitted.
+  bool process_into(const query::Tuple& source, EmitSink& sink);
+
+  // Convenience wrapper around process_into for single-packet callers.
   [[nodiscard]] std::optional<EmitRecord> process(const query::Tuple& source);
 
   // True when the pipeline ends in a register (reduce) the stream
@@ -145,18 +190,22 @@ class Switch {
   [[nodiscard]] std::string install(std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines,
                                     const std::vector<ProgramResources>& resources);
 
+  // The batched hot path: process every pre-materialized source tuple
+  // through every installed pipeline, appending mirrored records to the
+  // caller-owned sink in arrival order. A Switch must be driven by at most
+  // one thread at a time — the fleet pins each switch to a single worker.
+  void process_batch(std::span<const query::Tuple> sources, EmitSink& sink);
+
+  // Single-tuple variant of process_batch (same sink contract).
+  void process_one(const query::Tuple& source, EmitSink& sink);
+
   // Process one packet through every installed pipeline; emitted records
   // are appended to `out`.
   void process(const net::Packet& packet, std::vector<EmitRecord>& out);
 
-  // Process a pre-materialized source tuple (hot path for replays).
+  // Process a pre-materialized source tuple (compatibility wrapper over
+  // process_one for single-packet callers).
   void process_tuple(const query::Tuple& source, std::vector<EmitRecord>& out);
-
-  // Thread-confined variant: processes into the switch's internal emit
-  // buffer (cleared per call) and returns it. A Switch must be driven by at
-  // most one thread at a time — the fleet pins each switch to a single
-  // worker, so this buffer never crosses threads between window barriers.
-  const std::vector<EmitRecord>& process_tuple(const query::Tuple& source);
 
   [[nodiscard]] const std::vector<std::unique_ptr<CompiledSwitchQuery>>& pipelines() const noexcept {
     return pipelines_;
@@ -192,7 +241,7 @@ class Switch {
   std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines_;
   Layout layout_;
   SwitchStats stats_;
-  std::vector<EmitRecord> emit_buffer_;  // thread-confined, see process_tuple
+  EmitSink scratch_sink_;  // backs the legacy vector-based wrappers
   // Guard table: source-schema column index -> blocked key values.
   std::vector<std::pair<std::size_t, std::unordered_set<query::Value, query::ValueHasher>>>
       blocks_;

@@ -22,32 +22,34 @@ FieldRegistry::FieldRegistry() {
 
   fields_ = {
       {std::string(fields::kSrcIp), ValueKind::kUint, 32, true, /*hierarchical=*/true,
-       [u](const Packet& p) { return u(p.src_ip); }},
+       [u](const Packet& p) { return u(p.src_ip); }, BuiltinField::kSrcIp},
       {std::string(fields::kDstIp), ValueKind::kUint, 32, true, /*hierarchical=*/true,
-       [u](const Packet& p) { return u(p.dst_ip); }},
+       [u](const Packet& p) { return u(p.dst_ip); }, BuiltinField::kDstIp},
       {std::string(fields::kSrcPort), ValueKind::kUint, 16, true, false,
-       [u](const Packet& p) { return u(p.src_port); }},
+       [u](const Packet& p) { return u(p.src_port); }, BuiltinField::kSrcPort},
       {std::string(fields::kDstPort), ValueKind::kUint, 16, true, false,
-       [u](const Packet& p) { return u(p.dst_port); }},
+       [u](const Packet& p) { return u(p.dst_port); }, BuiltinField::kDstPort},
       {std::string(fields::kProto), ValueKind::kUint, 8, true, false,
-       [u](const Packet& p) { return u(p.proto); }},
+       [u](const Packet& p) { return u(p.proto); }, BuiltinField::kProto},
       {std::string(fields::kTcpFlags), ValueKind::kUint, 8, true, false,
        [u](const Packet& p) -> std::optional<Value> {
          if (!p.is_tcp()) return std::nullopt;
          return u(p.tcp_flags);
-       }},
+       },
+       BuiltinField::kTcpFlags},
       {std::string(fields::kPktLen), ValueKind::kUint, 16, true, false,
-       [u](const Packet& p) { return u(p.total_len); }},
+       [u](const Packet& p) { return u(p.total_len); }, BuiltinField::kPktLen},
       {std::string(fields::kPayloadLen), ValueKind::kUint, 16, true, false,
-       [u](const Packet& p) { return u(p.payload_len()); }},
+       [u](const Packet& p) { return u(p.payload_len()); }, BuiltinField::kPayloadLen},
       {std::string(fields::kTtl), ValueKind::kUint, 8, true, false,
-       [u](const Packet& p) { return u(p.ttl); }},
+       [u](const Packet& p) { return u(p.ttl); }, BuiltinField::kTtl},
       // Payload bytes: only the stream processor can see these (paper §2.1).
       {std::string(fields::kPayload), ValueKind::kString, 0, /*switch_parseable=*/false, false,
        [](const Packet& p) -> std::optional<Value> {
          if (!p.payload) return std::nullopt;
          return Value{p.payload};
-       }},
+       },
+       BuiltinField::kPayload},
       // DNS fields: extractable by a custom P4 parser specification, hence
       // switch-parseable (paper §2.1's extensibility example). The name is
       // hierarchical and a valid refinement key (§4.1).
@@ -57,19 +59,23 @@ FieldRegistry::FieldRegistry() {
          // Aliasing shared_ptr: share ownership of the DnsMessage, point at
          // its qname — no copy per packet.
          return Value{SharedStr(p.dns, &p.dns->qname)};
-       }},
+       },
+       BuiltinField::kDnsQname},
       {std::string(fields::kDnsQtype), ValueKind::kUint, 16, true, false,
        [u](const Packet& p) -> std::optional<Value> {
          return dns_or_nothing(p, u(p.dns ? p.dns->qtype : 0));
-       }},
+       },
+       BuiltinField::kDnsQtype},
       {std::string(fields::kDnsAnCount), ValueKind::kUint, 16, true, false,
        [u](const Packet& p) -> std::optional<Value> {
          return dns_or_nothing(p, u(p.dns ? p.dns->answer_count : 0));
-       }},
+       },
+       BuiltinField::kDnsAnCount},
       {std::string(fields::kDnsIsResponse), ValueKind::kUint, 1, true, false,
        [u](const Packet& p) -> std::optional<Value> {
          return dns_or_nothing(p, u(p.dns && p.dns->is_response ? 1 : 0));
-       }},
+       },
+       BuiltinField::kDnsIsResponse},
   };
 }
 
@@ -88,16 +94,56 @@ const FieldDef* FieldRegistry::find(std::string_view name) const noexcept {
 
 Tuple materialize_tuple(const net::Packet& p, const FieldRegistry& registry) {
   Tuple t;
-  t.values.reserve(registry.fields().size());
-  for (const auto& f : registry.fields()) t.values.push_back(registry.extract(f, p));
+  materialize_tuple_into(p, t, registry);
   return t;
 }
 
+void materialize_tuple_into(const net::Packet& p, Tuple& out, const FieldRegistry& registry) {
+  const auto& fields = registry.fields();
+  if (out.values.size() == fields.size()) {
+    // Warm slot: overwrite in place — no destroy/reconstruct cycle and no
+    // per-push growth bookkeeping on the hot path.
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out.values[i] = registry.extract(fields[i], p);
+    }
+    return;
+  }
+  out.values.clear();
+  out.values.reserve(fields.size());
+  for (const auto& f : fields) out.values.push_back(registry.extract(f, p));
+}
+
 Value FieldRegistry::extract(const FieldDef& def, const net::Packet& p) const {
+  // Built-in fields take the direct switch — the std::function accessor
+  // costs an indirect call plus an optional<Value> round-trip per field per
+  // packet, which dominates tuple materialization on the hot path. The
+  // accessors stay registered (and must agree) for external callers.
+  static const SharedStr kEmpty = std::make_shared<const std::string>();
+  switch (def.builtin) {
+    case BuiltinField::kSrcIp: return Value{std::uint64_t{p.src_ip}};
+    case BuiltinField::kDstIp: return Value{std::uint64_t{p.dst_ip}};
+    case BuiltinField::kSrcPort: return Value{std::uint64_t{p.src_port}};
+    case BuiltinField::kDstPort: return Value{std::uint64_t{p.dst_port}};
+    case BuiltinField::kProto: return Value{std::uint64_t{p.proto}};
+    case BuiltinField::kTcpFlags:
+      return Value{p.is_tcp() ? std::uint64_t{p.tcp_flags} : std::uint64_t{0}};
+    case BuiltinField::kPktLen: return Value{std::uint64_t{p.total_len}};
+    case BuiltinField::kPayloadLen: return Value{std::uint64_t{p.payload_len()}};
+    case BuiltinField::kTtl: return Value{std::uint64_t{p.ttl}};
+    case BuiltinField::kPayload: return Value{p.payload ? SharedStr(p.payload) : kEmpty};
+    case BuiltinField::kDnsQname:
+      return Value{p.dns ? SharedStr(p.dns, &p.dns->qname) : kEmpty};
+    case BuiltinField::kDnsQtype:
+      return Value{p.dns ? std::uint64_t{p.dns->qtype} : std::uint64_t{0}};
+    case BuiltinField::kDnsAnCount:
+      return Value{p.dns ? std::uint64_t{p.dns->answer_count} : std::uint64_t{0}};
+    case BuiltinField::kDnsIsResponse:
+      return Value{p.dns && p.dns->is_response ? std::uint64_t{1} : std::uint64_t{0}};
+    case BuiltinField::kNone: break;
+  }
   if (auto v = def.accessor(p)) return *v;
   // Non-applicable fields default to 0 / empty string so schemas stay fixed.
   if (def.kind == ValueKind::kUint) return Value{std::uint64_t{0}};
-  static const SharedStr kEmpty = std::make_shared<const std::string>();
   return Value{kEmpty};
 }
 

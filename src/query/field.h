@@ -28,6 +28,27 @@ namespace sonata::query {
 // apply (e.g. tcp.flags on a UDP packet) — tuples then carry 0/"".
 using FieldAccessor = std::function<std::optional<Value>(const net::Packet&)>;
 
+// Built-in fields carry a tag so the materialization hot path can extract
+// them through a direct switch instead of a std::function call per field
+// per packet; custom fields (kNone) always go through their accessor.
+enum class BuiltinField : std::uint8_t {
+  kNone = 0,
+  kSrcIp,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kProto,
+  kTcpFlags,
+  kPktLen,
+  kPayloadLen,
+  kTtl,
+  kPayload,
+  kDnsQname,
+  kDnsQtype,
+  kDnsAnCount,
+  kDnsIsResponse,
+};
+
 struct FieldDef {
   std::string name;
   ValueKind kind = ValueKind::kUint;
@@ -37,6 +58,7 @@ struct FieldDef {
   // IPv4 addresses refine by prefix length, DNS names by label count.
   bool hierarchical = false;
   FieldAccessor accessor;
+  BuiltinField builtin = BuiltinField::kNone;  // set only by the registry ctor
 };
 
 class FieldRegistry {
@@ -63,6 +85,11 @@ class FieldRegistry {
 // field, in registry order (matching query::source_schema()).
 [[nodiscard]] Tuple materialize_tuple(const net::Packet& p,
                                       const FieldRegistry& registry = FieldRegistry::instance());
+
+// In-place variant for the batched data path: overwrites `out`, reusing its
+// value storage, so a warm tuple slot materializes with zero allocations.
+void materialize_tuple_into(const net::Packet& p, Tuple& out,
+                            const FieldRegistry& registry = FieldRegistry::instance());
 
 // Built-in field names (kept short, mirroring the paper's query syntax).
 namespace fields {

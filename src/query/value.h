@@ -5,13 +5,21 @@
 // flags — everything the switch can process) or a shared string (DNS names,
 // payloads — which only the stream processor can process). Strings are
 // shared_ptr so tuples copy cheaply even when they carry packet payloads.
+//
+// The representation is a hand-rolled tagged union rather than
+// std::variant: the numeric path is the data-plane hot path (every PHV
+// field, every register key, every aggregate), so construction, copy and
+// as_uint() must compile down to a tag check plus a 64-bit move with no
+// variant dispatch. Only the string alternative ever touches shared_ptr
+// refcounting (the cold path).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
 #include <string_view>
-#include <variant>
+#include <utility>
 
 #include "util/hash.h"
 
@@ -23,43 +31,89 @@ enum class ValueKind : std::uint8_t { kUint, kString };
 
 class Value {
  public:
-  Value() : v_(std::uint64_t{0}) {}
-  Value(std::uint64_t u) : v_(u) {}                   // NOLINT(google-explicit-constructor)
-  Value(SharedStr s) : v_(std::move(s)) {}            // NOLINT(google-explicit-constructor)
-  explicit Value(std::string s) : v_(std::make_shared<const std::string>(std::move(s))) {}
-
-  [[nodiscard]] ValueKind kind() const noexcept {
-    return std::holds_alternative<std::uint64_t>(v_) ? ValueKind::kUint : ValueKind::kString;
+  Value() noexcept : u_(0), kind_(ValueKind::kUint) {}
+  Value(std::uint64_t u) noexcept : u_(u), kind_(ValueKind::kUint) {}  // NOLINT(google-explicit-constructor)
+  Value(SharedStr s) noexcept : kind_(ValueKind::kString) {            // NOLINT(google-explicit-constructor)
+    new (&s_) SharedStr(std::move(s));
   }
-  [[nodiscard]] bool is_uint() const noexcept { return kind() == ValueKind::kUint; }
-  [[nodiscard]] bool is_string() const noexcept { return kind() == ValueKind::kString; }
+  explicit Value(std::string s)
+      : Value(SharedStr(std::make_shared<const std::string>(std::move(s)))) {}
+
+  Value(const Value& o) : kind_(o.kind_) {
+    if (kind_ == ValueKind::kUint) {
+      u_ = o.u_;
+    } else {
+      new (&s_) SharedStr(o.s_);
+    }
+  }
+  Value(Value&& o) noexcept : kind_(o.kind_) {
+    if (kind_ == ValueKind::kUint) {
+      u_ = o.u_;
+    } else {
+      // Moved-from string Values stay valid: kind kString, null pointer,
+      // which reads back as "" everywhere.
+      new (&s_) SharedStr(std::move(o.s_));
+    }
+  }
+  Value& operator=(const Value& o) {
+    if (this == &o) return *this;
+    if (kind_ == ValueKind::kString && o.kind_ == ValueKind::kString) {
+      s_ = o.s_;
+      return *this;
+    }
+    destroy();
+    kind_ = o.kind_;
+    if (kind_ == ValueKind::kUint) {
+      u_ = o.u_;
+    } else {
+      new (&s_) SharedStr(o.s_);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this == &o) return *this;
+    if (kind_ == ValueKind::kString && o.kind_ == ValueKind::kString) {
+      s_ = std::move(o.s_);
+      return *this;
+    }
+    destroy();
+    kind_ = o.kind_;
+    if (kind_ == ValueKind::kUint) {
+      u_ = o.u_;
+    } else {
+      new (&s_) SharedStr(std::move(o.s_));
+    }
+    return *this;
+  }
+  ~Value() { destroy(); }
+
+  [[nodiscard]] ValueKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_uint() const noexcept { return kind_ == ValueKind::kUint; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == ValueKind::kString; }
 
   // Numeric access; returns 0 for strings (queries are validated so that
   // arithmetic never reaches a string column).
   [[nodiscard]] std::uint64_t as_uint() const noexcept {
-    const auto* u = std::get_if<std::uint64_t>(&v_);
-    return u ? *u : 0;
+    return kind_ == ValueKind::kUint ? u_ : 0;
   }
 
   // String access; empty view for numeric values or null strings.
   [[nodiscard]] std::string_view as_string() const noexcept {
-    const auto* s = std::get_if<SharedStr>(&v_);
-    return (s && *s) ? std::string_view(**s) : std::string_view{};
+    return (kind_ == ValueKind::kString && s_) ? std::string_view(*s_) : std::string_view{};
   }
 
   [[nodiscard]] SharedStr shared_string() const noexcept {
-    const auto* s = std::get_if<SharedStr>(&v_);
-    return s ? *s : nullptr;
+    return kind_ == ValueKind::kString ? s_ : nullptr;
   }
 
   [[nodiscard]] std::uint64_t hash() const noexcept {
-    if (is_uint()) return util::hash_u64(as_uint(), 0);
+    if (is_uint()) return util::hash_u64(u_, 0);
     return util::fnv1a64(as_string());
   }
 
   friend bool operator==(const Value& a, const Value& b) noexcept {
-    if (a.kind() != b.kind()) return false;
-    if (a.is_uint()) return a.as_uint() == b.as_uint();
+    if (a.kind_ != b.kind_) return false;
+    if (a.is_uint()) return a.u_ == b.u_;
     return a.as_string() == b.as_string();
   }
   friend bool operator!=(const Value& a, const Value& b) noexcept { return !(a == b); }
@@ -67,15 +121,23 @@ class Value {
   // Ordering: numerics by value, strings lexicographically; numerics sort
   // before strings (only used for deterministic output ordering).
   friend bool operator<(const Value& a, const Value& b) noexcept {
-    if (a.kind() != b.kind()) return a.is_uint();
-    if (a.is_uint()) return a.as_uint() < b.as_uint();
+    if (a.kind_ != b.kind_) return a.is_uint();
+    if (a.is_uint()) return a.u_ < b.u_;
     return a.as_string() < b.as_string();
   }
 
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::variant<std::uint64_t, SharedStr> v_;
+  void destroy() noexcept {
+    if (kind_ == ValueKind::kString) s_.~SharedStr();
+  }
+
+  union {
+    std::uint64_t u_;
+    SharedStr s_;
+  };
+  ValueKind kind_;
 };
 
 struct ValueHasher {

@@ -1,5 +1,8 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "runtime/fleet.h"
 #include "runtime/runtime.h"
 #include "util/time.h"
@@ -26,11 +29,12 @@ std::vector<WindowStats> TelemetryEngine::run_trace(std::span<const net::Packet>
 }
 
 std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan, const EngineOptions& opts) {
+  const std::size_t batch = std::max<std::size_t>(opts.batch_size, 1);
   if (opts.switches <= 1 && opts.worker_threads == 0) {
-    return std::make_unique<Runtime>(std::move(plan));
+    return std::make_unique<Runtime>(std::move(plan), batch);
   }
   return std::make_unique<Fleet>(std::move(plan), std::max<std::size_t>(opts.switches, 1),
-                                 opts.worker_threads);
+                                 opts.worker_threads, batch);
 }
 
 }  // namespace sonata::runtime

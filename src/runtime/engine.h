@@ -8,11 +8,13 @@
 // callers never hard-code one.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "net/packet.h"
 #include "planner/planner.h"
 #include "runtime/stream_processor.h"
 
@@ -48,6 +50,11 @@ class TelemetryEngine {
 struct EngineOptions {
   std::size_t switches = 1;        // ingress switches sharing the plan
   std::size_t worker_threads = 0;  // fleet workers; 0 = run in the caller
+  // Data-path handoff granularity (DESIGN.md "Data-path memory model"):
+  // packets move parser -> pipelines -> stream processor in runs of this
+  // size. Output is bit-identical for every value; 1 is the legacy
+  // per-packet path, kept as the equivalence baseline.
+  std::size_t batch_size = 256;
 };
 
 // Build the right driver for a topology: a single-switch Runtime for

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
+#include <thread>
+#include <utility>
 
 #include "util/hash.h"
 
@@ -11,8 +14,9 @@ using planner::PlannedPipeline;
 using planner::PlannedQuery;
 using query::Tuple;
 
-Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads)
-    : plan_(std::move(plan)), sp_(plan_) {
+Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads,
+             std::size_t batch_size)
+    : plan_(std::move(plan)), sp_(plan_), batch_size_(std::max<std::size_t>(batch_size, 1)) {
   assert(switch_count >= 1);
   raw_mirror_ = sp_.wants_raw_mirror();
 
@@ -64,27 +68,74 @@ Fleet::~Fleet() {
   }
 }
 
-void Fleet::process_on_shard(Shard& shard, const net::Packet& packet) {
+void Fleet::process_batch_on_shard(Shard& shard, std::span<const net::Packet> packets) {
+  // Parse into the shard's tuple slots — warm slots keep their value
+  // storage, so a steady-state batch materializes without touching the
+  // allocator — and run the pipelines in L1-sized chunks while the tuples
+  // are still hot.
+  while (!packets.empty()) {
+    const std::size_t n = std::min(packets.size(), kProcessChunk);
+    if (shard.tuple_scratch.size() < n) shard.tuple_scratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      query::materialize_tuple_into(packets[i], shard.tuple_scratch[i]);
+    }
+    process_tuples_on_shard(shard, {shard.tuple_scratch.data(), n});
+    packets = packets.subspan(n);
+  }
+}
+
+void Fleet::process_tuples_on_shard(Shard& shard, std::span<Tuple> tuples) {
+  const std::uint64_t before = shard.sink.packets_with_records();
+  shard.sw->process_batch(tuples, shard.sink);
+  if (raw_mirror_) {
+    shard.raw_mirror_packets += tuples.size();
+    shard.tuples_to_sp += tuples.size();
+    for (Tuple& t : tuples) shard.raw_sources.push_back(std::move(t));
+  } else {
+    shard.tuples_to_sp += shard.sink.packets_with_records() - before;
+  }
+}
+
+void Fleet::process_legacy_on_shard(Shard& shard, const net::Packet& packet) {
+  // The pre-batching per-packet path, kept verbatim behind batch_size == 1
+  // as the equivalence baseline: fresh tuple, one switch call, per-packet
+  // accounting.
   const Tuple source = query::materialize_tuple(packet);
-  const auto& recs = shard.sw->process_tuple(source);
-  shard.records.insert(shard.records.end(), recs.begin(), recs.end());
+  const std::uint64_t before = shard.sink.packets_with_records();
+  shard.sw->process_one(source, shard.sink);
   if (raw_mirror_) {
     ++shard.raw_mirror_packets;
+    ++shard.tuples_to_sp;
     shard.raw_sources.push_back(source);
+  } else {
+    shard.tuples_to_sp += shard.sink.packets_with_records() - before;
   }
-  if (raw_mirror_ || !recs.empty()) ++shard.tuples_to_sp;
 }
 
 void Fleet::worker_loop(Worker& w) {
   for (;;) {
     bool did_work = false;
     for (Shard* shard : w.shards) {
-      net::Packet p;
-      while (shard->queue.try_pop(p)) {
-        process_on_shard(*shard, p);
+      if (batch_size_ == 1) {
+        // Legacy per-packet drain (the equivalence baseline).
+        net::Packet p;
+        while (shard->queue.try_pop(p)) {
+          process_legacy_on_shard(*shard, p);
+          shard->drained.fetch_add(1, std::memory_order_release);
+          did_work = true;
+        }
+        continue;
+      }
+      for (;;) {
+        // Zero-copy drain: process packets in place in the ring slots, then
+        // retire the run — no move out of the ring.
+        const std::span<const net::Packet> run = shard->queue.front_run(batch_size_);
+        if (run.empty()) break;
+        process_batch_on_shard(*shard, run);
+        shard->queue.retire(run.size());
         // Release-publish the buffer writes; the driver's acquire load at
         // the barrier makes them visible without locks.
-        shard->drained.fetch_add(1, std::memory_order_release);
+        shard->drained.fetch_add(run.size(), std::memory_order_release);
         did_work = true;
       }
     }
@@ -107,19 +158,61 @@ void Fleet::wake(Worker& w) {
 void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
   ++current_.packets;
   Shard& shard = *shards_.at(switch_index);
-  if (workers_.empty()) {
-    process_on_shard(shard, packet);
+  if (batch_size_ == 1) {
+    // Legacy per-packet handoff (the equivalence baseline).
+    if (workers_.empty()) {
+      process_legacy_on_shard(shard, packet);
+      return;
+    }
+    Worker& w = *workers_[switch_index % workers_.size()];
+    const bool was_empty = shard.queue.empty();
+    while (!shard.queue.try_push(packet)) {
+      wake(w);
+      std::this_thread::yield();
+    }
+    ++shard.enqueued;
+    if (was_empty) wake(w);
     return;
   }
+  if (workers_.empty()) {
+    // Inline batch path: materialize straight into a reusable tuple slot
+    // (no packet copy), run the pipelines at chunk granularity while the
+    // tuples are hot (there is no handoff to amortize without workers).
+    if (shard.tuples_pending == shard.tuple_scratch.size()) shard.tuple_scratch.emplace_back();
+    query::materialize_tuple_into(packet, shard.tuple_scratch[shard.tuples_pending++]);
+    if (shard.tuples_pending >= std::min(batch_size_, kProcessChunk)) {
+      flush_shard(switch_index);
+    }
+    return;
+  }
+  // Threaded batch path: stage straight into the ring slot (one copy, no
+  // intermediate buffer); the slot stays invisible to the worker until the
+  // batch-boundary publish.
   Worker& w = *workers_[switch_index % workers_.size()];
-  const bool was_empty = shard.queue.empty();
-  while (!shard.queue.try_push(packet)) {
-    // Shard backlogged: make sure its worker is awake and yield to it.
+  while (!shard.queue.try_stage(packet)) {
+    // Ring full: publish what we have, make sure the worker is awake, and
+    // yield to it.
+    flush_shard(switch_index);
     wake(w);
     std::this_thread::yield();
   }
-  ++shard.enqueued;
-  if (was_empty) wake(w);
+  ++shard.staged_count;
+  if (shard.staged_count >= batch_size_) flush_shard(switch_index);
+}
+
+void Fleet::flush_shard(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  if (workers_.empty()) {
+    if (shard.tuples_pending == 0) return;
+    process_tuples_on_shard(shard, {shard.tuple_scratch.data(), shard.tuples_pending});
+    shard.tuples_pending = 0;
+    return;
+  }
+  if (shard.staged_count == 0) return;
+  const bool was_empty = shard.queue.publish();
+  shard.enqueued += shard.staged_count;
+  shard.staged_count = 0;
+  if (was_empty) wake(*workers_[shard_index % workers_.size()]);
 }
 
 void Fleet::ingest(const net::Packet& packet) {
@@ -131,6 +224,9 @@ void Fleet::ingest(const net::Packet& packet) {
 }
 
 void Fleet::drain_barrier() {
+  // Hand over every partially filled batch first (inline mode processes it
+  // right here), then wait for the workers to publish everything enqueued.
+  for (std::size_t i = 0; i < shards_.size(); ++i) flush_shard(i);
   if (workers_.empty()) return;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     while (shards_[i]->drained.load(std::memory_order_acquire) != shards_[i]->enqueued) {
@@ -153,14 +249,14 @@ WindowStats Fleet::close_window() {
   // 1. Merge shard outputs into the shared stream executors in ascending
   //    switch order — deterministic regardless of worker interleaving.
   for (auto& s : shards_) {
-    for (const auto& rec : s->records) {
+    for (pisa::EmitRecord& rec : s->sink.records()) {
       if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++current_.overflow_records;
-      sp_.deliver(rec);
+      sp_.deliver(std::move(rec));
     }
-    for (const auto& src : s->raw_sources) sp_.deliver_raw(src);
+    sp_.deliver_raw_batch(s->raw_sources);
     current_.tuples_to_sp += s->tuples_to_sp;
     current_.raw_mirror_packets += s->raw_mirror_packets;
-    s->records.clear();
+    s->sink.clear();
     s->raw_sources.clear();
     s->tuples_to_sp = 0;
     s->raw_mirror_packets = 0;

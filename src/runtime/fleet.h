@@ -15,7 +15,7 @@
 //
 // Threading model (DESIGN.md "Parallel fleet execution"). Each switch is a
 // *shard*: the switch itself, a bounded SPSC ingest queue fed by the
-// driver thread, and per-window output buffers (mirrored records, raw
+// driver thread, and a per-window emit arena (mirrored records, raw
 // mirror tuples, counters) written only by the shard's worker. With
 // `worker_threads == 0` shards execute inline in the caller; otherwise
 // shard i is pinned to worker i % worker_threads and the per-switch hot
@@ -24,18 +24,31 @@
 // driver waits until every queue is drained, then merges shard buffers in
 // ascending switch order — the same order the inline path produces — so
 // results and tuple counts are bit-identical for any thread count.
+//
+// Batching (DESIGN.md "Data-path memory model"). The driver accumulates up
+// to `batch_size` packets per shard before handing them over; the handoff
+// moves the whole run through the SPSC ring with one acquire/release pair
+// and at most one worker wakeup, and the worker processes the run with one
+// Switch::process_batch call into the shard's emit arena. Per-shard packet
+// order — and therefore the merged output — is identical for every batch
+// size; `batch_size == 1` degenerates to the original per-packet path and
+// is kept as the equivalence baseline.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "net/packet.h"
 #include "pisa/switch.h"
 #include "planner/planner.h"
+#include "query/tuple.h"
 #include "runtime/engine.h"
 #include "runtime/spsc_queue.h"
 #include "runtime/stream_processor.h"
@@ -46,9 +59,11 @@ class Fleet final : public TelemetryEngine {
  public:
   // Deploys `plan` on `switch_count` identical switches, processed by
   // `worker_threads` workers (0 = inline in the calling thread; capped at
-  // `switch_count` since a switch is single-consumer). The plan's base
-  // queries must outlive the Fleet.
-  Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads = 0);
+  // `switch_count` since a switch is single-consumer). `batch_size` is the
+  // per-shard handoff granularity; 1 is the legacy per-packet path. The
+  // plan's base queries must outlive the Fleet.
+  Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads = 0,
+        std::size_t batch_size = 1);
   ~Fleet() override;
 
   [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
@@ -78,16 +93,36 @@ class Fleet final : public TelemetryEngine {
   // when a shard falls this far behind.
   static constexpr std::size_t kQueueCapacity = 1024;
 
+  // Compute granularity inside a handed-off batch: materialize-then-process
+  // runs of this many tuples so the working set stays L1-resident (a full
+  // 256-packet batch of ~16-value tuples is ~64 KB — materializing it all
+  // before processing evicts every tuple before the pipelines read it).
+  // Purely an internal locality knob: per-packet order, and therefore
+  // output, is unchanged.
+  static constexpr std::size_t kProcessChunk = 16;
+
   struct Shard {
     std::unique_ptr<pisa::Switch> sw;
     SpscQueue<net::Packet> queue{kQueueCapacity};
 
+    // Driver-side batch state. Inline mode (no workers) materializes into
+    // the first `tuples_pending` tuple_scratch slots; threaded mode stages
+    // packets directly into ring slots and only counts them here. Both
+    // flush at batch_size_ and at the barrier.
+    std::size_t tuples_pending = 0;
+    std::size_t staged_count = 0;
+
     // Written only by the shard's worker between barriers; read and cleared
     // by the driver thread after the barrier (publication via `drained`).
-    std::vector<pisa::EmitRecord> records;     // mirrored records, arrival order
+    pisa::EmitSink sink;                       // mirrored records, arrival order
     std::vector<query::Tuple> raw_sources;     // raw-mirror tuples, arrival order
     std::uint64_t tuples_to_sp = 0;
     std::uint64_t raw_mirror_packets = 0;
+
+    // Worker-side tuple slots, reused chunk to chunk (no hot-path
+    // allocation once warm). The batched drain itself is zero-copy:
+    // workers process packets in place in the ring slots.
+    std::vector<query::Tuple> tuple_scratch;
 
     std::uint64_t enqueued = 0;                // driver-only
     std::atomic<std::uint64_t> drained{0};     // worker-written (release)
@@ -101,9 +136,19 @@ class Fleet final : public TelemetryEngine {
     std::thread thread;
   };
 
-  // The per-switch data-plane hot path; runs on the shard's worker (or the
-  // driver thread when worker_threads == 0).
-  void process_on_shard(Shard& shard, const net::Packet& packet);
+  // The per-switch data-plane hot path for one batch; runs on the shard's
+  // worker (or the driver thread when worker_threads == 0). Consumes
+  // `packets` (tuples may be moved out for the raw mirror).
+  void process_batch_on_shard(Shard& shard, std::span<const net::Packet> packets);
+  // Run already-materialized tuples through the shard's pipelines into its
+  // emit arena, with per-batch tuple accounting. Consumes `tuples` in raw-
+  // mirror plans (moved into the shard's raw buffer).
+  void process_tuples_on_shard(Shard& shard, std::span<query::Tuple> tuples);
+  // The pre-batching per-packet hot path, active when batch_size == 1 (the
+  // equivalence baseline for the batched path).
+  void process_legacy_on_shard(Shard& shard, const net::Packet& packet);
+  // Hand a shard's pending batch to its worker (or process it inline).
+  void flush_shard(std::size_t shard_index);
   void worker_loop(Worker& w);
   void wake(Worker& w);
   void drain_barrier();
@@ -111,6 +156,7 @@ class Fleet final : public TelemetryEngine {
   planner::Plan plan_;
   StreamProcessor sp_;
   bool raw_mirror_ = false;  // sp_.wants_raw_mirror(), cached for workers
+  std::size_t batch_size_ = 1;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -25,13 +25,14 @@
 // register polls on the control channel.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "pisa/switch.h"
 #include "planner/planner.h"
+#include "query/tuple.h"
 #include "runtime/engine.h"
 #include "runtime/stream_processor.h"
 
@@ -40,8 +41,12 @@ namespace sonata::runtime {
 class Runtime final : public TelemetryEngine {
  public:
   // Takes ownership of a copy of the plan; the *base queries* the plan
-  // references must outlive the Runtime.
-  explicit Runtime(planner::Plan plan);
+  // references must outlive the Runtime. `batch_size` is the data-path
+  // handoff granularity (DESIGN.md "Data-path memory model"): ingested
+  // packets are parsed immediately but run through the switch pipelines
+  // `batch_size` at a time into a reusable emit arena. 1 is the legacy
+  // per-packet path; any value produces bit-identical windows.
+  explicit Runtime(planner::Plan plan, std::size_t batch_size = 1);
 
   // Streaming interface (TelemetryEngine).
   void ingest(const net::Packet& packet) override;
@@ -84,9 +89,20 @@ class Runtime final : public TelemetryEngine {
   [[nodiscard]] bool replan_recommended() const noexcept { return replan_recommended_; }
 
  private:
+  // Compute granularity for the buffered batch (same locality knob as
+  // Fleet::kProcessChunk): process in runs small enough that the tuples
+  // are still L1-resident when the pipelines read them. Output order is
+  // unchanged for any value.
+  static constexpr std::size_t kProcessChunk = 16;
+
+  // Run the buffered tuples through the switch pipelines and route the
+  // resulting records (and the raw mirror) into the stream processor.
+  void flush_pending();
+
   planner::Plan plan_;
   pisa::Switch switch_;
   StreamProcessor sp_;
+  std::size_t batch_size_ = 1;
 
   std::vector<MitigationPolicy> mitigations_;
   ReplanPolicy replan_policy_;
@@ -98,7 +114,11 @@ class Runtime final : public TelemetryEngine {
   std::uint64_t total_records_ = 0;
   std::uint64_t total_overflows_ = 0;
   std::uint64_t dropped_before_window_ = 0;
-  std::vector<pisa::EmitRecord> scratch_;
+  // Parsed-but-unprocessed tuple slots: the first `pending_used_` entries
+  // are live; warm slots keep their value storage across batches.
+  std::vector<query::Tuple> pending_tuples_;
+  std::size_t pending_used_ = 0;
+  pisa::EmitSink sink_;  // reusable emit arena
 };
 
 }  // namespace sonata::runtime

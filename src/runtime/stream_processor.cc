@@ -72,11 +72,43 @@ void StreamProcessor::deliver(const pisa::EmitRecord& rec) {
   executor(rec.qid, rec.level).ingest(src_idx, rec.tuple, rec.op_index);
 }
 
+void StreamProcessor::deliver(pisa::EmitRecord&& rec) {
+  emitter_.record(rec);
+  if (rec.kind == pisa::EmitRecord::Kind::kKeyReport) return;
+  const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
+  if (src_idx < 0) return;
+  executor(rec.qid, rec.level).ingest(src_idx, std::move(rec.tuple), rec.op_index);
+}
+
+void StreamProcessor::deliver_batch(std::span<pisa::EmitRecord> recs) {
+  for (pisa::EmitRecord& rec : recs) deliver(std::move(rec));
+}
+
 void StreamProcessor::deliver_raw(const Tuple& source) {
   for (const auto& feed : raw_feeds_) {
     const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
     if (src_idx >= 0) executor(feed.qid, feed.level).ingest(src_idx, source, 0);
   }
+}
+
+void StreamProcessor::deliver_raw_batch(std::span<Tuple> sources) {
+  // Resolve the active feeds once per batch; the common single-feed case
+  // then moves the whole buffer through the chain with zero tuple copies.
+  struct Active {
+    stream::QueryExecutor* exec;
+    int src_idx;
+  };
+  std::vector<Active> active;
+  active.reserve(raw_feeds_.size());
+  for (const auto& feed : raw_feeds_) {
+    const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
+    if (src_idx >= 0) active.push_back({&executor(feed.qid, feed.level), src_idx});
+  }
+  if (active.empty()) return;
+  for (std::size_t f = 0; f + 1 < active.size(); ++f) {
+    for (const Tuple& t : sources) active[f].exec->ingest(active[f].src_idx, t, 0);
+  }
+  active.back().exec->ingest_batch(active.back().src_idx, sources, 0);
 }
 
 void StreamProcessor::poll_switch(const pisa::Switch& sw) {
@@ -86,9 +118,8 @@ void StreamProcessor::poll_switch(const pisa::Switch& sw) {
         remap_source(p->options().qid, p->options().level, p->options().source_index);
     if (src_idx < 0) continue;
     auto& exec = executor(p->options().qid, p->options().level);
-    for (Tuple& t : p->poll_aggregates()) {
-      exec.ingest(src_idx, std::move(t), p->poll_entry_op());
-    }
+    std::vector<Tuple> aggregates = p->poll_aggregates();
+    exec.ingest_batch(src_idx, aggregates, p->poll_entry_op());
   }
 }
 

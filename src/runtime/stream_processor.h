@@ -76,9 +76,23 @@ class StreamProcessor {
   // notify the SP which registers to poll; they count but do not ingest).
   void deliver(const pisa::EmitRecord& rec);
 
+  // Move-in variant: the record's tuple is moved into the executor. This
+  // is what the batched merge path uses — shard emit arenas hand their
+  // tuples over without a copy.
+  void deliver(pisa::EmitRecord&& rec);
+
+  // Batched delivery in record order; every record's tuple is moved.
+  // Callers must treat `recs` as consumed.
+  void deliver_batch(std::span<pisa::EmitRecord> recs);
+
   // Feed the shared raw mirror: `source` enters every SP-kept pipeline
   // (partition == 0) whose source executes at its level.
   void deliver_raw(const query::Tuple& source);
+
+  // Batched raw mirror: tuples are copied to every active feed except the
+  // last, which takes them by move. Callers must treat `sources` as
+  // consumed.
+  void deliver_raw_batch(std::span<query::Tuple> sources);
 
   // True when the plan mirrors raw packets and some pipeline consumes them.
   [[nodiscard]] bool wants_raw_mirror() const noexcept {

@@ -55,6 +55,11 @@ void ChainExecutor::ingest(Tuple t, std::size_t entry) {
   process(std::move(t), entry);
 }
 
+void ChainExecutor::ingest_batch(std::span<Tuple> ts, std::size_t entry) {
+  ingested_ += ts.size();
+  for (Tuple& t : ts) process(std::move(t), entry);
+}
+
 void ChainExecutor::process(Tuple&& t, std::size_t i) {
   for (; i < ops_.size(); ++i) {
     BoundOp& op = ops_[i];
@@ -196,6 +201,10 @@ QueryExecutor::QueryExecutor(const query::Query& q) : query_(&q) {
 
 void QueryExecutor::ingest(int source_index, Tuple t, std::size_t entry) {
   sources_.at(static_cast<std::size_t>(source_index))->chain().ingest(std::move(t), entry);
+}
+
+void QueryExecutor::ingest_batch(int source_index, std::span<Tuple> ts, std::size_t entry) {
+  sources_.at(static_cast<std::size_t>(source_index))->chain().ingest_batch(ts, entry);
 }
 
 void QueryExecutor::ingest_packet(const net::Packet& p) {

@@ -14,8 +14,11 @@
 // (paper §3.1.2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,6 +37,11 @@ class ChainExecutor {
   // Run `t` through ops[entry..). Outputs reaching the chain end are
   // buffered for end_window().
   void ingest(query::Tuple t, std::size_t entry);
+
+  // Batched ingest: every tuple in `ts` is MOVED through ops[entry..) —
+  // the batched data path hands whole shard buffers over without copying
+  // a tuple. Callers must treat `ts` as consumed.
+  void ingest_batch(std::span<query::Tuple> ts, std::size_t entry);
 
   // Flush stateful operators (ascending), collect outputs, clear state.
   [[nodiscard]] std::vector<query::Tuple> end_window();
@@ -97,6 +105,9 @@ class QueryExecutor {
 
   // Ingest a tuple into source `source_index` at operator `entry`.
   void ingest(int source_index, query::Tuple t, std::size_t entry);
+
+  // Batched ingest; tuples in `ts` are moved (see ChainExecutor).
+  void ingest_batch(int source_index, std::span<query::Tuple> ts, std::size_t entry);
 
   // Convenience for unpartitioned (All-SP) execution: materialize the
   // packet once and feed every source at entry 0.

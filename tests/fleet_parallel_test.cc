@@ -149,6 +149,74 @@ TEST(FleetParallel, MidWindowBarrierPreservesStreamingState) {
   expect_identical_windows({s1, s2}, {p1, p2}, "manual windows");
 }
 
+TEST(FleetParallel, BatchSizeIsBitIdenticalOnFlatPlan) {
+  // Property check for the batched data path: for batch sizes that exercise
+  // the degenerate (1), ragged-tail (7), and steady-state (256) shapes,
+  // every (batch, threads) combination must reproduce the per-packet
+  // serial reference bit for bit — outputs, winners, and accounting.
+  const auto qs = queries::evaluation_queries(scenario().thresholds, util::seconds(3));
+  PlannerConfig cfg;
+  cfg.mode = PlanMode::kMaxDP;
+  const Plan plan = Planner(cfg).plan(qs, scenario().trace);
+
+  Fleet serial(plan, 8, 0, 1);
+  const auto reference = serial.run_trace(scenario().trace);
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::size_t batch : {1u, 7u, 256u}) {
+    for (const std::size_t threads : {0u, 1u, 8u}) {
+      Fleet fleet(plan, 8, threads, batch);
+      expect_identical_windows(
+          reference, fleet.run_trace(scenario().trace),
+          "batch " + std::to_string(batch) + " threads " + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FleetParallel, BatchSizeIsBitIdenticalOnRefinedPlan) {
+  // Same property under dynamic refinement: winner keys computed from
+  // batched windows must install the same filter entries, so later windows
+  // stay identical too.
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(scenario().thresholds, util::seconds(3)));
+  pisa::SwitchConfig scarce;
+  scarce.max_bits_per_register = 48 * 1024;
+  scarce.register_bits_per_stage = 48 * 1024;
+  PlannerConfig cfg;
+  cfg.switch_config = scarce;
+  const Plan plan = Planner(cfg).plan(qs, scenario().trace);
+  ASSERT_GE(plan.queries[0].chain.size(), 2u);
+
+  Fleet serial(plan, 4, 0, 1);
+  const auto reference = serial.run_trace(scenario().trace);
+  for (const std::size_t batch : {7u, 256u}) {
+    for (const std::size_t threads : {0u, 1u, 4u}) {
+      Fleet fleet(plan, 4, threads, batch);
+      expect_identical_windows(
+          reference, fleet.run_trace(scenario().trace),
+          "batch " + std::to_string(batch) + " threads " + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FleetParallel, BatchedRuntimeMatchesPerPacketRuntime) {
+  // The single-switch driver shares the property: batched Runtime windows
+  // equal the per-packet ones, including mid-stream manual window closes
+  // with a ragged tail batch.
+  const auto qs = queries::evaluation_queries(scenario().thresholds, util::seconds(3));
+  PlannerConfig cfg;
+  cfg.mode = PlanMode::kMaxDP;
+  const Plan plan = Planner(cfg).plan(qs, scenario().trace);
+
+  Runtime per_packet(plan, 1);
+  const auto reference = per_packet.run_trace(scenario().trace);
+  for (const std::size_t batch : {7u, 256u}) {
+    Runtime batched(plan, batch);
+    expect_identical_windows(reference, batched.run_trace(scenario().trace),
+                             "runtime batch " + std::to_string(batch));
+  }
+}
+
 TEST(FleetParallel, MakeEnginePicksDriverFromTopology) {
   std::vector<query::Query> qs;
   qs.push_back(queries::make_newly_opened_tcp(scenario().thresholds, util::seconds(3)));

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
 #include "net/headers.h"
 #include "queries/catalog.h"
 #include "query/expr.h"
@@ -47,6 +53,65 @@ TEST(Tuple, ProjectAndHash) {
   EXPECT_EQ(t.hash(), Tuple{t}.hash());
 }
 
+TEST(Tuple, SmallBufferStaysInlineUntilSpill) {
+  Tuple t;
+  EXPECT_TRUE(t.values.is_inline());
+  for (std::uint64_t i = 0; i < ValueVec::kInlineCapacity; ++i) {
+    t.values.push_back(Value{i});
+    EXPECT_TRUE(t.values.is_inline()) << "element " << i;
+  }
+  // One past the inline capacity spills to the heap; contents survive.
+  t.values.push_back(Value{std::uint64_t{99}});
+  EXPECT_FALSE(t.values.is_inline());
+  ASSERT_EQ(t.values.size(), ValueVec::kInlineCapacity + 1);
+  for (std::uint64_t i = 0; i < ValueVec::kInlineCapacity; ++i) {
+    EXPECT_EQ(t.values[i].as_uint(), i);
+  }
+  EXPECT_EQ(t.values.back().as_uint(), 99u);
+}
+
+TEST(Tuple, HashAndEqualityStableAcrossSpill) {
+  // The same logical tuple must hash and compare identically whether its
+  // values live inline or on the heap (heap copy forced via reserve).
+  Tuple inline_t{{Value{std::uint64_t{7}}, Value{std::string("k")}}};
+  Tuple heap_t;
+  heap_t.values.reserve(ValueVec::kInlineCapacity * 4);
+  heap_t.values.push_back(Value{std::uint64_t{7}});
+  heap_t.values.push_back(Value{std::string("k")});
+  ASSERT_TRUE(inline_t.values.is_inline());
+  ASSERT_FALSE(heap_t.values.is_inline());
+  EXPECT_EQ(inline_t, heap_t);
+  EXPECT_EQ(inline_t.hash(), heap_t.hash());
+  EXPECT_EQ(TupleHasher{}(inline_t), TupleHasher{}(heap_t));
+}
+
+TEST(Tuple, CopyAndMoveAcrossStorageModes) {
+  // Inline copy, heap copy, and moves in both modes all preserve values;
+  // a moved-from heap vector must not double-free (exercised under ASan in
+  // CI and by the destructor here).
+  Tuple small{{Value{std::uint64_t{1}}, Value{std::string("s")}}};
+  Tuple big;
+  for (std::uint64_t i = 0; i < ValueVec::kInlineCapacity + 3; ++i) big.values.push_back(Value{i});
+
+  const Tuple small_copy = small;
+  const Tuple big_copy = big;
+  EXPECT_EQ(small_copy, small);
+  EXPECT_EQ(big_copy, big);
+
+  Tuple small_moved = std::move(small);
+  Tuple big_moved = std::move(big);
+  EXPECT_EQ(small_moved, small_copy);
+  EXPECT_EQ(big_moved, big_copy);
+  EXPECT_FALSE(big_moved.values.is_inline());
+
+  // pop_back back into the inline range: storage stays heap (no shrink),
+  // but size and contents behave like a vector.
+  while (big_moved.values.size() > 2) big_moved.values.pop_back();
+  EXPECT_EQ(big_moved.values.size(), 2u);
+  EXPECT_EQ(big_moved.values[1].as_uint(), 1u);
+  EXPECT_THROW(static_cast<void>(big_moved.values.at(2)), std::out_of_range);
+}
+
 TEST(Schema, IndexAndBits) {
   Schema s({{"a", ValueKind::kUint, 32}, {"b", ValueKind::kUint, 16}});
   EXPECT_EQ(s.index_of("b"), 1u);
@@ -83,6 +148,35 @@ TEST(Field, MaterializeDnsSharesQname) {
   const Schema schema = source_schema();
   const Tuple t = materialize_tuple(p);
   EXPECT_EQ(t.at(*schema.index_of(fields::kDnsQname)).as_string(), "share.me.org");
+}
+
+// The materialization hot path extracts built-in fields through a direct
+// BuiltinField switch; the registered accessors stay the source of truth
+// for external callers. Guard that the two never drift apart.
+TEST(Field, BuiltinFastPathAgreesWithAccessors) {
+  net::DnsMessage q;
+  q.qname = "agree.example.com";
+  q.qtype = 1;
+  q.answer_count = 3;
+  q.is_response = true;
+  const std::vector<net::Packet> packets = {
+      net::Packet::tcp(0, ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 1111, 22, net::tcp_flags::kSyn, 44),
+      net::Packet::udp(0, 9, 10, 53, 4242, 120).with_dns(q),
+      net::Packet::udp(0, 11, 12, 5000, 5001, 99).with_payload("some payload bytes"),
+  };
+  const auto& registry = FieldRegistry::instance();
+  for (const net::Packet& p : packets) {
+    for (const auto& def : registry.fields()) {
+      const Value fast = registry.extract(def, p);
+      // Re-derive through the accessor with the same defaulting rule.
+      const auto via_accessor = def.accessor(p);
+      const Value slow = via_accessor ? *via_accessor
+                         : def.kind == ValueKind::kUint
+                             ? Value{std::uint64_t{0}}
+                             : Value{std::make_shared<const std::string>()};
+      EXPECT_TRUE(fast == slow) << def.name;
+    }
+  }
 }
 
 class ExprTest : public ::testing::Test {

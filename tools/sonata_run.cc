@@ -3,7 +3,7 @@
 //   sonata_run --queries FILE [--pcap FILE] [--mode sonata|all-sp|filter-dp|
 //              max-dp|fix-ref] [--window SECONDS] [--emit-p4 FILE]
 //              [--train-pcap FILE] [--synthetic SECONDS] [--seed N]
-//              [--switches N] [--threads N]
+//              [--switches N] [--threads N] [--batch N]
 //
 // Loads telemetry queries from the declarative DSL (see query/parser.h),
 // plans them against training traffic (a pcap or a synthetic trace), prints
@@ -13,7 +13,9 @@
 // fleet (ECMP-hashed ingress); `--threads N` processes the fleet on N
 // worker threads — both run behind the same TelemetryEngine interface, and
 // results are identical for any switch/thread combination that sees the
-// whole trace.
+// whole trace. `--batch N` sets the data-path handoff granularity (default
+// 256; 1 is the legacy per-packet path) — output is bit-identical for any
+// value, only throughput changes.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +47,7 @@ struct Args {
   std::uint64_t seed = 1;
   std::size_t switches = 1;
   std::size_t threads = 0;
+  std::size_t batch = 256;
   bool verbose = false;
 };
 
@@ -54,7 +57,8 @@ void usage() {
                "                  [--train-pcap FILE] [--mode sonata|all-sp|filter-dp|"
                "max-dp|fix-ref]\n"
                "                  [--window SECONDS] [--emit-p4 FILE] [--emit-spark FILE]\n"
-               "                  [--switches N] [--threads N] [--seed N] [--verbose]\n");
+               "                  [--switches N] [--threads N] [--batch N] [--seed N]"
+               " [--verbose]\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -115,6 +119,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (!v) return false;
       args.threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--batch") {
+      const char* v = value();
+      if (!v) return false;
+      args.batch = std::strtoull(v, nullptr, 10);
+      if (args.batch == 0) {
+        std::fprintf(stderr, "--batch must be >= 1\n");
+        return false;
+      }
     } else if (arg == "--verbose") {
       args.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -282,6 +294,7 @@ int main(int argc, char** argv) {
   runtime::EngineOptions topo;
   topo.switches = args.switches;
   topo.worker_threads = args.threads;
+  topo.batch_size = args.batch;
   const auto engine = runtime::make_engine(plan, topo);
   if (args.switches > 1 || args.threads > 0) {
     std::printf("Deploying on %zu switch%s (%zu worker thread%s)\n", args.switches,
