@@ -1,0 +1,153 @@
+// Extension benchmark + regression gate: observability overhead (DESIGN.md
+// "Observability").
+//
+// The obs subsystem promises that enabling the metrics registry costs the
+// data path less than 2% of packets/sec on the serial single-switch driver
+// (threads=0, batch=256 — the configuration where per-packet work dominates
+// and there is no thread-level slack to hide the cost in). The design that
+// makes this hold: hot loops keep plain single-writer tallies and publish
+// them to the registry once per window, so the per-packet delta between
+// enabled and disabled is a handful of plain increments either way.
+//
+// Replays the same trace through the same plan with metrics disabled and
+// enabled, interleaved rep by rep so machine load drift hits both equally;
+// best-of-N per side. Asserts (a) overhead < 2% and (b) windows are
+// bit-identical with observability on or off. Exits nonzero on violation,
+// so CI can use it as a gate. Results land in BENCH_obs.json.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
+#include "runtime/runtime.h"
+
+using namespace sonata;
+
+namespace {
+
+bool identical_windows(const std::vector<runtime::WindowStats>& a,
+                       const std::vector<runtime::WindowStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    if (a[w].packets != b[w].packets || a[w].tuples_to_sp != b[w].tuples_to_sp ||
+        a[w].raw_mirror_packets != b[w].raw_mirror_packets ||
+        a[w].overflow_records != b[w].overflow_records ||
+        a[w].results.size() != b[w].results.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < a[w].results.size(); ++r) {
+      if (a[w].results[r].qid != b[w].results[r].qid ||
+          !(a[w].results[r].outputs == b[w].results[r].outputs)) {
+        return false;
+      }
+    }
+    if (!(a[w].winners == b[w].winners)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  constexpr int kReps = 7;
+  constexpr std::size_t kBatch = 256;
+  constexpr double kMaxOverheadPct = 2.0;
+
+  // Same data-path-focused workload as ext_datapath_throughput: one long
+  // window, one light query, so per-packet cost dominates and the gate
+  // actually exercises the instrumented hot path.
+  trace::BackgroundConfig bg;
+  bg.duration_sec = 15.0;
+  bg.flows_per_sec = 600.0 * opts.scale;
+  const auto trace = trace::TraceBuilder(opts.seed).background(bg).build();
+
+  queries::Thresholds th;
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(30)));
+
+  planner::PlannerConfig cfg;
+  cfg.mode = planner::PlanMode::kMaxDP;
+  cfg.window = util::seconds(30);
+  const auto plan = planner::Planner(cfg).plan(qs, trace);
+
+  std::printf("Observability overhead gate: serial runtime, batch=%zu, %zu packets, "
+              "best of %d interleaved replays per side\n\n",
+              kBatch, trace.size(), kReps);
+
+  // Tracing stays off on both sides: the gate is metrics-enabled vs
+  // disabled (tracing spans are per window phase and amortize the same way,
+  // but they write under a mutex and have their own export path).
+  obs::TraceRecorder::global().set_enabled(false);
+
+  double best_off = 1e30;
+  double best_on = 1e30;
+  std::vector<runtime::WindowStats> windows_off;
+  std::vector<runtime::WindowStats> windows_on;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      obs::set_enabled(false);
+      runtime::Runtime rt(plan, kBatch);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto w = rt.run_trace(trace);
+      const auto t1 = std::chrono::steady_clock::now();
+      best_off = std::min(best_off, std::chrono::duration<double>(t1 - t0).count());
+      if (rep == 0) windows_off = std::move(w);
+    }
+    {
+      obs::set_enabled(true);
+      obs::Registry::global().reset_values();
+      runtime::Runtime rt(plan, kBatch);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto w = rt.run_trace(trace);
+      const auto t1 = std::chrono::steady_clock::now();
+      best_on = std::min(best_on, std::chrono::duration<double>(t1 - t0).count());
+      if (rep == 0) windows_on = std::move(w);
+      obs::set_enabled(false);
+    }
+  }
+
+  const double pps_off = static_cast<double>(trace.size()) / best_off;
+  const double pps_on = static_cast<double>(trace.size()) / best_on;
+  const double overhead_pct = (pps_off - pps_on) / pps_off * 100.0;
+  const bool identical = identical_windows(windows_off, windows_on);
+  const bool overhead_ok = overhead_pct < kMaxOverheadPct;
+
+  bench::print_table(
+      {"metrics", "packets/sec", "seconds", "overhead", "bit-identical"},
+      {{"disabled", std::to_string(static_cast<std::uint64_t>(pps_off)),
+        std::to_string(best_off), "-", "-"},
+       {"enabled", std::to_string(static_cast<std::uint64_t>(pps_on)),
+        std::to_string(best_on),
+        std::to_string(overhead_pct).substr(0, 5) + "%", identical ? "yes" : "NO"}});
+
+  std::ofstream json("BENCH_obs.json");
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n  \"bench\": \"obs_overhead\",\n  \"packets\": %zu,\n"
+                "  \"reps\": %d,\n  \"batch\": %zu,\n"
+                "  \"pps_disabled\": %.0f,\n  \"pps_enabled\": %.0f,\n"
+                "  \"overhead_pct\": %.3f,\n  \"threshold_pct\": %.1f,\n"
+                "  \"identical\": %s,\n  \"pass\": %s\n}\n",
+                trace.size(), kReps, kBatch, pps_off, pps_on, overhead_pct,
+                kMaxOverheadPct, identical ? "true" : "false",
+                overhead_ok && identical ? "true" : "false");
+  json << buf;
+  std::printf("\nWrote BENCH_obs.json\n");
+
+  if (!identical) {
+    std::printf("FAIL: windows differ with metrics enabled\n");
+    return 1;
+  }
+  if (!overhead_ok) {
+    std::printf("FAIL: overhead %.3f%% exceeds %.1f%% budget\n", overhead_pct, kMaxOverheadPct);
+    return 1;
+  }
+  std::printf("PASS: overhead %.3f%% < %.1f%% budget, windows bit-identical\n", overhead_pct,
+              kMaxOverheadPct);
+  return 0;
+}

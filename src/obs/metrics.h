@@ -1,0 +1,199 @@
+// Low-overhead metrics registry (DESIGN.md "Observability").
+//
+// Three instrument kinds, all safe to update from any thread:
+//   * Counter   — monotone u64, sharded per thread,
+//   * Gauge     — last-writer-wins i64 (occupancy, fill levels),
+//   * Histogram — fixed upper-bound buckets (le semantics, +Inf implicit),
+//                 sharded per thread.
+// Counters and histograms are backed by kShards cache-line-aligned
+// relaxed-atomic cells; a thread is assigned a shard once (round-robin), so
+// the hot path pays one uncontended relaxed increment and nothing is
+// aggregated until snapshot time. Handles returned by the Registry are
+// stable for the process lifetime — resolve them once at setup, never on
+// the hot path.
+//
+// The whole subsystem is gated on a process-global enabled flag (off by
+// default): a disabled instrument costs one relaxed load and a predictable
+// branch. Single-writer hot loops (the switch data path) keep plain
+// per-owner tallies instead and publish them here once per window — see
+// pisa::Switch — so the per-packet cost stays at a plain increment either
+// way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sonata::obs {
+
+// Process-global switch for every instrument in the registry (and for the
+// drivers' phase timers). Off by default: an un-observed run pays only the
+// plain single-writer tallies the data path keeps anyway.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+inline constexpr std::size_t kShards = 16;
+
+// Shard assigned to the calling thread (round-robin at first use). Threads
+// beyond kShards share shards — still correct, just contended.
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+// Format "name{k1="v1",k2="v2"}" — the canonical metric identity used as
+// the registry key and by both exporters. Pairs must be pre-sorted by the
+// caller if a canonical order matters (instrument sites use a fixed order).
+[[nodiscard]] std::string labeled(
+    std::string_view name,
+    std::span<const std::pair<std::string_view, std::string>> labels);
+
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    if (!enabled()) return;
+    cells_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  void zero() noexcept;
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kShards];
+};
+
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (!enabled()) return;
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Bucket of `v` under le semantics: the first bound >= v, else the
+  // implicit +Inf bucket at index bounds().size().
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t v) const noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    return i;
+  }
+
+  void observe(std::uint64_t v) noexcept { observe_n(v, 1); }
+
+  // Record `n` samples of value `v` with one pair of increments — how the
+  // single-writer data-path tallies publish a whole window at once.
+  void observe_n(std::uint64_t v, std::uint64_t n) noexcept {
+    if (n == 0 || !enabled()) return;
+    Shard& s = shards_[shard_index()];
+    s.buckets[bucket_of(v)].fetch_add(n, std::memory_order_relaxed);
+    s.sum.fetch_add(v * n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  // Aggregated non-cumulative bucket counts (size bounds().size() + 1).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::span<const std::uint64_t> bounds);
+  void zero() noexcept;
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::vector<std::uint64_t> bounds_;  // ascending upper bounds
+  Shard shards_[kShards];
+};
+
+// Aggregated point-in-time view of every registered instrument.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;  // non-cumulative, bounds.size() + 1
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+class Registry {
+ public:
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Resolve (or create) an instrument. `name` is the full identity,
+  // including any {labels} suffix (see labeled()). Returned references stay
+  // valid for the registry's lifetime; repeated calls return the same
+  // instrument. A histogram's bounds are fixed by its first registration.
+  Counter& counter(std::string name);
+  Gauge& gauge(std::string name);
+  Histogram& histogram(std::string name, std::span<const std::uint64_t> bounds);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  // Zero every instrument's cells, keeping registrations and handles valid
+  // (benchmarks and tests isolate runs with this).
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sonata::obs

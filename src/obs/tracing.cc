@@ -1,0 +1,87 @@
+#include "obs/tracing.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace sonata::obs {
+
+namespace {
+
+std::uint32_t this_thread_tid() noexcept {
+  // Small stable per-thread id for the trace viewer's lane assignment.
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           epoch)
+          .count());
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::record(const char* name, const char* cat, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  std::lock_guard lk(mu_);
+  events_.push_back({name, cat, start_ns, dur_ns, this_thread_tid()});
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lk(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lk(mu_);
+  events_.clear();
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::lock_guard lk(mu_);
+  std::string out = "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                  "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}%s\n",
+                  e.name, e.cat, e.tid, static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, i + 1 == events_.size() ? "" : ",");
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kIngest: return "ingest";
+    case Phase::kCompute: return "compute";
+    case Phase::kMerge: return "merge";
+    case Phase::kPoll: return "poll";
+    case Phase::kClose: return "close";
+  }
+  return "?";
+}
+
+void PhaseTimer::stop() noexcept {
+  if (start_ == 0) return;
+  const std::uint64_t end = now_ns();
+  const std::uint64_t dur = end - start_;
+  accum_->add(phase_, dur);
+  TraceRecorder::global().record(phase_name(phase_), "window", start_, dur);
+  start_ = 0;
+}
+
+}  // namespace sonata::obs

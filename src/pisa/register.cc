@@ -34,16 +34,28 @@ RegisterChain::UpdateResult RegisterChain::update(const query::Tuple& key, std::
       slot.key = key;
       slot.value = delta;  // initial value for every reduce fn (incl. min)
       ++stored_;
-      return {.stored = true, .newly_inserted = true, .overflow = false, .value = slot.value};
+      return {.stored = true,
+              .newly_inserted = true,
+              .overflow = false,
+              .probes = static_cast<int>(d) + 1,
+              .value = slot.value};
     }
     if (slot.key == key) {
       slot.value = apply_reduce(fn, slot.value, delta);
-      return {.stored = true, .newly_inserted = false, .overflow = false, .value = slot.value};
+      return {.stored = true,
+              .newly_inserted = false,
+              .overflow = false,
+              .probes = static_cast<int>(d) + 1,
+              .value = slot.value};
     }
     // Occupied by a different key: fall through to the next register.
   }
   ++overflows_;
-  return {.stored = false, .newly_inserted = false, .overflow = true, .value = 0};
+  return {.stored = false,
+          .newly_inserted = false,
+          .overflow = true,
+          .probes = cfg_.depth,
+          .value = 0};
 }
 
 std::optional<std::uint64_t> RegisterChain::read(const query::Tuple& key) const {

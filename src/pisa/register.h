@@ -34,6 +34,7 @@ class RegisterChain {
     bool stored = false;          // found a slot (new or existing)
     bool newly_inserted = false;  // first packet for this key this window
     bool overflow = false;        // collided in all d registers
+    int probes = 0;               // registers examined (collision-chain depth)
     std::uint64_t value = 0;      // aggregate after the update (if stored)
   };
 

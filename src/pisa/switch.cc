@@ -1,5 +1,6 @@
 #include "pisa/switch.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/log.h"
@@ -109,6 +110,7 @@ bool CompiledSwitchQuery::process_into(const Tuple& source, EmitSink& sink) {
       }
       case OpKind::kDistinct: {
         const auto r = cop.chain->update(current, 1, query::ReduceFn::kBitOr);
+        ++probe_tally_[std::min(r.probes, kProbeTallyMax)];
         if (r.overflow) {
           ++emitted_;
           ++overflows_;
@@ -123,6 +125,7 @@ bool CompiledSwitchQuery::process_into(const Tuple& source, EmitSink& sink) {
         Tuple key = query::project(current, cop.key_idx);
         const std::uint64_t delta = current.at(cop.value_idx).as_uint();
         const auto r = cop.chain->update(key, delta, cop.fn);
+        ++probe_tally_[std::min(r.probes, kProbeTallyMax)];
         if (r.overflow) {
           ++emitted_;
           ++overflows_;
@@ -143,6 +146,7 @@ bool CompiledSwitchQuery::process_into(const Tuple& source, EmitSink& sink) {
         Tuple out = std::move(key);
         out.values.emplace_back(r.value);
         ++emitted_;
+        ++key_reports_;
         sink.append(EmitRecord{EmitRecord::Kind::kKeyReport, opts_.qid, opts_.source_index,
                                opts_.level, poll_entry_, std::move(out)});
         return true;
@@ -186,6 +190,21 @@ void CompiledSwitchQuery::reset_registers() {
   }
 }
 
+std::vector<CompiledSwitchQuery::StatefulOpStats> CompiledSwitchQuery::stateful_op_stats() const {
+  std::vector<StatefulOpStats> out;
+  for (const auto& cop : ops_) {
+    if (!cop.chain) continue;
+    const RegisterChainConfig& rc = cop.chain->config();
+    out.push_back({.op_index = cop.op_index,
+                   .kind = cop.kind,
+                   .keys_stored = cop.chain->keys_stored(),
+                   .slots = static_cast<std::uint64_t>(rc.entries_per_register) *
+                            static_cast<std::uint64_t>(rc.depth),
+                   .overflows = cop.chain->overflow_count()});
+  }
+  return out;
+}
+
 bool CompiledSwitchQuery::set_filter_entries(const std::string& table_name,
                                              std::vector<Tuple> entries) {
   for (auto& cop : ops_) {
@@ -204,9 +223,87 @@ std::string Switch::install(std::vector<std::unique_ptr<CompiledSwitchQuery>> pi
   if (!layout.feasible) return layout.error;
   pipelines_ = std::move(pipelines);
   layout_ = std::move(layout);
+  init_obs_handles();
   SONATA_DEBUG("pisa", "installed %zu pipelines, metadata %d bits", pipelines_.size(),
                layout_.metadata_bits_used);
   return {};
+}
+
+void Switch::init_obs_handles() {
+  auto& reg = obs::Registry::global();
+  const std::pair<std::string_view, std::string> sw{"sw", obs_label_};
+  auto name1 = [&](const char* base) {
+    const std::pair<std::string_view, std::string> labels[] = {sw};
+    return obs::labeled(base, labels);
+  };
+  obs_.packets = &reg.counter(name1("sonata_pisa_packets_total"));
+  obs_.dropped = &reg.counter(name1("sonata_pisa_dropped_total"));
+  auto kind_name = [&](const char* kind) {
+    const std::pair<std::string_view, std::string> labels[] = {sw, {"kind", kind}};
+    return obs::labeled("sonata_pisa_emit_records_total", labels);
+  };
+  obs_.emit_stream = &reg.counter(kind_name("stream"));
+  obs_.emit_key_report = &reg.counter(kind_name("key_report"));
+  obs_.emit_overflow = &reg.counter(kind_name("overflow"));
+  static constexpr std::uint64_t kProbeBounds[] = {1, 2, 3, 4, 6, 8};
+  obs_.probe_depth = &reg.histogram(name1("sonata_pisa_probe_depth"), kProbeBounds);
+
+  obs_.occupancy.clear();
+  obs_.occupancy.reserve(pipelines_.size());
+  obs_.probe_pub.assign(pipelines_.size() * (CompiledSwitchQuery::kProbeTallyMax + 1), 0);
+  obs_.packets_pub = obs_.dropped_pub = 0;
+  obs_.stream_pub = obs_.key_report_pub = obs_.overflow_pub = 0;
+  for (const auto& p : pipelines_) {
+    const auto& o = p->options();
+    std::vector<obs::Gauge*> per_op;
+    for (const auto& s : p->stateful_op_stats()) {
+      const std::pair<std::string_view, std::string> labels[] = {
+          sw,
+          {"qid", std::to_string(o.qid)},
+          {"src", std::to_string(o.source_index)},
+          {"level", std::to_string(o.level)},
+          {"op", std::to_string(s.op_index)}};
+      per_op.push_back(&reg.gauge(obs::labeled("sonata_pisa_register_occupancy", labels)));
+      reg.gauge(obs::labeled("sonata_pisa_register_slots", labels))
+          .set(static_cast<std::int64_t>(s.slots));
+    }
+    obs_.occupancy.push_back(std::move(per_op));
+  }
+}
+
+void Switch::publish_obs() {
+  if (!obs::enabled() || pipelines_.empty() || obs_.packets == nullptr) return;
+  obs_.packets->add(stats_.packets_processed - obs_.packets_pub);
+  obs_.packets_pub = stats_.packets_processed;
+  obs_.dropped->add(stats_.dropped_packets - obs_.dropped_pub);
+  obs_.dropped_pub = stats_.dropped_packets;
+
+  std::uint64_t streams = 0, key_reports = 0, overflows = 0;
+  for (std::size_t i = 0; i < pipelines_.size(); ++i) {
+    const auto& p = *pipelines_[i];
+    streams += p.stream_records();
+    key_reports += p.key_report_records();
+    overflows += p.overflow_records();
+    // Register occupancy is a point-in-time gauge: published at window
+    // close, before reset_all_registers clears the chains.
+    const auto stats = p.stateful_op_stats();
+    for (std::size_t s = 0; s < stats.size() && s < obs_.occupancy[i].size(); ++s) {
+      obs_.occupancy[i][s]->set(static_cast<std::int64_t>(stats[s].keys_stored));
+    }
+    const auto tally = p.probe_tally();
+    std::uint64_t* pub = &obs_.probe_pub[i * tally.size()];
+    for (std::size_t d = 1; d < tally.size(); ++d) {
+      const std::uint64_t delta = tally[d] - pub[d];
+      if (delta != 0) obs_.probe_depth->observe_n(d, delta);
+      pub[d] = tally[d];
+    }
+  }
+  obs_.emit_stream->add(streams - obs_.stream_pub);
+  obs_.stream_pub = streams;
+  obs_.emit_key_report->add(key_reports - obs_.key_report_pub);
+  obs_.key_report_pub = key_reports;
+  obs_.emit_overflow->add(overflows - obs_.overflow_pub);
+  obs_.overflow_pub = overflows;
 }
 
 void Switch::process_one(const Tuple& source, EmitSink& sink) {
@@ -253,6 +350,13 @@ int Switch::update_filter_entries(const std::string& table_name,
       stats_.control_update_millis += kMillisPerEntryUpdate * static_cast<double>(entries.size());
     }
   }
+  if (updated > 0 && obs::enabled()) {
+    const std::pair<std::string_view, std::string> labels[] = {{"sw", obs_label_},
+                                                               {"table", table_name}};
+    obs::Registry::global()
+        .gauge(obs::labeled("sonata_pisa_filter_entries", labels))
+        .set(static_cast<std::int64_t>(entries.size()));
+  }
   return updated;
 }
 
@@ -283,6 +387,7 @@ std::size_t Switch::blocked_keys() const noexcept {
 }
 
 void Switch::reset_all_registers() {
+  publish_obs();  // occupancy gauges must see the pre-reset register state
   for (auto& p : pipelines_) p->reset_registers();
   ++stats_.register_resets;
   stats_.control_update_millis += kMillisPerRegisterReset;

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pisa/compile.h"
 #include "pisa/config.h"
 #include "pisa/layout.h"
@@ -138,6 +139,30 @@ class CompiledSwitchQuery {
   [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_seen_; }
   [[nodiscard]] std::uint64_t records_emitted() const noexcept { return emitted_; }
   [[nodiscard]] std::uint64_t overflow_records() const noexcept { return overflows_; }
+  [[nodiscard]] std::uint64_t key_report_records() const noexcept { return key_reports_; }
+  [[nodiscard]] std::uint64_t stream_records() const noexcept {
+    return emitted_ - overflows_ - key_reports_;
+  }
+
+  // Per-register-chain occupancy, read at window close (before the reset)
+  // so the observability layer can publish register pressure per stage.
+  struct StatefulOpStats {
+    std::size_t op_index = 0;
+    query::OpKind kind = query::OpKind::kDistinct;
+    std::uint64_t keys_stored = 0;
+    std::uint64_t slots = 0;  // total capacity: entries_per_register * depth
+    std::uint64_t overflows = 0;
+  };
+  [[nodiscard]] std::vector<StatefulOpStats> stateful_op_stats() const;
+
+  // Collision-chain depth tally: probe_tally()[p] counts stateful-op
+  // updates that examined p registers (index 0 unused; the last index
+  // aggregates >= kProbeTallyMax probes). Plain single-writer counters —
+  // a Switch is driven by one thread — so the hot path stays atomic-free.
+  static constexpr int kProbeTallyMax = 8;
+  [[nodiscard]] std::span<const std::uint64_t> probe_tally() const noexcept {
+    return {probe_tally_, kProbeTallyMax + 1};
+  }
 
  private:
   struct CompiledOp {
@@ -168,6 +193,8 @@ class CompiledSwitchQuery {
   std::uint64_t packets_seen_ = 0;
   std::uint64_t emitted_ = 0;
   std::uint64_t overflows_ = 0;
+  std::uint64_t key_reports_ = 0;
+  std::uint64_t probe_tally_[kProbeTallyMax + 1] = {};
 };
 
 // Counters the evaluation reads per window.
@@ -184,6 +211,12 @@ struct SwitchStats {
 class Switch {
  public:
   explicit Switch(SwitchConfig cfg) : cfg_(std::move(cfg)) {}
+
+  // Label this switch carries in its metric names (`sw="<label>"`).
+  // Must be set before install(); the fleet uses the shard index, a
+  // standalone runtime keeps the default "0".
+  void set_obs_label(std::string label) { obs_label_ = std::move(label); }
+  [[nodiscard]] const std::string& obs_label() const noexcept { return obs_label_; }
 
   // Install pipelines. Performs stage layout against the resource model and
   // refuses (returning the layout error) if the programs do not fit.
@@ -237,11 +270,38 @@ class Switch {
   static constexpr double kMillisPerRegisterReset = 4.0;
 
  private:
+  // Resolve metric handles for the installed pipelines (called once at
+  // install) and publish the window's single-writer tallies into the
+  // global registry (called from reset_all_registers, before clearing).
+  void init_obs_handles();
+  void publish_obs();
+
+  struct ObsHandles {
+    obs::Counter* packets = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* emit_stream = nullptr;
+    obs::Counter* emit_key_report = nullptr;
+    obs::Counter* emit_overflow = nullptr;
+    obs::Histogram* probe_depth = nullptr;
+    // Parallel to pipelines_; inner vector parallel to stateful_op_stats().
+    std::vector<std::vector<obs::Gauge*>> occupancy;
+    // Counters export deltas since the previous publish; these snapshot
+    // the last-published cumulative totals.
+    std::uint64_t packets_pub = 0;
+    std::uint64_t dropped_pub = 0;
+    std::uint64_t stream_pub = 0;
+    std::uint64_t key_report_pub = 0;
+    std::uint64_t overflow_pub = 0;
+    std::vector<std::uint64_t> probe_pub;  // flattened [pipeline][depth]
+  };
+
   SwitchConfig cfg_;
   std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines_;
   Layout layout_;
   SwitchStats stats_;
   EmitSink scratch_sink_;  // backs the legacy vector-based wrappers
+  std::string obs_label_ = "0";
+  ObsHandles obs_;
   // Guard table: source-schema column index -> blocked key values.
   std::vector<std::pair<std::size_t, std::unordered_set<query::Value, query::ValueHasher>>>
       blocks_;

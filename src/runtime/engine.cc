@@ -3,15 +3,64 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "runtime/fleet.h"
 #include "runtime/runtime.h"
+#include "util/log.h"
 #include "util/time.h"
 
 namespace sonata::runtime {
 
+namespace {
+
+// Registry-side window accounting, shared by every driver. Handles are
+// resolved lazily once; the adds are self-gated on obs::enabled.
+void publish_window_obs(const WindowStats& w) {
+  static obs::Counter& windows = obs::Registry::global().counter("sonata_windows_total");
+  static obs::Counter* phase_nanos[obs::kPhaseCount] = {};
+  if (phase_nanos[0] == nullptr) {
+    for (int i = 0; i < obs::kPhaseCount; ++i) {
+      const std::pair<std::string_view, std::string> labels[] = {
+          {"phase", obs::phase_name(static_cast<obs::Phase>(i))}};
+      phase_nanos[i] =
+          &obs::Registry::global().counter(obs::labeled("sonata_window_phase_nanos_total", labels));
+    }
+  }
+  windows.add(1);
+  phase_nanos[static_cast<int>(obs::Phase::kIngest)]->add(w.phases.ingest_nanos);
+  phase_nanos[static_cast<int>(obs::Phase::kCompute)]->add(w.phases.compute_nanos);
+  phase_nanos[static_cast<int>(obs::Phase::kMerge)]->add(w.phases.merge_nanos);
+  phase_nanos[static_cast<int>(obs::Phase::kPoll)]->add(w.phases.poll_nanos);
+  phase_nanos[static_cast<int>(obs::Phase::kClose)]->add(w.phases.close_nanos);
+}
+
+}  // namespace
+
 WindowStats TelemetryEngine::process_window(std::span<const net::Packet> packets) {
+  const bool tracing = obs::TraceRecorder::global().enabled();
+  const std::uint64_t start = tracing ? obs::now_ns() : 0;
   for (const auto& p : packets) ingest(p);
-  return close_window();
+  WindowStats w = close_window();
+  if (tracing) {
+    obs::TraceRecorder::global().record("window", "window", start, obs::now_ns() - start);
+  }
+  if (obs::enabled()) publish_window_obs(w);
+  std::size_t detections = 0;
+  for (const auto& r : w.results) detections += r.outputs.size();
+  SONATA_INFO("engine",
+              "window %llu: packets=%llu tuples_to_sp=%llu (raw %llu) overflows=%llu "
+              "detections=%zu phases[ms] ingest=%.3f compute=%.3f merge=%.3f poll=%.3f "
+              "close=%.3f total=%.3f ctrl=%.1f",
+              static_cast<unsigned long long>(w.window_index),
+              static_cast<unsigned long long>(w.packets),
+              static_cast<unsigned long long>(w.tuples_to_sp),
+              static_cast<unsigned long long>(w.raw_mirror_packets),
+              static_cast<unsigned long long>(w.overflow_records), detections,
+              w.phases.ingest_millis(), w.phases.compute_millis(), w.phases.merge_millis(),
+              w.phases.poll_millis(), w.phases.close_millis(), w.phases.total_millis(),
+              w.control_update_millis);
+  return w;
 }
 
 std::vector<WindowStats> TelemetryEngine::run_trace(std::span<const net::Packet> trace) {

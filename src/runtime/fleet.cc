@@ -20,10 +20,22 @@ Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_th
   assert(switch_count >= 1);
   raw_mirror_ = sp_.wants_raw_mirror();
 
+  auto& reg = obs::Registry::global();
+  wakeups_ctr_ = &reg.counter("sonata_fleet_wakeups_total");
+
   // One identical switch program per ingress point.
   for (std::size_t i = 0; i < switch_count; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->sw = std::make_unique<pisa::Switch>(plan_.switch_config);
+    shard->sw->set_obs_label(std::to_string(i));
+    {
+      const std::pair<std::string_view, std::string> labels[] = {{"sw", std::to_string(i)}};
+      shard->packets_ctr = &reg.counter(obs::labeled("sonata_fleet_packets_total", labels));
+      shard->stalls_ctr = &reg.counter(obs::labeled("sonata_fleet_stalls_total", labels));
+      static constexpr std::uint64_t kRingBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+      shard->ring_depth =
+          &reg.histogram(obs::labeled("sonata_fleet_ring_depth", labels), kRingBounds);
+    }
     std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> pipelines;
     std::vector<pisa::ProgramResources> resources;
     for (const PlannedQuery& pq : plan_.queries) {
@@ -71,16 +83,27 @@ Fleet::~Fleet() {
 void Fleet::process_batch_on_shard(Shard& shard, std::span<const net::Packet> packets) {
   // Parse into the shard's tuple slots — warm slots keep their value
   // storage, so a steady-state batch materializes without touching the
-  // allocator — and run the pipelines in L1-sized chunks while the tuples
-  // are still hot.
+  // allocator — and run the pipelines in cache-sized chunks. Each phase
+  // timer spans a kTimedRun-packet stretch, not a single 16-tuple chunk:
+  // per-chunk clock reads would dominate the obs overhead budget.
+  constexpr std::size_t kTimedRun = 256;
   while (!packets.empty()) {
-    const std::size_t n = std::min(packets.size(), kProcessChunk);
-    if (shard.tuple_scratch.size() < n) shard.tuple_scratch.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      query::materialize_tuple_into(packets[i], shard.tuple_scratch[i]);
+    const std::size_t run = std::min(packets.size(), kTimedRun);
+    if (shard.tuple_scratch.size() < run) shard.tuple_scratch.resize(run);
+    {
+      obs::PhaseTimer t{shard.phases, obs::Phase::kIngest};
+      for (std::size_t i = 0; i < run; ++i) {
+        query::materialize_tuple_into(packets[i], shard.tuple_scratch[i]);
+      }
     }
-    process_tuples_on_shard(shard, {shard.tuple_scratch.data(), n});
-    packets = packets.subspan(n);
+    {
+      obs::PhaseTimer t{shard.phases, obs::Phase::kCompute};
+      for (std::size_t off = 0; off < run; off += kProcessChunk) {
+        process_tuples_on_shard(
+            shard, {shard.tuple_scratch.data() + off, std::min(kProcessChunk, run - off)});
+      }
+    }
+    packets = packets.subspan(run);
   }
 }
 
@@ -148,6 +171,7 @@ void Fleet::worker_loop(Worker& w) {
 }
 
 void Fleet::wake(Worker& w) {
+  wakeups_ctr_->add(1);
   {
     std::lock_guard lk(w.mutex);
     w.signal = true;
@@ -166,9 +190,13 @@ void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
     }
     Worker& w = *workers_[switch_index % workers_.size()];
     const bool was_empty = shard.queue.empty();
-    while (!shard.queue.try_push(packet)) {
-      wake(w);
-      std::this_thread::yield();
+    shard.packets_ctr->add(1);
+    if (!shard.queue.try_push(packet)) {
+      shard.stalls_ctr->add(1);
+      do {
+        wake(w);
+        std::this_thread::yield();
+      } while (!shard.queue.try_push(packet));
     }
     ++shard.enqueued;
     if (was_empty) wake(w);
@@ -189,12 +217,15 @@ void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
   // intermediate buffer); the slot stays invisible to the worker until the
   // batch-boundary publish.
   Worker& w = *workers_[switch_index % workers_.size()];
-  while (!shard.queue.try_stage(packet)) {
+  if (!shard.queue.try_stage(packet)) {
     // Ring full: publish what we have, make sure the worker is awake, and
     // yield to it.
-    flush_shard(switch_index);
-    wake(w);
-    std::this_thread::yield();
+    shard.stalls_ctr->add(1);
+    do {
+      flush_shard(switch_index);
+      wake(w);
+      std::this_thread::yield();
+    } while (!shard.queue.try_stage(packet));
   }
   ++shard.staged_count;
   if (shard.staged_count >= batch_size_) flush_shard(switch_index);
@@ -204,6 +235,8 @@ void Fleet::flush_shard(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   if (workers_.empty()) {
     if (shard.tuples_pending == 0) return;
+    shard.packets_ctr->add(shard.tuples_pending);
+    obs::PhaseTimer t{driver_phases_, obs::Phase::kCompute};
     process_tuples_on_shard(shard, {shard.tuple_scratch.data(), shard.tuples_pending});
     shard.tuples_pending = 0;
     return;
@@ -211,6 +244,11 @@ void Fleet::flush_shard(std::size_t shard_index) {
   if (shard.staged_count == 0) return;
   const bool was_empty = shard.queue.publish();
   shard.enqueued += shard.staged_count;
+  if (obs::enabled()) {
+    shard.packets_ctr->add(shard.staged_count);
+    // Queue occupancy as the worker sees it right after this publish.
+    shard.ring_depth->observe(shard.enqueued - shard.drained.load(std::memory_order_relaxed));
+  }
   shard.staged_count = 0;
   if (was_empty) wake(*workers_[shard_index % workers_.size()]);
 }
@@ -239,31 +277,48 @@ void Fleet::drain_barrier() {
 }
 
 WindowStats Fleet::close_window() {
-  // 0. Window barrier: every shard queue drained, worker buffers published.
-  drain_barrier();
+  {
+    obs::PhaseTimer merge_timer{driver_phases_, obs::Phase::kMerge};
+
+    // 0. Window barrier: every shard queue drained, worker buffers
+    //    published.
+    drain_barrier();
+
+    // 1. Merge shard outputs into the shared stream executors in ascending
+    //    switch order — deterministic regardless of worker interleaving.
+    for (auto& s : shards_) {
+      for (pisa::EmitRecord& rec : s->sink.records()) {
+        if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++current_.overflow_records;
+        sp_.deliver(std::move(rec));
+      }
+      sp_.deliver_raw_batch(s->raw_sources);
+      current_.tuples_to_sp += s->tuples_to_sp;
+      current_.raw_mirror_packets += s->raw_mirror_packets;
+      s->sink.clear();
+      s->raw_sources.clear();
+      s->tuples_to_sp = 0;
+      s->raw_mirror_packets = 0;
+    }
+  }
+  // The barrier made every worker's phase clock visible (the same
+  // release/acquire pair that publishes the emit arenas); fold the
+  // workers' ingest/compute time into this window's breakdown.
+  for (auto& s : shards_) {
+    driver_phases_.merge(s->phases);
+    s->phases.reset();
+  }
 
   std::vector<double> control_before;
   control_before.reserve(shards_.size());
   for (const auto& s : shards_) control_before.push_back(s->sw->stats().control_update_millis);
 
-  // 1. Merge shard outputs into the shared stream executors in ascending
-  //    switch order — deterministic regardless of worker interleaving.
-  for (auto& s : shards_) {
-    for (pisa::EmitRecord& rec : s->sink.records()) {
-      if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++current_.overflow_records;
-      sp_.deliver(std::move(rec));
-    }
-    sp_.deliver_raw_batch(s->raw_sources);
-    current_.tuples_to_sp += s->tuples_to_sp;
-    current_.raw_mirror_packets += s->raw_mirror_packets;
-    s->sink.clear();
-    s->raw_sources.clear();
-    s->tuples_to_sp = 0;
-    s->raw_mirror_packets = 0;
+  // 2. Poll every switch; partial aggregates merge at the shared reduce.
+  {
+    obs::PhaseTimer t{driver_phases_, obs::Phase::kPoll};
+    for (const auto& s : shards_) sp_.poll_switch(*s->sw);
   }
 
-  // 2. Poll every switch; partial aggregates merge at the shared reduce.
-  for (const auto& s : shards_) sp_.poll_switch(*s->sw);
+  obs::PhaseTimer close_timer{driver_phases_, obs::Phase::kClose};
 
   // 3. Close coarse-to-fine; winners install on EVERY switch.
   std::vector<pisa::Switch*> switches;
@@ -280,6 +335,9 @@ WindowStats Fleet::close_window() {
         std::max(control, shards_[i]->sw->stats().control_update_millis - control_before[i]);
   }
   current_.control_update_millis = control;
+  close_timer.stop();
+  current_.phases = to_breakdown(driver_phases_);
+  driver_phases_.reset();
 
   current_.window_index = window_counter_++;
   WindowStats out = std::move(current_);

@@ -126,6 +126,17 @@ class Fleet final : public TelemetryEngine {
 
     std::uint64_t enqueued = 0;                // driver-only
     std::atomic<std::uint64_t> drained{0};     // worker-written (release)
+
+    // Worker-side phase clock (ingest/compute), single-writer like the
+    // emit arena: published to the driver by the same release/acquire
+    // pair as `drained`, merged and reset at the window barrier.
+    obs::PhaseAccum phases;
+
+    // Registry handles, resolved once at construction (self-gated on
+    // obs::enabled, so they cost one branch when observability is off).
+    obs::Counter* packets_ctr = nullptr;   // packets handed to this shard
+    obs::Counter* stalls_ctr = nullptr;    // ring-full backpressure events
+    obs::Histogram* ring_depth = nullptr;  // queue occupancy at batch publish
   };
 
   struct Worker {
@@ -163,6 +174,8 @@ class Fleet final : public TelemetryEngine {
   std::atomic<bool> stop_{false};
 
   WindowStats current_;
+  obs::PhaseAccum driver_phases_;  // merge/poll/close (+ inline compute)
+  obs::Counter* wakeups_ctr_ = nullptr;
   std::uint64_t window_counter_ = 0;
 };
 

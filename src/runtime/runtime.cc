@@ -68,16 +68,26 @@ void Runtime::ingest(const net::Packet& packet) {
   }
   if (pending_used_ == pending_tuples_.size()) pending_tuples_.emplace_back();
   query::materialize_tuple_into(packet, pending_tuples_[pending_used_++]);
-  // Single data plane, no handoff to amortize: process at chunk
-  // granularity while the materialized tuples are still hot.
-  if (pending_used_ >= std::min(batch_size_, kProcessChunk)) flush_pending();
+  if (pending_used_ >= batch_size_) flush_pending();
 }
 
 void Runtime::flush_pending() {
   if (pending_used_ == 0) return;
   const std::span<Tuple> batch{pending_tuples_.data(), pending_used_};
   sink_.clear();
-  switch_.process_batch(batch, sink_);
+  {
+    // One timed span for the whole buffered batch — per-chunk clock reads
+    // would cost more than the obs overhead budget at kProcessChunk
+    // granularity. Inside it, the pipelines still consume the buffer in
+    // cache-sized runs (the sequential re-read is prefetch-friendly), and
+    // records accumulate in sink_ across chunks exactly as one call would.
+    obs::PhaseTimer t{phase_accum_, obs::Phase::kCompute};
+    for (std::size_t off = 0; off < pending_used_; off += kProcessChunk) {
+      switch_.process_batch(batch.subspan(off, std::min(kProcessChunk, pending_used_ - off)),
+                            sink_);
+    }
+  }
+  obs::PhaseTimer merge_timer{phase_accum_, obs::Phase::kMerge};
   for (pisa::EmitRecord& rec : sink_.records()) {
     ++total_records_;
     if (rec.kind == pisa::EmitRecord::Kind::kOverflow) {
@@ -107,7 +117,12 @@ WindowStats Runtime::close_window() {
   flush_pending();
 
   // 1. Poll switch registers for stateful tails (control channel).
-  sp_.poll_switch(switch_);
+  {
+    obs::PhaseTimer t{phase_accum_, obs::Phase::kPoll};
+    sp_.poll_switch(switch_);
+  }
+
+  obs::PhaseTimer close_timer{phase_accum_, obs::Phase::kClose};
 
   // 2. Close levels coarse-to-fine; winners install into the next level's
   //    dynamic filter tables (they take effect for the next window).
@@ -135,9 +150,12 @@ WindowStats Runtime::close_window() {
 
   // 4. Reset registers for the next window.
   switch_.reset_all_registers();
+  close_timer.stop();
   current_.control_update_millis = switch_.stats().control_update_millis - control_before;
   current_.dropped_packets = switch_.stats().dropped_packets - dropped_before_window_;
   dropped_before_window_ = switch_.stats().dropped_packets;
+  current_.phases = to_breakdown(phase_accum_);
+  phase_accum_.reset();
 
   // Re-planning trigger: sustained collision overflow means the registers
   // were sized for different traffic (paper §5).

@@ -89,10 +89,11 @@ class Runtime final : public TelemetryEngine {
   [[nodiscard]] bool replan_recommended() const noexcept { return replan_recommended_; }
 
  private:
-  // Compute granularity for the buffered batch (same locality knob as
-  // Fleet::kProcessChunk): process in runs small enough that the tuples
-  // are still L1-resident when the pipelines read them. Output order is
-  // unchanged for any value.
+  // Compute granularity inside a buffered flush (same locality knob as
+  // Fleet::kProcessChunk): the pipelines consume the batch in runs small
+  // enough to stay cache-resident. The flush itself triggers at
+  // batch_size_ so the per-flush phase-timer clock reads amortize over the
+  // whole batch. Output order is unchanged for any value.
   static constexpr std::size_t kProcessChunk = 16;
 
   // Run the buffered tuples through the switch pipelines and route the
@@ -110,6 +111,7 @@ class Runtime final : public TelemetryEngine {
   bool replan_recommended_ = false;
 
   WindowStats current_;
+  obs::PhaseAccum phase_accum_;  // this window's phase clock (driver thread)
   std::uint64_t window_counter_ = 0;
   std::uint64_t total_records_ = 0;
   std::uint64_t total_overflows_ = 0;

@@ -16,14 +16,34 @@ void Emitter::record(const pisa::EmitRecord& rec) {
   if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++s.overflows;
 }
 
+PhaseBreakdown to_breakdown(const obs::PhaseAccum& accum) noexcept {
+  return {.ingest_nanos = accum.nanos(obs::Phase::kIngest),
+          .compute_nanos = accum.nanos(obs::Phase::kCompute),
+          .merge_nanos = accum.nanos(obs::Phase::kMerge),
+          .poll_nanos = accum.nanos(obs::Phase::kPoll),
+          .close_nanos = accum.nanos(obs::Phase::kClose),
+          .total_nanos = accum.total_nanos()};
+}
+
 StreamProcessor::StreamProcessor(const planner::Plan& plan) : plan_(&plan) {
+  auto& reg = obs::Registry::global();
   for (const PlannedQuery& pq : plan_->queries) {
     QueryState qs;
     qs.pq = &pq;
+    const std::string qid_str = std::to_string(pq.base->id());
+    {
+      const std::pair<std::string_view, std::string> labels[] = {{"qid", qid_str}};
+      qs.winners_counter = &reg.counter(obs::labeled("sonata_sp_winners_total", labels));
+    }
     for (const int level : pq.chain) {
       LevelExec le;
       le.level = level;
       le.exec = std::make_unique<stream::QueryExecutor>(pq.exec_queries.at(level));
+      const std::pair<std::string_view, std::string> labels[] = {
+          {"qid", qid_str}, {"level", std::to_string(level)}};
+      le.in_counter = &reg.counter(obs::labeled("sonata_sp_tuples_in_total", labels));
+      le.out_counter = &reg.counter(obs::labeled("sonata_sp_tuples_out_total", labels));
+      le.state_gauge = &reg.gauge(obs::labeled("sonata_sp_reduce_state", labels));
       qs.levels.push_back(std::move(le));
     }
     queries_.push_back(std::move(qs));
@@ -49,15 +69,19 @@ int StreamProcessor::remap_source(query::QueryId qid, int level, int source_inde
   return source_index;
 }
 
-stream::QueryExecutor& StreamProcessor::executor(query::QueryId qid, int level) {
+StreamProcessor::LevelExec& StreamProcessor::level_exec(query::QueryId qid, int level) {
   for (auto& qs : queries_) {
     if (qs.pq->base->id() != qid) continue;
     for (auto& le : qs.levels) {
-      if (le.level == level) return *le.exec;
+      if (le.level == level) return le;
     }
   }
   assert(false && "no executor for (qid, level)");
   __builtin_unreachable();
+}
+
+stream::QueryExecutor& StreamProcessor::executor(query::QueryId qid, int level) {
+  return *level_exec(qid, level).exec;
 }
 
 void StreamProcessor::deliver(const pisa::EmitRecord& rec) {
@@ -69,7 +93,9 @@ void StreamProcessor::deliver(const pisa::EmitRecord& rec) {
   }
   const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
   if (src_idx < 0) return;
-  executor(rec.qid, rec.level).ingest(src_idx, rec.tuple, rec.op_index);
+  LevelExec& le = level_exec(rec.qid, rec.level);
+  ++le.tuples_in;
+  le.exec->ingest(src_idx, rec.tuple, rec.op_index);
 }
 
 void StreamProcessor::deliver(pisa::EmitRecord&& rec) {
@@ -77,7 +103,9 @@ void StreamProcessor::deliver(pisa::EmitRecord&& rec) {
   if (rec.kind == pisa::EmitRecord::Kind::kKeyReport) return;
   const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
   if (src_idx < 0) return;
-  executor(rec.qid, rec.level).ingest(src_idx, std::move(rec.tuple), rec.op_index);
+  LevelExec& le = level_exec(rec.qid, rec.level);
+  ++le.tuples_in;
+  le.exec->ingest(src_idx, std::move(rec.tuple), rec.op_index);
 }
 
 void StreamProcessor::deliver_batch(std::span<pisa::EmitRecord> recs) {
@@ -87,7 +115,10 @@ void StreamProcessor::deliver_batch(std::span<pisa::EmitRecord> recs) {
 void StreamProcessor::deliver_raw(const Tuple& source) {
   for (const auto& feed : raw_feeds_) {
     const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
-    if (src_idx >= 0) executor(feed.qid, feed.level).ingest(src_idx, source, 0);
+    if (src_idx < 0) continue;
+    LevelExec& le = level_exec(feed.qid, feed.level);
+    ++le.tuples_in;
+    le.exec->ingest(src_idx, source, 0);
   }
 }
 
@@ -95,20 +126,22 @@ void StreamProcessor::deliver_raw_batch(std::span<Tuple> sources) {
   // Resolve the active feeds once per batch; the common single-feed case
   // then moves the whole buffer through the chain with zero tuple copies.
   struct Active {
-    stream::QueryExecutor* exec;
+    LevelExec* le;
     int src_idx;
   };
   std::vector<Active> active;
   active.reserve(raw_feeds_.size());
   for (const auto& feed : raw_feeds_) {
     const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
-    if (src_idx >= 0) active.push_back({&executor(feed.qid, feed.level), src_idx});
+    if (src_idx >= 0) active.push_back({&level_exec(feed.qid, feed.level), src_idx});
   }
   if (active.empty()) return;
   for (std::size_t f = 0; f + 1 < active.size(); ++f) {
-    for (const Tuple& t : sources) active[f].exec->ingest(active[f].src_idx, t, 0);
+    active[f].le->tuples_in += sources.size();
+    for (const Tuple& t : sources) active[f].le->exec->ingest(active[f].src_idx, t, 0);
   }
-  active.back().exec->ingest_batch(active.back().src_idx, sources, 0);
+  active.back().le->tuples_in += sources.size();
+  active.back().le->exec->ingest_batch(active.back().src_idx, sources, 0);
 }
 
 void StreamProcessor::poll_switch(const pisa::Switch& sw) {
@@ -117,9 +150,10 @@ void StreamProcessor::poll_switch(const pisa::Switch& sw) {
     const int src_idx =
         remap_source(p->options().qid, p->options().level, p->options().source_index);
     if (src_idx < 0) continue;
-    auto& exec = executor(p->options().qid, p->options().level);
+    LevelExec& le = level_exec(p->options().qid, p->options().level);
     std::vector<Tuple> aggregates = p->poll_aggregates();
-    exec.ingest_batch(src_idx, aggregates, p->poll_entry_op());
+    le.tuples_in += aggregates.size();
+    le.exec->ingest_batch(src_idx, aggregates, p->poll_entry_op());
   }
 }
 
@@ -127,10 +161,19 @@ void StreamProcessor::close_levels(WindowStats& window,
                                    std::span<pisa::Switch* const> switches) {
   // Close coarse-to-fine; each level's winner keys go into the next level's
   // dynamic filter tables on every switch and on the SP side.
+  const bool obs_on = obs::enabled();
   for (auto& qs : queries_) {
     const PlannedQuery& pq = *qs.pq;
     for (std::size_t li = 0; li < qs.levels.size(); ++li) {
-      std::vector<Tuple> outputs = qs.levels[li].exec->end_window();
+      LevelExec& le = qs.levels[li];
+      if (obs_on) {
+        // Reduce-state peak for the window: read before end_window clears it.
+        le.state_gauge->set(static_cast<std::int64_t>(le.exec->stateful_entries()));
+        le.in_counter->add(le.tuples_in);
+      }
+      le.tuples_in = 0;
+      std::vector<Tuple> outputs = le.exec->end_window();
+      if (obs_on) le.out_counter->add(outputs.size());
       const bool finest = li + 1 == qs.levels.size();
       if (finest) {
         window.results.push_back({pq.base->id(), pq.base->name(), std::move(outputs)});
@@ -158,6 +201,7 @@ void StreamProcessor::close_levels(WindowStats& window,
         for (pisa::Switch* sw : switches) sw->update_filter_entries(p.filter_table, winners);
         qs.levels[li + 1].exec->set_filter_entries(p.filter_table, winners);
       }
+      if (obs_on) qs.winners_counter->add(winners.size());
       auto& installed = window.winners[pq.base->id()];
       installed.insert(installed.end(), winners.begin(), winners.end());
     }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracing.h"
 #include "pisa/switch.h"
 #include "planner/planner.h"
 #include "stream/executor.h"
@@ -50,6 +51,30 @@ struct QueryResult {
   std::vector<query::Tuple> outputs;  // finest-level results this window
 };
 
+// Per-window phase-time breakdown, fed by the drivers' obs::PhaseAccum.
+// Kept in integer nanoseconds so the five components sum to total_nanos
+// EXACTLY (the accumulator adds both together); the millis accessors are
+// for display. In a threaded fleet the phases are busy time summed across
+// workers and driver, so total_nanos can exceed the window's wall time.
+struct PhaseBreakdown {
+  std::uint64_t ingest_nanos = 0;   // packet parse / tuple materialize
+  std::uint64_t compute_nanos = 0;  // switch pipeline processing
+  std::uint64_t merge_nanos = 0;    // barrier drain + record merge into SP
+  std::uint64_t poll_nanos = 0;     // end-of-window register polls
+  std::uint64_t close_nanos = 0;    // close_levels + refinement install + resets
+  std::uint64_t total_nanos = 0;    // exact sum of the five components
+
+  [[nodiscard]] double ingest_millis() const noexcept { return static_cast<double>(ingest_nanos) / 1e6; }
+  [[nodiscard]] double compute_millis() const noexcept { return static_cast<double>(compute_nanos) / 1e6; }
+  [[nodiscard]] double merge_millis() const noexcept { return static_cast<double>(merge_nanos) / 1e6; }
+  [[nodiscard]] double poll_millis() const noexcept { return static_cast<double>(poll_nanos) / 1e6; }
+  [[nodiscard]] double close_millis() const noexcept { return static_cast<double>(close_nanos) / 1e6; }
+  [[nodiscard]] double total_millis() const noexcept { return static_cast<double>(total_nanos) / 1e6; }
+};
+
+// Snapshot a driver's per-window phase accumulator into a breakdown.
+[[nodiscard]] PhaseBreakdown to_breakdown(const obs::PhaseAccum& accum) noexcept;
+
 struct WindowStats {
   std::uint64_t window_index = 0;
   std::uint64_t packets = 0;
@@ -58,6 +83,7 @@ struct WindowStats {
   std::uint64_t overflow_records = 0;
   double control_update_millis = 0.0;   // driver latency at window end
   std::uint64_t dropped_packets = 0;     // closed-loop mitigation drops
+  PhaseBreakdown phases;                 // zeroed unless obs/tracing enabled
   std::vector<QueryResult> results;
   // Winner keys installed into next-level dynamic filters at the end of
   // this window, per query (all coarse levels merged).
@@ -124,11 +150,21 @@ class StreamProcessor {
   struct LevelExec {
     int level = planner::kFinestIpLevel;
     std::unique_ptr<stream::QueryExecutor> exec;
+    // Single-writer per-window tally (the SP is driven by one thread);
+    // published to the registry at close_levels.
+    std::uint64_t tuples_in = 0;
+    obs::Counter* in_counter = nullptr;
+    obs::Counter* out_counter = nullptr;
+    obs::Gauge* state_gauge = nullptr;
   };
   struct QueryState {
     const planner::PlannedQuery* pq = nullptr;
     std::vector<LevelExec> levels;  // chain order (coarse -> fine)
+    obs::Counter* winners_counter = nullptr;
   };
+
+  // The LevelExec behind executor(qid, level) (asserts on unknown pairs).
+  [[nodiscard]] LevelExec& level_exec(query::QueryId qid, int level);
   // Pipelines kept at the stream processor (partition == 0), needing the
   // raw mirror: (qid, level, source).
   struct RawFeed {

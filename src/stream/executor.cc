@@ -2,9 +2,19 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "pisa/register.h"  // apply_reduce
 
 namespace sonata::stream {
+
+namespace {
+// One process-wide counter across every chain: total tuples the stream
+// processor side ingested (all queries, all entry points).
+obs::Counter& stream_tuples_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("sonata_stream_tuples_total");
+  return c;
+}
+}  // namespace
 
 using query::OpKind;
 using query::Operator;
@@ -98,6 +108,11 @@ void ChainExecutor::process(Tuple&& t, std::size_t i) {
 }
 
 std::vector<Tuple> ChainExecutor::end_window() {
+  // Publish the window's ingest tally to the registry in one add — the
+  // per-tuple path keeps only the plain ingested_ increment (metrics.h:
+  // single-writer loops publish once per window).
+  if (obs::enabled()) stream_tuples_counter().add(ingested_ - ingested_pub_);
+  ingested_pub_ = ingested_;
   // Flush reduces in ascending order: outputs of an earlier reduce flow into
   // later operators (possibly another reduce, flushed next).
   for (std::size_t i = 0; i < ops_.size(); ++i) {
@@ -118,6 +133,12 @@ std::vector<Tuple> ChainExecutor::end_window() {
   std::vector<Tuple> out = std::move(pending_);
   pending_.clear();
   return out;
+}
+
+std::uint64_t ChainExecutor::stateful_entries() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& op : ops_) n += op.seen.size() + op.agg.size();
+  return n;
 }
 
 bool ChainExecutor::set_filter_entries(const std::string& table_name,
@@ -183,6 +204,13 @@ std::vector<Tuple> NodeExecutor::end_window() {
   return chain_.end_window();
 }
 
+std::uint64_t NodeExecutor::stateful_entries() const noexcept {
+  std::uint64_t n = chain_.stateful_entries();
+  if (left_) n += left_->stateful_entries();
+  if (right_) n += right_->stateful_entries();
+  return n;
+}
+
 namespace {
 void collect_source_executors(NodeExecutor* exec, std::vector<NodeExecutor*>& out) {
   if (exec->node().kind == StreamNode::Kind::kSource) {
@@ -216,6 +244,10 @@ void QueryExecutor::ingest_source_tuple(const Tuple& source_tuple) {
 }
 
 std::vector<Tuple> QueryExecutor::end_window() { return root_->end_window(); }
+
+std::uint64_t QueryExecutor::stateful_entries() const noexcept {
+  return root_->stateful_entries();
+}
 
 bool QueryExecutor::set_filter_entries(const std::string& table_name,
                                        std::vector<Tuple> entries) {

@@ -51,6 +51,10 @@ class ChainExecutor {
 
   [[nodiscard]] std::uint64_t tuples_ingested() const noexcept { return ingested_; }
 
+  // Total keyed-state entries currently held (distinct sets + reduce maps)
+  // — the SP-side analogue of register occupancy.
+  [[nodiscard]] std::uint64_t stateful_entries() const noexcept;
+
  private:
   struct BoundOp {
     query::OpKind kind = query::OpKind::kFilter;
@@ -73,6 +77,7 @@ class ChainExecutor {
   std::vector<BoundOp> ops_;
   std::vector<query::Tuple> pending_;
   std::uint64_t ingested_ = 0;
+  std::uint64_t ingested_pub_ = 0;  // last value published to the registry
 };
 
 // Executes a whole (sub)tree: join children recursively, then this node's
@@ -89,6 +94,9 @@ class NodeExecutor {
   // Flush children, join their outputs (if a join node), run them through
   // this node's chain, and flush it.
   [[nodiscard]] std::vector<query::Tuple> end_window();
+
+  // Keyed-state entries across this node's chain and all children.
+  [[nodiscard]] std::uint64_t stateful_entries() const noexcept;
 
  private:
   const query::StreamNode& node_;
@@ -118,6 +126,9 @@ class QueryExecutor {
   [[nodiscard]] std::vector<query::Tuple> end_window();
 
   bool set_filter_entries(const std::string& table_name, std::vector<query::Tuple> entries);
+
+  // Keyed-state entries across the whole executor tree.
+  [[nodiscard]] std::uint64_t stateful_entries() const noexcept;
 
   [[nodiscard]] const query::Query& query() const noexcept { return *query_; }
   [[nodiscard]] const query::Schema& output_schema() const {

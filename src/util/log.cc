@@ -25,6 +25,15 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+std::optional<LogLevel> log_level_from_string(std::string_view s) noexcept {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 namespace detail {
 void log_prefix(LogLevel level, std::string_view component) {
   std::fprintf(stderr, "[%s] %.*s: ", level_name(level), static_cast<int>(component.size()),

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string_view>
 #include <utility>
 
@@ -12,6 +13,10 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+// Parse a CLI spelling: "debug", "info", "warn", "error" or "off"
+// (lowercase). Returns nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> log_level_from_string(std::string_view s) noexcept;
 
 namespace detail {
 void log_prefix(LogLevel level, std::string_view component);

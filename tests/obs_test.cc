@@ -1,0 +1,433 @@
+// Observability subsystem tests (src/obs/): registry instruments and their
+// sharded cells, exporter formats, phase accounting, and the end-to-end
+// invariants the drivers promise — phase breakdowns sum exactly to the
+// window total, and enabling metrics/tracing never changes window results.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/tracing.h"
+#include "planner/planner.h"
+#include "queries/catalog.h"
+#include "runtime/engine.h"
+#include "runtime/fleet.h"
+#include "runtime/runtime.h"
+#include "test_trace.h"
+#include "util/ip.h"
+
+namespace sonata {
+namespace {
+
+using obs::Phase;
+using obs::PhaseAccum;
+using obs::Registry;
+
+// Every test runs as its own ctest process, but set the global flags
+// explicitly anyway so no test depends on the default.
+class ObsEnabled : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    Registry::global().reset_values();
+  }
+  void TearDown() override { obs::set_enabled(false); }
+};
+
+TEST(Obs, DisabledInstrumentsAreNoOps) {
+  obs::set_enabled(false);
+  auto& c = Registry::global().counter("obs_test_disabled_counter");
+  auto& g = Registry::global().gauge("obs_test_disabled_gauge");
+  const std::uint64_t bounds[] = {10};
+  auto& h = Registry::global().histogram("obs_test_disabled_hist", bounds);
+  Registry::global().reset_values();
+  c.add(5);
+  g.set(7);
+  g.add(3);
+  h.observe(4);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsEnabled, CounterAccumulates) {
+  auto& c = Registry::global().counter("obs_test_counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(ObsEnabled, CounterSumsAcrossThreads) {
+  auto& c = Registry::global().counter("obs_test_mt_counter");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(ObsEnabled, GaugeSetAndAdd) {
+  auto& g = Registry::global().gauge("obs_test_gauge");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST_F(ObsEnabled, HistogramBucketBoundaries) {
+  // le semantics with bounds {10, 20}: a sample equal to a bound lands in
+  // that bound's bucket; anything above the last bound is +Inf.
+  const std::uint64_t bounds[] = {10, 20};
+  auto& h = Registry::global().histogram("obs_test_hist_bounds", bounds);
+  EXPECT_EQ(h.bucket_of(0), 0u);
+  EXPECT_EQ(h.bucket_of(10), 0u);
+  EXPECT_EQ(h.bucket_of(11), 1u);
+  EXPECT_EQ(h.bucket_of(20), 1u);
+  EXPECT_EQ(h.bucket_of(21), 2u);
+
+  h.observe(10);
+  h.observe(11);
+  h.observe(20);
+  h.observe(21);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 62u);
+}
+
+TEST_F(ObsEnabled, HistogramObserveNBatches) {
+  const std::uint64_t bounds[] = {4};
+  auto& h = Registry::global().histogram("obs_test_hist_n", bounds);
+  h.observe_n(3, 100);
+  h.observe_n(9, 2);
+  h.observe_n(1, 0);  // n == 0 records nothing
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], 100u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(h.count(), 102u);
+  EXPECT_EQ(h.sum(), 3u * 100 + 9u * 2);
+}
+
+TEST(Obs, LabeledFormat) {
+  EXPECT_EQ(obs::labeled("plain", {}), "plain");
+  const std::pair<std::string_view, std::string> labels[] = {{"sw", "3"}, {"qid", "7"}};
+  EXPECT_EQ(obs::labeled("sonata_pisa_packets_total", labels),
+            "sonata_pisa_packets_total{sw=\"3\",qid=\"7\"}");
+}
+
+TEST_F(ObsEnabled, RegistryHandlesAreStable) {
+  auto& a = Registry::global().counter("obs_test_stable");
+  auto& b = Registry::global().counter("obs_test_stable");
+  EXPECT_EQ(&a, &b);
+  a.add(9);
+  EXPECT_EQ(b.value(), 9u);
+  Registry::global().reset_values();
+  EXPECT_EQ(a.value(), 0u);  // handle survives a reset
+  a.add(1);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(ObsEnabled, SnapshotExportsJsonAndPrometheus) {
+  Registry::global().counter("obs_test_export_counter").add(12);
+  Registry::global().gauge("obs_test_export_gauge{sw=\"1\"}").set(-4);
+  const std::uint64_t bounds[] = {5, 50};
+  auto& h = Registry::global().histogram("obs_test_export_hist{sw=\"1\"}", bounds);
+  h.observe(3);
+  h.observe(60);
+
+  const obs::Snapshot snap = Registry::global().snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"obs_test_export_counter\": 12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obs_test_export_gauge{sw=\\\"1\\\"}\": -4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bounds\": [5, 50]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\": [1, 0, 1]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE obs_test_export_counter counter"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("obs_test_export_counter 12"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE obs_test_export_gauge gauge"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("obs_test_export_gauge{sw=\"1\"} -4"), std::string::npos) << prom;
+  // Prometheus buckets are cumulative and grow an le label next to sw.
+  EXPECT_NE(prom.find("obs_test_export_hist_bucket{sw=\"1\",le=\"5\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("obs_test_export_hist_bucket{sw=\"1\",le=\"50\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("obs_test_export_hist_bucket{sw=\"1\",le=\"+Inf\"} 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("obs_test_export_hist_sum{sw=\"1\"} 63"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("obs_test_export_hist_count{sw=\"1\"} 2"), std::string::npos) << prom;
+}
+
+TEST(Obs, PhaseAccumSumsExactly) {
+  PhaseAccum a;
+  a.add(Phase::kIngest, 3);
+  a.add(Phase::kCompute, 1000);
+  a.add(Phase::kCompute, 7);
+  a.add(Phase::kPoll, 11);
+  EXPECT_EQ(a.nanos(Phase::kIngest), 3u);
+  EXPECT_EQ(a.nanos(Phase::kCompute), 1007u);
+  EXPECT_EQ(a.nanos(Phase::kMerge), 0u);
+  EXPECT_EQ(a.total_nanos(), 3u + 1007 + 11);
+
+  PhaseAccum b;
+  b.add(Phase::kMerge, 5);
+  b.add(Phase::kClose, 2);
+  a.merge(b);
+  std::uint64_t sum = 0;
+  for (int i = 0; i < obs::kPhaseCount; ++i) sum += a.nanos(static_cast<Phase>(i));
+  EXPECT_EQ(a.total_nanos(), sum);
+
+  a.reset();
+  EXPECT_EQ(a.total_nanos(), 0u);
+  EXPECT_EQ(a.nanos(Phase::kCompute), 0u);
+}
+
+TEST(Obs, PhaseTimerInactiveWhenDisabled) {
+  obs::set_enabled(false);
+  obs::TraceRecorder::global().set_enabled(false);
+  PhaseAccum accum;
+  {
+    obs::PhaseTimer t(accum, Phase::kCompute);
+  }
+  EXPECT_EQ(accum.total_nanos(), 0u);
+}
+
+TEST(Obs, PhaseTimerStopIsIdempotent) {
+  obs::set_enabled(true);
+  PhaseAccum accum;
+  obs::PhaseTimer t(accum, Phase::kPoll);
+  t.stop();
+  const std::uint64_t once = accum.total_nanos();
+  t.stop();
+  EXPECT_EQ(accum.total_nanos(), once);
+  obs::set_enabled(false);
+}
+
+TEST(Obs, TraceRecorderChromeJson) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  rec.record("compute", "window", 1000, 500);
+  rec.set_enabled(false);
+  EXPECT_EQ(rec.size(), 1u);
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"compute\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the drivers' promises about WindowStats::phases and result
+// invariance when observability is toggled.
+
+using planner::Plan;
+using planner::PlanMode;
+using planner::Planner;
+using planner::PlannerConfig;
+using runtime::Fleet;
+using runtime::Runtime;
+using runtime::WindowStats;
+
+const testing::Scenario& scenario() {
+  static const testing::Scenario sc = testing::make_scenario();
+  return sc;
+}
+
+// The plan's base queries must outlive every engine built from it, so both
+// live for the whole test process.
+const Plan& small_plan() {
+  static const std::vector<query::Query> qs = [] {
+    std::vector<query::Query> out;
+    out.push_back(queries::make_newly_opened_tcp(scenario().thresholds, util::seconds(3)));
+    out.push_back(queries::make_ddos(scenario().thresholds, util::seconds(3)));
+    return out;
+  }();
+  static const Plan plan = [] {
+    PlannerConfig cfg;
+    cfg.mode = PlanMode::kMaxDP;
+    return Planner(cfg).plan(qs, scenario().trace);
+  }();
+  return plan;
+}
+
+void expect_phase_sum_exact(const std::vector<WindowStats>& windows) {
+  ASSERT_FALSE(windows.empty());
+  std::uint64_t grand_total = 0;
+  for (const auto& w : windows) {
+    const auto& p = w.phases;
+    // Exact integer identity, not approximate: total is accumulated
+    // alongside the per-phase cells.
+    EXPECT_EQ(p.ingest_nanos + p.compute_nanos + p.merge_nanos + p.poll_nanos + p.close_nanos,
+              p.total_nanos)
+        << "window " << w.window_index;
+    grand_total += w.phases.total_nanos;
+  }
+  EXPECT_GT(grand_total, 0u);
+}
+
+TEST(ObsEngine, PhaseBreakdownSumsToTotalSerial) {
+  obs::set_enabled(true);
+  Registry::global().reset_values();
+  Runtime rt(small_plan());
+  const auto windows = rt.run_trace(scenario().trace);
+  obs::set_enabled(false);
+  expect_phase_sum_exact(windows);
+  for (const auto& w : windows) {
+    // The serial runtime times compute/poll/close; ingest stays inside the
+    // per-packet path and is deliberately untimed there.
+    EXPECT_GT(w.phases.compute_nanos + w.phases.poll_nanos + w.phases.close_nanos, 0u)
+        << "window " << w.window_index;
+  }
+}
+
+TEST(ObsEngine, PhaseBreakdownSumsToTotalFleet) {
+  obs::set_enabled(true);
+  Registry::global().reset_values();
+  Fleet fleet(small_plan(), 4, 2, 256);
+  const auto windows = fleet.run_trace(scenario().trace);
+  obs::set_enabled(false);
+  expect_phase_sum_exact(windows);
+  // Worker ingest time is merged into the driver's accumulator at the
+  // barrier, so the threaded fleet reports a nonzero ingest phase.
+  std::uint64_t ingest = 0;
+  for (const auto& w : windows) ingest += w.phases.ingest_nanos;
+  EXPECT_GT(ingest, 0u);
+}
+
+TEST(ObsEngine, PhasesZeroWhenDisabled) {
+  obs::set_enabled(false);
+  obs::TraceRecorder::global().set_enabled(false);
+  Runtime rt(small_plan());
+  const auto windows = rt.run_trace(scenario().trace);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.phases.total_nanos, 0u);
+    EXPECT_EQ(w.phases.compute_nanos, 0u);
+  }
+}
+
+void expect_identical_windows(const std::vector<WindowStats>& a,
+                              const std::vector<WindowStats>& b, const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    SCOPED_TRACE(label + " window " + std::to_string(w));
+    EXPECT_EQ(a[w].packets, b[w].packets);
+    EXPECT_EQ(a[w].tuples_to_sp, b[w].tuples_to_sp);
+    EXPECT_EQ(a[w].raw_mirror_packets, b[w].raw_mirror_packets);
+    EXPECT_EQ(a[w].overflow_records, b[w].overflow_records);
+    ASSERT_EQ(a[w].results.size(), b[w].results.size());
+    for (std::size_t r = 0; r < a[w].results.size(); ++r) {
+      EXPECT_EQ(a[w].results[r].qid, b[w].results[r].qid);
+      EXPECT_EQ(a[w].results[r].outputs, b[w].results[r].outputs);
+    }
+    EXPECT_EQ(a[w].winners, b[w].winners);
+  }
+}
+
+TEST(ObsEngine, WindowsBitIdenticalWithObsOnOrOff) {
+  const Plan plan = small_plan();
+  struct Config {
+    std::size_t switches;
+    std::size_t threads;
+    std::size_t batch;
+  };
+  for (const auto& cfg : {Config{1, 0, 1}, Config{1, 0, 256}, Config{4, 2, 64}}) {
+    const std::string label = std::to_string(cfg.switches) + "sw/" +
+                              std::to_string(cfg.threads) + "t/b" + std::to_string(cfg.batch);
+    obs::set_enabled(false);
+    obs::TraceRecorder::global().set_enabled(false);
+    const auto engine_off = runtime::make_engine(
+        plan, {.switches = cfg.switches, .worker_threads = cfg.threads, .batch_size = cfg.batch});
+    const auto off = engine_off->run_trace(scenario().trace);
+
+    obs::set_enabled(true);
+    obs::TraceRecorder::global().set_enabled(true);
+    Registry::global().reset_values();
+    const auto engine_on = runtime::make_engine(
+        plan, {.switches = cfg.switches, .worker_threads = cfg.threads, .batch_size = cfg.batch});
+    const auto on = engine_on->run_trace(scenario().trace);
+    obs::set_enabled(false);
+    obs::TraceRecorder::global().set_enabled(false);
+    obs::TraceRecorder::global().clear();
+
+    expect_identical_windows(off, on, label);
+  }
+}
+
+TEST(ObsEngine, ControlUpdateConsistentRuntimeVsFleet) {
+  // A single-switch inline fleet must agree with the serial runtime on
+  // everything WindowStats records deterministically, and both report the
+  // control-plane update latency the same way (a finite non-negative time).
+  const Plan plan = small_plan();
+  obs::set_enabled(true);
+  Registry::global().reset_values();
+  Runtime rt(plan);
+  const auto rw = rt.run_trace(scenario().trace);
+  Fleet fleet(plan, 1, 0);
+  const auto fw = fleet.run_trace(scenario().trace);
+  obs::set_enabled(false);
+  expect_identical_windows(rw, fw, "runtime vs 1-switch fleet");
+  ASSERT_EQ(rw.size(), fw.size());
+  for (std::size_t w = 0; w < rw.size(); ++w) {
+    EXPECT_GE(rw[w].control_update_millis, 0.0);
+    // control_update_millis is modelled (fixed cost per install/reset), so
+    // identical install sequences must yield exactly the same number.
+    EXPECT_EQ(rw[w].control_update_millis, fw[w].control_update_millis) << "window " << w;
+  }
+}
+
+TEST(ObsEngine, RegistryPopulatedAfterRun) {
+  obs::set_enabled(true);
+  Registry::global().reset_values();
+  Runtime rt(small_plan());
+  const auto windows = rt.run_trace(scenario().trace);
+  obs::set_enabled(false);
+
+  std::uint64_t packets = 0;
+  for (const auto& w : windows) packets += w.packets;
+  const obs::Snapshot snap = Registry::global().snapshot();
+  auto counter_value = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "counter not found: " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter_value("sonata_pisa_packets_total{sw=\"0\"}"), packets);
+  EXPECT_EQ(counter_value("sonata_windows_total"), windows.size());
+  EXPECT_GT(counter_value("sonata_stream_tuples_total"), 0u);
+  // Per-query per-level stream-processor counters exist and saw tuples.
+  std::uint64_t sp_in = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("sonata_sp_tuples_in_total", 0) == 0) sp_in += c.value;
+  }
+  EXPECT_GT(sp_in, 0u);
+  // The probe-depth histogram saw one sample per stateful update. Other
+  // tests in this binary may have registered (then reset) histograms for
+  // additional switches, so sum across every probe-depth series.
+  std::uint64_t probe_samples = 0;
+  bool found_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("sonata_pisa_probe_depth", 0) == 0) {
+      found_hist = true;
+      probe_samples += h.count;
+    }
+  }
+  EXPECT_TRUE(found_hist);
+  EXPECT_GT(probe_samples, 0u);
+}
+
+}  // namespace
+}  // namespace sonata

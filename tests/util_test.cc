@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <unordered_set>
 
@@ -178,6 +179,76 @@ TEST(Stats, AccumulatorBasics) {
   EXPECT_DOUBLE_EQ(acc.min(), 2.0);
   EXPECT_DOUBLE_EQ(acc.max(), 6.0);
   EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+}
+
+TEST(Stats, QuantileEdgeCases) {
+  // Empty input is defined as 0 for every q.
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.0), 0.0);
+
+  // A single sample is every quantile of itself.
+  std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(quantile(one, 1.0), 7.5);
+
+  // Two samples: the median interpolates linearly between them.
+  std::vector<double> two{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(two, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(quantile(two, 0.25), 12.5);
+  EXPECT_DOUBLE_EQ(quantile(two, 0.75), 17.5);
+
+  // q outside [0,1] clamps rather than reading out of range.
+  EXPECT_DOUBLE_EQ(quantile(two, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(two, 2.0), 20.0);
+
+  // Unsorted input is sorted internally.
+  std::vector<double> unsorted{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(unsorted, 0.5), 3.0);
+}
+
+TEST(Stats, AccumulatorEmpty) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(Stats, AccumulatorSingleSample) {
+  Accumulator acc;
+  acc.add(-3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), -3.5);
+  // Sample variance of one observation is defined as 0, not NaN.
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), -3.5);
+}
+
+TEST(Stats, AccumulatorTwoSamples) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);  // sample variance: ((1)^2+(1)^2)/(2-1)
+  EXPECT_DOUBLE_EQ(acc.stddev(), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 4.0);
+}
+
+TEST(Stats, AccumulatorNegativeFirstSampleTracksMinMax) {
+  // min/max must initialise from the first sample, not from 0.
+  Accumulator acc;
+  acc.add(5.0);
+  acc.add(9.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);  // 0 would be wrong here
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
 }
 
 TEST(Time, WindowIndex) {
