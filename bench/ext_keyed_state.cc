@@ -1,0 +1,267 @@
+// Extension benchmark: flat keyed-state engine vs std::unordered_map
+// (DESIGN.md "SP keyed state").
+//
+// Two measurements:
+//
+//  1. Microbench — reduce-style aggregation (try_emplace + increment, then
+//     a full drain) across key cardinalities 1K..1M, windowed: the flat
+//     table clear()s between windows and reuses capacity, the
+//     unordered_map baseline is rebuilt per window exactly like the old
+//     executor code (end_window moved the map out, so every window paid
+//     node allocations and bucket growth again). Reported as ns/update,
+//     best of kReps.
+//
+//  2. End-to-end — a MaxDP fleet replay (the flat tables sit in every SP
+//     keyed path), serial per-packet reference vs batched threaded run.
+//     Windows must be BIT-IDENTICAL: the flat tables drain in insertion
+//     order, which the deterministic barrier merge makes invariant across
+//     batch/thread configs.
+//
+// Results land in BENCH_keyed_state.json. Exit status gates CI:
+//   1 — end-to-end windows not bit-identical (always fatal),
+//   2 — full mode only: flat speedup < 1.5x at any cardinality >= 100K
+//       (--smoke skips the perf gate: sanitizer builds skew timing).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common.h"
+#include "runtime/fleet.h"
+#include "runtime/stream_processor.h"
+#include "util/flat_table.h"
+
+using namespace sonata;
+
+namespace {
+
+bool identical_windows(const std::vector<runtime::WindowStats>& a,
+                       const std::vector<runtime::WindowStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    if (a[w].packets != b[w].packets || a[w].tuples_to_sp != b[w].tuples_to_sp ||
+        a[w].raw_mirror_packets != b[w].raw_mirror_packets ||
+        a[w].overflow_records != b[w].overflow_records ||
+        a[w].results.size() != b[w].results.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < a[w].results.size(); ++r) {
+      if (a[w].results[r].qid != b[w].results[r].qid ||
+          !(a[w].results[r].outputs == b[w].results[r].outputs)) {
+        return false;
+      }
+    }
+    if (!(a[w].winners == b[w].winners)) return false;
+  }
+  return true;
+}
+
+struct MicroResult {
+  std::size_t keys = 0;
+  std::size_t updates = 0;  // per window
+  double flat_ns = 0.0;
+  double umap_ns = 0.0;
+  [[nodiscard]] double speedup() const { return umap_ns / flat_ns; }
+};
+
+// 5-tuple-shaped keys: two 64-bit values, inline ValueVec storage.
+std::vector<query::Tuple> make_keys(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<query::Tuple> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    query::Tuple t;
+    t.values.emplace_back(rng());
+    t.values.emplace_back(static_cast<std::uint64_t>(i));
+    keys.push_back(std::move(t));
+  }
+  return keys;
+}
+
+MicroResult run_micro(std::size_t cardinality, std::size_t updates_per_window,
+                      int windows, int reps, std::uint64_t seed) {
+  const std::vector<query::Tuple> keys = make_keys(cardinality, seed);
+  std::mt19937_64 rng(seed ^ 0xBADC0FFEE0DDF00DULL);
+  std::vector<std::uint32_t> order(updates_per_window);
+  for (auto& idx : order) idx = static_cast<std::uint32_t>(rng() % cardinality);
+
+  volatile std::uint64_t sink = 0;  // keep drains observable
+  MicroResult r{cardinality, updates_per_window};
+  r.flat_ns = 1e30;
+  r.umap_ns = 1e30;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      // Flat engine: one table for the whole run; clear() between windows
+      // keeps capacity, so windows past the first never allocate.
+      util::FlatMap<std::uint64_t> agg;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int w = 0; w < windows; ++w) {
+        for (const std::uint32_t idx : order) {
+          const query::Tuple& k = keys[idx];
+          const std::uint64_t h = k.hash();
+          auto [slot, inserted] = agg.try_emplace(k, h, 1);
+          if (!inserted) ++*slot;
+        }
+        std::uint64_t total = 0;
+        for (const auto& e : agg.entries()) total += e.value;
+        sink += total;
+        agg.clear();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      r.flat_ns = std::min(
+          r.flat_ns, std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                         (static_cast<double>(windows) * static_cast<double>(updates_per_window)));
+    }
+    {
+      // Baseline: what the executors did before — a node-based map whose
+      // storage dies with the window (end_window moved it out), so every
+      // window re-pays node allocations and bucket growth.
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int w = 0; w < windows; ++w) {
+        std::unordered_map<query::Tuple, std::uint64_t, query::TupleHasher> agg;
+        for (const std::uint32_t idx : order) {
+          auto [it, inserted] = agg.try_emplace(keys[idx], 1);
+          if (!inserted) ++it->second;
+        }
+        std::uint64_t total = 0;
+        for (const auto& [k, v] : agg) total += v;
+        sink += total;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      r.umap_ns = std::min(
+          r.umap_ns, std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                         (static_cast<double>(windows) * static_cast<double>(updates_per_window)));
+    }
+  }
+  (void)sink;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // --- Microbench across cardinalities -----------------------------------
+  struct Shape {
+    std::size_t keys;
+    std::size_t updates;
+  };
+  std::vector<Shape> shapes;
+  if (smoke) {
+    shapes = {{1000, 4000}, {10000, 20000}};
+  } else {
+    shapes = {{1000, 8000}, {10000, 40000}, {100000, 400000}, {1000000, 2000000}};
+  }
+  const int windows = smoke ? 2 : 3;
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("Keyed-state microbench: reduce-style updates, %d windows, best of %d\n\n",
+              windows, reps);
+  (void)run_micro(1000, 4000, 1, 1, opts.seed);  // discarded warm-up (code + cpu)
+  std::vector<MicroResult> micro;
+  for (const Shape& s : shapes) {
+    micro.push_back(run_micro(s.keys, s.updates, windows, reps, opts.seed));
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const MicroResult& m : micro) {
+      char flat_s[32], umap_s[32], sp_s[32];
+      std::snprintf(flat_s, sizeof flat_s, "%.1f", m.flat_ns);
+      std::snprintf(umap_s, sizeof umap_s, "%.1f", m.umap_ns);
+      std::snprintf(sp_s, sizeof sp_s, "%.2fx", m.speedup());
+      rows.push_back({bench::fmt_count(m.keys), bench::fmt_count(m.updates), flat_s, umap_s,
+                      sp_s});
+    }
+    bench::print_table({"keys", "updates/window", "flat ns/update", "umap ns/update", "speedup"},
+                       rows);
+  }
+
+  // --- End-to-end: bit-identity + pps ------------------------------------
+  trace::BackgroundConfig bg;
+  bg.duration_sec = smoke ? 3.0 : 12.0;
+  bg.flows_per_sec = 600.0 * opts.scale;
+  const auto trace = trace::TraceBuilder(opts.seed).background(bg).build();
+
+  queries::Thresholds th;
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(3)));
+
+  planner::PlannerConfig cfg;
+  cfg.mode = planner::PlanMode::kMaxDP;
+  cfg.window = util::seconds(3);
+  const auto plan = planner::Planner(cfg).plan(qs, trace);
+
+  constexpr std::size_t kSwitches = 4;
+  runtime::Fleet reference_fleet(plan, kSwitches, 0, 1);
+  const auto reference = reference_fleet.run_trace(trace);
+
+  runtime::Fleet fleet(plan, kSwitches, 2, 256);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto windows_out = fleet.run_trace(trace);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double pps = static_cast<double>(trace.size()) / seconds;
+  const bool identical = identical_windows(reference, windows_out);
+
+  std::printf("\nEnd-to-end (%zu-switch fleet, %zu packets): %.2fM pps, bit-identical: %s\n",
+              kSwitches, trace.size(), pps / 1e6, identical ? "yes" : "NO");
+
+  // --- Gates --------------------------------------------------------------
+  bool perf_ok = true;
+  if (!smoke) {
+    for (const MicroResult& m : micro) {
+      if (m.keys >= 100000 && m.speedup() < 1.5) perf_ok = false;
+    }
+  }
+
+  std::ofstream json("BENCH_keyed_state.json");
+  json << "{\n  \"bench\": \"keyed_state\",\n";
+  json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  json << "  \"windows\": " << windows << ",\n  \"reps\": " << reps << ",\n";
+  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  json << "  \"micro\": [\n";
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    const MicroResult& m = micro[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"keys\": %zu, \"updates_per_window\": %zu, "
+                  "\"flat_ns_per_update\": %.2f, \"umap_ns_per_update\": %.2f, "
+                  "\"speedup\": %.3f}%s\n",
+                  m.keys, m.updates, m.flat_ns, m.umap_ns, m.speedup(),
+                  i + 1 == micro.size() ? "" : ",");
+    json << buf;
+  }
+  json << "  ],\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  \"e2e\": {\"switches\": %zu, \"packets\": %zu, \"pps\": %.0f, "
+                  "\"seconds\": %.4f, \"identical\": %s},\n",
+                  kSwitches, trace.size(), pps, seconds, identical ? "true" : "false");
+    json << buf;
+  }
+  json << "  \"gate\": {\"identical\": " << (identical ? "true" : "false")
+       << ", \"perf_ok\": " << (perf_ok ? "true" : "false") << "}\n}\n";
+  std::printf("Wrote BENCH_keyed_state.json\n");
+
+  if (!identical) {
+    std::fprintf(stderr, "GATE FAILURE: windows not bit-identical to serial reference\n");
+    return 1;
+  }
+  if (!perf_ok) {
+    std::fprintf(stderr, "GATE FAILURE: flat speedup < 1.5x at >= 100K keys\n");
+    return 2;
+  }
+  return 0;
+}

@@ -56,9 +56,8 @@ int main(int argc, char** argv) {
     // "Victim identified": a winner key covering the victim's address was
     // installed into the next refinement level's filter tables.
     if (!victim_identified) {
-      const auto it = ws.winners.find(qs[0].id());
-      if (it != ws.winners.end()) {
-        for (const auto& w : it->second) {
+      if (const auto* keys = ws.winners.find(qs[0].id())) {
+        for (const auto& w : *keys) {
           const auto prefix = static_cast<std::uint32_t>(w.at(0).as_uint());
           for (const int lvl : plan.queries[0].chain) {
             if (lvl < 32 && prefix == util::ipv4_prefix(workload.attack.victim, lvl)) {

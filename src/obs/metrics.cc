@@ -109,25 +109,29 @@ Registry& Registry::global() {
   return registry;
 }
 
-Counter& Registry::counter(std::string name) {
+Counter& Registry::counter(std::string_view name) {
   std::lock_guard lk(mu_);
-  auto& slot = counters_[std::move(name)];
-  if (!slot) slot.reset(new Counter());
-  return *slot;
+  // Heterogeneous find first: the steady-state resolve path allocates no
+  // key string. The emplace on miss is the one place the name materializes.
+  if (const auto it = counters_.find(name); it != counters_.end()) return *it->second;
+  auto [it, inserted] =
+      counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter()));
+  return *it->second;
 }
 
-Gauge& Registry::gauge(std::string name) {
+Gauge& Registry::gauge(std::string_view name) {
   std::lock_guard lk(mu_);
-  auto& slot = gauges_[std::move(name)];
-  if (!slot) slot.reset(new Gauge());
-  return *slot;
+  if (const auto it = gauges_.find(name); it != gauges_.end()) return *it->second;
+  auto [it, inserted] = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()));
+  return *it->second;
 }
 
-Histogram& Registry::histogram(std::string name, std::span<const std::uint64_t> bounds) {
+Histogram& Registry::histogram(std::string_view name, std::span<const std::uint64_t> bounds) {
   std::lock_guard lk(mu_);
-  auto& slot = histograms_[std::move(name)];
-  if (!slot) slot.reset(new Histogram(bounds));
-  return *slot;
+  if (const auto it = histograms_.find(name); it != histograms_.end()) return *it->second;
+  auto [it, inserted] = histograms_.emplace(std::string(name),
+                                            std::unique_ptr<Histogram>(new Histogram(bounds)));
+  return *it->second;
 }
 
 Snapshot Registry::snapshot() const {
@@ -141,6 +145,12 @@ Snapshot Registry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     snap.histograms.push_back({name, h->bounds(), h->bucket_counts(), h->count(), h->sum()});
   }
+  // The backing maps are unordered; sort so exporter output (and any diff
+  // of two snapshots) is deterministic, as it was under std::map.
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
   return snap;
 }
 

@@ -22,12 +22,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace sonata::obs {
@@ -179,9 +179,12 @@ class Registry {
   // including any {labels} suffix (see labeled()). Returned references stay
   // valid for the registry's lifetime; repeated calls return the same
   // instrument. A histogram's bounds are fixed by its first registration.
-  Counter& counter(std::string name);
-  Gauge& gauge(std::string name);
-  Histogram& histogram(std::string name, std::span<const std::uint64_t> bounds);
+  // string_view parameters: resolution on the repeated-lookup path never
+  // allocates (heterogeneous lookup; a std::string is built only when the
+  // name is first registered).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const std::uint64_t> bounds);
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -190,10 +193,34 @@ class Registry {
   void reset_values();
 
  private:
+  // Transparent hash/equal: lookups take string_view without materializing
+  // a std::string key. snapshot() sorts by name, so exporter output stays
+  // deterministic even though the maps themselves are unordered.
+  struct NameHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      // FNV-1a, 64-bit.
+      std::uint64_t h = 1469598103934665603ULL;
+      for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct NameEq {
+    using is_transparent = void;
+    [[nodiscard]] bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  template <typename T>
+  using NameMap = std::unordered_map<std::string, std::unique_ptr<T>, NameHash, NameEq>;
+
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  NameMap<Counter> counters_;
+  NameMap<Gauge> gauges_;
+  NameMap<Histogram> histograms_;
 };
 
 }  // namespace sonata::obs

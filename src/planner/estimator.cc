@@ -6,6 +6,7 @@
 #include "pisa/compile.h"
 #include "pisa/register.h"
 #include "stream/executor.h"
+#include "util/flat_table.h"
 #include "util/stats.h"
 #include "util/ip.h"
 #include "net/dns.h"
@@ -24,7 +25,8 @@ InstrumentedResult run_instrumented(const StreamNode& node, std::span<const Tupl
   res.n_after.assign(node.ops.size() + 1, 0);
   res.n_after[0] = tuples.size();
 
-  // Bind evaluators per op.
+  // Bind evaluators per op. Sampling aggregation runs on the same flat
+  // keyed-state tables as the live stream executor (util/flat_table.h).
   struct Bound {
     query::Expr::Evaluator pred;
     std::vector<query::Expr::Evaluator> match;
@@ -32,8 +34,8 @@ InstrumentedResult run_instrumented(const StreamNode& node, std::span<const Tupl
     std::vector<std::size_t> key_idx;
     std::size_t value_idx = 0;
     query::ReduceFn fn = query::ReduceFn::kSum;
-    std::unordered_set<Tuple, query::TupleHasher> seen;
-    std::unordered_map<Tuple, std::uint64_t, query::TupleHasher> agg;
+    util::FlatSet seen;
+    util::FlatMap<std::uint64_t> agg;
   };
   std::vector<Bound> bound(node.ops.size());
   for (std::size_t i = 0; i < node.ops.size(); ++i) {
@@ -60,7 +62,7 @@ InstrumentedResult run_instrumented(const StreamNode& node, std::span<const Tupl
     }
   }
 
-  std::unordered_set<Tuple, query::TupleHasher> entries;
+  util::FlatSet entries;
   if (front_filter_entries) {
     entries.reserve(front_filter_entries->size());
     for (const auto& e : *front_filter_entries) entries.insert(e);
@@ -84,7 +86,7 @@ InstrumentedResult run_instrumented(const StreamNode& node, std::span<const Tupl
           Tuple key;
           key.values.reserve(b.match.size());
           for (const auto& m : b.match) key.values.push_back(m(t));
-          if (!entries.contains(key)) consumed = true;
+          if (!entries.contains(key, key.hash())) consumed = true;
           break;
         }
         case OpKind::kMap: {
@@ -95,14 +97,15 @@ InstrumentedResult run_instrumented(const StreamNode& node, std::span<const Tupl
           break;
         }
         case OpKind::kDistinct: {
-          if (!b.seen.insert(t).second) consumed = true;
+          if (!b.seen.insert(t, t.hash())) consumed = true;
           break;
         }
         case OpKind::kReduce: {
           Tuple key = query::project(t, b.key_idx);
+          const std::uint64_t hash = key.hash();
           const std::uint64_t delta = t.at(b.value_idx).as_uint();
-          auto [it, inserted] = b.agg.try_emplace(std::move(key), delta);
-          if (!inserted) it->second = pisa::apply_reduce(b.fn, it->second, delta);
+          auto [slot, inserted] = b.agg.try_emplace(std::move(key), hash, delta);
+          if (!inserted) *slot = pisa::apply_reduce(b.fn, *slot, delta);
           consumed = true;  // counted at window end
           break;
         }
@@ -125,8 +128,9 @@ InstrumentedResult run_instrumented(const StreamNode& node, std::span<const Tupl
       // key whose final aggregate passes.
       if (const auto folded = pisa::foldable_threshold(node, i + 1)) {
         std::uint64_t passing = 0;
-        for (const auto& [key, value] : bound[i].agg) {
-          const bool ok = folded->strict ? value > folded->threshold : value >= folded->threshold;
+        for (const auto& e : bound[i].agg.entries()) {
+          const bool ok =
+              folded->strict ? e.value > folded->threshold : e.value >= folded->threshold;
           passing += ok ? 1 : 0;
         }
         res.n_after[i + 2] = passing;
@@ -281,7 +285,8 @@ void CostEstimator::compute_relaxed_thresholds() {
       if (!fine_kidx) continue;
       for (std::size_t w = 0; w < windows_->size(); ++w) {
         if (satisfying[w].empty()) continue;
-        std::unordered_set<query::Tuple, query::TupleHasher> sat;
+        util::FlatSet sat;
+        sat.reserve(satisfying[w].size());
         for (const auto& v : satisfying[w]) sat.insert(Tuple{{v}});
         // Run the original chain up to and including the trailing filter.
         stream::ChainExecutor chain(*sources[s]);
@@ -308,7 +313,8 @@ void CostEstimator::compute_relaxed_thresholds() {
         const auto kidx = out_schema.index_of(key.key_column);
         if (!kidx) continue;
 
-        std::unordered_set<Tuple, query::TupleHasher> coarse_satisfying;
+        util::FlatSet coarse_satisfying;
+        coarse_satisfying.reserve(fine_rows[w].size());
         for (const Tuple& row : fine_rows[w]) {
           coarse_satisfying.insert(coarsen_key(key, row, *kidx, level));
         }
@@ -371,12 +377,12 @@ const std::vector<Tuple>& CostEstimator::winners(int level, std::size_t w) {
     for (std::size_t wi = 0; wi < windows_->size(); ++wi) {
       stream::QueryExecutor exec(lq);
       for (const Tuple& t : (*windows_)[wi]) exec.ingest_source_tuple(t);
-      std::unordered_set<Tuple, query::TupleHasher> dedup;
+      util::FlatSet dedup;
       for (const Tuple& out : exec.end_window()) {
         if (!out_idx) continue;
         Tuple kt;
         kt.values.push_back(out.at(*out_idx));
-        if (dedup.insert(kt).second) per_window[wi].push_back(std::move(kt));
+        if (dedup.insert(kt)) per_window[wi].push_back(std::move(kt));
       }
     }
   }

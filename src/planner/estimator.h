@@ -16,7 +16,6 @@
 #include <map>
 #include <optional>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "planner/refine.h"

@@ -1,7 +1,8 @@
 #include "runtime/stream_processor.h"
 
 #include <cassert>
-#include <unordered_set>
+
+#include "util/flat_table.h"
 
 namespace sonata::runtime {
 
@@ -9,9 +10,17 @@ using planner::PlannedPipeline;
 using planner::PlannedQuery;
 using query::Tuple;
 
+void Emitter::register_query(query::QueryId qid) {
+  if (qid >= qid_to_index_.size()) qid_to_index_.resize(qid + 1U, kUnregistered);
+  if (qid_to_index_[qid] != kUnregistered) return;
+  qid_to_index_[qid] = static_cast<std::uint32_t>(stats_.size());
+  stats_.emplace_back(qid, PerQuery{});
+}
+
 void Emitter::record(const pisa::EmitRecord& rec) {
   ++total_;
-  auto& s = stats_[rec.qid];
+  if (rec.qid >= qid_to_index_.size() || qid_to_index_[rec.qid] == kUnregistered) return;
+  auto& s = stats_[qid_to_index_[rec.qid]].second;
   ++s.tuples;
   if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++s.overflows;
 }
@@ -30,6 +39,7 @@ StreamProcessor::StreamProcessor(const planner::Plan& plan) : plan_(&plan) {
   for (const PlannedQuery& pq : plan_->queries) {
     QueryState qs;
     qs.pq = &pq;
+    emitter_.register_query(pq.base->id());
     const std::string qid_str = std::to_string(pq.base->id());
     {
       const std::pair<std::string_view, std::string> labels[] = {{"qid", qid_str}};
@@ -162,7 +172,15 @@ void StreamProcessor::close_levels(WindowStats& window,
   // Close coarse-to-fine; each level's winner keys go into the next level's
   // dynamic filter tables on every switch and on the SP side.
   const bool obs_on = obs::enabled();
-  for (auto& qs : queries_) {
+  // Dense winner table in plan order; every query gets a slot so two runs
+  // of the same plan compare equal window-by-window even when a query
+  // installs nothing.
+  window.winners.per_query.resize(queries_.size());
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    window.winners.per_query[qi].qid = queries_[qi].pq->base->id();
+  }
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    QueryState& qs = queries_[qi];
     const PlannedQuery& pq = *qs.pq;
     for (std::size_t li = 0; li < qs.levels.size(); ++li) {
       LevelExec& le = qs.levels[li];
@@ -188,11 +206,12 @@ void StreamProcessor::close_levels(WindowStats& window,
       const auto idx = schema.index_of(key_col);
       std::vector<Tuple> winners;
       if (idx) {
-        std::unordered_set<Tuple, query::TupleHasher> dedup;
+        util::FlatSet dedup;
+        dedup.reserve(outputs.size());
         for (const Tuple& out : outputs) {
           Tuple key;
           key.values.push_back(out.at(*idx));
-          if (dedup.insert(key).second) winners.push_back(std::move(key));
+          if (dedup.insert(key)) winners.push_back(std::move(key));
         }
       }
       // Install on both sides: every source's next-level pipeline.
@@ -202,7 +221,7 @@ void StreamProcessor::close_levels(WindowStats& window,
         qs.levels[li + 1].exec->set_filter_entries(p.filter_table, winners);
       }
       if (obs_on) qs.winners_counter->add(winners.size());
-      auto& installed = window.winners[pq.base->id()];
+      auto& installed = window.winners.per_query[qi].keys;
       installed.insert(installed.end(), winners.begin(), winners.end());
     }
   }

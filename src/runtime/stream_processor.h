@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -25,7 +24,9 @@
 namespace sonata::runtime {
 
 // The emitter (paper §5): the accounting boundary between data plane and
-// stream processor. Counts every mirrored record per query.
+// stream processor. Counts every mirrored record per query. Stats live in
+// a dense vector in plan order — record() runs once per mirrored record,
+// so the per-record cost is one table-free index lookup, not a tree walk.
 class Emitter {
  public:
   struct PerQuery {
@@ -33,15 +34,23 @@ class Emitter {
     std::uint64_t overflows = 0;
   };
 
+  // Dense registration in plan order; must precede record() for the qid.
+  void register_query(query::QueryId qid);
+
   void record(const pisa::EmitRecord& rec);
 
-  [[nodiscard]] const std::map<query::QueryId, PerQuery>& per_query() const noexcept {
+  // (qid, stats) pairs in plan order.
+  [[nodiscard]] const std::vector<std::pair<query::QueryId, PerQuery>>& per_query()
+      const noexcept {
     return stats_;
   }
   [[nodiscard]] std::uint64_t total_tuples() const noexcept { return total_; }
 
  private:
-  std::map<query::QueryId, PerQuery> stats_;
+  static constexpr std::uint32_t kUnregistered = static_cast<std::uint32_t>(-1);
+
+  std::vector<std::pair<query::QueryId, PerQuery>> stats_;  // dense, plan order
+  std::vector<std::uint32_t> qid_to_index_;                 // qid -> dense index
   std::uint64_t total_ = 0;
 };
 
@@ -49,6 +58,32 @@ struct QueryResult {
   query::QueryId qid = 0;
   std::string name;
   std::vector<query::Tuple> outputs;  // finest-level results this window
+};
+
+// Winner keys installed into next-level dynamic filters at a window close,
+// held densely in plan order (one slot per planned query; queries without
+// a refinement chain keep an empty key list). Replaces the former
+// std::map<QueryId, vector<Tuple>>: per-window control paths index by
+// dense query id instead of walking a node-based tree.
+struct QueryWinners {
+  query::QueryId qid = 0;
+  std::vector<query::Tuple> keys;
+
+  friend bool operator==(const QueryWinners&, const QueryWinners&) = default;
+};
+
+struct WinnerTable {
+  std::vector<QueryWinners> per_query;  // dense, plan order
+
+  // Keys installed for `qid` this window; nullptr when none were.
+  [[nodiscard]] const std::vector<query::Tuple>* find(query::QueryId qid) const noexcept {
+    for (const auto& w : per_query) {
+      if (w.qid == qid && !w.keys.empty()) return &w.keys;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const WinnerTable&, const WinnerTable&) = default;
 };
 
 // Per-window phase-time breakdown, fed by the drivers' obs::PhaseAccum.
@@ -86,8 +121,8 @@ struct WindowStats {
   PhaseBreakdown phases;                 // zeroed unless obs/tracing enabled
   std::vector<QueryResult> results;
   // Winner keys installed into next-level dynamic filters at the end of
-  // this window, per query (all coarse levels merged).
-  std::map<query::QueryId, std::vector<query::Tuple>> winners;
+  // this window, per query (all coarse levels merged), dense in plan order.
+  WinnerTable winners;
 };
 
 class StreamProcessor {

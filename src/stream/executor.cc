@@ -14,6 +14,38 @@ obs::Counter& stream_tuples_counter() {
   static obs::Counter& c = obs::Registry::global().counter("sonata_stream_tuples_total");
   return c;
 }
+
+// SP-side keyed-state histograms, mirroring the switch's probe-depth and
+// occupancy metrics so operators can compare SP vs switch collision
+// behaviour. Published once per window from each chain's tables.
+obs::Histogram& sp_probe_depth_histogram() {
+  static constexpr std::uint64_t kBounds[] = {1, 2, 3, 4, 6, 8};
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("sonata_sp_probe_depth", kBounds);
+  return h;
+}
+
+obs::Histogram& sp_table_load_histogram() {
+  // Load factor in percent at window close (flat tables grow at 7/8 = 87).
+  static constexpr std::uint64_t kBounds[] = {10, 25, 50, 75, 90};
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("sonata_sp_table_load", kBounds);
+  return h;
+}
+
+// Drain one flat table's probe tally into the shared histogram and record
+// its closing load factor.
+template <typename Table>
+void publish_one_table(Table& table, obs::Histogram& probes, obs::Histogram& load) {
+  std::uint64_t tally[Table::kProbeTallyMax + 1];
+  table.drain_probe_tally(tally);
+  for (std::size_t d = 1; d <= Table::kProbeTallyMax; ++d) {
+    if (tally[d] != 0) probes.observe_n(d, tally[d]);
+  }
+  if (!table.empty()) {
+    load.observe(static_cast<std::uint64_t>(table.load_factor() * 100.0));
+  }
+}
 }  // namespace
 
 using query::OpKind;
@@ -78,10 +110,13 @@ void ChainExecutor::process(Tuple&& t, std::size_t i) {
         if (op.pred(t).as_uint() == 0) return;
         break;
       case OpKind::kFilterIn: {
-        Tuple key;
-        key.values.reserve(op.match.size());
+        // The probe key is rebuilt into a reused scratch tuple (inline
+        // storage, no allocation) and hashed exactly once: the flat table
+        // reuses the hash for the group probe and the stored-hash compare.
+        Tuple& key = op.probe_scratch;
+        key.values.clear();
         for (const auto& m : op.match) key.values.push_back(m(t));
-        if (!op.entries.contains(key)) return;
+        if (!op.entries.contains(key, key.hash())) return;
         break;
       }
       case OpKind::kMap: {
@@ -92,14 +127,15 @@ void ChainExecutor::process(Tuple&& t, std::size_t i) {
         break;
       }
       case OpKind::kDistinct: {
-        if (!op.seen.insert(t).second) return;  // duplicate within window
+        if (!op.seen.insert(t, t.hash())) return;  // duplicate within window
         break;
       }
       case OpKind::kReduce: {
         Tuple key = query::project(t, op.key_idx);
+        const std::uint64_t hash = key.hash();
         const std::uint64_t delta = t.at(op.value_idx).as_uint();
-        auto [it, inserted] = op.agg.try_emplace(std::move(key), delta);
-        if (!inserted) it->second = pisa::apply_reduce(op.fn, it->second, delta);
+        auto [slot, inserted] = op.agg.try_emplace(std::move(key), hash, delta);
+        if (!inserted) *slot = pisa::apply_reduce(op.fn, *slot, delta);
         return;  // consumed; flushed at window end
       }
     }
@@ -111,20 +147,25 @@ std::vector<Tuple> ChainExecutor::end_window() {
   // Publish the window's ingest tally to the registry in one add — the
   // per-tuple path keeps only the plain ingested_ increment (metrics.h:
   // single-writer loops publish once per window).
-  if (obs::enabled()) stream_tuples_counter().add(ingested_ - ingested_pub_);
+  if (obs::enabled()) {
+    stream_tuples_counter().add(ingested_ - ingested_pub_);
+    publish_table_obs();
+  }
   ingested_pub_ = ingested_;
   // Flush reduces in ascending order: outputs of an earlier reduce flow into
-  // later operators (possibly another reduce, flushed next).
+  // later operators (possibly another reduce, flushed next). The drain walks
+  // the dense entry array in insertion order — deterministic regardless of
+  // probe order or capacity — and may move keys out in place: a reduce's
+  // outputs only ever enter LATER operators, never its own table.
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     BoundOp& op = ops_[i];
     if (op.kind != OpKind::kReduce) continue;
-    auto state = std::move(op.agg);
-    op.agg.clear();
-    for (auto& [key, value] : state) {
-      Tuple out = key;
-      out.values.emplace_back(value);
+    for (auto& e : op.agg.entries()) {
+      Tuple out = std::move(e.key);
+      out.values.emplace_back(e.value);
       process(std::move(out), i + 1);
     }
+    op.agg.clear();
   }
   for (auto& op : ops_) {
     op.seen.clear();
@@ -133,6 +174,29 @@ std::vector<Tuple> ChainExecutor::end_window() {
   std::vector<Tuple> out = std::move(pending_);
   pending_.clear();
   return out;
+}
+
+void ChainExecutor::publish_table_obs() {
+  // Probe-depth + load-factor at window close, before the tables clear —
+  // the SP-side analogue of Switch::publish_obs's register metrics. The
+  // chain is single-writer, so the tallies drain without synchronization.
+  obs::Histogram& probes = sp_probe_depth_histogram();
+  obs::Histogram& load = sp_table_load_histogram();
+  for (auto& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kFilterIn:
+        publish_one_table(op.entries.table(), probes, load);
+        break;
+      case OpKind::kDistinct:
+        publish_one_table(op.seen.table(), probes, load);
+        break;
+      case OpKind::kReduce:
+        publish_one_table(op.agg, probes, load);
+        break;
+      default:
+        break;
+    }
+  }
 }
 
 std::uint64_t ChainExecutor::stateful_entries() const noexcept {
@@ -147,6 +211,7 @@ bool ChainExecutor::set_filter_entries(const std::string& table_name,
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     if (node_.ops[i].kind == OpKind::kFilterIn && node_.ops[i].table_name == table_name) {
       ops_[i].entries.clear();
+      ops_[i].entries.reserve(entries.size());
       for (auto& e : entries) ops_[i].entries.insert(std::move(e));
       found = true;
     }
@@ -177,15 +242,21 @@ std::vector<Tuple> NodeExecutor::end_window() {
       return std::find(keys.begin(), keys.end(), i) != keys.end();
     };
 
-    // Build on the right, probe with the left.
-    std::unordered_map<Tuple, std::vector<const Tuple*>, query::TupleHasher> built;
+    // Build on the right, probe with the left. The build key's hash is
+    // computed once and cached in the flat table's slot.
+    util::FlatMap<std::vector<const Tuple*>> built;
     built.reserve(rhs.size());
-    for (const auto& r : rhs) built[query::project(r, rkeys)].push_back(&r);
+    for (const auto& r : rhs) {
+      Tuple key = query::project(r, rkeys);
+      const std::uint64_t hash = key.hash();
+      built.try_emplace(std::move(key), hash, {}).first->push_back(&r);
+    }
 
     for (const auto& l : lhs) {
-      const auto it = built.find(query::project(l, lkeys));
-      if (it == built.end()) continue;
-      for (const Tuple* r : it->second) {
+      const Tuple key = query::project(l, lkeys);
+      const auto* rows = built.find(key, key.hash());
+      if (rows == nullptr) continue;
+      for (const Tuple* r : *rows) {
         // Output layout must match validate_node(): keys, left non-keys,
         // right non-keys.
         Tuple joined;

@@ -19,12 +19,11 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/packet.h"
 #include "query/query.h"
+#include "util/flat_table.h"
 
 namespace sonata::stream {
 
@@ -61,17 +60,20 @@ class ChainExecutor {
     query::Expr::Evaluator pred;                      // filter
     std::vector<query::Expr::Evaluator> match;        // filter_in
     std::string table_name;
-    std::unordered_set<query::Tuple, query::TupleHasher> entries;
+    util::FlatSet entries;                            // filter_in (persists windows)
+    query::Tuple probe_scratch;                       // reused filter_in probe key
     std::vector<query::Expr::Evaluator> projections;  // map
     std::vector<std::size_t> key_idx;                 // reduce
     std::size_t value_idx = 0;
     query::ReduceFn fn = query::ReduceFn::kSum;
-    // per-window state
-    std::unordered_set<query::Tuple, query::TupleHasher> seen;        // distinct
-    std::unordered_map<query::Tuple, std::uint64_t, query::TupleHasher> agg;  // reduce
+    // per-window keyed state: flat open-addressing tables, capacity reused
+    // across windows (DESIGN.md "SP keyed state").
+    util::FlatSet seen;                   // distinct
+    util::FlatMap<std::uint64_t> agg;     // reduce
   };
 
   void process(query::Tuple&& t, std::size_t i);
+  void publish_table_obs();
 
   const query::StreamNode& node_;
   std::vector<BoundOp> ops_;
