@@ -17,7 +17,9 @@ std::uint64_t apply_reduce(query::ReduceFn fn, std::uint64_t current,
 }
 
 RegisterChain::RegisterChain(const RegisterChainConfig& cfg)
-    : cfg_(cfg), hashes_(static_cast<std::size_t>(std::max(cfg.depth, 1))) {
+    : cfg_(cfg),
+      hashes_(static_cast<std::size_t>(std::max(cfg.depth, 1)),
+              cfg.hash_seed != 0 ? cfg.hash_seed : 0x5eed5eed5eed5eedULL) {
   assert(cfg_.entries_per_register > 0);
   assert(cfg_.depth >= 1);
   registers_.assign(static_cast<std::size_t>(cfg_.depth),

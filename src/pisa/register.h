@@ -24,6 +24,10 @@ struct RegisterChainConfig {
   int depth = 1;                            // d
   int key_bits = 32;                        // width of the stored key
   int value_bits = 32;                      // width of the aggregate
+  // Base seed of the per-register hash family; 0 keeps the HashFamily
+  // default. Settable so fault injection can model an adversarially (or
+  // just unluckily) seeded hardware hash (DESIGN.md "Fault model").
+  std::uint64_t hash_seed = 0;
 };
 
 class RegisterChain {

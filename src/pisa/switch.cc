@@ -44,6 +44,7 @@ CompiledSwitchQuery::CompiledSwitchQuery(const query::StreamNode& node, Options 
         rc.depth = rs.depth;
         rc.key_bits = stateful_key_bits(node_, i);
         rc.value_bits = 1;
+        rc.hash_seed = opts_.hash_seed;
         cop.chain = std::make_unique<RegisterChain>(rc);
         break;
       }
@@ -64,6 +65,7 @@ CompiledSwitchQuery::CompiledSwitchQuery(const query::StreamNode& node, Options 
         rc.depth = rs.depth;
         rc.key_bits = stateful_key_bits(node_, i);
         rc.value_bits = 32;
+        rc.hash_seed = opts_.hash_seed;
         cop.chain = std::make_unique<RegisterChain>(rc);
         // Fold the following threshold filter, if present and included in
         // the partition.

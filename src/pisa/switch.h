@@ -94,6 +94,7 @@ class CompiledSwitchQuery {
     int level = 32;
     std::size_t partition = 0;
     std::map<std::size_t, RegisterSizing> sizing;  // stateful op index -> n, d
+    std::uint64_t hash_seed = 0;  // register hash family seed (0 = default)
   };
 
   // `node` must stay alive and validated for the lifetime of this object.

@@ -18,6 +18,7 @@ namespace {
 // resolved lazily once; the adds are self-gated on obs::enabled.
 void publish_window_obs(const WindowStats& w) {
   static obs::Counter& windows = obs::Registry::global().counter("sonata_windows_total");
+  static obs::Counter& partial = obs::Registry::global().counter("sonata_windows_partial_total");
   static obs::Counter* phase_nanos[obs::kPhaseCount] = {};
   if (phase_nanos[0] == nullptr) {
     for (int i = 0; i < obs::kPhaseCount; ++i) {
@@ -28,6 +29,7 @@ void publish_window_obs(const WindowStats& w) {
     }
   }
   windows.add(1);
+  if (w.partial) partial.add(1);
   phase_nanos[static_cast<int>(obs::Phase::kIngest)]->add(w.phases.ingest_nanos);
   phase_nanos[static_cast<int>(obs::Phase::kCompute)]->add(w.phases.compute_nanos);
   phase_nanos[static_cast<int>(obs::Phase::kMerge)]->add(w.phases.merge_nanos);
@@ -46,6 +48,14 @@ WindowStats TelemetryEngine::process_window(std::span<const net::Packet> packets
     obs::TraceRecorder::global().record("window", "window", start, obs::now_ns() - start);
   }
   if (obs::enabled()) publish_window_obs(w);
+  if (w.partial) {
+    SONATA_WARN("engine",
+                "window %llu closed PARTIAL: contribution_mask=0x%llx late=%llu shed=%llu",
+                static_cast<unsigned long long>(w.window_index),
+                static_cast<unsigned long long>(w.contribution_mask),
+                static_cast<unsigned long long>(w.late_packets),
+                static_cast<unsigned long long>(w.shed_packets));
+  }
   std::size_t detections = 0;
   for (const auto& r : w.results) detections += r.outputs.size();
   SONATA_INFO("engine",
@@ -80,10 +90,10 @@ std::vector<WindowStats> TelemetryEngine::run_trace(std::span<const net::Packet>
 std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan, const EngineOptions& opts) {
   const std::size_t batch = std::max<std::size_t>(opts.batch_size, 1);
   if (opts.switches <= 1 && opts.worker_threads == 0) {
-    return std::make_unique<Runtime>(std::move(plan), batch);
+    return std::make_unique<Runtime>(std::move(plan), batch, opts.faults);
   }
   return std::make_unique<Fleet>(std::move(plan), std::max<std::size_t>(opts.switches, 1),
-                                 opts.worker_threads, batch);
+                                 opts.worker_threads, batch, opts.faults);
 }
 
 }  // namespace sonata::runtime

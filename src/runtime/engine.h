@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault.h"
 #include "net/packet.h"
 #include "planner/planner.h"
 #include "runtime/stream_processor.h"
@@ -55,6 +56,11 @@ struct EngineOptions {
   // size. Output is bit-identical for every value; 1 is the legacy
   // per-packet path, kept as the equivalence baseline.
   std::size_t batch_size = 256;
+  // Deterministic fault injection (DESIGN.md "Fault model & degradation");
+  // default = none, and every hook is a null check when disabled. Worker
+  // stalls and the watchdog need a Fleet (switches > 1 or worker_threads
+  // > 0); wire and register faults apply to every driver.
+  fault::FaultSpec faults;
 };
 
 // Build the right driver for a topology: a single-switch Runtime for

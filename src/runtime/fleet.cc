@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <span>
 #include <thread>
 #include <utility>
@@ -15,17 +16,25 @@ using planner::PlannedQuery;
 using query::Tuple;
 
 Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads,
-             std::size_t batch_size)
+             std::size_t batch_size, fault::FaultSpec faults)
     : plan_(std::move(plan)), sp_(plan_), batch_size_(std::max<std::size_t>(batch_size, 1)) {
   assert(switch_count >= 1);
+  // A stall without a watchdog would spin the window barrier forever
+  // (parse_fault_spec rejects this; assert for programmatic specs).
+  assert(faults.stall_windows == 0 || faults.watchdog_ms > 0);
   raw_mirror_ = sp_.wants_raw_mirror();
+  if (faults.any()) injector_ = std::make_unique<fault::Injector>(faults);
+  if (injector_ && faults.wire_active()) wire_ = std::make_unique<WireChannel>(*injector_);
+  quarantined_.assign(switch_count, 0);
 
   auto& reg = obs::Registry::global();
   wakeups_ctr_ = &reg.counter("sonata_fleet_wakeups_total");
+  partial_windows_ctr_ = &reg.counter("sonata_fleet_partial_windows_total");
 
   // One identical switch program per ingress point.
   for (std::size_t i = 0; i < switch_count; ++i) {
     auto shard = std::make_unique<Shard>();
+    shard->index = i;
     shard->sw = std::make_unique<pisa::Switch>(plan_.switch_config);
     shard->sw->set_obs_label(std::to_string(i));
     {
@@ -47,6 +56,15 @@ Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_th
         opts.level = p.level;
         opts.partition = p.partition;
         opts.sizing = p.sizing;
+        // Register pressure (fault injection): install with registers sized
+        // for traffic that has since drifted (shrunken n) and/or an
+        // adversarial hash seed, forcing collision-overflow storms.
+        if (faults.register_shrink > 1) {
+          for (auto& [op, rs] : opts.sizing) {
+            rs.entries = std::max<std::size_t>(8, rs.entries / faults.register_shrink);
+          }
+        }
+        opts.hash_seed = faults.hash_seed;
         pipelines.push_back(std::make_unique<pisa::CompiledSwitchQuery>(*p.node, opts));
         resources.push_back(pisa::build_resources(*p.node, p.partition, p.sizing, p.qid,
                                                   p.source_index, p.level));
@@ -135,14 +153,68 @@ void Fleet::process_legacy_on_shard(Shard& shard, const net::Packet& packet) {
   }
 }
 
+bool Fleet::stalled(const Shard& shard) const noexcept {
+  return injector_ != nullptr &&
+         injector_->stall_active(shard.index, window_pub_.load(std::memory_order_acquire));
+}
+
+bool Fleet::maybe_resync(Shard& shard) {
+  std::uint64_t target = shard.resync_to.load(std::memory_order_acquire);
+  if (target == 0) return false;
+  do {
+    // Discard the condemned ring prefix without processing it; the driver
+    // flushed every staged packet before quarantining, so the ring holds
+    // everything up to `target`.
+    while (shard.drained.load(std::memory_order_relaxed) < target) {
+      const std::size_t want = static_cast<std::size_t>(
+          target - shard.drained.load(std::memory_order_relaxed));
+      const auto run = shard.queue.front_run(want);
+      if (run.empty()) {
+        std::this_thread::yield();
+        continue;
+      }
+      shard.queue.retire(run.size());
+      shard.drained.fetch_add(run.size(), std::memory_order_release);
+    }
+    // Clean slate: discard the quarantined window's partial output and
+    // reset the registers, so the shard's next window starts from the same
+    // switch state a healthy close would have left.
+    shard.sink.clear();
+    shard.raw_sources.clear();
+    shard.tuples_to_sp = 0;
+    shard.raw_mirror_packets = 0;
+    shard.phases.reset();
+    shard.sw->reset_all_registers();
+  } while (!shard.resync_to.compare_exchange_strong(target, 0, std::memory_order_acq_rel));
+  return true;
+}
+
 void Fleet::worker_loop(Worker& w) {
+  const std::uint64_t slow_ns = injector_ ? injector_->spec().slow_ns : 0;
   for (;;) {
     bool did_work = false;
     for (Shard* shard : w.shards) {
       if (batch_size_ == 1) {
         // Legacy per-packet drain (the equivalence baseline).
         net::Packet p;
-        while (shard->queue.try_pop(p)) {
+        for (;;) {
+          if (maybe_resync(*shard)) {
+            did_work = true;
+            continue;
+          }
+          if (stalled(*shard)) break;
+          if (!shard->queue.try_pop(p)) break;
+          const std::uint64_t target = shard->resync_to.load(std::memory_order_acquire);
+          if (target != 0 && shard->drained.load(std::memory_order_relaxed) < target) {
+            // Quarantined while popping: this packet is condemned.
+            shard->drained.fetch_add(1, std::memory_order_release);
+            continue;
+          }
+          if (target != 0) maybe_resync(*shard);  // popped past the target: recover first
+          if (slow_ns > 0) {
+            injector_->note_slowdown();
+            std::this_thread::sleep_for(std::chrono::nanoseconds(slow_ns));
+          }
           process_legacy_on_shard(*shard, p);
           shard->drained.fetch_add(1, std::memory_order_release);
           did_work = true;
@@ -150,10 +222,24 @@ void Fleet::worker_loop(Worker& w) {
         continue;
       }
       for (;;) {
+        if (maybe_resync(*shard)) {
+          did_work = true;
+          continue;
+        }
+        if (stalled(*shard)) break;
         // Zero-copy drain: process packets in place in the ring slots, then
         // retire the run — no move out of the ring.
         const std::span<const net::Packet> run = shard->queue.front_run(batch_size_);
         if (run.empty()) break;
+        // Re-check the quarantine cell after observing the run: the acquire
+        // load of the ring head that made these packets visible also made
+        // any earlier quarantine visible, so packets enqueued after a
+        // quarantine can never be processed into a condemned emit arena.
+        if (shard->resync_to.load(std::memory_order_acquire) != 0) continue;
+        if (slow_ns > 0) {
+          injector_->note_slowdown();
+          std::this_thread::sleep_for(std::chrono::nanoseconds(slow_ns));
+        }
         process_batch_on_shard(*shard, run);
         shard->queue.retire(run.size());
         // Release-publish the buffer writes; the driver's acquire load at
@@ -179,9 +265,18 @@ void Fleet::wake(Worker& w) {
   w.cv.notify_one();
 }
 
+void Fleet::shed_packet(Shard& /*shard*/) {
+  // Ring stayed full past the watchdog budget: drop at ingest rather than
+  // block the driver (and with it every healthy shard) on a sick worker.
+  // The packet is already counted in current_.packets.
+  ++current_.shed_packets;
+  injector_->note_shed(1);
+}
+
 void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
   ++current_.packets;
   Shard& shard = *shards_.at(switch_index);
+  const bool watchdog = injector_ != nullptr && injector_->spec().watchdog_ms > 0;
   if (batch_size_ == 1) {
     // Legacy per-packet handoff (the equivalence baseline).
     if (workers_.empty()) {
@@ -193,10 +288,29 @@ void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
     shard.packets_ctr->add(1);
     if (!shard.queue.try_push(packet)) {
       shard.stalls_ctr->add(1);
-      do {
-        wake(w);
-        std::this_thread::yield();
-      } while (!shard.queue.try_push(packet));
+      if (watchdog) {
+        if (shard.shedding) {
+          shed_packet(shard);
+          return;
+        }
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(injector_->spec().watchdog_ms);
+        for (;;) {
+          wake(w);
+          std::this_thread::yield();
+          if (shard.queue.try_push(packet)) break;
+          if (std::chrono::steady_clock::now() >= deadline) {
+            shard.shedding = true;
+            shed_packet(shard);
+            return;
+          }
+        }
+      } else {
+        do {
+          wake(w);
+          std::this_thread::yield();
+        } while (!shard.queue.try_push(packet));
+      }
     }
     ++shard.enqueued;
     if (was_empty) wake(w);
@@ -221,11 +335,31 @@ void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
     // Ring full: publish what we have, make sure the worker is awake, and
     // yield to it.
     shard.stalls_ctr->add(1);
-    do {
-      flush_shard(switch_index);
-      wake(w);
-      std::this_thread::yield();
-    } while (!shard.queue.try_stage(packet));
+    if (watchdog) {
+      if (shard.shedding) {
+        shed_packet(shard);
+        return;
+      }
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(injector_->spec().watchdog_ms);
+      for (;;) {
+        flush_shard(switch_index);
+        wake(w);
+        std::this_thread::yield();
+        if (shard.queue.try_stage(packet)) break;
+        if (std::chrono::steady_clock::now() >= deadline) {
+          shard.shedding = true;
+          shed_packet(shard);
+          return;
+        }
+      }
+    } else {
+      do {
+        flush_shard(switch_index);
+        wake(w);
+        std::this_thread::yield();
+      } while (!shard.queue.try_stage(packet));
+    }
   }
   ++shard.staged_count;
   if (shard.staged_count >= batch_size_) flush_shard(switch_index);
@@ -265,15 +399,60 @@ void Fleet::drain_barrier() {
   // Hand over every partially filled batch first (inline mode processes it
   // right here), then wait for the workers to publish everything enqueued.
   for (std::size_t i = 0; i < shards_.size(); ++i) flush_shard(i);
-  if (workers_.empty()) return;
+  std::fill(quarantined_.begin(), quarantined_.end(), std::uint8_t{0});
+  if (workers_.empty()) {
+    current_.contribution_mask = full_contribution_mask();
+    return;
+  }
+  const bool watchdog = injector_ != nullptr && injector_->spec().watchdog_ms > 0;
+  // One shared budget for the whole barrier: a healthy barrier completes in
+  // microseconds, so the deadline only matters when a worker is sick, and
+  // sharing it keeps the degraded window close bounded by one budget rather
+  // than one per stalled shard.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(watchdog ? injector_->spec().watchdog_ms : 0);
+  std::uint64_t mask = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    while (shards_[i]->drained.load(std::memory_order_acquire) != shards_[i]->enqueued) {
+    Shard& s = *shards_[i];
+    bool healthy = true;
+    for (;;) {
+      // A shard still finishing an older quarantine has not caught up even
+      // if drained momentarily equals enqueued, so wait the resync out too.
+      if (s.resync_to.load(std::memory_order_acquire) == 0 &&
+          s.drained.load(std::memory_order_acquire) == s.enqueued) {
+        break;
+      }
+      if (watchdog && std::chrono::steady_clock::now() >= deadline) {
+        healthy = false;
+        break;
+      }
       // Workers may have raced to sleep around the last push; keep them
       // awake until their queues are dry.
       wake(*workers_[i % workers_.size()]);
       std::this_thread::yield();
     }
+    if (healthy) {
+      if (i < 64) mask |= 1ull << i;
+    } else {
+      // Quarantine: this shard's window is lost. Everything it was handed
+      // since the last barrier counts late, its merge contribution is
+      // skipped, and the worker is told to discard up to the current
+      // enqueue count and reset before rejoining.
+      quarantined_[i] = 1;
+      const std::uint64_t late = s.enqueued - s.barrier_mark;
+      current_.late_packets += late;
+      injector_->note_watchdog_fire();
+      injector_->note_late(late);
+      // enqueued > 0 here: unhealthy requires drained != enqueued (or a
+      // prior resync still pending, whose target was itself > 0).
+      s.resync_to.store(s.enqueued, std::memory_order_release);
+      wake(*workers_[i % workers_.size()]);
+    }
+    s.barrier_mark = s.enqueued;
   }
+  current_.contribution_mask = mask;
+  current_.partial = mask != full_contribution_mask();
 }
 
 WindowStats Fleet::close_window() {
@@ -281,55 +460,90 @@ WindowStats Fleet::close_window() {
     obs::PhaseTimer merge_timer{driver_phases_, obs::Phase::kMerge};
 
     // 0. Window barrier: every shard queue drained, worker buffers
-    //    published.
+    //    published — or, under a watchdog, stragglers quarantined
+    //    (quarantined_[i] set, their bit cleared from the contribution
+    //    mask; their arenas are skipped below and wiped by the worker's
+    //    resync, never merged).
     drain_barrier();
 
     // 1. Merge shard outputs into the shared stream executors in ascending
     //    switch order — deterministic regardless of worker interleaving.
-    for (auto& s : shards_) {
-      for (pisa::EmitRecord& rec : s->sink.records()) {
-        if (rec.kind == pisa::EmitRecord::Kind::kOverflow) ++current_.overflow_records;
-        sp_.deliver(std::move(rec));
+    //    With wire faults configured every mirrored record round-trips the
+    //    report codec through the faulty channel on this (merge) thread,
+    //    so wire decisions are drawn deterministically in delivery order.
+    const auto deliver = [&](pisa::EmitRecord&& rec) {
+      // Overflow counts only accepted records: a corrupted header the SP's
+      // routing boundary rejects counts as a wire decode failure instead.
+      const bool overflow = rec.kind == pisa::EmitRecord::Kind::kOverflow;
+      if (!sp_.deliver(std::move(rec))) return false;
+      if (overflow) ++current_.overflow_records;
+      return true;
+    };
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = *shards_[i];
+      if (quarantined_[i]) continue;  // lost window: worker resync wipes it
+      if (wire_) {
+        for (const pisa::EmitRecord& rec : s.sink.records()) wire_->transmit(rec, deliver);
+      } else {
+        for (pisa::EmitRecord& rec : s.sink.records()) deliver(std::move(rec));
       }
-      sp_.deliver_raw_batch(s->raw_sources);
-      current_.tuples_to_sp += s->tuples_to_sp;
-      current_.raw_mirror_packets += s->raw_mirror_packets;
-      s->sink.clear();
-      s->raw_sources.clear();
-      s->tuples_to_sp = 0;
-      s->raw_mirror_packets = 0;
+      sp_.deliver_raw_batch(s.raw_sources);
+      current_.tuples_to_sp += s.tuples_to_sp;
+      current_.raw_mirror_packets += s.raw_mirror_packets;
+      s.sink.clear();
+      s.raw_sources.clear();
+      s.tuples_to_sp = 0;
+      s.raw_mirror_packets = 0;
     }
+    if (wire_) wire_->flush(deliver);  // release a still-held (reordered) record
   }
   // The barrier made every worker's phase clock visible (the same
   // release/acquire pair that publishes the emit arenas); fold the
   // workers' ingest/compute time into this window's breakdown.
-  for (auto& s : shards_) {
-    driver_phases_.merge(s->phases);
-    s->phases.reset();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (quarantined_[i]) continue;  // worker-owned until its resync clears it
+    driver_phases_.merge(shards_[i]->phases);
+    shards_[i]->phases.reset();
   }
 
   std::vector<double> control_before;
   control_before.reserve(shards_.size());
-  for (const auto& s : shards_) control_before.push_back(s->sw->stats().control_update_millis);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // A quarantined switch is worker-owned until its resync completes —
+    // don't even read its stats (placeholder keeps the vector aligned).
+    control_before.push_back(quarantined_[i] ? 0.0
+                                             : shards_[i]->sw->stats().control_update_millis);
+  }
 
   // 2. Poll every switch; partial aggregates merge at the shared reduce.
+  //    Quarantined switches are skipped: their registers hold a torn
+  //    mid-window state and are reset by the worker's resync.
   {
     obs::PhaseTimer t{driver_phases_, obs::Phase::kPoll};
-    for (const auto& s : shards_) sp_.poll_switch(*s->sw);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (quarantined_[i]) continue;
+      sp_.poll_switch(*shards_[i]->sw);
+    }
   }
 
   obs::PhaseTimer close_timer{driver_phases_, obs::Phase::kClose};
 
-  // 3. Close coarse-to-fine; winners install on EVERY switch.
+  // 3. Close coarse-to-fine; winners install on every healthy switch (a
+  //    quarantined switch misses this window's winners — acceptable
+  //    degradation, its next window runs one refinement step behind).
   std::vector<pisa::Switch*> switches;
   switches.reserve(shards_.size());
-  for (const auto& s : shards_) switches.push_back(s->sw.get());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (quarantined_[i]) continue;
+    switches.push_back(shards_[i]->sw.get());
+  }
   sp_.close_levels(current_, switches);
 
   // 4. Reset all registers. Control latency = the slowest switch's update
   //    time this window (updates run in parallel across the fleet).
   double control = 0.0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (quarantined_[i]) continue;  // reset happens in the worker's resync
     shards_[i]->sw->reset_all_registers();
     control =
         std::max(control, shards_[i]->sw->stats().control_update_millis - control_before[i]);
@@ -339,7 +553,19 @@ WindowStats Fleet::close_window() {
   current_.phases = to_breakdown(driver_phases_);
   driver_phases_.reset();
 
+  // 5. Fault accounting: attribute this window's slice of the injector's
+  //    cumulative counters, and re-arm shedding for the next window.
+  if (injector_) {
+    const fault::FaultAccount cumulative = injector_->account();
+    current_.faults = cumulative - last_account_;
+    last_account_ = cumulative;
+    if (current_.partial) partial_windows_ctr_->add(1);
+    for (auto& s : shards_) s->shedding = false;
+  }
+
   current_.window_index = window_counter_++;
+  // Publish the new window index to workers (stall schedules key on it).
+  window_pub_.store(window_counter_, std::memory_order_release);
   WindowStats out = std::move(current_);
   current_ = WindowStats{};
   return out;

@@ -33,6 +33,20 @@
 // order — and therefore the merged output — is identical for every batch
 // size; `batch_size == 1` degenerates to the original per-packet path and
 // is kept as the equivalence baseline.
+//
+// Fault injection & graceful degradation (DESIGN.md "Fault model &
+// degradation"). With a FaultSpec configured the fleet can corrupt the
+// report wire (merged records round-trip the report codec through a
+// WireChannel), slow or stall workers, and — when a per-window watchdog
+// budget is set — survive a stalled shard: the barrier times out, the
+// shard is quarantined for the window (its contribution skipped, its bit
+// cleared in WindowStats::contribution_mask, its packets counted late),
+// and the merge completes partial. The quarantined worker later re-syncs:
+// it discards the condemned ring contents, clears its emit arena, and
+// resets its switch registers, so the next window starts from clean state.
+// Ingest sheds packets (counted) instead of spinning once a ring stays
+// full past the watchdog budget. With no spec configured every hook is a
+// single null check — the fault path costs nothing when disabled.
 #pragma once
 
 #include <atomic>
@@ -45,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "net/packet.h"
 #include "pisa/switch.h"
 #include "planner/planner.h"
@@ -52,6 +67,7 @@
 #include "runtime/engine.h"
 #include "runtime/spsc_queue.h"
 #include "runtime/stream_processor.h"
+#include "runtime/wire_channel.h"
 
 namespace sonata::runtime {
 
@@ -61,9 +77,12 @@ class Fleet final : public TelemetryEngine {
   // `worker_threads` workers (0 = inline in the calling thread; capped at
   // `switch_count` since a switch is single-consumer). `batch_size` is the
   // per-shard handoff granularity; 1 is the legacy per-packet path. The
-  // plan's base queries must outlive the Fleet.
+  // plan's base queries must outlive the Fleet. `faults` configures
+  // deterministic fault injection (default: none — hooks compile to null
+  // checks); a stall requires faults.watchdog_ms > 0, and worker
+  // stalls/slowdowns only apply in threaded mode.
   Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads = 0,
-        std::size_t batch_size = 1);
+        std::size_t batch_size = 1, fault::FaultSpec faults = {});
   ~Fleet() override;
 
   [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
@@ -102,6 +121,7 @@ class Fleet final : public TelemetryEngine {
   static constexpr std::size_t kProcessChunk = 16;
 
   struct Shard {
+    std::size_t index = 0;  // switch index (stall schedules key on it)
     std::unique_ptr<pisa::Switch> sw;
     SpscQueue<net::Packet> queue{kQueueCapacity};
 
@@ -126,6 +146,16 @@ class Fleet final : public TelemetryEngine {
 
     std::uint64_t enqueued = 0;                // driver-only
     std::atomic<std::uint64_t> drained{0};     // worker-written (release)
+
+    // Quarantine protocol (watchdog degradation). Non-zero = the driver
+    // timed this shard out at a window barrier; the worker must discard
+    // ring contents up to this enqueue count, wipe its emit arena, reset
+    // its switch registers, and CAS the cell back to zero. The CAS (rather
+    // than a plain store) closes the race where the driver re-quarantines
+    // with a larger target while the worker is finishing an older one.
+    std::atomic<std::uint64_t> resync_to{0};
+    std::uint64_t barrier_mark = 0;  // driver-only: enqueued at last barrier
+    bool shedding = false;           // driver-only: ring stayed full past budget
 
     // Worker-side phase clock (ingest/compute), single-writer like the
     // emit arena: published to the driver by the same release/acquire
@@ -164,10 +194,29 @@ class Fleet final : public TelemetryEngine {
   void wake(Worker& w);
   void drain_barrier();
 
+  // Worker-side quarantine recovery: if the driver condemned this shard,
+  // discard the condemned ring prefix, wipe the emit arena, reset the
+  // switch, and re-arm. Returns true when a resync ran.
+  bool maybe_resync(Shard& shard);
+  // Is this shard's worker stalled for the currently published window?
+  [[nodiscard]] bool stalled(const Shard& shard) const noexcept;
+  // Account one packet shed at ingest (ring full past the watchdog budget).
+  void shed_packet(Shard& shard);
+  [[nodiscard]] std::uint64_t full_contribution_mask() const noexcept {
+    return shards_.size() >= 64 ? ~0ull : ((1ull << shards_.size()) - 1);
+  }
+
   planner::Plan plan_;
   StreamProcessor sp_;
   bool raw_mirror_ = false;  // sp_.wants_raw_mirror(), cached for workers
   std::size_t batch_size_ = 1;
+
+  // Fault injection (null/empty when no spec is configured — every hook on
+  // the hot path is then one pointer test).
+  std::unique_ptr<fault::Injector> injector_;
+  std::unique_ptr<WireChannel> wire_;
+  fault::FaultAccount last_account_;        // driver-only, for per-window deltas
+  std::vector<std::uint8_t> quarantined_;   // driver-only, reset every window
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -176,7 +225,11 @@ class Fleet final : public TelemetryEngine {
   WindowStats current_;
   obs::PhaseAccum driver_phases_;  // merge/poll/close (+ inline compute)
   obs::Counter* wakeups_ctr_ = nullptr;
+  obs::Counter* partial_windows_ctr_ = nullptr;
   std::uint64_t window_counter_ = 0;
+  // Window index visible to workers (stall schedules are window-keyed);
+  // published at the end of every close_window.
+  std::atomic<std::uint64_t> window_pub_{0};
 };
 
 }  // namespace sonata::runtime

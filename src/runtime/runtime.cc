@@ -12,11 +12,26 @@ using planner::PlannedPipeline;
 using planner::PlannedQuery;
 using query::Tuple;
 
-Runtime::Runtime(planner::Plan plan, std::size_t batch_size)
-    : plan_(std::move(plan)),
-      switch_(plan_.switch_config),
-      sp_(plan_),
-      batch_size_(std::max<std::size_t>(batch_size, 1)) {
+Runtime::Runtime(planner::Plan plan, std::size_t batch_size, fault::FaultSpec faults)
+    : batch_size_(std::max<std::size_t>(batch_size, 1)), faults_(faults) {
+  if (faults.any()) injector_ = std::make_unique<fault::Injector>(faults);
+  if (injector_ && faults.wire_active()) wire_ = std::make_unique<WireChannel>(*injector_);
+  install_plan(std::move(plan), /*register_pressure=*/true);
+}
+
+void Runtime::install_plan(planner::Plan plan, bool register_pressure) {
+  // Tear down in dependency order (sp_ holds pointers into plan_), then
+  // rebuild. On the initial install this is a plain construction; on an
+  // auto-replan swap it replaces the switch program and the stream
+  // executors between windows. Mitigation guard entries and dynamic filter
+  // winners do not survive the swap — they are rebuilt from the next
+  // window's detections.
+  sp_.reset();
+  switch_.reset();
+  plan_ = std::move(plan);
+  switch_ = std::make_unique<pisa::Switch>(plan_.switch_config);
+  sp_ = std::make_unique<StreamProcessor>(plan_);
+
   // Build executable switch pipelines + resources for installed partitions
   // (partition-0 pipelines stay on the SP; StreamProcessor feeds them from
   // the raw mirror).
@@ -31,37 +46,66 @@ Runtime::Runtime(planner::Plan plan, std::size_t batch_size)
       opts.level = p.level;
       opts.partition = p.partition;
       opts.sizing = p.sizing;
+      // Register pressure (fault injection): install with registers sized
+      // for traffic that has since drifted and/or an adversarial hash
+      // seed. An auto-replan swap installs clean — re-planning is the
+      // recovery from register pressure.
+      if (register_pressure && faults_.register_shrink > 1) {
+        for (auto& [op, rs] : opts.sizing) {
+          rs.entries = std::max<std::size_t>(8, rs.entries / faults_.register_shrink);
+        }
+      }
+      opts.hash_seed = register_pressure ? faults_.hash_seed : 0;
       pipelines.push_back(std::make_unique<pisa::CompiledSwitchQuery>(*p.node, opts));
       resources.push_back(pisa::build_resources(*p.node, p.partition, p.sizing, p.qid,
                                                 p.source_index, p.level));
     }
   }
-  const std::string err = switch_.install(std::move(pipelines), resources);
+  const std::string err = switch_->install(std::move(pipelines), resources);
   assert(err.empty() && "plan does not fit the switch it was planned for");
   (void)err;
 }
 
+void Runtime::deliver_record(pisa::EmitRecord&& rec) {
+  const auto deliver = [&](pisa::EmitRecord&& d) {
+    // Overflow counts only records the SP accepted: a corrupted header the
+    // SP's routing boundary rejects never reached its counters either.
+    const bool overflow = d.kind == pisa::EmitRecord::Kind::kOverflow;
+    if (!sp_->deliver(std::move(d))) return false;
+    if (overflow) {
+      ++current_.overflow_records;
+      ++total_overflows_;
+    }
+    return true;
+  };
+  if (wire_) {
+    // Round-trip the record through the report codec over the faulty wire;
+    // overflow accounting moves to the delivered side (a dropped overflow
+    // report never reaches the stream processor — or its counters).
+    wire_->transmit(rec, deliver);
+  } else {
+    deliver(std::move(rec));
+  }
+}
+
 void Runtime::ingest(const net::Packet& packet) {
   ++current_.packets;
+  if (auto_replan_) history_.back().push_back(packet);
   if (batch_size_ == 1) {
     // Legacy per-packet path (the equivalence baseline): fresh tuple, one
     // switch call, immediate delivery.
     const Tuple source = query::materialize_tuple(packet);
     sink_.clear();
-    switch_.process_one(source, sink_);
+    switch_->process_one(source, sink_);
     for (pisa::EmitRecord& rec : sink_.records()) {
       ++total_records_;
-      if (rec.kind == pisa::EmitRecord::Kind::kOverflow) {
-        ++current_.overflow_records;
-        ++total_overflows_;
-      }
-      sp_.deliver(std::move(rec));
+      deliver_record(std::move(rec));
     }
-    const bool raw = sp_.wants_raw_mirror();
+    const bool raw = sp_->wants_raw_mirror();
     if (raw) {
       ++current_.raw_mirror_packets;
       ++total_records_;
-      sp_.deliver_raw(source);
+      sp_->deliver_raw(source);
     }
     if (raw || !sink_.empty()) ++current_.tuples_to_sp;
     return;
@@ -83,29 +127,27 @@ void Runtime::flush_pending() {
     // records accumulate in sink_ across chunks exactly as one call would.
     obs::PhaseTimer t{phase_accum_, obs::Phase::kCompute};
     for (std::size_t off = 0; off < pending_used_; off += kProcessChunk) {
-      switch_.process_batch(batch.subspan(off, std::min(kProcessChunk, pending_used_ - off)),
-                            sink_);
+      switch_->process_batch(batch.subspan(off, std::min(kProcessChunk, pending_used_ - off)),
+                             sink_);
     }
   }
   obs::PhaseTimer merge_timer{phase_accum_, obs::Phase::kMerge};
   for (pisa::EmitRecord& rec : sink_.records()) {
     ++total_records_;
-    if (rec.kind == pisa::EmitRecord::Kind::kOverflow) {
-      ++current_.overflow_records;
-      ++total_overflows_;
-    }
-    sp_.deliver(std::move(rec));
+    deliver_record(std::move(rec));
   }
   // One mirrored packet per original packet: the PHV carries a single
   // report bit plus every query's intermediate results (paper §3.1.3), so
   // N counts packets with at least one emission (or the raw mirror).
-  const bool raw = sp_.wants_raw_mirror();
+  // tuples_to_sp stays switch-side accounting: what the switch *sent*, not
+  // what survived a faulty wire.
+  const bool raw = sp_->wants_raw_mirror();
   if (raw) {
     const std::uint64_t n = pending_used_;
     current_.raw_mirror_packets += n;
     total_records_ += n;
     current_.tuples_to_sp += n;
-    sp_.deliver_raw_batch(batch);
+    sp_->deliver_raw_batch(batch);
   } else {
     current_.tuples_to_sp += sink_.packets_with_records();
   }
@@ -113,27 +155,42 @@ void Runtime::flush_pending() {
 }
 
 WindowStats Runtime::close_window() {
-  // 0. Flush the tail batch so the window observes every ingested packet.
+  // 0. Flush the tail batch so the window observes every ingested packet,
+  //    and release a still-held (reordered) report — reordering never
+  //    crosses a window boundary.
   flush_pending();
+  if (wire_) {
+    wire_->flush([&](pisa::EmitRecord&& d) {
+      // Held records are verbatim copies of routable records; the overflow
+      // gate mirrors deliver_record's for uniformity.
+      const bool overflow = d.kind == pisa::EmitRecord::Kind::kOverflow;
+      if (!sp_->deliver(std::move(d))) return false;
+      if (overflow) {
+        ++current_.overflow_records;
+        ++total_overflows_;
+      }
+      return true;
+    });
+  }
 
   // 1. Poll switch registers for stateful tails (control channel).
   {
     obs::PhaseTimer t{phase_accum_, obs::Phase::kPoll};
-    sp_.poll_switch(switch_);
+    sp_->poll_switch(*switch_);
   }
 
   obs::PhaseTimer close_timer{phase_accum_, obs::Phase::kClose};
 
   // 2. Close levels coarse-to-fine; winners install into the next level's
   //    dynamic filter tables (they take effect for the next window).
-  const double control_before = switch_.stats().control_update_millis;
-  pisa::Switch* const switches[] = {&switch_};
-  sp_.close_levels(current_, switches);
+  const double control_before = switch_->stats().control_update_millis;
+  pisa::Switch* const switches[] = {switch_.get()};
+  sp_->close_levels(current_, switches);
 
   // 3. Closed-loop mitigation: block the keys behind this window's
   //    detections (takes effect from the next window; paper Section 8).
   for (const auto& policy : mitigations_) {
-    const PlannedQuery* pq = sp_.planned(policy.qid);
+    const PlannedQuery* pq = sp_->planned(policy.qid);
     if (!pq) continue;
     const int finest = pq->chain.back();
     const auto& schema = pq->exec_queries.at(finest).root()->output_schema();
@@ -142,30 +199,71 @@ WindowStats Runtime::close_window() {
     for (const auto& result : current_.results) {
       if (result.qid != policy.qid) continue;
       for (const auto& t : result.outputs) {
-        if (switch_.blocked_keys() >= policy.max_entries) break;
-        switch_.block(policy.packet_field, t.at(*col));
+        if (switch_->blocked_keys() >= policy.max_entries) break;
+        switch_->block(policy.packet_field, t.at(*col));
       }
     }
   }
 
   // 4. Reset registers for the next window.
-  switch_.reset_all_registers();
+  switch_->reset_all_registers();
   close_timer.stop();
-  current_.control_update_millis = switch_.stats().control_update_millis - control_before;
-  current_.dropped_packets = switch_.stats().dropped_packets - dropped_before_window_;
-  dropped_before_window_ = switch_.stats().dropped_packets;
+  current_.control_update_millis = switch_->stats().control_update_millis - control_before;
+  current_.dropped_packets = switch_->stats().dropped_packets - dropped_before_window_;
+  dropped_before_window_ = switch_->stats().dropped_packets;
   current_.phases = to_breakdown(phase_accum_);
   phase_accum_.reset();
 
   // Re-planning trigger: sustained collision overflow means the registers
-  // were sized for different traffic (paper §5).
+  // were sized for different traffic (paper §5). The fraction is over
+  // *processed* packets: mitigation-dropped packets never reach the
+  // registers, so counting them in the denominator deflated the fraction
+  // exactly when a drop storm coincided with register pressure — the
+  // moment the trigger matters most.
   {
-    const double fraction =
-        current_.packets == 0 ? 0.0
-                              : static_cast<double>(current_.overflow_records) /
-                                    static_cast<double>(current_.packets);
+    const std::uint64_t dropped = std::min(current_.dropped_packets, current_.packets);
+    const std::uint64_t processed = current_.packets - dropped;
+    const double fraction = processed == 0 ? 0.0
+                                           : static_cast<double>(current_.overflow_records) /
+                                                 static_cast<double>(processed);
     overflow_streak_ = fraction > replan_policy_.overflow_threshold ? overflow_streak_ + 1 : 0;
     if (overflow_streak_ >= replan_policy_.consecutive_windows) replan_recommended_ = true;
+  }
+
+  // Acted-on re-planning: consume the recommendation by re-running the
+  // planner against the retained live windows (whose key counts reflect
+  // the drifted traffic) and hot-swapping the plan before the next window.
+  if (replan_recommended_ && auto_replan_ && !history_.empty()) {
+    std::vector<net::Packet> training;
+    std::size_t total = 0;
+    for (const auto& w : history_) total += w.size();
+    training.reserve(total);
+    for (const auto& w : history_) training.insert(training.end(), w.begin(), w.end());
+    if (!training.empty()) {
+      planner::Planner planner(auto_replan_cfg_.planner);
+      install_plan(planner.plan(*auto_replan_cfg_.queries, training),
+                   /*register_pressure=*/false);
+      dropped_before_window_ = 0;  // the fresh switch's drop counter restarts
+      replan_recommended_ = false;
+      overflow_streak_ = 0;
+      ++replans_;
+      replans_ctr_->add(1);
+      current_.plan_swapped = true;
+    }
+  }
+  if (auto_replan_) {
+    history_.emplace_back();
+    while (history_.size() > auto_replan_cfg_.history_windows) history_.pop_front();
+  }
+
+  // Degradation bookkeeping: the single switch always contributes fully
+  // (stalls/watchdog are fleet concepts); fault accounting still reports
+  // this window's slice of the injector's cumulative counters.
+  current_.contribution_mask = 1;
+  if (injector_) {
+    const fault::FaultAccount cumulative = injector_->account();
+    current_.faults = cumulative - last_account_;
+    last_account_ = cumulative;
   }
 
   current_.window_index = window_counter_++;
@@ -176,6 +274,16 @@ WindowStats Runtime::close_window() {
 
 void Runtime::enable_mitigation(MitigationPolicy policy) {
   mitigations_.push_back(std::move(policy));
+}
+
+void Runtime::enable_auto_replan(AutoReplanConfig cfg) {
+  assert(cfg.queries != nullptr);
+  auto_replan_cfg_ = std::move(cfg);
+  if (auto_replan_cfg_.history_windows == 0) auto_replan_cfg_.history_windows = 1;
+  auto_replan_ = true;
+  history_.clear();
+  history_.emplace_back();
+  replans_ctr_ = &obs::Registry::global().counter("sonata_runtime_replans_total");
 }
 
 double Runtime::overflow_fraction() const noexcept {

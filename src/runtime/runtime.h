@@ -27,14 +27,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "pisa/switch.h"
 #include "planner/planner.h"
 #include "query/tuple.h"
 #include "runtime/engine.h"
 #include "runtime/stream_processor.h"
+#include "runtime/wire_channel.h"
 
 namespace sonata::runtime {
 
@@ -46,7 +50,14 @@ class Runtime final : public TelemetryEngine {
   // packets are parsed immediately but run through the switch pipelines
   // `batch_size` at a time into a reusable emit arena. 1 is the legacy
   // per-packet path; any value produces bit-identical windows.
-  explicit Runtime(planner::Plan plan, std::size_t batch_size = 1);
+  //
+  // `faults` configures deterministic fault injection (DESIGN.md "Fault
+  // model & degradation"): wire faults round-trip every mirrored record
+  // through the report codec, register pressure shrinks/reseeds the
+  // installed chains. Worker stalls and the watchdog are fleet-only and
+  // inert here (the single-switch runtime has no worker to stall).
+  explicit Runtime(planner::Plan plan, std::size_t batch_size = 1,
+                   fault::FaultSpec faults = {});
 
   // Streaming interface (TelemetryEngine).
   void ingest(const net::Packet& packet) override;
@@ -54,9 +65,9 @@ class Runtime final : public TelemetryEngine {
 
   [[nodiscard]] const planner::Plan& plan() const noexcept override { return plan_; }
   [[nodiscard]] std::size_t data_plane_count() const noexcept override { return 1; }
-  [[nodiscard]] const pisa::Switch& data_plane(std::size_t) const override { return switch_; }
-  [[nodiscard]] const pisa::Switch& data_plane() const noexcept { return switch_; }
-  [[nodiscard]] const Emitter& emitter() const noexcept override { return sp_.emitter(); }
+  [[nodiscard]] const pisa::Switch& data_plane(std::size_t) const override { return *switch_; }
+  [[nodiscard]] const pisa::Switch& data_plane() const noexcept { return *switch_; }
+  [[nodiscard]] const Emitter& emitter() const noexcept override { return sp_->emitter(); }
 
   // Fraction of mirrored records caused by register-chain overflow since
   // start; the paper's runtime triggers re-planning when this spikes.
@@ -88,6 +99,25 @@ class Runtime final : public TelemetryEngine {
   void set_replan_policy(ReplanPolicy policy) noexcept { replan_policy_ = policy; }
   [[nodiscard]] bool replan_recommended() const noexcept { return replan_recommended_; }
 
+  // -- acted-on re-planning (paper §5, closing the loop) ---------------
+  // When enabled, a fired replan recommendation is consumed automatically:
+  // the planner re-runs against the last `history_windows` windows of live
+  // traffic (so its key-count estimates reflect the drifted traffic, not
+  // the stale training trace) and the new plan is hot-swapped between
+  // windows. The swap rebuilds the switch program and the stream-processor
+  // executors; installed mitigation guard entries are rebuilt from the next
+  // window's detections (the drop rules themselves do not survive the
+  // reinstall — a documented cost of the swap). Register-pressure faults
+  // (shrink/hash_seed) are deliberately NOT re-applied to the new plan:
+  // re-planning is the recovery from them.
+  struct AutoReplanConfig {
+    const std::vector<query::Query>* queries = nullptr;  // must outlive the Runtime
+    planner::PlannerConfig planner;
+    std::size_t history_windows = 2;  // ingest history kept for re-training
+  };
+  void enable_auto_replan(AutoReplanConfig cfg);
+  [[nodiscard]] std::uint64_t replans_performed() const noexcept { return replans_; }
+
  private:
   // Compute granularity inside a buffered flush (same locality knob as
   // Fleet::kProcessChunk): the pipelines consume the batch in runs small
@@ -99,16 +129,40 @@ class Runtime final : public TelemetryEngine {
   // Run the buffered tuples through the switch pipelines and route the
   // resulting records (and the raw mirror) into the stream processor.
   void flush_pending();
+  // Route one emitted record toward the stream processor, through the
+  // faulty wire when one is configured.
+  void deliver_record(pisa::EmitRecord&& rec);
+  // (Re)build the switch program and stream processor for `plan`.
+  // `register_pressure` applies the fault spec's shrink/hash_seed (true for
+  // the initial install, false for auto-replan swaps — re-planning is the
+  // recovery from register pressure).
+  void install_plan(planner::Plan plan, bool register_pressure);
 
   planner::Plan plan_;
-  pisa::Switch switch_;
-  StreamProcessor sp_;
+  // unique_ptrs (not values) so an auto-replan swap can rebuild both; sp_
+  // holds pointers into plan_, so destruction order is switch_/sp_ first.
+  std::unique_ptr<pisa::Switch> switch_;
+  std::unique_ptr<StreamProcessor> sp_;
   std::size_t batch_size_ = 1;
+  fault::FaultSpec faults_;
+
+  // Fault injection (null when no spec is configured).
+  std::unique_ptr<fault::Injector> injector_;
+  std::unique_ptr<WireChannel> wire_;
+  fault::FaultAccount last_account_;
 
   std::vector<MitigationPolicy> mitigations_;
   ReplanPolicy replan_policy_;
   int overflow_streak_ = 0;
   bool replan_recommended_ = false;
+
+  // Auto-replan state: per-window ingest history (newest last), kept only
+  // while enabled.
+  bool auto_replan_ = false;
+  AutoReplanConfig auto_replan_cfg_;
+  std::deque<std::vector<net::Packet>> history_;
+  std::uint64_t replans_ = 0;
+  obs::Counter* replans_ctr_ = nullptr;
 
   WindowStats current_;
   obs::PhaseAccum phase_accum_;  // this window's phase clock (driver thread)

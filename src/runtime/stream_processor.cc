@@ -71,51 +71,59 @@ const PlannedQuery* StreamProcessor::planned(query::QueryId qid) const noexcept 
 }
 
 int StreamProcessor::remap_source(query::QueryId qid, int level, int source_index) const {
+  if (source_index < 0) return -1;
   if (const PlannedQuery* pq = planned(qid)) {
     const auto it = pq->source_remap.find(level);
     if (it == pq->source_remap.end()) return source_index;
-    return it->second.at(static_cast<std::size_t>(source_index));
+    // Bounds-checked: a corrupted wire record can carry any source index.
+    if (static_cast<std::size_t>(source_index) >= it->second.size()) return -1;
+    return it->second[static_cast<std::size_t>(source_index)];
   }
   return source_index;
 }
 
-StreamProcessor::LevelExec& StreamProcessor::level_exec(query::QueryId qid, int level) {
+StreamProcessor::LevelExec* StreamProcessor::level_exec(query::QueryId qid, int level) noexcept {
   for (auto& qs : queries_) {
     if (qs.pq->base->id() != qid) continue;
     for (auto& le : qs.levels) {
-      if (le.level == level) return le;
+      if (le.level == level) return &le;
     }
   }
-  assert(false && "no executor for (qid, level)");
-  __builtin_unreachable();
+  return nullptr;
 }
 
 stream::QueryExecutor& StreamProcessor::executor(query::QueryId qid, int level) {
-  return *level_exec(qid, level).exec;
+  LevelExec* le = level_exec(qid, level);
+  assert(le && "no executor for (qid, level)");
+  return *le->exec;
 }
 
-void StreamProcessor::deliver(const pisa::EmitRecord& rec) {
+bool StreamProcessor::deliver(const pisa::EmitRecord& rec) {
   emitter_.record(rec);
   if (rec.kind == pisa::EmitRecord::Kind::kKeyReport) {
     // Key reports only notify the SP which registers to poll; the polled
     // aggregates are ingested at window end.
-    return;
+    return true;
   }
+  LevelExec* le = level_exec(rec.qid, rec.level);
+  if (!le) return false;
   const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
-  if (src_idx < 0) return;
-  LevelExec& le = level_exec(rec.qid, rec.level);
-  ++le.tuples_in;
-  le.exec->ingest(src_idx, rec.tuple, rec.op_index);
+  if (src_idx < 0 || static_cast<std::size_t>(src_idx) >= le->exec->source_count()) return false;
+  ++le->tuples_in;
+  le->exec->ingest(src_idx, rec.tuple, rec.op_index);
+  return true;
 }
 
-void StreamProcessor::deliver(pisa::EmitRecord&& rec) {
+bool StreamProcessor::deliver(pisa::EmitRecord&& rec) {
   emitter_.record(rec);
-  if (rec.kind == pisa::EmitRecord::Kind::kKeyReport) return;
+  if (rec.kind == pisa::EmitRecord::Kind::kKeyReport) return true;
+  LevelExec* le = level_exec(rec.qid, rec.level);
+  if (!le) return false;
   const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
-  if (src_idx < 0) return;
-  LevelExec& le = level_exec(rec.qid, rec.level);
-  ++le.tuples_in;
-  le.exec->ingest(src_idx, std::move(rec.tuple), rec.op_index);
+  if (src_idx < 0 || static_cast<std::size_t>(src_idx) >= le->exec->source_count()) return false;
+  ++le->tuples_in;
+  le->exec->ingest(src_idx, std::move(rec.tuple), rec.op_index);
+  return true;
 }
 
 void StreamProcessor::deliver_batch(std::span<pisa::EmitRecord> recs) {
@@ -126,7 +134,7 @@ void StreamProcessor::deliver_raw(const Tuple& source) {
   for (const auto& feed : raw_feeds_) {
     const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
     if (src_idx < 0) continue;
-    LevelExec& le = level_exec(feed.qid, feed.level);
+    LevelExec& le = *level_exec(feed.qid, feed.level);  // raw feeds come from the plan
     ++le.tuples_in;
     le.exec->ingest(src_idx, source, 0);
   }
@@ -143,7 +151,7 @@ void StreamProcessor::deliver_raw_batch(std::span<Tuple> sources) {
   active.reserve(raw_feeds_.size());
   for (const auto& feed : raw_feeds_) {
     const int src_idx = remap_source(feed.qid, feed.level, feed.source_index);
-    if (src_idx >= 0) active.push_back({&level_exec(feed.qid, feed.level), src_idx});
+    if (src_idx >= 0) active.push_back({level_exec(feed.qid, feed.level), src_idx});
   }
   if (active.empty()) return;
   for (std::size_t f = 0; f + 1 < active.size(); ++f) {
@@ -160,7 +168,7 @@ void StreamProcessor::poll_switch(const pisa::Switch& sw) {
     const int src_idx =
         remap_source(p->options().qid, p->options().level, p->options().source_index);
     if (src_idx < 0) continue;
-    LevelExec& le = level_exec(p->options().qid, p->options().level);
+    LevelExec& le = *level_exec(p->options().qid, p->options().level);
     std::vector<Tuple> aggregates = p->poll_aggregates();
     le.tuples_in += aggregates.size();
     le.exec->ingest_batch(src_idx, aggregates, p->poll_entry_op());

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/tracing.h"
 #include "pisa/switch.h"
 #include "planner/planner.h"
@@ -123,6 +124,20 @@ struct WindowStats {
   // Winner keys installed into next-level dynamic filters at the end of
   // this window, per query (all coarse levels merged), dense in plan order.
   WinnerTable winners;
+
+  // -- graceful degradation (DESIGN.md "Fault model & degradation") -----
+  // Bit i is set when switch i's full contribution made this window's
+  // merge (meaningful for the first 64 switches; every fleet here is far
+  // smaller). A healthy window has every bit set and partial == false; a
+  // window that lost a quarantined shard reports partial == true, the
+  // missing switch's bit cleared, and its packets in late_packets.
+  std::uint64_t contribution_mask = 0;
+  bool partial = false;
+  std::uint64_t late_packets = 0;  // routed to a quarantined shard, lost from merge
+  std::uint64_t shed_packets = 0;  // dropped at ingest under sustained backpressure
+  bool plan_swapped = false;       // auto-replan installed a new plan after this window
+  fault::FaultAccount faults;      // faults injected during this window (all zero
+                                   // when no injector is configured)
 };
 
 class StreamProcessor {
@@ -135,12 +150,17 @@ class StreamProcessor {
 
   // Route one mirrored record into the right executor (key reports only
   // notify the SP which registers to poll; they count but do not ingest).
-  void deliver(const pisa::EmitRecord& rec);
+  // Returns false — and ingests nothing — when the record does not route:
+  // unknown (qid, level) or out-of-range source index. Plan-driven callers
+  // always route; the faulty wire (runtime::WireChannel) can hand the SP a
+  // corrupted-but-decodable header, and this boundary check is what keeps
+  // that from indexing into another query's executors.
+  bool deliver(const pisa::EmitRecord& rec);
 
   // Move-in variant: the record's tuple is moved into the executor. This
   // is what the batched merge path uses — shard emit arenas hand their
   // tuples over without a copy.
-  void deliver(pisa::EmitRecord&& rec);
+  bool deliver(pisa::EmitRecord&& rec);
 
   // Batched delivery in record order; every record's tuple is moved.
   // Callers must treat `recs` as consumed.
@@ -198,8 +218,9 @@ class StreamProcessor {
     obs::Counter* winners_counter = nullptr;
   };
 
-  // The LevelExec behind executor(qid, level) (asserts on unknown pairs).
-  [[nodiscard]] LevelExec& level_exec(query::QueryId qid, int level);
+  // The LevelExec behind executor(qid, level); nullptr on unknown pairs
+  // (only the wire delivery path can present one — see deliver()).
+  [[nodiscard]] LevelExec* level_exec(query::QueryId qid, int level) noexcept;
   // Pipelines kept at the stream processor (partition == 0), needing the
   // raw mirror: (qid, level, source).
   struct RawFeed {

@@ -132,6 +132,10 @@ class QueryExecutor {
   // Keyed-state entries across the whole executor tree.
   [[nodiscard]] std::uint64_t stateful_entries() const noexcept;
 
+  // Number of source entry points (DFS order). Delivery paths fed by an
+  // untrusted wire bounds-check their source index against this.
+  [[nodiscard]] std::size_t source_count() const noexcept { return sources_.size(); }
+
   [[nodiscard]] const query::Query& query() const noexcept { return *query_; }
   [[nodiscard]] const query::Schema& output_schema() const {
     return query_->root()->output_schema();

@@ -4,6 +4,7 @@
 //              max-dp|fix-ref] [--window SECONDS] [--emit-p4 FILE]
 //              [--train-pcap FILE] [--synthetic SECONDS] [--seed N]
 //              [--switches N] [--threads N] [--batch N]
+//              [--fault-spec k=v,...]
 //
 // Loads telemetry queries from the declarative DSL (see query/parser.h),
 // plans them against training traffic (a pcap or a synthetic trace), prints
@@ -25,11 +26,21 @@
 // logger threshold (`--verbose` is an alias for `--log-level info`; at
 // info the engine prints a per-window summary line with the phase-time
 // breakdown). Windows are bit-identical with observability on or off.
+//
+// Fault injection: `--fault-spec k=v,...` configures the deterministic
+// chaos harness (DESIGN.md "Fault model & degradation"). Keys: seed,
+// corrupt/truncate/drop/dup/reorder (wire-fault rates per mirrored
+// report), slow_ns (worker slowdown), stall_switch/stall_from/
+// stall_windows (stall one fleet worker for a window range), watchdog_ms
+// (per-window degradation budget; required for stalls), shrink/hash_seed
+// (register pressure). Injected faults are visible per window in the
+// engine log and cumulatively as sonata_fault_* metrics.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.h"
 #include "net/pcap.h"
 #include "obs/metrics.h"
 #include "obs/tracing.h"
@@ -59,6 +70,8 @@ struct Args {
   std::size_t switches = 1;
   std::size_t threads = 0;
   std::size_t batch = 256;
+  fault::FaultSpec faults;
+  bool faults_configured = false;
   std::string metrics_json_path;
   std::string metrics_prom_path;
   std::string trace_out_path;
@@ -72,6 +85,9 @@ void usage() {
                "max-dp|fix-ref]\n"
                "                  [--window SECONDS] [--emit-p4 FILE] [--emit-spark FILE]\n"
                "                  [--switches N] [--threads N] [--batch N] [--seed N]\n"
+               "                  [--fault-spec k=v,... (keys: seed corrupt truncate drop dup\n"
+               "                   reorder slow_ns stall_switch stall_from stall_windows\n"
+               "                   watchdog_ms shrink hash_seed)]\n"
                "                  [--metrics-json FILE] [--metrics-prom FILE]"
                " [--trace-out FILE]\n"
                "                  [--log-level debug|info|warn|error|off] [--verbose]\n");
@@ -143,6 +159,17 @@ bool parse_args(int argc, char** argv, Args& args) {
         std::fprintf(stderr, "--batch must be >= 1\n");
         return false;
       }
+    } else if (arg == "--fault-spec") {
+      const char* v = value();
+      if (!v) return false;
+      std::string error;
+      const auto spec = fault::parse_fault_spec(v, &error);
+      if (!spec) {
+        std::fprintf(stderr, "bad --fault-spec: %s\n", error.c_str());
+        return false;
+      }
+      args.faults = *spec;
+      args.faults_configured = true;
     } else if (arg == "--metrics-json") {
       const char* v = value();
       if (!v) return false;
@@ -339,10 +366,14 @@ int main(int argc, char** argv) {
   topo.switches = args.switches;
   topo.worker_threads = args.threads;
   topo.batch_size = args.batch;
+  topo.faults = args.faults;
   const auto engine = runtime::make_engine(plan, topo);
   if (args.switches > 1 || args.threads > 0) {
     std::printf("Deploying on %zu switch%s (%zu worker thread%s)\n", args.switches,
                 args.switches == 1 ? "" : "es", args.threads, args.threads == 1 ? "" : "s");
+  }
+  if (args.faults_configured) {
+    std::printf("Fault injection active: %s\n", args.faults.to_string().c_str());
   }
   std::uint64_t total_packets = 0;
   std::uint64_t total_tuples = 0;
