@@ -1,0 +1,238 @@
+// Extension benchmark + CI admission gate: control-plane churn (DESIGN.md
+// "Query control plane").
+//
+// Two phases, both gated:
+//
+//   1. Planning latency under churn: a steady set of queries is admitted,
+//      then submissions/withdrawals churn the tail of the set. Every
+//      mutation is planned twice — incrementally (cached installers, greedy
+//      placement + certification) and from scratch (Planner::plan_windows,
+//      which rebuilds every estimator by replaying the training windows).
+//      Gate: the incremental total must stay under 20% of the from-scratch
+//      total (a >= 5x speedup), and every mutation's incremental objective
+//      must equal the from-scratch plan cost — speed never buys a worse
+//      plan.
+//
+//   2. Runtime churn: an engine processes the whole trace while queries
+//      come and go at window barriers. Gate: no dropped windows — every
+//      window closes with full packet accounting (no shed/late/partial),
+//      and every staged mutation lands as a plan swap at its barrier.
+//
+// `--smoke` shrinks the trace and the churn count for sanitizer CI jobs.
+// Results land in BENCH_admission.json (CI uploads it as an artifact).
+// Exits nonzero when a gate fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "planner/incremental.h"
+#include "queries/catalog.h"
+#include "runtime/control_plane.h"
+#include "runtime/engine.h"
+#include "trace/trace.h"
+
+using namespace sonata;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  trace::BackgroundConfig bg;
+  bg.duration_sec = smoke ? 9.0 : 18.0;
+  bg.flows_per_sec = 250.0 * opts.scale;
+  const auto trace_pkts = trace::TraceBuilder(opts.seed).background(bg).build();
+
+  const util::Nanos window = util::seconds(3);
+  queries::Thresholds th;  // defaults: moderate report volume per window
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, window));
+  qs.push_back(queries::make_ssh_brute_force(th, window));
+  qs.push_back(queries::make_superspreader(th, window));
+  qs.push_back(queries::make_port_scan(th, window));
+  qs.push_back(queries::make_ddos(th, window));
+  qs.push_back(queries::make_syn_flood(th, window));
+  qs.push_back(queries::make_incomplete_flows(th, window));
+  qs.push_back(queries::make_slowloris(th, window));
+  const std::size_t steady = 6;  // qs[0..5] always active; qs[6..7] churn
+
+  planner::PlannerConfig cfg;
+  cfg.window = window;
+  const auto windows = planner::materialize_windows(trace_pkts, window);
+
+  std::printf("Admission churn: %zu packets, %zu training windows, %zu steady + %zu churning "
+              "queries%s\n\n",
+              trace_pkts.size(), windows.size(), steady, qs.size() - steady,
+              smoke ? " (smoke)" : "");
+
+  // -- phase 1: incremental vs from-scratch planning latency -------------
+  planner::IncrementalPlanner inc(cfg, windows);
+  std::vector<planner::AdmitId> handles(qs.size(), 0);
+  for (std::size_t i = 0; i < steady; ++i) {
+    auto id = inc.admit(qs[i]);
+    if (!id) {
+      std::printf("FAIL: steady admission rejected: %s\n", id.error().to_string().c_str());
+      return 1;
+    }
+    handles[i] = *id;
+  }
+
+  // Mutation schedule over the churn tail: submit both, withdraw both.
+  struct Mutation {
+    std::size_t query;
+    bool submit;
+  };
+  std::vector<Mutation> schedule;
+  const int rounds = smoke ? 2 : 4;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = steady; i < qs.size(); ++i) schedule.push_back({i, true});
+    for (std::size_t i = steady; i < qs.size(); ++i) schedule.push_back({i, false});
+  }
+
+  planner::Planner scratch(cfg);
+  std::vector<std::size_t> active;  // admission order, indices into qs
+  for (std::size_t i = 0; i < steady; ++i) active.push_back(i);
+
+  double inc_ms = 0.0, scratch_ms = 0.0;
+  std::size_t cost_mismatches = 0;
+  for (const Mutation& m : schedule) {
+    const auto t0 = Clock::now();
+    if (m.submit) {
+      auto id = inc.admit(qs[m.query]);
+      if (!id) {
+        std::printf("FAIL: churn admission rejected: %s\n", id.error().to_string().c_str());
+        return 1;
+      }
+      handles[m.query] = *id;
+      active.push_back(m.query);
+    } else {
+      if (!inc.withdraw(handles[m.query])) {
+        std::printf("FAIL: withdraw of active handle rejected\n");
+        return 1;
+      }
+      active.erase(std::find(active.begin(), active.end(), m.query));
+    }
+    const planner::Plan swapped = inc.snapshot_plan();
+    inc_ms += ms_since(t0);
+
+    std::vector<query::Query> set;
+    for (const std::size_t idx : active) set.push_back(qs[idx]);
+    const auto t1 = Clock::now();
+    const planner::Plan reference = scratch.plan_windows(set, windows);
+    scratch_ms += ms_since(t1);
+    if (swapped.est_total_tuples != reference.est_total_tuples) {
+      ++cost_mismatches;
+      std::printf("COST MISMATCH after %s %s: incremental %llu vs from-scratch %llu\n",
+                  m.submit ? "submit" : "withdraw", qs[m.query].name().c_str(),
+                  static_cast<unsigned long long>(swapped.est_total_tuples),
+                  static_cast<unsigned long long>(reference.est_total_tuples));
+    }
+  }
+  const double ratio = scratch_ms > 0.0 ? inc_ms / scratch_ms : 1.0;
+  const double speedup = inc_ms > 0.0 ? scratch_ms / inc_ms : 0.0;
+  std::printf("planning: %zu mutations, incremental %.1f ms, from-scratch %.1f ms "
+              "(%.1fx, ratio %.3f)\n",
+              schedule.size(), inc_ms, scratch_ms, speedup, ratio);
+  std::printf("solver: %llu certified incremental, %llu joint re-solves (cached estimators)\n\n",
+              static_cast<unsigned long long>(inc.incremental_solves()),
+              static_cast<unsigned long long>(inc.full_solves()));
+
+  // -- phase 2: engine churn, no dropped windows -------------------------
+  std::vector<query::Query> initial(qs.begin(), qs.begin() + steady);
+  auto built = runtime::EngineBuilder().training(trace_pkts).admit(initial).build();
+  if (!built) {
+    std::printf("FAIL: engine build rejected: %s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  auto& engine = **built;
+
+  const auto slices = trace::split_windows(trace_pkts, window);
+  std::size_t staged = 0, swaps = 0, dirty_windows = 0;
+  std::uint64_t packets_seen = 0, lost = 0;
+  bool accounting_ok = true;
+  std::vector<runtime::QueryHandle> churn_handle(qs.size(), 0);
+  bool churn_active[2] = {false, false};
+  for (std::size_t w = 0; w < slices.size(); ++w) {
+    if (w > 0) {
+      // Alternate the two churn queries in and out at every barrier.
+      const std::size_t i = steady + (w % (qs.size() - steady));
+      if (!churn_active[i - steady]) {
+        auto id = engine.submit(qs[i]);
+        if (!id) {
+          std::printf("FAIL: runtime submit rejected: %s\n", id.error().to_string().c_str());
+          return 1;
+        }
+        churn_handle[i] = *id;
+      } else if (!engine.withdraw(churn_handle[i])) {
+        std::printf("FAIL: runtime withdraw rejected\n");
+        return 1;
+      }
+      churn_active[i - steady] = !churn_active[i - steady];
+      ++staged;
+      ++dirty_windows;
+    }
+    const runtime::WindowStats ws = engine.process_window(slices[w]);
+    packets_seen += ws.packets;
+    lost += ws.dropped_packets + ws.shed_packets + ws.late_packets;
+    if (ws.partial) accounting_ok = false;
+    if (ws.plan_swapped) ++swaps;
+  }
+  const bool windows_ok = accounting_ok && lost == 0 && packets_seen == trace_pkts.size() &&
+                          swaps == dirty_windows;
+  std::printf("runtime churn: %zu windows, %zu staged mutations, %zu plan swaps, "
+              "%llu/%zu packets accounted, %llu lost\n",
+              slices.size(), staged, swaps, static_cast<unsigned long long>(packets_seen),
+              trace_pkts.size(), static_cast<unsigned long long>(lost));
+
+  const bool latency_ok = ratio < 0.20;
+  const bool cost_ok = cost_mismatches == 0;
+  const bool pass = latency_ok && cost_ok && windows_ok;
+
+  bench::print_table(
+      {"gate", "status"},
+      {{"incremental < 20% of from-scratch (" + std::to_string(speedup).substr(0, 4) + "x)",
+        latency_ok ? "yes" : "NO"},
+       {"incremental cost == from-scratch cost", cost_ok ? "yes" : "NO"},
+       {"no dropped windows under churn", windows_ok ? "yes" : "NO"}});
+
+  std::ofstream json("BENCH_admission.json");
+  char buf[640];
+  std::snprintf(buf, sizeof buf,
+                "{\n  \"bench\": \"admission_churn\",\n  \"smoke\": %s,\n  \"packets\": %zu,\n"
+                "  \"mutations\": %zu,\n  \"incremental_ms\": %.2f,\n"
+                "  \"from_scratch_ms\": %.2f,\n  \"speedup\": %.2f,\n  \"ratio\": %.4f,\n"
+                "  \"cost_mismatches\": %zu,\n  \"incremental_solves\": %llu,\n"
+                "  \"joint_resolves\": %llu,\n  \"windows\": %zu,\n  \"plan_swaps\": %zu,\n"
+                "  \"lost_packets\": %llu,\n  \"pass\": %s\n}\n",
+                smoke ? "true" : "false", trace_pkts.size(), schedule.size(), inc_ms,
+                scratch_ms, speedup, ratio, cost_mismatches,
+                static_cast<unsigned long long>(inc.incremental_solves()),
+                static_cast<unsigned long long>(inc.full_solves()), slices.size(), swaps,
+                static_cast<unsigned long long>(lost), pass ? "true" : "false");
+  json << buf;
+  std::printf("\nWrote BENCH_admission.json\n");
+
+  if (!pass) {
+    std::printf("FAIL: latency=%d cost=%d windows=%d\n", latency_ok, cost_ok, windows_ok);
+    return 1;
+  }
+  std::printf("PASS: all admission gates hold\n");
+  return 0;
+}

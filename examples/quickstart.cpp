@@ -61,20 +61,30 @@ int main() {
               util::to_seconds(trace.back().ts), util::ipv4_to_string(victim).c_str());
 
   // ------------------------------------------------------------------
-  // 3. Plan: Sonata partitions and refines the query for the switch.
+  // 3. Build the engine. EngineBuilder plans the admitted queries over the
+  //    training traffic (Sonata partitions and refines them for the
+  //    switch) and the engine owns them from then on; .topology(8, 8)
+  //    would run the same plan on a parallel 8-switch fleet. Submissions
+  //    the planner cannot place come back as a structured
+  //    AdmissionDiagnostic instead of an engine.
   // ------------------------------------------------------------------
-  std::vector<query::Query> queries;
-  queries.push_back(q);
-  planner::PlannerConfig cfg;  // default simulated switch: S=16, A=8, B=8 Mb
-  const planner::Plan plan = planner::Planner(cfg).plan(queries, trace);
-  std::printf("%s\n", plan.summary().c_str());
+  auto built = runtime::EngineBuilder()
+                   .training(trace)  // default simulated switch: S=16, A=8, B=8 Mb
+                   .admit(q)
+                   .build();
+  if (!built) {
+    std::printf("admission failed: %s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  auto& engine = *built;
+  std::printf("%s\n", engine->plan().summary().c_str());
 
   // ------------------------------------------------------------------
   // 4. Run the window loop and report detections + stream-processor load.
-  //    make_engine picks the driver from the topology; {.switches = 8,
-  //    .worker_threads = 8} would run the same plan on a parallel fleet.
+  //    (Queries can also arrive and leave mid-run: engine->submit() /
+  //    engine->withdraw() stage control-plane mutations that land at the
+  //    next window barrier.)
   // ------------------------------------------------------------------
-  const auto engine = runtime::make_engine(plan);
   std::uint64_t total_packets = 0;
   std::uint64_t total_tuples = 0;
   for (const auto& ws : engine->run_trace(trace)) {

@@ -192,6 +192,15 @@ void CompiledSwitchQuery::reset_registers() {
   }
 }
 
+void CompiledSwitchQuery::reset_runtime_state() {
+  reset_registers();
+  // Stale dynamic-refinement winners must not filter the next plan's first
+  // window — a freshly compiled pipeline starts with empty entry sets.
+  for (auto& cop : ops_) {
+    if (cop.kind == OpKind::kFilterIn) cop.entries.clear();
+  }
+}
+
 std::vector<CompiledSwitchQuery::StatefulOpStats> CompiledSwitchQuery::stateful_op_stats() const {
   std::vector<StatefulOpStats> out;
   for (const auto& cop : ops_) {
@@ -231,6 +240,14 @@ std::string Switch::install(std::vector<std::unique_ptr<CompiledSwitchQuery>> pi
   return {};
 }
 
+std::vector<std::unique_ptr<CompiledSwitchQuery>> Switch::release_pipelines() {
+  publish_obs();  // flush pending deltas before the baselines go away
+  std::vector<std::unique_ptr<CompiledSwitchQuery>> out = std::move(pipelines_);
+  pipelines_.clear();
+  layout_ = Layout{};
+  return out;
+}
+
 void Switch::init_obs_handles() {
   auto& reg = obs::Registry::global();
   const std::pair<std::string_view, std::string> sw{"sw", obs_label_};
@@ -253,8 +270,22 @@ void Switch::init_obs_handles() {
   obs_.occupancy.clear();
   obs_.occupancy.reserve(pipelines_.size());
   obs_.probe_pub.assign(pipelines_.size() * (CompiledSwitchQuery::kProbeTallyMax + 1), 0);
-  obs_.packets_pub = obs_.dropped_pub = 0;
+  // Baselines snapshot the *current* cumulative counters, not zero: a
+  // pipeline reused across a plan swap (and a Switch reinstalled in place)
+  // keeps counting from where it was, and the registry must only ever see
+  // the delta since this install.
+  obs_.packets_pub = stats_.packets_processed;
+  obs_.dropped_pub = stats_.dropped_packets;
   obs_.stream_pub = obs_.key_report_pub = obs_.overflow_pub = 0;
+  for (std::size_t i = 0; i < pipelines_.size(); ++i) {
+    const auto& p = pipelines_[i];
+    obs_.stream_pub += p->stream_records();
+    obs_.key_report_pub += p->key_report_records();
+    obs_.overflow_pub += p->overflow_records();
+    const auto tally = p->probe_tally();
+    std::uint64_t* pub = &obs_.probe_pub[i * tally.size()];
+    for (std::size_t d = 0; d < tally.size(); ++d) pub[d] = tally[d];
+  }
   for (const auto& p : pipelines_) {
     const auto& o = p->options();
     std::vector<obs::Gauge*> per_op;

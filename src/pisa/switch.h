@@ -131,6 +131,17 @@ class CompiledSwitchQuery {
   // Clear all register state (driver does this between windows).
   void reset_registers();
 
+  // Reset every piece of per-window runtime state — registers and dynamic
+  // filter entries — so a pipeline carried over from a previous plan
+  // (partial recompile on a control-plane swap) behaves exactly like a
+  // freshly compiled one. Cumulative counters are kept; the switch's obs
+  // baselines re-snapshot them at install.
+  void reset_runtime_state();
+
+  // The augmented chain this pipeline was compiled from (identity key for
+  // pipeline reuse across plan swaps).
+  [[nodiscard]] const query::StreamNode& node() const noexcept { return node_; }
+
   // Replace the entry set of a dynamic-refinement filter table. Returns
   // false if this pipeline has no such table.
   bool set_filter_entries(const std::string& table_name,
@@ -223,6 +234,11 @@ class Switch {
   // refuses (returning the layout error) if the programs do not fit.
   [[nodiscard]] std::string install(std::vector<std::unique_ptr<CompiledSwitchQuery>> pipelines,
                                     const std::vector<ProgramResources>& resources);
+
+  // Uninstall and hand back the compiled pipelines (a control-plane swap
+  // recompiles only changed ones and reinstalls the rest). The switch is
+  // left program-less until the next install().
+  [[nodiscard]] std::vector<std::unique_ptr<CompiledSwitchQuery>> release_pipelines();
 
   // The batched hot path: process every pre-materialized source tuple
   // through every installed pipeline, appending mirrored records to the

@@ -1,24 +1,17 @@
 #include "planner/planner.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <deque>
-#include <functional>
 
-#include "pisa/compile.h"
-#include "query/field.h"
+#include "planner/install.h"
 #include "util/log.h"
-#include "util/rng.h"
 #include "util/stats.h"
 
 namespace sonata::planner {
 
 using pisa::ProgramResources;
-using pisa::RegisterSizing;
 using query::Query;
-using query::StreamNode;
-using query::Tuple;
 
 std::string_view to_string(PlanMode mode) noexcept {
   switch (mode) {
@@ -52,57 +45,20 @@ std::vector<TupleWindow> materialize_windows(std::span<const net::Packet> packet
 
 namespace {
 
-std::size_t pow2_at_least(std::size_t n) { return std::bit_ceil(std::max<std::size_t>(n, 1)); }
-
-// Enumerate increasing chains over `levels` (finest = levels.back()), each
-// ending at the finest level, of length <= max_len.
-std::vector<std::vector<int>> enumerate_chains(const std::vector<int>& levels, int max_len) {
-  std::vector<std::vector<int>> chains;
-  const std::size_t coarse = levels.size() - 1;  // all but finest
-  const std::size_t subsets = std::size_t{1} << coarse;
-  for (std::size_t mask = 0; mask < subsets; ++mask) {
-    std::vector<int> chain;
-    for (std::size_t i = 0; i < coarse; ++i) {
-      if (mask & (std::size_t{1} << i)) chain.push_back(levels[i]);
-    }
-    chain.push_back(levels.back());
-    if (static_cast<int>(chain.size()) <= max_len) chains.push_back(std::move(chain));
-  }
-  // Prefer shorter chains at equal cost (less detection delay).
-  std::sort(chains.begin(), chains.end(),
-            [](const auto& a, const auto& b) { return a.size() < b.size(); });
-  return chains;
-}
-
-std::string filter_table_name(query::QueryId qid, int source, int level) {
-  return "q" + std::to_string(qid) + ".s" + std::to_string(source) + ".L" +
-         std::to_string(level) + ".ref";
-}
-
-// Working context for one plan() invocation.
+// Working context for one joint plan: branch-and-bound over per-query
+// refinement chains, with the shared ChainInstaller doing each greedy
+// install (so the incremental planner reuses identical install state).
 class PlanBuilder {
  public:
-  PlanBuilder(const PlannerConfig& cfg, const std::vector<Query>& queries,
-              const std::vector<TupleWindow>& windows, EstimatorPool* pool)
-      : cfg_(cfg), queries_(queries), windows_(windows), pool_(pool) {
-    std::vector<std::uint64_t> sizes;
-    sizes.reserve(windows.size());
-    for (const auto& w : windows) sizes.push_back(w.size());
-    window_packets_ = util::median_u64(sizes);
-    if (!pool_) {
-      for (const auto& q : queries) {
-        owned_.emplace_back(q, windows, cfg.ip_levels, cfg.dns_levels, cfg.relax_margin);
-      }
-    }
-  }
-
-  CostEstimator& estimator(std::size_t qi) { return pool_ ? pool_->at(qi) : owned_.at(qi); }
+  PlanBuilder(const PlannerConfig& cfg, std::span<const Query* const> queries,
+              std::span<ChainInstaller* const> installers, std::uint64_t window_packets)
+      : cfg_(cfg), queries_(queries), installers_(installers), window_packets_(window_packets) {}
 
   Plan run() {
     // Candidate chains per query.
     std::vector<std::vector<std::vector<int>>> candidates(queries_.size());
     for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-      candidates[qi] = chains_for_query(qi);
+      candidates[qi] = installers_[qi]->chains();
     }
 
     // Optimistic (contention-free) cost per candidate, for ordering and
@@ -112,7 +68,7 @@ class PlanBuilder {
     for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
       std::uint64_t best = ~std::uint64_t{0};
       for (const auto& chain : candidates[qi]) {
-        const std::uint64_t c = optimistic_cost(qi, chain);
+        const std::uint64_t c = installers_[qi]->optimistic_cost(chain);
         optimistic[qi].push_back(c);
         best = std::min(best, c);
       }
@@ -154,289 +110,30 @@ class PlanBuilder {
     // result with this fallback, as the ILP would (All-SP mode *is* this
     // plan, so it is unaffected).
     if (cfg_.mode != PlanMode::kAllSP && window_packets_ < best_objective_) {
-      force_all_sp_ = true;
       res.clear();
-      chosen.clear();
+      std::vector<PlannedQuery> fallback;
       std::uint64_t n = 0;
       bool raw = false;
       for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-        Installed inst = install_chain(qi, {estimator(qi).finest_level()}, res, raw);
-        n += inst.n;
-        raw = raw || inst.raw;
-        chosen.push_back(std::move(inst.pq));
+        auto inst = installers_[qi]->install({installers_[qi]->estimator().finest_level()}, res,
+                                            raw, /*force_all_sp=*/true);
+        assert(inst.has_value());
+        n += inst->n;
+        raw = raw || inst->raw;
+        fallback.push_back(std::move(inst->pq));
       }
-      force_all_sp_ = false;
       best_objective_ = n + (raw ? window_packets_ : 0);
-      best_ = std::move(chosen);
+      best_ = std::move(fallback);
       best_resources_ = std::move(res);
       best_raw_ = raw;
       SONATA_INFO("planner", "greedy plan beaten by the all-raw fallback; using All-SP layout");
     }
 
-    return assemble();
+    return assemble_plan(cfg_, std::move(best_), std::move(best_resources_), best_raw_,
+                         window_packets_, best_objective_);
   }
 
  private:
-  std::vector<std::vector<int>> chains_for_query(std::size_t qi) {
-    CostEstimator& est = estimator(qi);
-    if (!est.refinable()) return {{est.finest_level()}};
-    switch (cfg_.mode) {
-      case PlanMode::kAllSP:
-      case PlanMode::kFilterDP:
-      case PlanMode::kMaxDP:
-        return {{est.finest_level()}};
-      case PlanMode::kFixRef:
-        return {est.levels()};
-      case PlanMode::kSonata:
-        return enumerate_chains(est.levels(), cfg_.max_delay_windows);
-    }
-    return {{est.finest_level()}};
-  }
-
-  // The cheapest possible N for a chain assuming maximal partitions fit.
-  std::uint64_t optimistic_cost(std::size_t qi, const std::vector<int>& chain) {
-    CostEstimator& est = estimator(qi);
-    const auto sources = queries_[qi].sources();
-    std::uint64_t total = 0;
-    for (std::size_t s = 0; s < sources.size(); ++s) {
-      const bool stateful_src = has_stateful_op(*sources[s]);
-      int prev = kNoPrevLevel;
-      for (const int level : chain) {
-        // Raw sources (no stateful ops) execute at the finest level only
-        // (winner-query semantics; see make_winner_query).
-        if (!stateful_src && level != chain.back()) {
-          prev = level;
-          continue;
-        }
-        const TransitionCost& cost = est.transition(static_cast<int>(s), prev, level);
-        const std::size_t max_p = max_partition(qi, static_cast<int>(s), prev, level);
-        total += max_p > 0 ? cost.n_after[max_p] : 0;
-        prev = level;
-      }
-    }
-    return total;
-  }
-
-  // Max semantic partition for a transition's refined node (cached).
-  std::size_t max_partition(std::size_t qi, int source, int prev, int level) {
-    const auto key = std::make_tuple(qi, source, prev, level);
-    auto it = max_partition_cache_.find(key);
-    if (it != max_partition_cache_.end()) return it->second;
-    const auto node = refined_node(qi, source, prev, level);
-    const std::size_t p = pisa::max_switch_prefix(*node);
-    max_partition_cache_.emplace(key, p);
-    return p;
-  }
-
-  std::shared_ptr<StreamNode> refined_node(std::size_t qi, int source, int prev, int level) {
-    const auto key = std::make_tuple(qi, source, prev, level);
-    auto it = node_cache_.find(key);
-    if (it != node_cache_.end()) return it->second;
-    CostEstimator& est = estimator(qi);
-    const auto sources = queries_[qi].sources();
-    std::shared_ptr<StreamNode> node;
-    if (est.refinable()) {
-      RefineOptions opts;
-      opts.level = level;
-      opts.prev_level = prev;
-      opts.filter_table_name = filter_table_name(queries_[qi].id(), source, level);
-      opts.relaxed_threshold = est.relaxed_threshold(source, level);
-      node = make_refined_node(*sources.at(static_cast<std::size_t>(source)),
-                               est.keys().at(static_cast<std::size_t>(source)), opts);
-    } else {
-      // Unrefined: share a validated copy of the original source chain.
-      node = std::make_shared<StreamNode>(*sources.at(static_cast<std::size_t>(source)));
-    }
-    node_cache_.emplace(key, node);
-    return node;
-  }
-
-  // Partition choices to try, best (deepest) first, honoring mode limits.
-  std::vector<std::size_t> partition_choices(const StreamNode& node, std::size_t max_p) const {
-    if (force_all_sp_) return {0};
-    switch (cfg_.mode) {
-      case PlanMode::kAllSP:
-        return {0};
-      case PlanMode::kFilterDP: {
-        // Longest prefix of filter/filter_in operators only.
-        std::size_t p = 0;
-        while (p < max_p && (node.ops[p].kind == query::OpKind::kFilter ||
-                             node.ops[p].kind == query::OpKind::kFilterIn)) {
-          ++p;
-        }
-        std::vector<std::size_t> out;
-        for (std::size_t k = p + 1; k-- > 0;) out.push_back(k);
-        return out;
-      }
-      default: {
-        std::vector<std::size_t> out;
-        for (std::size_t k = max_p + 1; k-- > 0;) out.push_back(k);
-        return out;
-      }
-    }
-  }
-
-  // Expected number of keys (out of `k` random keys) that fail to find a
-  // slot in a d-deep chain of n-entry registers — the collision-overflow
-  // model used when a register must be sized below the planner's target
-  // (paper §3.3 "Monitoring traffic dynamics": n and d are chosen to keep
-  // collision rates low; overflow packets are corrected at the SP and
-  // therefore priced into the objective). Monte-Carlo, memoized.
-  std::uint64_t estimate_overflow_keys(std::uint64_t k, std::size_t n, int d) {
-    if (k == 0) return 0;
-    const auto cache_key = std::make_tuple(k / 512, n, d);
-    const auto it = overflow_cache_.find(cache_key);
-    if (it != overflow_cache_.end()) return it->second;
-    const util::HashFamily hashes(static_cast<std::size_t>(d));
-    std::vector<std::vector<bool>> occupied(static_cast<std::size_t>(d),
-                                            std::vector<bool>(n, false));
-    util::Rng rng(0xc0111de + k);
-    std::uint64_t overflowed = 0;
-    for (std::uint64_t i = 0; i < k; ++i) {
-      const std::uint64_t key = rng();
-      bool stored = false;
-      for (std::size_t di = 0; di < occupied.size() && !stored; ++di) {
-        auto slot = occupied[di].begin() + static_cast<std::ptrdiff_t>(hashes.index(di, key, n));
-        // Distinct keys only collide with *other* keys here (random keys
-        // are unique w.h.p.), matching the exact-key-store semantics.
-        if (!*slot) {
-          *slot = true;
-          stored = true;
-        }
-      }
-      overflowed += stored ? 0 : 1;
-    }
-    overflow_cache_.emplace(cache_key, overflowed);
-    return overflowed;
-  }
-
-  // Install one query's chain on top of `res`; returns realized pipelines
-  // or nullopt if even partition-0 fallback fails (cannot happen: empty
-  // resources always fit).
-  struct Installed {
-    PlannedQuery pq;
-    std::uint64_t n = 0;
-    bool raw = false;
-  };
-  Installed install_chain(std::size_t qi, const std::vector<int>& chain,
-                          std::vector<ProgramResources>& res, bool raw_already) {
-    raw_active_ = raw_already;
-    CostEstimator& est = estimator(qi);
-    const Query& q = queries_[qi];
-    const auto sources = q.sources();
-
-    Installed inst;
-    inst.pq.base = &q;
-    inst.pq.refined = est.refinable() && chain.size() > 1;
-    inst.pq.chain = chain;
-    if (est.refinable()) inst.pq.keys = est.keys();
-
-    for (std::size_t s = 0; s < sources.size(); ++s) {
-      const bool stateful_src = has_stateful_op(*sources[s]);
-      int prev = kNoPrevLevel;
-      for (const int level : chain) {
-        if (!stateful_src && level != chain.back()) {
-          prev = level;  // raw sources join in at the finest level only
-          continue;
-        }
-        const auto node = refined_node(qi, static_cast<int>(s), prev, level);
-        const TransitionCost& cost = est.transition(static_cast<int>(s), prev, level);
-        const std::size_t max_p = max_partition(qi, static_cast<int>(s), prev, level);
-
-        PlannedPipeline pipeline;
-        pipeline.qid = q.id();
-        pipeline.source_index = static_cast<int>(s);
-        pipeline.level = level;
-        pipeline.prev_level = prev;
-        pipeline.node = node;
-        if (prev != kNoPrevLevel) {
-          pipeline.filter_table = filter_table_name(q.id(), static_cast<int>(s), level);
-        }
-
-        // Register sizing for every stateful op in the (potential) prefix:
-        // target headroom * training keys, capped by the per-register
-        // memory limit. A capped register overflows some keys; those keys'
-        // packets are priced into the partition cost below.
-        std::map<std::size_t, RegisterSizing> sizing;
-        std::map<std::size_t, std::uint64_t> overflow_extra;  // op -> extra N
-        for (const auto& [op_idx, keys] : cost.stateful_keys) {
-          const int entry_bits =
-              pisa::stateful_key_bits(*node, op_idx) +
-              (node->ops[op_idx].kind == query::OpKind::kDistinct ? 1 : 32);
-          RegisterSizing rs;
-          rs.depth = cfg_.register_depth;
-          const std::size_t want = pow2_at_least(std::max(
-              cfg_.min_register_entries,
-              static_cast<std::size_t>(cfg_.register_headroom * static_cast<double>(keys))));
-          std::size_t cap = 1;
-          while (cap * 2 * static_cast<std::uint64_t>(entry_bits) <=
-                 cfg_.switch_config.max_bits_per_register) {
-            cap *= 2;
-          }
-          rs.entries = std::min(want, cap);
-          sizing[op_idx] = rs;
-          if (rs.entries < want && keys > 0) {
-            const std::uint64_t lost =
-                estimate_overflow_keys(keys, rs.entries, rs.depth);
-            // Every packet of an overflowed key reaches the SP; assume the
-            // average packets-per-key of the operator's input.
-            const std::uint64_t pkts_in =
-                op_idx < cost.n_after.size() ? cost.n_after[op_idx] : 0;
-            overflow_extra[op_idx] = keys == 0 ? 0 : lost * (pkts_in / std::max<std::uint64_t>(keys, 1));
-          }
-        }
-        pipeline.sizing = sizing;
-
-        // Cheapest feasible partition (cost = reported tuples + overflow
-        // penalty of on-switch stateful ops; partition 0 costs the shared
-        // raw mirror once).
-        bool placed = false;
-        std::uint64_t best_cost = ~std::uint64_t{0};
-        std::size_t best_p = 0;
-        std::size_t committed = res.size();  // resources index of the winner
-        for (const std::size_t p : partition_choices(*node, max_p)) {
-          std::uint64_t contribution;
-          if (p == 0) {
-            contribution = (raw_active_ || inst.raw) ? 0 : window_packets_;
-          } else {
-            ProgramResources pr = pisa::build_resources(*node, p, sizing, q.id(),
-                                                        static_cast<int>(s), level);
-            res.push_back(pr);
-            const bool fits = pisa::assign_stages(cfg_.switch_config, res).feasible;
-            res.pop_back();
-            if (!fits) continue;
-            contribution = p < cost.n_after.size() ? cost.n_after[p] : 0;
-            for (const auto& [op_idx, extra] : overflow_extra) {
-              if (op_idx < p) contribution += extra;
-            }
-          }
-          if (contribution < best_cost) {
-            best_cost = contribution;
-            best_p = p;
-            placed = true;
-          }
-        }
-        assert(placed);
-        (void)placed;
-        (void)committed;
-        pipeline.partition = best_p;
-        if (best_p == 0) {
-          pipeline.est_tuples = 0;  // covered by the shared raw mirror
-          inst.raw = true;
-        } else {
-          pipeline.est_tuples = best_cost;
-          inst.n += best_cost;
-          res.push_back(pisa::build_resources(*node, best_p, sizing, q.id(),
-                                              static_cast<int>(s), level));
-        }
-        inst.pq.pipelines.push_back(std::move(pipeline));
-        prev = level;
-      }
-    }
-    inst.pq.est_tuples = inst.n;
-    return inst;
-  }
-
   void dfs(std::size_t qi, const std::vector<std::vector<std::vector<int>>>& candidates,
            const std::vector<std::uint64_t>& suffix_min, std::vector<ProgramResources>& res,
            std::vector<PlannedQuery>& chosen, std::uint64_t n, bool raw) {
@@ -453,91 +150,20 @@ class PlanBuilder {
     }
     for (const auto& chain : candidates[qi]) {
       const std::size_t res_mark = res.size();
-      Installed inst = install_chain(qi, chain, res, raw);
-      chosen.push_back(std::move(inst.pq));
-      dfs(qi + 1, candidates, suffix_min, res, chosen, n + inst.n, raw || inst.raw);
+      auto inst = installers_[qi]->install(chain, res, raw, /*force_all_sp=*/false);
+      assert(inst.has_value());  // unlimited installs always place (partition 0 fits)
+      chosen.push_back(std::move(inst->pq));
+      dfs(qi + 1, candidates, suffix_min, res, chosen, n + inst->n, raw || inst->raw);
       chosen.pop_back();
       res.resize(res_mark);
       if (nodes_ > cfg_.search_node_cap && !best_.empty()) return;
     }
   }
 
-  Plan assemble() {
-    Plan plan;
-    plan.switch_config = cfg_.switch_config;
-    plan.mode = cfg_.mode;
-    plan.window = cfg_.window;
-    plan.queries = std::move(best_);
-    plan.resources = std::move(best_resources_);
-    plan.raw_mirror = best_raw_;
-    plan.est_window_packets = window_packets_;
-    plan.est_total_tuples = best_objective_;
-    plan.layout = pisa::assign_stages(cfg_.switch_config, plan.resources);
-
-    // Executable per-level queries. Coarse levels get the winner query
-    // (stateful sub-queries only, no post-join operators); the finest level
-    // gets the full tree. Both substitute the chosen pipelines' augmented
-    // nodes so SP execution matches the switch programs exactly.
-    for (std::size_t qi = 0; qi < plan.queries.size(); ++qi) {
-      auto& pq = plan.queries[qi];
-      const auto base_sources = pq.base->sources();
-      for (const int level : pq.chain) {
-        const bool finest = level == pq.chain.back();
-        std::vector<std::shared_ptr<StreamNode>> per_source(base_sources.size());
-        for (const auto& p : pq.pipelines) {
-          if (p.level == level) {
-            per_source.at(static_cast<std::size_t>(p.source_index)) = p.node;
-          }
-        }
-        std::vector<int> remap(base_sources.size(), -1);
-        if (finest) {
-          int counter = 0;
-          std::function<query::StreamNodePtr(const StreamNode&)> clone =
-              [&](const StreamNode& node) -> query::StreamNodePtr {
-            if (node.kind == StreamNode::Kind::kSource) {
-              return per_source.at(static_cast<std::size_t>(counter++));
-            }
-            auto out = std::make_shared<StreamNode>();
-            out->kind = StreamNode::Kind::kJoin;
-            out->join_keys = node.join_keys;
-            out->left = clone(*node.left);
-            out->right = clone(*node.right);
-            out->ops = node.ops;
-            return out;
-          };
-          Query exec(pq.base->name() + "@L" + std::to_string(level), pq.base->id(),
-                     pq.base->window(), clone(*pq.base->root()));
-          const std::string err = exec.validate();
-          assert(err.empty());
-          (void)err;
-          pq.exec_queries.emplace(level, std::move(exec));
-          for (std::size_t s = 0; s < remap.size(); ++s) remap[s] = static_cast<int>(s);
-        } else {
-          // Winner query: per_source is null exactly for raw sources.
-          pq.exec_queries.emplace(level, make_winner_query(*pq.base, level, per_source));
-          int next = 0;
-          for (std::size_t s = 0; s < remap.size(); ++s) {
-            remap[s] = per_source[s] ? next++ : -1;
-          }
-        }
-        pq.source_remap.emplace(level, std::move(remap));
-      }
-    }
-    return plan;
-  }
-
   const PlannerConfig& cfg_;
-  const std::vector<Query>& queries_;
-  const std::vector<TupleWindow>& windows_;
-  EstimatorPool* pool_ = nullptr;
-  std::deque<CostEstimator> owned_;
+  std::span<const Query* const> queries_;
+  std::span<ChainInstaller* const> installers_;
   std::uint64_t window_packets_ = 0;
-
-  std::map<std::tuple<std::size_t, int, int, int>, std::shared_ptr<StreamNode>> node_cache_;
-  std::map<std::tuple<std::size_t, int, int, int>, std::size_t> max_partition_cache_;
-  std::map<std::tuple<std::uint64_t, std::size_t, int>, std::uint64_t> overflow_cache_;
-  bool raw_active_ = false;
-  bool force_all_sp_ = false;
 
   std::uint64_t best_objective_ = ~std::uint64_t{0};
   std::vector<PlannedQuery> best_;
@@ -549,8 +175,8 @@ class PlanBuilder {
 }  // namespace
 
 std::string Plan::summary() const {
-  std::string out = "plan[" + std::string(to_string(mode)) + "] est_tuples/window=" +
-                    std::to_string(est_total_tuples) +
+  std::string out = "plan[" + std::string(to_string(mode)) + "] v" + std::to_string(version) +
+                    " est_tuples/window=" + std::to_string(est_total_tuples) +
                     (raw_mirror ? " (+raw mirror)" : "") + "\n";
   for (const auto& pq : queries) {
     out += "  " + pq.base->name() + ": chain=[";
@@ -567,6 +193,20 @@ std::string Plan::summary() const {
     }
   }
   return out;
+}
+
+std::uint64_t median_window_packets(const std::vector<TupleWindow>& windows) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(windows.size());
+  for (const auto& w : windows) sizes.push_back(w.size());
+  return util::median_u64(sizes);
+}
+
+Plan plan_joint(const PlannerConfig& cfg, std::span<const query::Query* const> queries,
+                std::span<ChainInstaller* const> installers, std::uint64_t window_packets) {
+  assert(queries.size() == installers.size());
+  PlanBuilder builder(cfg, queries, installers, window_packets);
+  return builder.run();
 }
 
 Plan Planner::plan(const std::vector<Query>& queries, std::span<const net::Packet> training) {
@@ -587,8 +227,20 @@ Plan Planner::plan_windows(const std::vector<Query>& queries,
                            const std::vector<TupleWindow>& windows, EstimatorPool* pool) {
   SONATA_INFO("planner", "planning %zu queries over %zu training windows (mode=%s)",
               queries.size(), windows.size(), std::string(to_string(cfg_.mode)).c_str());
-  PlanBuilder builder(cfg_, queries, windows, pool);
-  Plan plan = builder.run();
+  const std::uint64_t window_packets = median_window_packets(windows);
+  std::deque<ChainInstaller> owned;
+  std::vector<ChainInstaller*> installers;
+  std::vector<const Query*> qptrs;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    if (pool) {
+      owned.emplace_back(cfg_, queries[qi], &pool->at(qi), window_packets);
+    } else {
+      owned.emplace_back(cfg_, queries[qi], windows, window_packets);
+    }
+    installers.push_back(&owned.back());
+    qptrs.push_back(&queries[qi]);
+  }
+  Plan plan = plan_joint(cfg_, qptrs, installers, window_packets);
   SONATA_INFO("planner", "%s", plan.summary().c_str());
   return plan;
 }

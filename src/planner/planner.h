@@ -100,6 +100,10 @@ struct Plan {
   bool raw_mirror = false;          // some pipeline keeps partition 0
   std::uint64_t est_window_packets = 0;
   std::uint64_t est_total_tuples = 0;  // objective value (per window)
+  // Control-plane version: bumped by every admission/withdrawal swap (the
+  // plan is a versioned object swapped at window barriers; see DESIGN.md
+  // "Query control plane"). 0 = a statically built plan.
+  std::uint64_t version = 0;
 
   [[nodiscard]] std::string summary() const;
 };
@@ -147,5 +151,20 @@ class Planner {
 // planner and benchmarks).
 [[nodiscard]] std::vector<TupleWindow> materialize_windows(std::span<const net::Packet> packets,
                                                            util::Nanos window);
+
+// Median packets per training window: the raw-mirror charge and the
+// objective's normalization constant, shared by every planning entry point.
+[[nodiscard]] std::uint64_t median_window_packets(const std::vector<TupleWindow>& windows);
+
+// Joint branch-and-bound over caller-supplied install state (install.h).
+// `installers[i]` must wrap `queries[i]`; both spans must outlive the call.
+// This is the seam the incremental planner's full re-solve goes through, so
+// a cached-estimator re-solve is bitwise identical to a cold plan_windows()
+// over the same query order.
+class ChainInstaller;
+[[nodiscard]] Plan plan_joint(const PlannerConfig& cfg,
+                              std::span<const query::Query* const> queries,
+                              std::span<ChainInstaller* const> installers,
+                              std::uint64_t window_packets);
 
 }  // namespace sonata::planner

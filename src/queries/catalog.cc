@@ -28,6 +28,10 @@ constexpr std::uint64_t kFin = net::tcp_flags::kFin;
 
 query::ExprPtr fcol(std::string_view name) { return col(std::string(name)); }
 
+// The catalog is compiled-in, not user input: a validation failure here is
+// a bug in this file, not a runtime condition, so it stays an assert rather
+// than an Expected. User-facing paths (DSL parser, control-plane submit)
+// return structured errors for the same check.
 Query finish(Query q) {
   const std::string err = q.validate();
   assert(err.empty() && "catalog query failed validation");

@@ -197,11 +197,35 @@ class Parser {
   ParseResult parse_file() {
     ParseResult result;
     while (lex_.peek().kind != Tok::kEnd && errors_.empty()) {
-      if (auto q = parse_query()) result.queries.push_back(std::move(*q));
+      if (lex_.peek().kind == Tok::kIdent && lex_.peek().text == "tenant") {
+        if (auto t = parse_tenant_decl()) result.tenants.push_back(std::move(*t));
+        continue;
+      }
+      std::string tenant;
+      if (auto q = parse_query(&tenant)) {
+        result.queries.push_back(std::move(*q));
+        result.query_tenants.push_back(std::move(tenant));
+      }
+    }
+    // Per-query tenant tags must resolve to a declaration.
+    for (std::size_t i = 0; i < result.query_tenants.size(); ++i) {
+      const std::string& t = result.query_tenants[i];
+      if (t.empty()) continue;
+      bool known = false;
+      for (const auto& d : result.tenants) known = known || d.name == t;
+      if (!known) {
+        errors_.push_back({"query '" + result.queries[i].name() + "' references undeclared tenant '" +
+                               t + "'",
+                           0, 0});
+      }
     }
     result.errors = std::move(errors_);
     for (const auto& e : lex_.errors()) result.errors.push_back(e);
-    if (!result.errors.empty()) result.queries.clear();
+    if (!result.errors.empty()) {
+      result.queries.clear();
+      result.query_tenants.clear();
+      result.tenants.clear();
+    }
     return result;
   }
 
@@ -243,8 +267,49 @@ class Parser {
     return lex_.take().text;
   }
 
-  // query NAME id N [window Ns] [refinable true|false] { STREAM }
-  std::optional<Query> parse_query() {
+  // tenant NAME budget [stages=N] [bits=M]
+  std::optional<TenantDecl> parse_tenant_decl() {
+    TenantDecl decl;
+    decl.line = lex_.peek().line;
+    lex_.take();  // 'tenant'
+    if (lex_.peek().kind == Tok::kString) {
+      decl.name = lex_.take().text;
+    } else {
+      const auto name = expect_ident("tenant name");
+      if (!name) return std::nullopt;
+      decl.name = *name;
+    }
+    if (decl.name.empty()) {
+      error("tenant name must be non-empty");
+      return std::nullopt;
+    }
+    const auto kw = expect_ident("'budget'");
+    if (!kw || *kw != "budget") {
+      error("expected 'budget'");
+      return std::nullopt;
+    }
+    bool any = false;
+    while (lex_.peek().kind == Tok::kIdent &&
+           (lex_.peek().text == "stages" || lex_.peek().text == "bits")) {
+      const std::string dim = lex_.take().text;
+      if (!expect(Tok::kAssign, "'='")) return std::nullopt;
+      if (lex_.peek().kind != Tok::kNumber) {
+        error("expected a number for budget '" + dim + "'");
+        return std::nullopt;
+      }
+      const std::uint64_t v = lex_.take().number;
+      (dim == "stages" ? decl.stage_tables : decl.register_bits) = v;
+      any = true;
+    }
+    if (!any) {
+      error("tenant budget needs at least one of stages=N, bits=M");
+      return std::nullopt;
+    }
+    return decl;
+  }
+
+  // query NAME id N [window Ns] [refinable true|false] [tenant NAME] { STREAM }
+  std::optional<Query> parse_query(std::string* tenant) {
     const auto kw = expect_ident("'query'");
     if (!kw || *kw != "query") {
       error("expected 'query'");
@@ -284,6 +349,15 @@ class Parser {
           return std::nullopt;
         }
         refinable = *v == "true";
+      } else if (attr == "tenant") {
+        lex_.take();
+        if (lex_.peek().kind == Tok::kString) {
+          *tenant = lex_.take().text;
+        } else {
+          const auto v = expect_ident("tenant name");
+          if (!v) return std::nullopt;
+          *tenant = *v;
+        }
       } else {
         break;
       }

@@ -19,9 +19,19 @@
 // (integers, 'strings'), dotted field names, and the built-ins
 // contains(col, 'word'), prefix(col, bits), labels(col, n).
 // `refinable false` opts a query out of dynamic refinement.
+//
+// Multi-tenant files declare switch budgets at top level and tag queries:
+//
+//   tenant ops budget stages=8 bits=1048576
+//   query suspicious_dns id 7 window 3s tenant ops { ... }
+//
+// `stages` caps the tenant's switch stage tables, `bits` its register
+// bits; either may be omitted (= unlimited). Untagged queries belong to
+// the unlimited default tenant.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,8 +50,24 @@ struct ParseError {
   }
 };
 
+// Top-level `tenant` declaration: a named switch-resource budget. The
+// query layer has no planner dependency, so budgets are plain numbers
+// here; kNoTenantLimit marks an omitted (unlimited) dimension. Callers
+// map these onto planner::TenantBudget.
+inline constexpr std::uint64_t kNoTenantLimit = std::numeric_limits<std::uint64_t>::max();
+
+struct TenantDecl {
+  std::string name;
+  std::uint64_t stage_tables = kNoTenantLimit;
+  std::uint64_t register_bits = kNoTenantLimit;
+  int line = 0;
+};
+
 struct ParseResult {
   std::vector<Query> queries;  // validated
+  // queries[i] belongs to tenant query_tenants[i] ("" = default tenant).
+  std::vector<std::string> query_tenants;
+  std::vector<TenantDecl> tenants;
   std::vector<ParseError> errors;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }

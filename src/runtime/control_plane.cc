@@ -1,0 +1,105 @@
+#include "runtime/control_plane.h"
+
+#include <utility>
+
+namespace sonata::runtime {
+
+using planner::AdmissionDiagnostic;
+
+ControlPlane::ControlPlane(planner::PlannerConfig cfg,
+                           std::vector<planner::TupleWindow> training)
+    : planner_(std::move(cfg), std::move(training)) {
+  auto& reg = obs::Registry::global();
+  accepted_ctr_ = &reg.counter("sonata_admission_accepted_total");
+  rejected_ctr_ = &reg.counter("sonata_admission_rejected_total");
+  withdrawn_ctr_ = &reg.counter("sonata_admission_withdrawn_total");
+}
+
+void ControlPlane::define_tenant(std::string_view name, planner::TenantBudget budget) {
+  planner_.define_tenant(name, budget);
+  publish_tenant_gauges(name);
+}
+
+void ControlPlane::publish_tenant_gauges(std::string_view tenant) {
+  if (!obs::enabled()) return;
+  const planner::TenantUsage usage = planner_.tenant_usage(tenant);
+  const std::pair<std::string_view, std::string> labels[] = {
+      {"tenant", std::string(tenant.empty() ? std::string_view{"default"} : tenant)}};
+  auto& reg = obs::Registry::global();
+  reg.gauge(obs::labeled("sonata_tenant_stage_tables", labels))
+      .set(static_cast<std::int64_t>(usage.stage_tables));
+  reg.gauge(obs::labeled("sonata_tenant_register_bits", labels))
+      .set(static_cast<std::int64_t>(usage.register_bits));
+  reg.gauge(obs::labeled("sonata_tenant_queries", labels))
+      .set(static_cast<std::int64_t>(usage.queries));
+}
+
+util::Expected<planner::AdmitId, AdmissionDiagnostic> ControlPlane::submit(
+    query::Query q, std::string_view tenant) {
+  if (q.root() == nullptr) {
+    AdmissionDiagnostic d;
+    d.code = AdmissionDiagnostic::Code::kValidation;
+    d.tenant = std::string(tenant);
+    d.message = "query \"" + q.name() + "\" has no operator tree";
+    rejected_ctr_->add(1);
+    return d;
+  }
+  // Idempotent for already-validated queries; a DSL front-end hands us
+  // validated ones, but programmatic callers may not have bothered.
+  if (const std::string err = q.validate(); !err.empty()) {
+    AdmissionDiagnostic d;
+    d.code = AdmissionDiagnostic::Code::kValidation;
+    d.tenant = std::string(tenant);
+    d.message = "query \"" + q.name() + "\": " + err;
+    rejected_ctr_->add(1);
+    return d;
+  }
+  storage_.push_back(std::move(q));
+  const auto it = std::prev(storage_.end());
+  auto admitted = planner_.admit(*it, tenant);
+  if (!admitted) {
+    storage_.erase(it);
+    rejected_ctr_->add(1);
+    return admitted.error();
+  }
+  owned_.emplace(*admitted, it);
+  dirty_ = true;
+  accepted_ctr_->add(1);
+  publish_tenant_gauges(tenant);
+  return *admitted;
+}
+
+util::Expected<util::Ok, AdmissionDiagnostic> ControlPlane::withdraw(planner::AdmitId id) {
+  const auto it = owned_.find(id);
+  if (it == owned_.end()) {
+    AdmissionDiagnostic d;
+    d.code = AdmissionDiagnostic::Code::kUnknownHandle;
+    d.message = "handle " + std::to_string(id) + " is not an active query";
+    return d;
+  }
+  const std::string tenant{planner_.tenant_of(id)};
+  auto result = planner_.withdraw(id);
+  if (!result) return result.error();
+  // The outgoing plan's pipelines still reference this query's stream
+  // nodes; park it until the engine has swapped the plan out.
+  retired_.splice(retired_.end(), storage_, it->second);
+  owned_.erase(it);
+  dirty_ = true;
+  withdrawn_ctr_->add(1);
+  publish_tenant_gauges(tenant);
+  return util::Ok{};
+}
+
+std::optional<planner::AdmitId> ControlPlane::find(std::string_view name) const {
+  for (const auto& [id, it] : owned_) {
+    if (it->name() == name) return id;
+  }
+  return std::nullopt;
+}
+
+planner::Plan ControlPlane::take_snapshot() {
+  dirty_ = false;
+  return planner_.snapshot_plan();
+}
+
+}  // namespace sonata::runtime

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/tracing.h"
+#include "runtime/control_plane.h"
 #include "runtime/fleet.h"
 #include "runtime/runtime.h"
 #include "util/log.h"
@@ -37,7 +39,48 @@ void publish_window_obs(const WindowStats& w) {
   phase_nanos[static_cast<int>(obs::Phase::kClose)]->add(w.phases.close_nanos);
 }
 
+planner::AdmissionDiagnostic no_control_plane() {
+  planner::AdmissionDiagnostic d;
+  d.code = planner::AdmissionDiagnostic::Code::kNoControlPlane;
+  d.message =
+      "engine was built without a control plane (make_engine); use EngineBuilder for dynamic "
+      "query admission";
+  return d;
+}
+
 }  // namespace
+
+TelemetryEngine::TelemetryEngine() = default;
+TelemetryEngine::~TelemetryEngine() = default;
+
+WindowStats TelemetryEngine::close_window() {
+  WindowStats w = do_close_window();
+  w.plan_version = plan().version;
+  if (control_ != nullptr && control_->dirty()) {
+    // Apply pending submissions/withdrawals at the barrier: the plan is a
+    // versioned object, and the swap lands between windows so window N is
+    // entirely version V and window N+1 entirely V+1.
+    planner::Plan next = control_->take_snapshot();
+    SONATA_INFO("engine", "control-plane swap after window %llu: %zu queries, plan v%llu",
+                static_cast<unsigned long long>(w.window_index), next.queries.size(),
+                static_cast<unsigned long long>(next.version));
+    apply_plan(std::move(next));
+    control_->free_retired();
+    w.plan_swapped = true;
+  }
+  return w;
+}
+
+util::Expected<QueryHandle, planner::AdmissionDiagnostic> TelemetryEngine::submit(
+    query::Query q, std::string_view tenant) {
+  if (control_ == nullptr) return no_control_plane();
+  return control_->submit(std::move(q), tenant);
+}
+
+util::Expected<util::Ok, planner::AdmissionDiagnostic> TelemetryEngine::withdraw(QueryHandle h) {
+  if (control_ == nullptr) return no_control_plane();
+  return control_->withdraw(h);
+}
 
 WindowStats TelemetryEngine::process_window(std::span<const net::Packet> packets) {
   const bool tracing = obs::TraceRecorder::global().enabled();
@@ -85,6 +128,89 @@ std::vector<WindowStats> TelemetryEngine::run_trace(std::span<const net::Packet>
     begin = end;
   }
   return out;
+}
+
+// -- EngineBuilder ------------------------------------------------------
+
+EngineBuilder::EngineBuilder() = default;
+EngineBuilder::~EngineBuilder() = default;
+EngineBuilder::EngineBuilder(EngineBuilder&&) noexcept = default;
+EngineBuilder& EngineBuilder::operator=(EngineBuilder&&) noexcept = default;
+
+EngineBuilder& EngineBuilder::topology(std::size_t switches, std::size_t worker_threads) {
+  switches_ = std::max<std::size_t>(switches, 1);
+  worker_threads_ = worker_threads;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::batch(std::size_t batch_size) {
+  batch_size_ = std::max<std::size_t>(batch_size, 1);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::faults(fault::FaultSpec spec) {
+  faults_ = spec;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::planner(planner::PlannerConfig cfg) {
+  planner_ = std::move(cfg);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::training(std::span<const net::Packet> packets) {
+  windows_ = planner::materialize_windows(packets, planner_.window);
+  have_training_ = true;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::training_windows(std::vector<planner::TupleWindow> windows) {
+  windows_ = std::move(windows);
+  have_training_ = true;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::tenant(std::string_view name, planner::TenantBudget budget) {
+  tenants_.emplace_back(std::string(name), budget);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::admit(query::Query q, std::string_view tenant) {
+  pending_.push_back({std::move(q), std::string(tenant)});
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::admit(std::vector<query::Query> queries, std::string_view tenant) {
+  for (auto& q : queries) pending_.push_back({std::move(q), std::string(tenant)});
+  return *this;
+}
+
+util::Expected<std::unique_ptr<TelemetryEngine>, planner::AdmissionDiagnostic>
+EngineBuilder::build() {
+  if (!have_training_) {
+    planner::AdmissionDiagnostic d;
+    d.code = planner::AdmissionDiagnostic::Code::kValidation;
+    d.message = "no training traffic: call training() or training_windows() before build()";
+    return d;
+  }
+  auto control = std::make_unique<ControlPlane>(planner_, std::move(windows_));
+  have_training_ = false;
+  for (const auto& [name, budget] : tenants_) control->define_tenant(name, budget);
+  for (auto& p : pending_) {
+    auto admitted = control->submit(std::move(p.q), p.tenant);
+    if (!admitted) return admitted.error();
+  }
+  pending_.clear();
+  planner::Plan plan = control->take_snapshot();
+  std::unique_ptr<TelemetryEngine> engine;
+  if (switches_ <= 1 && worker_threads_ == 0) {
+    engine = std::make_unique<Runtime>(std::move(plan), batch_size_, faults_);
+  } else {
+    engine = std::make_unique<Fleet>(std::move(plan), switches_, worker_threads_, batch_size_,
+                                     faults_);
+  }
+  engine->control_ = std::move(control);
+  return engine;
 }
 
 std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan, const EngineOptions& opts) {

@@ -4,34 +4,71 @@
 // `Fleet` — is a TelemetryEngine: packets go in via ingest(), windows close
 // via close_window(), and run_trace() provides the shared trace-replay
 // window loop. Tools, examples, benchmarks and tests program against this
-// interface; `make_engine` picks the driver from topology options so
-// callers never hard-code one.
+// interface.
+//
+// Engines are built with EngineBuilder, which owns the whole setup story:
+// topology, batching, fault injection, training traffic, tenants, and the
+// initially admitted queries. The builder hands the admitted queries to
+// the engine's ControlPlane, so query lifetime is the engine's problem —
+// callers no longer keep a "base query" vector alive on the side.
+//
+// Admitted queries are dynamic: submit() and withdraw() stage control-plane
+// mutations that take effect at the next window boundary (close_window
+// swaps in a freshly versioned plan there — never mid-window, so every
+// window is bit-exact under exactly one plan version). Admission can fail:
+// per-tenant switch budgets make rejection real, and the structured
+// AdmissionDiagnostic says which constraint bound and what budget would
+// have admitted the query.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fault/fault.h"
 #include "net/packet.h"
+#include "planner/incremental.h"
 #include "planner/planner.h"
 #include "runtime/stream_processor.h"
+#include "util/expected.h"
 
 namespace sonata::runtime {
 
+class ControlPlane;
+
+// Handle for a dynamically admitted query (engine-scoped).
+using QueryHandle = planner::AdmitId;
+
 class TelemetryEngine {
  public:
-  virtual ~TelemetryEngine() = default;
+  TelemetryEngine();  // out-of-line: ControlPlane is incomplete here
+  virtual ~TelemetryEngine();
 
   // Ingest one packet into the current window (routing to a data plane is
   // driver-specific).
   virtual void ingest(const net::Packet& packet) = 0;
 
   // Close the current window: poll registers, merge at the stream
-  // processor, refine, reset. Returns the window's aggregated stats.
-  virtual WindowStats close_window() = 0;
+  // processor, refine, reset — then apply any pending control-plane
+  // submissions/withdrawals by swapping in a new plan version (the window
+  // barrier is the only point a plan changes). Returns the window's
+  // aggregated stats; stats.plan_version is the version that processed the
+  // window, stats.plan_swapped reports a swap happened after it.
+  WindowStats close_window();
+
+  // -- dynamic query control plane --------------------------------------
+  // Stage a query submission/withdrawal; it takes effect at the next
+  // close_window(). Engines built without a control plane (the deprecated
+  // make_engine path) reject with kNoControlPlane.
+  [[nodiscard]] util::Expected<QueryHandle, planner::AdmissionDiagnostic> submit(
+      query::Query q, std::string_view tenant = {});
+  [[nodiscard]] util::Expected<util::Ok, planner::AdmissionDiagnostic> withdraw(QueryHandle h);
+  [[nodiscard]] ControlPlane* control_plane() noexcept { return control_.get(); }
+  [[nodiscard]] const ControlPlane* control_plane() const noexcept { return control_.get(); }
 
   // -- stats accessors --------------------------------------------------
   [[nodiscard]] virtual const planner::Plan& plan() const noexcept = 0;
@@ -45,27 +82,92 @@ class TelemetryEngine {
   // Replay a whole trace, splitting it into windows by the plan's window
   // size. Returns per-window stats.
   std::vector<WindowStats> run_trace(std::span<const net::Packet> trace);
+
+ protected:
+  // Driver-specific window close (the old close_window bodies).
+  virtual WindowStats do_close_window() = 0;
+  // Swap `plan` in at a window barrier: rebuild the switch program(s) —
+  // reusing unchanged compiled pipelines — and the stream executors.
+  virtual void apply_plan(planner::Plan plan) = 0;
+
+ private:
+  friend class EngineBuilder;
+  std::unique_ptr<ControlPlane> control_;
 };
 
-// Topology options for make_engine.
+// Builds a TelemetryEngine: single-switch Runtime for {switches == 1,
+// worker_threads == 0}, a (possibly parallel) Fleet otherwise.
+//
+//   auto engine = runtime::EngineBuilder()
+//                     .topology(4, 2)
+//                     .faults(spec)
+//                     .training(trace)
+//                     .tenant("ops", {.stage_tables = 8, .register_bits = 1 << 20})
+//                     .admit(queries::full_catalog(th, w))
+//                     .admit(extra_query, "ops")
+//                     .build();
+//
+// build() plans the admitted set over the training traffic and returns the
+// engine, or the AdmissionDiagnostic of the first rejected query. The
+// engine owns the admitted queries (storage lives in its ControlPlane).
+class EngineBuilder {
+ public:
+  EngineBuilder();
+  ~EngineBuilder();
+  EngineBuilder(EngineBuilder&&) noexcept;
+  EngineBuilder& operator=(EngineBuilder&&) noexcept;
+
+  EngineBuilder& topology(std::size_t switches, std::size_t worker_threads = 0);
+  // Data-path handoff granularity (DESIGN.md "Data-path memory model");
+  // bit-identical output for every value, 1 = legacy per-packet path.
+  EngineBuilder& batch(std::size_t batch_size);
+  // Deterministic fault injection (DESIGN.md "Fault model & degradation").
+  EngineBuilder& faults(fault::FaultSpec spec);
+  EngineBuilder& planner(planner::PlannerConfig cfg);
+  // Training traffic for the planner's cost estimators (required).
+  EngineBuilder& training(std::span<const net::Packet> packets);
+  EngineBuilder& training_windows(std::vector<planner::TupleWindow> windows);
+  // Define a tenant budget (may be referenced by later admit calls).
+  EngineBuilder& tenant(std::string_view name, planner::TenantBudget budget);
+  // Queries to admit at build time ("" = the unlimited default tenant).
+  EngineBuilder& admit(query::Query q, std::string_view tenant = {});
+  EngineBuilder& admit(std::vector<query::Query> queries, std::string_view tenant = {});
+
+  // Plan, build the driver, attach the control plane. Fails with the first
+  // rejected submission's diagnostic (or kValidation when no training
+  // traffic was provided).
+  [[nodiscard]] util::Expected<std::unique_ptr<TelemetryEngine>, planner::AdmissionDiagnostic>
+  build();
+
+ private:
+  struct Pending {
+    query::Query q;
+    std::string tenant;
+  };
+  std::size_t switches_ = 1;
+  std::size_t worker_threads_ = 0;
+  std::size_t batch_size_ = 256;
+  fault::FaultSpec faults_;
+  planner::PlannerConfig planner_;
+  std::vector<planner::TupleWindow> windows_;
+  bool have_training_ = false;
+  std::vector<std::pair<std::string, planner::TenantBudget>> tenants_;
+  std::vector<Pending> pending_;
+};
+
+// Topology options for make_engine (deprecated — see EngineBuilder).
 struct EngineOptions {
   std::size_t switches = 1;        // ingress switches sharing the plan
   std::size_t worker_threads = 0;  // fleet workers; 0 = run in the caller
-  // Data-path handoff granularity (DESIGN.md "Data-path memory model"):
-  // packets move parser -> pipelines -> stream processor in runs of this
-  // size. Output is bit-identical for every value; 1 is the legacy
-  // per-packet path, kept as the equivalence baseline.
-  std::size_t batch_size = 256;
-  // Deterministic fault injection (DESIGN.md "Fault model & degradation");
-  // default = none, and every hook is a null check when disabled. Worker
-  // stalls and the watchdog need a Fleet (switches > 1 or worker_threads
-  // > 0); wire and register faults apply to every driver.
-  fault::FaultSpec faults;
+  std::size_t batch_size = 256;    // data-path handoff granularity
+  fault::FaultSpec faults;         // deterministic fault injection
 };
 
-// Build the right driver for a topology: a single-switch Runtime for
-// {switches == 1, worker_threads == 0}, a (possibly parallel) Fleet
-// otherwise. The plan's base queries must outlive the engine.
+// Deprecated shim, kept for one release: builds the right driver for a
+// pre-planned Plan with NO control plane (submit/withdraw reject with
+// kNoControlPlane), and the plan's base queries must outlive the engine —
+// the exact footgun EngineBuilder exists to remove. New code should use
+// EngineBuilder.
 [[nodiscard]] std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan,
                                                            const EngineOptions& opts = {});
 

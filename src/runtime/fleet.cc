@@ -7,22 +7,23 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/plan_install.h"
 #include "util/hash.h"
 
 namespace sonata::runtime {
 
-using planner::PlannedPipeline;
-using planner::PlannedQuery;
 using query::Tuple;
 
 Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads,
              std::size_t batch_size, fault::FaultSpec faults)
-    : plan_(std::move(plan)), sp_(plan_), batch_size_(std::max<std::size_t>(batch_size, 1)) {
+    : plan_(std::move(plan)),
+      sp_(std::make_unique<StreamProcessor>(plan_)),
+      batch_size_(std::max<std::size_t>(batch_size, 1)) {
   assert(switch_count >= 1);
   // A stall without a watchdog would spin the window barrier forever
   // (parse_fault_spec rejects this; assert for programmatic specs).
   assert(faults.stall_windows == 0 || faults.watchdog_ms > 0);
-  raw_mirror_ = sp_.wants_raw_mirror();
+  raw_mirror_ = sp_->wants_raw_mirror();
   if (faults.any()) injector_ = std::make_unique<fault::Injector>(faults);
   if (injector_ && faults.wire_active()) wire_ = std::make_unique<WireChannel>(*injector_);
   quarantined_.assign(switch_count, 0);
@@ -45,32 +46,14 @@ Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_th
       shard->ring_depth =
           &reg.histogram(obs::labeled("sonata_fleet_ring_depth", labels), kRingBounds);
     }
-    std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> pipelines;
-    std::vector<pisa::ProgramResources> resources;
-    for (const PlannedQuery& pq : plan_.queries) {
-      for (const PlannedPipeline& p : pq.pipelines) {
-        if (p.partition == 0) continue;
-        pisa::CompiledSwitchQuery::Options opts;
-        opts.qid = p.qid;
-        opts.source_index = p.source_index;
-        opts.level = p.level;
-        opts.partition = p.partition;
-        opts.sizing = p.sizing;
-        // Register pressure (fault injection): install with registers sized
-        // for traffic that has since drifted (shrunken n) and/or an
-        // adversarial hash seed, forcing collision-overflow storms.
-        if (faults.register_shrink > 1) {
-          for (auto& [op, rs] : opts.sizing) {
-            rs.entries = std::max<std::size_t>(8, rs.entries / faults.register_shrink);
-          }
-        }
-        opts.hash_seed = faults.hash_seed;
-        pipelines.push_back(std::make_unique<pisa::CompiledSwitchQuery>(*p.node, opts));
-        resources.push_back(pisa::build_resources(*p.node, p.partition, p.sizing, p.qid,
-                                                  p.source_index, p.level));
-      }
-    }
-    const std::string err = shard->sw->install(std::move(pipelines), resources);
+    // Register pressure (fault injection): install with registers sized
+    // for traffic that has since drifted (shrunken n) and/or an
+    // adversarial hash seed, forcing collision-overflow storms.
+    PipelineBuildOptions build_opts;
+    build_opts.register_shrink = faults.register_shrink;
+    build_opts.hash_seed = faults.hash_seed;
+    PipelineBuild build = build_pipelines(plan_, {}, build_opts);
+    const std::string err = shard->sw->install(std::move(build.pipelines), build.resources);
     assert(err.empty() && "plan does not fit the switch it was planned for");
     (void)err;
     shards_.push_back(std::move(shard));
@@ -455,7 +438,7 @@ void Fleet::drain_barrier() {
   current_.partial = mask != full_contribution_mask();
 }
 
-WindowStats Fleet::close_window() {
+WindowStats Fleet::do_close_window() {
   {
     obs::PhaseTimer merge_timer{driver_phases_, obs::Phase::kMerge};
 
@@ -475,7 +458,7 @@ WindowStats Fleet::close_window() {
       // Overflow counts only accepted records: a corrupted header the SP's
       // routing boundary rejects counts as a wire decode failure instead.
       const bool overflow = rec.kind == pisa::EmitRecord::Kind::kOverflow;
-      if (!sp_.deliver(std::move(rec))) return false;
+      if (!sp_->deliver(std::move(rec))) return false;
       if (overflow) ++current_.overflow_records;
       return true;
     };
@@ -487,7 +470,7 @@ WindowStats Fleet::close_window() {
       } else {
         for (pisa::EmitRecord& rec : s.sink.records()) deliver(std::move(rec));
       }
-      sp_.deliver_raw_batch(s.raw_sources);
+      sp_->deliver_raw_batch(s.raw_sources);
       current_.tuples_to_sp += s.tuples_to_sp;
       current_.raw_mirror_packets += s.raw_mirror_packets;
       s.sink.clear();
@@ -522,7 +505,7 @@ WindowStats Fleet::close_window() {
     obs::PhaseTimer t{driver_phases_, obs::Phase::kPoll};
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       if (quarantined_[i]) continue;
-      sp_.poll_switch(*shards_[i]->sw);
+      sp_->poll_switch(*shards_[i]->sw);
     }
   }
 
@@ -537,7 +520,7 @@ WindowStats Fleet::close_window() {
     if (quarantined_[i]) continue;
     switches.push_back(shards_[i]->sw.get());
   }
-  sp_.close_levels(current_, switches);
+  sp_->close_levels(current_, switches);
 
   // 4. Reset all registers. Control latency = the slowest switch's update
   //    time this window (updates run in parallel across the fleet).
@@ -569,6 +552,37 @@ WindowStats Fleet::close_window() {
   WindowStats out = std::move(current_);
   current_ = WindowStats{};
   return out;
+}
+
+void Fleet::apply_plan(planner::Plan plan) {
+  // Runs on the driver thread right after do_close_window, so every ring
+  // is drained — EXCEPT a quarantined shard whose worker is still mid-
+  // resync and touching its switch. Wait those out: after resync_to
+  // returns to zero with drained == enqueued the worker can only sleep or
+  // poll empty rings, so the switches are driver-owned for the swap.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    while (s.resync_to.load(std::memory_order_acquire) != 0 ||
+           s.drained.load(std::memory_order_acquire) != s.enqueued) {
+      if (!workers_.empty()) wake(*workers_[i % workers_.size()]);
+      std::this_thread::yield();
+    }
+  }
+  // Tear down the SP before replacing plan_ (it holds pointers into it),
+  // then reinstall every shard against the new plan. Pipeline reuse is
+  // per shard: each shard hands its own compiled pipelines back and keeps
+  // the unchanged ones (runtime state reset). Register-pressure faults are
+  // not re-applied — the swap installs clean, like an auto-replan.
+  sp_.reset();
+  for (auto& shard : shards_) {
+    PipelineBuild build = build_pipelines(plan, shard->sw->release_pipelines(), {});
+    const std::string err = shard->sw->install(std::move(build.pipelines), build.resources);
+    assert(err.empty() && "plan does not fit the switch it was planned for");
+    (void)err;
+  }
+  plan_ = std::move(plan);
+  sp_ = std::make_unique<StreamProcessor>(plan_);
+  raw_mirror_ = sp_->wants_raw_mirror();
 }
 
 }  // namespace sonata::runtime

@@ -95,17 +95,25 @@ class Fleet final : public TelemetryEngine {
   // traffic spread across ingress points). Thread-count independent.
   void ingest(const net::Packet& packet) override;
 
-  // Close the window fleet-wide: drain every shard queue (the window
-  // barrier), merge shard outputs in switch order, poll every switch,
-  // refine, reset. Aggregated stats (packets/tuples summed over switches).
-  WindowStats close_window() override;
-
   [[nodiscard]] const planner::Plan& plan() const noexcept override { return plan_; }
   [[nodiscard]] std::size_t data_plane_count() const noexcept override { return shards_.size(); }
   [[nodiscard]] const pisa::Switch& data_plane(std::size_t i) const override {
     return *shards_.at(i)->sw;
   }
-  [[nodiscard]] const Emitter& emitter() const noexcept override { return sp_.emitter(); }
+  [[nodiscard]] const Emitter& emitter() const noexcept override { return sp_->emitter(); }
+
+ protected:
+  // Close the window fleet-wide: drain every shard queue (the window
+  // barrier), merge shard outputs in switch order, poll every switch,
+  // refine, reset. Aggregated stats (packets/tuples summed over switches).
+  WindowStats do_close_window() override;
+  // Control-plane swap at the window barrier: reinstall every shard's
+  // switch program (unchanged compiled pipelines are reused per shard) and
+  // rebuild the shared stream processor. Waits out any in-flight worker
+  // resync first — workers only touch their switch during a quarantine
+  // resync, and the swap must not race it. Register-pressure faults are
+  // not re-applied; a swap installs clean.
+  void apply_plan(planner::Plan plan) override;
 
  private:
   // Ring sized for a healthy window burst; the driver spins (yield + wake)
@@ -207,8 +215,10 @@ class Fleet final : public TelemetryEngine {
   }
 
   planner::Plan plan_;
-  StreamProcessor sp_;
-  bool raw_mirror_ = false;  // sp_.wants_raw_mirror(), cached for workers
+  // unique_ptr (not a value) so a control-plane swap can rebuild it; sp_
+  // holds pointers into plan_, so it is reset before plan_ is replaced.
+  std::unique_ptr<StreamProcessor> sp_;
+  bool raw_mirror_ = false;  // sp_->wants_raw_mirror(), cached for workers
   std::size_t batch_size_ = 1;
 
   // Fault injection (null/empty when no spec is configured — every hook on

@@ -1,0 +1,89 @@
+#include "runtime/plan_install.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace sonata::runtime {
+
+namespace {
+
+bool sizing_equal(const std::map<std::size_t, pisa::RegisterSizing>& a,
+                  const std::map<std::size_t, pisa::RegisterSizing>& b) {
+  if (a.size() != b.size()) return false;
+  auto ita = a.begin();
+  for (auto itb = b.begin(); itb != b.end(); ++ita, ++itb) {
+    if (ita->first != itb->first || ita->second.entries != itb->second.entries ||
+        ita->second.depth != itb->second.depth) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// A reusable pipeline matches when it was compiled from the *same chain
+// object* with the same options. The node pointer is a sound identity key:
+// the incremental planner keeps each active query's augmented nodes alive
+// (installer caches) and unchanged placements carry the same shared_ptr
+// into the next plan, while both plans are alive during the match.
+bool matches(const pisa::CompiledSwitchQuery& compiled, const planner::PlannedPipeline& p,
+             const pisa::CompiledSwitchQuery::Options& want) {
+  const auto& have = compiled.options();
+  return &compiled.node() == p.node.get() && have.qid == want.qid &&
+         have.source_index == want.source_index && have.level == want.level &&
+         have.partition == want.partition && have.hash_seed == want.hash_seed &&
+         sizing_equal(have.sizing, want.sizing);
+}
+
+}  // namespace
+
+PipelineBuild build_pipelines(const planner::Plan& plan,
+                              std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> reusable,
+                              const PipelineBuildOptions& build_opts) {
+  PipelineBuild out;
+  for (const planner::PlannedQuery& pq : plan.queries) {
+    for (const planner::PlannedPipeline& p : pq.pipelines) {
+      if (p.partition == 0) continue;
+      pisa::CompiledSwitchQuery::Options opts;
+      opts.qid = p.qid;
+      opts.source_index = p.source_index;
+      opts.level = p.level;
+      opts.partition = p.partition;
+      opts.sizing = p.sizing;
+      // Register pressure (fault injection): install with registers sized
+      // for traffic that has since drifted and/or an adversarial hash seed.
+      if (build_opts.register_shrink > 1) {
+        for (auto& [op, rs] : opts.sizing) {
+          rs.entries = std::max<std::size_t>(8, rs.entries / build_opts.register_shrink);
+        }
+      }
+      opts.hash_seed = build_opts.hash_seed;
+
+      std::unique_ptr<pisa::CompiledSwitchQuery> compiled;
+      for (auto& candidate : reusable) {
+        if (candidate && matches(*candidate, p, opts)) {
+          compiled = std::move(candidate);
+          compiled->reset_runtime_state();
+          ++out.reused;
+          break;
+        }
+      }
+      if (!compiled) {
+        compiled = std::make_unique<pisa::CompiledSwitchQuery>(*p.node, opts);
+        ++out.recompiled;
+      }
+      out.pipelines.push_back(std::move(compiled));
+      out.resources.push_back(pisa::build_resources(*p.node, p.partition, p.sizing, p.qid,
+                                                    p.source_index, p.level));
+    }
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("sonata_pipelines_recompiled_total").add(out.recompiled);
+    reg.counter("sonata_pipelines_reused_total").add(out.reused);
+  }
+  return out;
+}
+
+}  // namespace sonata::runtime

@@ -6,6 +6,8 @@
 #include <span>
 #include <utility>
 
+#include "runtime/plan_install.h"
+
 namespace sonata::runtime {
 
 using planner::PlannedPipeline;
@@ -20,50 +22,45 @@ Runtime::Runtime(planner::Plan plan, std::size_t batch_size, fault::FaultSpec fa
 }
 
 void Runtime::install_plan(planner::Plan plan, bool register_pressure) {
+  // Partial recompile: hand the outgoing program's pipelines to the shared
+  // builder so unchanged (query, source, level, partition, sizing) entries
+  // are reused with their runtime state reset. The match runs while BOTH
+  // plans are alive, so node-pointer identity is sound.
+  std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> reusable;
+  if (switch_) reusable = switch_->release_pipelines();
+  PipelineBuildOptions build_opts;
+  if (register_pressure) {
+    // Register pressure (fault injection): install with registers sized
+    // for traffic that has since drifted and/or an adversarial hash seed.
+    // A swap (auto-replan or control plane) installs clean — re-planning
+    // is the recovery from register pressure.
+    build_opts.register_shrink = faults_.register_shrink;
+    build_opts.hash_seed = faults_.hash_seed;
+  }
+  PipelineBuild build = build_pipelines(plan, std::move(reusable), build_opts);
+
   // Tear down in dependency order (sp_ holds pointers into plan_), then
-  // rebuild. On the initial install this is a plain construction; on an
-  // auto-replan swap it replaces the switch program and the stream
-  // executors between windows. Mitigation guard entries and dynamic filter
-  // winners do not survive the swap — they are rebuilt from the next
-  // window's detections.
+  // rebuild. On the initial install this is a plain construction; on a
+  // swap it replaces the switch program and the stream executors between
+  // windows. Mitigation guard entries and dynamic filter winners do not
+  // survive the swap — they are rebuilt from the next window's detections.
   sp_.reset();
   switch_.reset();
   plan_ = std::move(plan);
   switch_ = std::make_unique<pisa::Switch>(plan_.switch_config);
   sp_ = std::make_unique<StreamProcessor>(plan_);
-
-  // Build executable switch pipelines + resources for installed partitions
-  // (partition-0 pipelines stay on the SP; StreamProcessor feeds them from
-  // the raw mirror).
-  std::vector<std::unique_ptr<pisa::CompiledSwitchQuery>> pipelines;
-  std::vector<pisa::ProgramResources> resources;
-  for (const PlannedQuery& pq : plan_.queries) {
-    for (const PlannedPipeline& p : pq.pipelines) {
-      if (p.partition == 0) continue;
-      pisa::CompiledSwitchQuery::Options opts;
-      opts.qid = p.qid;
-      opts.source_index = p.source_index;
-      opts.level = p.level;
-      opts.partition = p.partition;
-      opts.sizing = p.sizing;
-      // Register pressure (fault injection): install with registers sized
-      // for traffic that has since drifted and/or an adversarial hash
-      // seed. An auto-replan swap installs clean — re-planning is the
-      // recovery from register pressure.
-      if (register_pressure && faults_.register_shrink > 1) {
-        for (auto& [op, rs] : opts.sizing) {
-          rs.entries = std::max<std::size_t>(8, rs.entries / faults_.register_shrink);
-        }
-      }
-      opts.hash_seed = register_pressure ? faults_.hash_seed : 0;
-      pipelines.push_back(std::make_unique<pisa::CompiledSwitchQuery>(*p.node, opts));
-      resources.push_back(pisa::build_resources(*p.node, p.partition, p.sizing, p.qid,
-                                                p.source_index, p.level));
-    }
-  }
-  const std::string err = switch_->install(std::move(pipelines), resources);
+  const std::string err = switch_->install(std::move(build.pipelines), build.resources);
   assert(err.empty() && "plan does not fit the switch it was planned for");
   (void)err;
+}
+
+void Runtime::apply_plan(planner::Plan plan) {
+  install_plan(std::move(plan), /*register_pressure=*/false);
+  // The fresh switch's drop counter restarts, and the old plan's overflow
+  // history says nothing about the new register sizing.
+  dropped_before_window_ = 0;
+  overflow_streak_ = 0;
+  replan_recommended_ = false;
 }
 
 void Runtime::deliver_record(pisa::EmitRecord&& rec) {
@@ -154,7 +151,7 @@ void Runtime::flush_pending() {
   pending_used_ = 0;
 }
 
-WindowStats Runtime::close_window() {
+WindowStats Runtime::do_close_window() {
   // 0. Flush the tail batch so the window observes every ingested packet,
   //    and release a still-held (reordered) report — reordering never
   //    crosses a window boundary.

@@ -61,7 +61,6 @@ class Runtime final : public TelemetryEngine {
 
   // Streaming interface (TelemetryEngine).
   void ingest(const net::Packet& packet) override;
-  WindowStats close_window() override;
 
   [[nodiscard]] const planner::Plan& plan() const noexcept override { return plan_; }
   [[nodiscard]] std::size_t data_plane_count() const noexcept override { return 1; }
@@ -117,6 +116,14 @@ class Runtime final : public TelemetryEngine {
   };
   void enable_auto_replan(AutoReplanConfig cfg);
   [[nodiscard]] std::uint64_t replans_performed() const noexcept { return replans_; }
+
+ protected:
+  WindowStats do_close_window() override;
+  // Control-plane swap at the window barrier: reinstall the switch program
+  // (unchanged compiled pipelines are reused) and rebuild the stream
+  // executors. Register-pressure faults are not re-applied — a swap
+  // installs clean, like an auto-replan.
+  void apply_plan(planner::Plan plan) override;
 
  private:
   // Compute granularity inside a buffered flush (same locality knob as

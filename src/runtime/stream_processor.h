@@ -135,7 +135,10 @@ struct WindowStats {
   bool partial = false;
   std::uint64_t late_packets = 0;  // routed to a quarantined shard, lost from merge
   std::uint64_t shed_packets = 0;  // dropped at ingest under sustained backpressure
-  bool plan_swapped = false;       // auto-replan installed a new plan after this window
+  bool plan_swapped = false;       // a new plan was installed after this window
+                                   // (auto-replan or control-plane swap)
+  std::uint64_t plan_version = 0;  // control-plane version of the plan that
+                                   // processed this window (0 = static plan)
   fault::FaultAccount faults;      // faults injected during this window (all zero
                                    // when no injector is configured)
 };

@@ -1,0 +1,58 @@
+// A minimal expected<T, E> (the toolchain targets C++20, which predates
+// std::expected): either a value or a structured error, never an exit() or
+// a throw from library code. Control-plane admission, the DSL front end and
+// the tool flag parser all speak this type, so callers handle failures the
+// same way everywhere.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace sonata::util {
+
+// Tag result for operations that succeed without producing a value
+// (Expected<Ok, E> reads better than Expected<std::monostate, E>).
+struct Ok {};
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(*-explicit-*)
+  Expected(E error) : state_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(*-explicit-*)
+
+  [[nodiscard]] bool has_value() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() {
+    assert(has_value());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const T& value() const {
+    assert(has_value());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] E& error() {
+    assert(!has_value());
+    return std::get<1>(state_);
+  }
+  [[nodiscard]] const E& error() const {
+    assert(!has_value());
+    return std::get<1>(state_);
+  }
+
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const {
+    return has_value() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+}  // namespace sonata::util

@@ -1,0 +1,82 @@
+// Shared CLI configuration for the tools/ binaries.
+//
+// One RunConfig struct carries every sonata_run flag; parse_run_config
+// does the parsing AND the cross-flag validation (required flags, value
+// ranges, mode names) and returns a structured error instead of printing
+// and exiting from library-ish code — main() decides what to do with it.
+//
+// The admit script (--admit-script FILE) drives the dynamic query control
+// plane from a plain file. One action per line, '#' comments:
+//
+//   # window  action    query            [tenant NAME]
+//   2         submit    suspicious_dns   tenant ops
+//   5         withdraw  suspicious_dns
+//
+// `submit` at window W stages the query so it is live from window W on
+// (the plan swap happens at window W-1's close — never mid-window);
+// `withdraw` at window W removes it from window W on. Queries named by a
+// submit action start inactive: they are parsed from the --queries file
+// but not admitted at build time. Window numbers are the sequential
+// indices reported by the run (0 = first window); submit at window 0 is
+// the static initial admission and needs no script line.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.h"
+#include "planner/planner.h"
+#include "util/expected.h"
+#include "util/log.h"
+
+namespace sonata::tools {
+
+struct RunConfig {
+  std::string queries_path;
+  std::string pcap_path;
+  std::string train_pcap_path;
+  std::string emit_p4_path;
+  std::string emit_spark_path;
+  std::string admit_script_path;
+  planner::PlanMode mode = planner::PlanMode::kSonata;
+  double window_sec = 3.0;
+  double synthetic_sec = 0.0;
+  std::uint64_t seed = 1;
+  std::size_t switches = 1;
+  std::size_t threads = 0;
+  std::size_t batch = 256;
+  fault::FaultSpec faults;
+  bool faults_configured = false;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  std::string trace_out_path;
+  util::LogLevel log_level = util::LogLevel::kWarn;
+  bool show_help = false;  // --help: caller prints usage and exits 0
+};
+
+// One staged control-plane action from an admit script.
+struct AdmitAction {
+  std::uint64_t window = 0;  // sequential window index the action is live from
+  bool submit = true;        // false = withdraw
+  std::string query;         // query name in the --queries file
+  std::string tenant;        // submit only; "" = default tenant
+  int line = 0;              // script line, for diagnostics
+};
+
+void print_run_usage(std::FILE* out);
+
+// Parse argv into a RunConfig. On error the string names the offending
+// flag and why; the caller prints it (plus usage) and exits non-zero.
+// When cfg.show_help is set the rest of the config is unvalidated.
+[[nodiscard]] util::Expected<RunConfig, std::string> parse_run_config(int argc,
+                                                                      const char* const* argv);
+
+// Parse an admit script (see the header comment for the format). Actions
+// come back sorted by window, stable within one.
+[[nodiscard]] util::Expected<std::vector<AdmitAction>, std::string> parse_admit_script(
+    std::string_view text);
+
+}  // namespace sonata::tools

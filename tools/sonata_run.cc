@@ -4,7 +4,7 @@
 //              max-dp|fix-ref] [--window SECONDS] [--emit-p4 FILE]
 //              [--train-pcap FILE] [--synthetic SECONDS] [--seed N]
 //              [--switches N] [--threads N] [--batch N]
-//              [--fault-spec k=v,...]
+//              [--admit-script FILE] [--fault-spec k=v,...]
 //
 // Loads telemetry queries from the declarative DSL (see query/parser.h),
 // plans them against training traffic (a pcap or a synthetic trace), prints
@@ -16,7 +16,15 @@
 // results are identical for any switch/thread combination that sees the
 // whole trace. `--batch N` sets the data-path handoff granularity (default
 // 256; 1 is the legacy per-packet path) — output is bit-identical for any
-// value, only throughput changes.
+// value, only throughput changes. Flags are parsed and validated by the
+// shared tools/run_config module.
+//
+// Dynamic query control plane: the DSL file may declare tenants
+// (`tenant ops budget stages=8 bits=1048576`) and tag queries with one;
+// `--admit-script FILE` stages submit/withdraw actions at window
+// boundaries (see run_config.h for the format). Submissions the planner
+// cannot fit inside the tenant's budget are rejected with a diagnostic
+// naming the binding constraint and the smallest admitting budget.
 //
 // Observability: `--metrics-json FILE` enables the metrics registry and
 // writes an aggregated JSON snapshot after the run (`--metrics-prom FILE`
@@ -36,193 +44,29 @@
 // (register pressure). Injected faults are visible per window in the
 // engine log and cumulatively as sonata_fault_* metrics.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
-#include "fault/fault.h"
 #include "net/pcap.h"
 #include "obs/metrics.h"
 #include "obs/tracing.h"
 #include "pisa/p4gen.h"
-#include "stream/sparkgen.h"
-#include "planner/planner.h"
 #include "query/parser.h"
+#include "run_config.h"
+#include "runtime/control_plane.h"
 #include "runtime/engine.h"
+#include "stream/sparkgen.h"
 #include "trace/trace.h"
 #include "util/ip.h"
 #include "util/log.h"
+#include "util/time.h"
 
 using namespace sonata;
+using tools::AdmitAction;
+using tools::RunConfig;
 
 namespace {
-
-struct Args {
-  std::string queries_path;
-  std::string pcap_path;
-  std::string train_pcap_path;
-  std::string emit_p4_path;
-  std::string emit_spark_path;
-  std::string mode = "sonata";
-  double window_sec = 3.0;
-  double synthetic_sec = 0.0;
-  std::uint64_t seed = 1;
-  std::size_t switches = 1;
-  std::size_t threads = 0;
-  std::size_t batch = 256;
-  fault::FaultSpec faults;
-  bool faults_configured = false;
-  std::string metrics_json_path;
-  std::string metrics_prom_path;
-  std::string trace_out_path;
-  util::LogLevel log_level = util::LogLevel::kWarn;
-};
-
-void usage() {
-  std::fprintf(stderr,
-               "usage: sonata_run --queries FILE [--pcap FILE | --synthetic SECONDS]\n"
-               "                  [--train-pcap FILE] [--mode sonata|all-sp|filter-dp|"
-               "max-dp|fix-ref]\n"
-               "                  [--window SECONDS] [--emit-p4 FILE] [--emit-spark FILE]\n"
-               "                  [--switches N] [--threads N] [--batch N] [--seed N]\n"
-               "                  [--fault-spec k=v,... (keys: seed corrupt truncate drop dup\n"
-               "                   reorder slow_ns stall_switch stall_from stall_windows\n"
-               "                   watchdog_ms shrink hash_seed)]\n"
-               "                  [--metrics-json FILE] [--metrics-prom FILE]"
-               " [--trace-out FILE]\n"
-               "                  [--log-level debug|info|warn|error|off] [--verbose]\n");
-}
-
-bool parse_args(int argc, char** argv, Args& args) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--queries") {
-      const char* v = value();
-      if (!v) return false;
-      args.queries_path = v;
-    } else if (arg == "--pcap") {
-      const char* v = value();
-      if (!v) return false;
-      args.pcap_path = v;
-    } else if (arg == "--train-pcap") {
-      const char* v = value();
-      if (!v) return false;
-      args.train_pcap_path = v;
-    } else if (arg == "--emit-p4") {
-      const char* v = value();
-      if (!v) return false;
-      args.emit_p4_path = v;
-    } else if (arg == "--emit-spark") {
-      const char* v = value();
-      if (!v) return false;
-      args.emit_spark_path = v;
-    } else if (arg == "--mode") {
-      const char* v = value();
-      if (!v) return false;
-      args.mode = v;
-    } else if (arg == "--window") {
-      const char* v = value();
-      if (!v) return false;
-      args.window_sec = std::atof(v);
-    } else if (arg == "--synthetic") {
-      const char* v = value();
-      if (!v) return false;
-      args.synthetic_sec = std::atof(v);
-    } else if (arg == "--seed") {
-      const char* v = value();
-      if (!v) return false;
-      args.seed = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--switches") {
-      const char* v = value();
-      if (!v) return false;
-      args.switches = std::strtoull(v, nullptr, 10);
-      if (args.switches == 0) {
-        std::fprintf(stderr, "--switches must be >= 1\n");
-        return false;
-      }
-    } else if (arg == "--threads") {
-      const char* v = value();
-      if (!v) return false;
-      args.threads = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--batch") {
-      const char* v = value();
-      if (!v) return false;
-      args.batch = std::strtoull(v, nullptr, 10);
-      if (args.batch == 0) {
-        std::fprintf(stderr, "--batch must be >= 1\n");
-        return false;
-      }
-    } else if (arg == "--fault-spec") {
-      const char* v = value();
-      if (!v) return false;
-      std::string error;
-      const auto spec = fault::parse_fault_spec(v, &error);
-      if (!spec) {
-        std::fprintf(stderr, "bad --fault-spec: %s\n", error.c_str());
-        return false;
-      }
-      args.faults = *spec;
-      args.faults_configured = true;
-    } else if (arg == "--metrics-json") {
-      const char* v = value();
-      if (!v) return false;
-      args.metrics_json_path = v;
-    } else if (arg == "--metrics-prom") {
-      const char* v = value();
-      if (!v) return false;
-      args.metrics_prom_path = v;
-    } else if (arg == "--trace-out") {
-      const char* v = value();
-      if (!v) return false;
-      args.trace_out_path = v;
-    } else if (arg == "--log-level") {
-      const char* v = value();
-      if (!v) return false;
-      const auto level = util::log_level_from_string(v);
-      if (!level) {
-        std::fprintf(stderr, "unknown log level: %s (want debug|info|warn|error|off)\n", v);
-        return false;
-      }
-      args.log_level = *level;
-    } else if (arg == "--verbose") {
-      // Kept as an alias for --log-level info (never reduces verbosity).
-      if (static_cast<int>(args.log_level) > static_cast<int>(util::LogLevel::kInfo)) {
-        args.log_level = util::LogLevel::kInfo;
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      usage();
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  if (args.queries_path.empty()) {
-    std::fprintf(stderr, "--queries is required\n");
-    return false;
-  }
-  if (args.pcap_path.empty() && args.synthetic_sec <= 0.0) {
-    std::fprintf(stderr, "need --pcap FILE or --synthetic SECONDS\n");
-    return false;
-  }
-  return true;
-}
-
-std::optional<planner::PlanMode> mode_from_string(const std::string& s) {
-  if (s == "sonata") return planner::PlanMode::kSonata;
-  if (s == "all-sp") return planner::PlanMode::kAllSP;
-  if (s == "filter-dp") return planner::PlanMode::kFilterDP;
-  if (s == "max-dp") return planner::PlanMode::kMaxDP;
-  if (s == "fix-ref") return planner::PlanMode::kFixRef;
-  return std::nullopt;
-}
 
 std::string value_to_display(const query::Value& v) {
   if (v.is_string()) return std::string(v.as_string());
@@ -234,55 +78,166 @@ std::string value_to_display(const query::Value& v) {
   return std::to_string(u);
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+planner::TenantBudget to_budget(const query::TenantDecl& decl) {
+  planner::TenantBudget b;
+  if (decl.stage_tables != query::kNoTenantLimit) {
+    b.stage_tables = static_cast<std::size_t>(decl.stage_tables);
+  }
+  if (decl.register_bits != query::kNoTenantLimit) {
+    b.register_bits = static_cast<std::size_t>(decl.register_bits);
+  }
+  return b;
+}
+
+struct WindowTotals {
+  std::uint64_t packets = 0;
+  std::uint64_t tuples = 0;
+  std::uint64_t detections = 0;
+};
+
+void print_window(const runtime::WindowStats& ws, WindowTotals& totals) {
+  totals.packets += ws.packets;
+  totals.tuples += ws.tuples_to_sp;
+  for (const auto& result : ws.results) {
+    for (const auto& t : result.outputs) {
+      ++totals.detections;
+      std::string row;
+      for (std::size_t c = 0; c < t.size(); ++c) {
+        if (c) row += ", ";
+        row += value_to_display(t.at(c));
+      }
+      std::printf("window %4llu  [%s]  (%s)\n", static_cast<unsigned long long>(ws.window_index),
+                  result.name.c_str(), row.c_str());
+    }
+  }
+}
+
+// Apply every script action staged for `window`: submissions go live at
+// this window (the plan swap happened at the previous close), withdrawals
+// free their placement. The library keeps a copy of every script-
+// referenced query (node trees are shared_ptrs, so copies are cheap), so
+// withdraw-then-resubmit cycles work. A rejected submission is fatal only
+// when the diagnostic is operator error (unknown query/tenant); a budget
+// rejection is reported and the run continues without the query — exactly
+// what a production control plane would do.
+bool apply_admit_actions(runtime::TelemetryEngine& engine,
+                         const std::map<std::string, std::pair<query::Query, std::string>>& library,
+                         std::span<const AdmitAction> actions) {
+  for (const AdmitAction& a : actions) {
+    if (a.submit) {
+      const auto it = library.find(a.query);
+      if (it == library.end()) {
+        std::fprintf(stderr, "admit script line %d: query '%s' is not available to submit\n",
+                     a.line, a.query.c_str());
+        return false;
+      }
+      const std::string tenant = !a.tenant.empty() ? a.tenant : it->second.second;
+      auto admitted = engine.submit(it->second.first, tenant);
+      if (!admitted) {
+        std::printf("window %4llu  submit %s REJECTED: %s\n",
+                    static_cast<unsigned long long>(a.window), a.query.c_str(),
+                    admitted.error().to_string().c_str());
+        continue;
+      }
+      std::printf("window %4llu  submit %s (tenant %s) -> handle %llu\n",
+                  static_cast<unsigned long long>(a.window), a.query.c_str(),
+                  tenant.empty() ? "default" : tenant.c_str(),
+                  static_cast<unsigned long long>(*admitted));
+    } else {
+      const auto handle = engine.control_plane()->find(a.query);
+      if (!handle) {
+        std::fprintf(stderr, "admit script line %d: query '%s' is not active\n", a.line,
+                     a.query.c_str());
+        return false;
+      }
+      if (auto r = engine.withdraw(*handle); !r) {
+        std::fprintf(stderr, "admit script line %d: withdraw failed: %s\n", a.line,
+                     r.error().to_string().c_str());
+        return false;
+      }
+      std::printf("window %4llu  withdraw %s\n", static_cast<unsigned long long>(a.window),
+                  a.query.c_str());
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, args)) {
-    usage();
+  auto parsed_cfg = tools::parse_run_config(argc, argv);
+  if (!parsed_cfg) {
+    std::fprintf(stderr, "%s\n", parsed_cfg.error().c_str());
+    tools::print_run_usage(stderr);
     return 2;
   }
-  util::set_log_level(args.log_level);
-  if (!args.metrics_json_path.empty() || !args.metrics_prom_path.empty()) {
-    obs::set_enabled(true);
+  const RunConfig& cfg = *parsed_cfg;
+  if (cfg.show_help) {
+    tools::print_run_usage(stdout);
+    return 0;
   }
-  if (!args.trace_out_path.empty()) obs::TraceRecorder::global().set_enabled(true);
+  util::set_log_level(cfg.log_level);
+  if (!cfg.metrics_json_path.empty() || !cfg.metrics_prom_path.empty()) obs::set_enabled(true);
+  if (!cfg.trace_out_path.empty()) obs::TraceRecorder::global().set_enabled(true);
 
-  // 1. Queries.
-  std::ifstream in(args.queries_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", args.queries_path.c_str());
+  // 1. Queries (plus tenant declarations and per-query tenant tags).
+  std::string text;
+  if (!read_file(cfg.queries_path, text)) {
+    std::fprintf(stderr, "cannot open %s\n", cfg.queries_path.c_str());
     return 1;
   }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  auto parsed = query::parse_queries(buffer.str());
+  auto parsed = query::parse_queries(text);
   if (!parsed.ok()) {
     for (const auto& e : parsed.errors) {
-      std::fprintf(stderr, "%s: %s\n", args.queries_path.c_str(), e.to_string().c_str());
+      std::fprintf(stderr, "%s: %s\n", cfg.queries_path.c_str(), e.to_string().c_str());
     }
     return 1;
   }
   std::printf("Loaded %zu quer%s from %s\n", parsed.queries.size(),
-              parsed.queries.size() == 1 ? "y" : "ies", args.queries_path.c_str());
+              parsed.queries.size() == 1 ? "y" : "ies", cfg.queries_path.c_str());
 
-  // 2. Traffic.
+  // 2. Admit script (queries a script submits start inactive).
+  std::vector<AdmitAction> actions;
+  if (!cfg.admit_script_path.empty()) {
+    std::string script;
+    if (!read_file(cfg.admit_script_path, script)) {
+      std::fprintf(stderr, "cannot open %s\n", cfg.admit_script_path.c_str());
+      return 1;
+    }
+    auto parsed_script = tools::parse_admit_script(script);
+    if (!parsed_script) {
+      std::fprintf(stderr, "%s\n", parsed_script.error().c_str());
+      return 1;
+    }
+    actions = std::move(*parsed_script);
+  }
+
+  // 3. Traffic.
   std::vector<net::Packet> trace;
-  if (!args.pcap_path.empty()) {
+  if (!cfg.pcap_path.empty()) {
     try {
-      trace = net::PcapReader(args.pcap_path).read_all();
+      trace = net::PcapReader(cfg.pcap_path).read_all();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "pcap error: %s\n", e.what());
       return 1;
     }
-    std::printf("Read %zu packets from %s\n", trace.size(), args.pcap_path.c_str());
+    std::printf("Read %zu packets from %s\n", trace.size(), cfg.pcap_path.c_str());
   } else {
     trace::BackgroundConfig bg;
-    bg.duration_sec = args.synthetic_sec;
+    bg.duration_sec = cfg.synthetic_sec;
     bg.flows_per_sec = 600.0;
-    trace = trace::TraceBuilder(args.seed).background(bg).build();
+    trace = trace::TraceBuilder(cfg.seed).background(bg).build();
     std::printf("Generated %zu synthetic packets (%.0f s, seed %llu)\n", trace.size(),
-                args.synthetic_sec, static_cast<unsigned long long>(args.seed));
+                cfg.synthetic_sec, static_cast<unsigned long long>(cfg.seed));
   }
   if (trace.empty()) {
     std::fprintf(stderr, "no packets to process\n");
@@ -290,32 +245,70 @@ int main(int argc, char** argv) {
   }
 
   std::vector<net::Packet> training;
-  if (!args.train_pcap_path.empty()) {
+  if (!cfg.train_pcap_path.empty()) {
     try {
-      training = net::PcapReader(args.train_pcap_path).read_all();
+      training = net::PcapReader(cfg.train_pcap_path).read_all();
       std::printf("Training on %zu packets from %s\n", training.size(),
-                  args.train_pcap_path.c_str());
+                  cfg.train_pcap_path.c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "training pcap error: %s\n", e.what());
       return 1;
     }
   }
 
-  // 3. Plan.
-  const auto mode = mode_from_string(args.mode);
-  if (!mode) {
-    std::fprintf(stderr, "unknown mode: %s\n", args.mode.c_str());
-    return 2;
+  // 4. Build the engine: plan the initially admitted set over the training
+  //    traffic and attach the dynamic control plane. Queries named by a
+  //    script submit action are held back for later submission.
+  planner::PlannerConfig planner_cfg;
+  planner_cfg.mode = cfg.mode;
+  planner_cfg.window = util::seconds(cfg.window_sec);
+  runtime::EngineBuilder builder;
+  builder.topology(cfg.switches, cfg.threads)
+      .batch(cfg.batch)
+      .faults(cfg.faults)
+      .planner(planner_cfg)
+      .training(training.empty() ? trace : training);
+  for (const auto& decl : parsed.tenants) builder.tenant(decl.name, to_budget(decl));
+  // A query whose FIRST script action is a submit starts inactive; one the
+  // script only withdraws (or withdraws before resubmitting) starts live.
+  std::map<std::string, bool> first_action;  // name -> first action is submit
+  for (const AdmitAction& a : actions) first_action.emplace(a.query, a.submit);
+  std::map<std::string, std::pair<query::Query, std::string>> library;
+  for (std::size_t i = 0; i < parsed.queries.size(); ++i) {
+    const std::string tenant = parsed.query_tenants[i];
+    const auto fa = first_action.find(parsed.queries[i].name());
+    if (fa != first_action.end()) {
+      library.emplace(parsed.queries[i].name(),
+                      std::pair<query::Query, std::string>{parsed.queries[i], tenant});
+    }
+    if (fa != first_action.end() && fa->second) continue;  // script submits it later
+    builder.admit(std::move(parsed.queries[i]), tenant);
   }
-  planner::PlannerConfig cfg;
-  cfg.mode = *mode;
-  cfg.window = util::seconds(args.window_sec);
-  planner::Planner planner(cfg);
-  const auto plan = planner.plan(parsed.queries, training.empty() ? trace : training);
-  std::printf("\n%s\n", plan.summary().c_str());
+  for (const auto& [name, submit_first] : first_action) {
+    if (submit_first && library.find(name) == library.end()) {
+      std::fprintf(stderr, "admit script submits '%s' but %s does not define it\n", name.c_str(),
+                   cfg.queries_path.c_str());
+      return 1;
+    }
+  }
+  auto built = builder.build();
+  if (!built) {
+    std::fprintf(stderr, "admission failed: %s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  runtime::TelemetryEngine& engine = **built;
+  std::printf("\n%s\n", engine.plan().summary().c_str());
+  if (cfg.switches > 1 || cfg.threads > 0) {
+    std::printf("Deploying on %zu switch%s (%zu worker thread%s)\n", cfg.switches,
+                cfg.switches == 1 ? "" : "es", cfg.threads, cfg.threads == 1 ? "" : "s");
+  }
+  if (cfg.faults_configured) {
+    std::printf("Fault injection active: %s\n", cfg.faults.to_string().c_str());
+  }
 
-  // 4. Optional P4 emission for the switch side.
-  if (!args.emit_p4_path.empty()) {
+  // 5. Optional P4 emission for the switch side.
+  if (!cfg.emit_p4_path.empty()) {
+    const planner::Plan& plan = engine.plan();
     std::vector<pisa::P4Pipeline> pipelines;
     for (const auto& pq : plan.queries) {
       for (const auto& p : pq.pipelines) {
@@ -331,25 +324,25 @@ int main(int argc, char** argv) {
       }
     }
     const auto p4 = pisa::generate_p4(plan.switch_config, pipelines);
-    std::ofstream out(args.emit_p4_path);
+    std::ofstream out(cfg.emit_p4_path);
     if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", args.emit_p4_path.c_str());
+      std::fprintf(stderr, "cannot write %s\n", cfg.emit_p4_path.c_str());
       return 1;
     }
     out << p4;
     std::printf("Wrote generated P4 (%zu pipelines, %zu bytes) to %s\n\n", pipelines.size(),
-                p4.size(), args.emit_p4_path.c_str());
+                p4.size(), cfg.emit_p4_path.c_str());
   }
 
-  // 5. Optional Spark job emission for the stream-processor side (the
+  // 6. Optional Spark job emission for the stream-processor side (the
   //    finest level of each query).
-  if (!args.emit_spark_path.empty()) {
-    std::ofstream out(args.emit_spark_path);
+  if (!cfg.emit_spark_path.empty()) {
+    std::ofstream out(cfg.emit_spark_path);
     if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", args.emit_spark_path.c_str());
+      std::fprintf(stderr, "cannot write %s\n", cfg.emit_spark_path.c_str());
       return 1;
     }
-    for (const auto& pq : plan.queries) {
+    for (const auto& pq : engine.plan().queries) {
       std::vector<stream::SparkPipeline> sources;
       const int finest = pq.chain.back();
       for (const auto& p : pq.pipelines) {
@@ -358,84 +351,91 @@ int main(int argc, char** argv) {
       }
       out << stream::generate_spark(*pq.base, sources) << "\n";
     }
-    std::printf("Wrote generated Spark jobs to %s\n\n", args.emit_spark_path.c_str());
+    std::printf("Wrote generated Spark jobs to %s\n\n", cfg.emit_spark_path.c_str());
   }
 
-  // 6. Run: every topology goes through the same TelemetryEngine interface.
-  runtime::EngineOptions topo;
-  topo.switches = args.switches;
-  topo.worker_threads = args.threads;
-  topo.batch_size = args.batch;
-  topo.faults = args.faults;
-  const auto engine = runtime::make_engine(plan, topo);
-  if (args.switches > 1 || args.threads > 0) {
-    std::printf("Deploying on %zu switch%s (%zu worker thread%s)\n", args.switches,
-                args.switches == 1 ? "" : "es", args.threads, args.threads == 1 ? "" : "s");
-  }
-  if (args.faults_configured) {
-    std::printf("Fault injection active: %s\n", args.faults.to_string().c_str());
-  }
-  std::uint64_t total_packets = 0;
-  std::uint64_t total_tuples = 0;
-  std::uint64_t total_detections = 0;
-  for (const auto& ws : engine->run_trace(trace)) {
-    total_packets += ws.packets;
-    total_tuples += ws.tuples_to_sp;
-    for (const auto& result : ws.results) {
-      for (const auto& t : result.outputs) {
-        ++total_detections;
-        std::string row;
-        for (std::size_t c = 0; c < t.size(); ++c) {
-          if (c) row += ", ";
-          row += value_to_display(t.at(c));
-        }
-        std::printf("window %4llu  [%s]  (%s)\n",
-                    static_cast<unsigned long long>(ws.window_index), result.name.c_str(),
-                    row.c_str());
+  // 7. Run. Without a script this is the shared trace-replay loop; with
+  //    one, the same window split with control-plane actions staged so a
+  //    `submit` at window W is live for exactly windows [W, withdraw).
+  WindowTotals totals;
+  if (actions.empty()) {
+    for (const auto& ws : engine.run_trace(trace)) print_window(ws, totals);
+  } else {
+    const util::Nanos w = engine.plan().window;
+    std::span<const net::Packet> rest{trace};
+    std::size_t action_next = 0;
+    std::uint64_t seq = 0;
+    while (!rest.empty()) {
+      // Actions staged for window seq+1 are submitted now: the swap lands
+      // at this window's close, making them live exactly at seq+1.
+      const std::size_t begin_actions = action_next;
+      while (action_next < actions.size() && actions[action_next].window <= seq + 1) {
+        ++action_next;
       }
+      if (!apply_admit_actions(engine, library,
+                               {actions.data() + begin_actions, action_next - begin_actions})) {
+        return 1;
+      }
+      const std::uint64_t idx = util::window_index(rest.front().ts, w);
+      std::size_t end = 0;
+      while (end < rest.size() && util::window_index(rest[end].ts, w) == idx) ++end;
+      const auto ws = engine.process_window(rest.subspan(0, end));
+      if (ws.plan_swapped) {
+        std::printf("window %4llu  plan swapped -> v%llu (%zu queries)\n",
+                    static_cast<unsigned long long>(ws.window_index),
+                    static_cast<unsigned long long>(engine.plan().version),
+                    engine.plan().queries.size());
+      }
+      print_window(ws, totals);
+      rest = rest.subspan(end);
+      ++seq;
+    }
+    for (std::size_t i = action_next; i < actions.size(); ++i) {
+      std::fprintf(stderr, "admit script line %d: window %llu is past the end of the trace\n",
+                   actions[i].line, static_cast<unsigned long long>(actions[i].window));
     }
   }
   std::printf("\n%llu detections; stream processor saw %llu of %llu packets (%.4f%%)\n",
-              static_cast<unsigned long long>(total_detections),
-              static_cast<unsigned long long>(total_tuples),
-              static_cast<unsigned long long>(total_packets),
-              total_packets == 0
-                  ? 0.0
-                  : 100.0 * static_cast<double>(total_tuples) / static_cast<double>(total_packets));
+              static_cast<unsigned long long>(totals.detections),
+              static_cast<unsigned long long>(totals.tuples),
+              static_cast<unsigned long long>(totals.packets),
+              totals.packets == 0 ? 0.0
+                                  : 100.0 * static_cast<double>(totals.tuples) /
+                                        static_cast<double>(totals.packets));
 
-  // 7. Observability exports.
-  if (!args.metrics_json_path.empty() || !args.metrics_prom_path.empty()) {
+  // 8. Observability exports.
+  if (!cfg.metrics_json_path.empty() || !cfg.metrics_prom_path.empty()) {
     const obs::Snapshot snap = obs::Registry::global().snapshot();
-    if (!args.metrics_json_path.empty()) {
-      std::ofstream out(args.metrics_json_path);
+    if (!cfg.metrics_json_path.empty()) {
+      std::ofstream out(cfg.metrics_json_path);
       if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", args.metrics_json_path.c_str());
+        std::fprintf(stderr, "cannot write %s\n", cfg.metrics_json_path.c_str());
         return 1;
       }
       out << snap.to_json();
       std::printf("Wrote metrics snapshot (%zu counters, %zu gauges, %zu histograms) to %s\n",
                   snap.counters.size(), snap.gauges.size(), snap.histograms.size(),
-                  args.metrics_json_path.c_str());
+                  cfg.metrics_json_path.c_str());
     }
-    if (!args.metrics_prom_path.empty()) {
-      std::ofstream out(args.metrics_prom_path);
+    if (!cfg.metrics_prom_path.empty()) {
+      std::ofstream out(cfg.metrics_prom_path);
       if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", args.metrics_prom_path.c_str());
+        std::fprintf(stderr, "cannot write %s\n", cfg.metrics_prom_path.c_str());
         return 1;
       }
       out << snap.to_prometheus();
-      std::printf("Wrote Prometheus exposition to %s\n", args.metrics_prom_path.c_str());
+      std::printf("Wrote Prometheus exposition to %s\n", cfg.metrics_prom_path.c_str());
     }
   }
-  if (!args.trace_out_path.empty()) {
-    std::ofstream out(args.trace_out_path);
+  if (!cfg.trace_out_path.empty()) {
+    std::ofstream out(cfg.trace_out_path);
     if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", args.trace_out_path.c_str());
+      std::fprintf(stderr, "cannot write %s\n", cfg.trace_out_path.c_str());
       return 1;
     }
     out << obs::TraceRecorder::global().to_chrome_json();
     std::printf("Wrote %zu trace spans to %s\n", obs::TraceRecorder::global().size(),
-                args.trace_out_path.c_str());
+                cfg.trace_out_path.c_str());
   }
   return 0;
 }
