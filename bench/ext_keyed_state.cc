@@ -1,5 +1,5 @@
 // Extension benchmark: flat keyed-state engine vs std::unordered_map
-// (DESIGN.md "SP keyed state").
+// (DESIGN.md "Keyed-state engines").
 //
 // Two measurements:
 //

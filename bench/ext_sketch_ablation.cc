@@ -1,0 +1,440 @@
+// Extension benchmark: sketch-backed keyed state vs the exact flat engines
+// (DESIGN.md "Keyed-state engines").
+//
+// Three measurements over a deterministic Zipf workload whose per-key
+// ground truth is known analytically (key i carries weight K/(i+1), keys
+// visited in a bijective mixed order):
+//
+//  1. Reduce ablation — state::ReduceEngine in exact vs sketch
+//     (count-min + heavy-key store) mode across cardinalities up to 2^24
+//     (~16.8M) keys. The sketch runs under a fixed memory cap that exact
+//     state cannot meet at the top tier (exact bytes are measured where
+//     feasible and projected linearly above that); every drained estimate
+//     must respect the one-sided count-min error bound, and the keys
+//     heavier than eps*N must survive the heavy-store eviction discipline.
+//
+//  2. Distinct ablation — state::DistinctEngine exact vs Bloom vs cuckoo.
+//     No false negatives by construction; the measured false-positive
+//     rate must stay within a small multiple of eps.
+//
+//  3. Exact-path regression — ns/update of the exact ReduceEngine vs the
+//     same loop on a bare util::FlatMap. The engine wrapper is one
+//     predicted branch; it must stay within noise of the direct table
+//     (and thereby of PR 4's BENCH_keyed_state.json numbers).
+//
+// Results land in BENCH_sketch.json. Exit status gates CI:
+//   1 — accuracy: estimate outside the eps/delta envelope, heavy keys
+//       lost, or distinct false-positive rate blown (always fatal),
+//   2 — full mode only: exact engine ns/update > 1.3x the bare flat
+//       table (--smoke skips the perf gate: sanitizer builds skew timing),
+//   3 — sketch memory exceeded the fixed cap it promises to respect.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common.h"
+#include "query/state_spec.h"
+#include "state/engine.h"
+#include "util/flat_table.h"
+
+using namespace sonata;
+
+namespace {
+
+// Bijective visit order on [0, 2^k): odd multiplier mod a power of two.
+constexpr std::uint64_t kPerm = 0x9E3779B97F4A7C15ULL;
+
+query::Tuple make_key(std::uint64_t id) {
+  query::Tuple t;
+  t.values.emplace_back(id);
+  return t;
+}
+
+// Zipf-ish analytic weight: key i carries floor(K/(i+1)), min 1. The true
+// per-key aggregate is the weight itself (one update per key), so error is
+// measured against closed-form ground truth, not a replayed exact run.
+std::uint64_t true_weight(std::uint64_t key_id, std::uint64_t cardinality) {
+  const std::uint64_t w = cardinality / (key_id + 1);
+  return w == 0 ? 1 : w;
+}
+
+struct ReduceTier {
+  std::uint64_t keys = 0;       // power of two
+  std::uint64_t total_weight = 0;
+  double sketch_ns = 0.0;
+  double exact_ns = 0.0;        // 0 when exact was not run at this tier
+  std::uint64_t sketch_bytes = 0;
+  std::uint64_t exact_bytes = 0;      // measured (exact_measured) or projected
+  bool exact_measured = false;
+  std::uint64_t heavy_keys = 0;       // keys with weight >= eps*N
+  std::uint64_t heavy_found = 0;      // ... that survived in the drain
+  std::uint64_t heavy_in_bound = 0;   // ... whose estimate err <= eps*N
+  std::uint64_t underestimates = 0;   // count-min must never underestimate
+  std::uint64_t drained = 0;
+};
+
+ReduceTier run_reduce_tier(std::uint64_t cardinality, double eps, double delta) {
+  ReduceTier r;
+  r.keys = cardinality;
+  const std::uint64_t mask = cardinality - 1;
+
+  query::StateSpec spec;
+  spec.kind = query::StateSpec::Kind::kSketch;
+  spec.eps = eps;
+  spec.delta = delta;
+  state::ReduceEngine sketch;
+  sketch.configure(spec, query::ReduceFn::kSum);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t j = 0; j < cardinality; ++j) {
+    const std::uint64_t id = (j * kPerm) & mask;
+    query::Tuple key = make_key(id);
+    const std::uint64_t h = key.hash();
+    const std::uint64_t w = true_weight(id, cardinality);
+    r.total_weight += w;
+    sketch.update(std::move(key), h, w);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.sketch_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                static_cast<double>(cardinality);
+  r.sketch_bytes = sketch.usage().bytes;
+
+  const double bound = eps * static_cast<double>(r.total_weight);
+  std::unordered_map<std::uint64_t, std::uint64_t> drained;
+  sketch.drain_and_clear([&](query::Tuple&& key, std::uint64_t est) {
+    drained.emplace(key.at(0).as_uint(), est);
+  });
+  r.drained = drained.size();
+  for (const auto& [id, est] : drained) {
+    const std::uint64_t truth = true_weight(id, cardinality);
+    if (est < truth) ++r.underestimates;
+  }
+  for (std::uint64_t id = 0; id < cardinality; ++id) {
+    const std::uint64_t truth = true_weight(id, cardinality);
+    if (static_cast<double>(truth) < bound) break;  // weights are non-increasing in id
+    ++r.heavy_keys;
+    const auto it = drained.find(id);
+    if (it == drained.end()) continue;
+    ++r.heavy_found;
+    const double err = static_cast<double>(it->second) - static_cast<double>(truth);
+    if (err <= bound) ++r.heavy_in_bound;
+  }
+  return r;
+}
+
+// Exact reduce over the same workload: measured bytes + ns/update.
+void run_reduce_exact(ReduceTier& r) {
+  state::ReduceEngine exact;  // default spec: exact
+  const std::uint64_t mask = r.keys - 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t j = 0; j < r.keys; ++j) {
+    const std::uint64_t id = (j * kPerm) & mask;
+    query::Tuple key = make_key(id);
+    const std::uint64_t h = key.hash();
+    exact.update(std::move(key), h, true_weight(id, r.keys));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.exact_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+               static_cast<double>(r.keys);
+  r.exact_bytes = exact.usage().bytes;
+  r.exact_measured = true;
+}
+
+struct DistinctResult {
+  std::string engine;
+  std::uint64_t keys = 0;
+  std::uint64_t false_positives = 0;  // first insert reported "seen"
+  std::uint64_t bytes = 0;
+  double ns_per_insert = 0.0;
+  [[nodiscard]] double fp_rate() const {
+    return static_cast<double>(false_positives) / static_cast<double>(keys);
+  }
+};
+
+DistinctResult run_distinct(const char* name, const query::StateSpec& spec,
+                            std::uint64_t cardinality) {
+  DistinctResult d;
+  d.engine = name;
+  d.keys = cardinality;
+  state::DistinctEngine eng;
+  eng.configure(spec);
+  const std::uint64_t mask = cardinality - 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t j = 0; j < cardinality; ++j) {
+    const std::uint64_t id = (j * kPerm) & mask;
+    const query::Tuple key = make_key(id);
+    if (!eng.insert_new(key, key.hash())) ++d.false_positives;  // every key is new
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  d.ns_per_insert = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                    static_cast<double>(cardinality);
+  d.bytes = eng.usage().bytes;
+  return d;
+}
+
+// The exact-path regression loop: identical updates through the engine and
+// through a bare FlatMap (the PR 4 hot path ext_keyed_state benchmarks).
+struct PerfResult {
+  double engine_ns = 0.0;
+  double direct_ns = 0.0;
+  [[nodiscard]] double ratio() const { return engine_ns / direct_ns; }
+};
+
+PerfResult run_perf(std::uint64_t cardinality, std::uint64_t updates, int reps) {
+  std::vector<query::Tuple> keys;
+  std::vector<std::uint64_t> hashes;
+  keys.reserve(cardinality);
+  hashes.reserve(cardinality);
+  for (std::uint64_t i = 0; i < cardinality; ++i) {
+    keys.push_back(make_key(i));
+    hashes.push_back(keys.back().hash());
+  }
+  std::vector<std::uint32_t> order(updates);
+  for (std::uint64_t j = 0; j < updates; ++j) {
+    order[j] = static_cast<std::uint32_t>((j * kPerm) % cardinality);
+  }
+
+  PerfResult p{1e30, 1e30};
+  volatile std::uint64_t sink = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      state::ReduceEngine eng;  // exact mode
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const std::uint32_t idx : order) {
+        eng.update(query::Tuple(keys[idx]), hashes[idx], 1);
+      }
+      std::uint64_t total = 0;
+      eng.drain_and_clear([&](query::Tuple&&, std::uint64_t v) { total += v; });
+      sink += total;
+      const auto t1 = std::chrono::steady_clock::now();
+      p.engine_ns = std::min(p.engine_ns,
+                             std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                                 static_cast<double>(updates));
+    }
+    {
+      util::FlatMap<std::uint64_t> agg;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const std::uint32_t idx : order) {
+        auto [slot, inserted] = agg.try_emplace(query::Tuple(keys[idx]), hashes[idx], 1);
+        if (!inserted) ++*slot;
+      }
+      std::uint64_t total = 0;
+      for (const auto& e : agg.entries()) total += e.value;
+      sink += total;
+      agg.clear();
+      const auto t1 = std::chrono::steady_clock::now();
+      p.direct_ns = std::min(p.direct_ns,
+                             std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                                 static_cast<double>(updates));
+    }
+  }
+  (void)sink;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  (void)opts;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // The accuracy knob for the sweep, and the fixed memory budget sketched
+  // state promises to respect regardless of cardinality.
+  const double eps = smoke ? 1e-3 : 1e-4;
+  const double delta = 0.01;
+  const std::uint64_t cap_bytes = smoke ? (8ull << 20) : (64ull << 20);
+  // Exact state is materialized only up to this tier; above it the exact
+  // footprint is projected linearly (running it for real would need GBs).
+  const std::uint64_t exact_limit = smoke ? (1ull << 15) : (1ull << 20);
+
+  std::vector<std::uint64_t> tiers;
+  if (smoke) {
+    tiers = {1ull << 12, 1ull << 15};
+  } else {
+    tiers = {1ull << 17, 1ull << 20, 1ull << 24};  // 131K, 1M, ~16.8M keys
+  }
+
+  // --- Reduce ablation ----------------------------------------------------
+  std::printf("Sketch ablation: Zipf reduce, eps=%g delta=%g, cap %" PRIu64 " MiB\n\n", eps,
+              delta, cap_bytes >> 20);
+  std::vector<ReduceTier> reduce;
+  double per_key_exact_bytes = 0.0;
+  for (const std::uint64_t k : tiers) {
+    ReduceTier r = run_reduce_tier(k, eps, delta);
+    if (k <= exact_limit) {
+      run_reduce_exact(r);
+      per_key_exact_bytes =
+          static_cast<double>(r.exact_bytes) / static_cast<double>(r.keys);
+    } else {
+      r.exact_bytes =
+          static_cast<std::uint64_t>(per_key_exact_bytes * static_cast<double>(r.keys));
+    }
+    reduce.push_back(r);
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const ReduceTier& r : reduce) {
+      char sk_ns[32], ex_ns[32], sk_mb[32], ex_mb[32], heavy[48];
+      std::snprintf(sk_ns, sizeof sk_ns, "%.1f", r.sketch_ns);
+      std::snprintf(ex_ns, sizeof ex_ns, r.exact_measured ? "%.1f" : "-", r.exact_ns);
+      std::snprintf(sk_mb, sizeof sk_mb, "%.2f", static_cast<double>(r.sketch_bytes) / 1e6);
+      std::snprintf(ex_mb, sizeof ex_mb, "%.1f%s",
+                    static_cast<double>(r.exact_bytes) / 1e6, r.exact_measured ? "" : "*");
+      std::snprintf(heavy, sizeof heavy, "%" PRIu64 "/%" PRIu64 " (%" PRIu64 " in-bound)",
+                    r.heavy_found, r.heavy_keys, r.heavy_in_bound);
+      rows.push_back({bench::fmt_count(r.keys), sk_ns, ex_ns, sk_mb, ex_mb, heavy});
+    }
+    bench::print_table(
+        {"keys", "sketch ns/upd", "exact ns/upd", "sketch MB", "exact MB", "heavy kept"}, rows);
+    std::printf("  (* = projected from %.1f B/key; exact not materialized at that tier)\n\n",
+                per_key_exact_bytes);
+  }
+
+  // --- Distinct ablation --------------------------------------------------
+  const std::uint64_t dk = smoke ? (1ull << 15) : (1ull << 24);
+  query::StateSpec bloom_spec;
+  bloom_spec.kind = query::StateSpec::Kind::kSketch;
+  bloom_spec.eps = smoke ? 1e-2 : 1e-3;
+  bloom_spec.capacity = dk;
+  query::StateSpec cuckoo_spec = bloom_spec;
+  cuckoo_spec.membership = query::StateSpec::Membership::kCuckoo;
+
+  std::vector<DistinctResult> distinct;
+  distinct.push_back(run_distinct("bloom", bloom_spec, dk));
+  distinct.push_back(run_distinct("cuckoo", cuckoo_spec, dk));
+  {
+    // Exact distinct for the footprint comparison (capped tier).
+    const std::uint64_t ek = std::min(dk, exact_limit);
+    DistinctResult ex = run_distinct("exact", query::StateSpec{}, ek);
+    if (ek < dk) {
+      ex.bytes = static_cast<std::uint64_t>(static_cast<double>(ex.bytes) /
+                                            static_cast<double>(ek) * static_cast<double>(dk));
+      ex.keys = dk;
+    }
+    distinct.push_back(ex);
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const DistinctResult& d : distinct) {
+      char fp[32], mb[32], ns[32];
+      std::snprintf(fp, sizeof fp, "%.5f", d.fp_rate());
+      std::snprintf(mb, sizeof mb, "%.2f", static_cast<double>(d.bytes) / 1e6);
+      std::snprintf(ns, sizeof ns, "%.1f", d.ns_per_insert);
+      rows.push_back({d.engine, bench::fmt_count(d.keys), fp, mb, ns});
+    }
+    bench::print_table({"engine", "keys", "fp rate", "MB", "ns/insert"}, rows);
+  }
+
+  // --- Exact-path regression ----------------------------------------------
+  const PerfResult perf =
+      smoke ? run_perf(1ull << 12, 1ull << 14, 1) : run_perf(1ull << 20, 1ull << 21, 3);
+  std::printf("\nExact path: engine %.1f ns/update vs bare flat table %.1f (ratio %.3f)\n",
+              perf.engine_ns, perf.direct_ns, perf.ratio());
+
+  // --- Gates --------------------------------------------------------------
+  bool accuracy_ok = true;
+  for (const ReduceTier& r : reduce) {
+    // Count-min never underestimates; heavy keys must survive eviction and
+    // sit inside eps*N with prob >= 1-delta (generous slack for the union
+    // of hash choices across the heavy set).
+    if (r.underestimates != 0) accuracy_ok = false;
+    if (r.heavy_keys > 0) {
+      const double found = static_cast<double>(r.heavy_found);
+      const double in_bound = static_cast<double>(r.heavy_in_bound);
+      const double total = static_cast<double>(r.heavy_keys);
+      if (found / total < 0.9) accuracy_ok = false;
+      if (found > 0 && in_bound / found < 1.0 - delta - 0.05) accuracy_ok = false;
+    }
+  }
+  for (const DistinctResult& d : distinct) {
+    if (d.engine == "exact") {
+      if (d.false_positives != 0) accuracy_ok = false;  // exact is exact
+    } else if (d.fp_rate() > 3.0 * bloom_spec.eps + 1e-4) {
+      accuracy_ok = false;
+    }
+  }
+  bool memory_ok = true;
+  for (const ReduceTier& r : reduce) {
+    if (r.sketch_bytes > cap_bytes) memory_ok = false;
+  }
+  for (const DistinctResult& d : distinct) {
+    if (d.engine != "exact" && d.bytes > cap_bytes) memory_ok = false;
+  }
+  const bool perf_ok = smoke || perf.ratio() <= 1.3;
+
+  // --- JSON ---------------------------------------------------------------
+  std::ofstream json("BENCH_sketch.json");
+  json << "{\n  \"bench\": \"sketch_ablation\",\n";
+  json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  char hdr[160];
+  std::snprintf(hdr, sizeof hdr,
+                "  \"eps\": %g,\n  \"delta\": %g,\n  \"cap_bytes\": %" PRIu64
+                ",\n  \"hardware_threads\": %u,\n",
+                eps, delta, cap_bytes, std::thread::hardware_concurrency());
+  json << hdr;
+  json << "  \"reduce\": [\n";
+  for (std::size_t i = 0; i < reduce.size(); ++i) {
+    const ReduceTier& r = reduce[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"keys\": %" PRIu64 ", \"total_weight\": %" PRIu64
+                  ", \"sketch_ns_per_update\": %.2f, \"exact_ns_per_update\": %.2f, "
+                  "\"sketch_bytes\": %" PRIu64 ", \"exact_bytes\": %" PRIu64
+                  ", \"exact_measured\": %s, \"heavy_keys\": %" PRIu64
+                  ", \"heavy_found\": %" PRIu64 ", \"heavy_in_bound\": %" PRIu64
+                  ", \"underestimates\": %" PRIu64 ", \"drained\": %" PRIu64 "}%s\n",
+                  r.keys, r.total_weight, r.sketch_ns, r.exact_ns, r.sketch_bytes,
+                  r.exact_bytes, r.exact_measured ? "true" : "false", r.heavy_keys,
+                  r.heavy_found, r.heavy_in_bound, r.underestimates, r.drained,
+                  i + 1 == reduce.size() ? "" : ",");
+    json << buf;
+  }
+  json << "  ],\n  \"distinct\": [\n";
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    const DistinctResult& d = distinct[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"engine\": \"%s\", \"keys\": %" PRIu64 ", \"fp_rate\": %.6f, "
+                  "\"bytes\": %" PRIu64 ", \"ns_per_insert\": %.2f}%s\n",
+                  d.engine.c_str(), d.keys, d.fp_rate(), d.bytes, d.ns_per_insert,
+                  i + 1 == distinct.size() ? "" : ",");
+    json << buf;
+  }
+  json << "  ],\n";
+  {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "  \"exact_path\": {\"engine_ns_per_update\": %.2f, "
+                  "\"flat_ns_per_update\": %.2f, \"ratio\": %.3f},\n",
+                  perf.engine_ns, perf.direct_ns, perf.ratio());
+    json << buf;
+  }
+  json << "  \"gate\": {\"accuracy_ok\": " << (accuracy_ok ? "true" : "false")
+       << ", \"perf_ok\": " << (perf_ok ? "true" : "false")
+       << ", \"memory_ok\": " << (memory_ok ? "true" : "false") << "}\n}\n";
+  std::printf("Wrote BENCH_sketch.json\n");
+
+  if (!accuracy_ok) {
+    std::fprintf(stderr, "GATE FAILURE: sketch estimates outside the eps/delta envelope\n");
+    return 1;
+  }
+  if (!memory_ok) {
+    std::fprintf(stderr, "GATE FAILURE: sketch memory exceeded its fixed cap\n");
+    return 3;
+  }
+  if (!perf_ok) {
+    std::fprintf(stderr, "GATE FAILURE: exact engine ns/update regressed vs bare flat table\n");
+    return 2;
+  }
+  return 0;
+}

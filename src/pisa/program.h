@@ -29,6 +29,10 @@ struct TableSpec {
 struct RegisterSizing {
   std::size_t entries = 1024;  // n
   int depth = 1;               // d
+  // Back this op's registers with a HashPipe heavy-hitter pipeline instead
+  // of an exact d-way chain: fixed memory, never overflows to the SP,
+  // evicted weight tracked as an error bound (sketched queries only).
+  bool sketch = false;
 };
 
 struct ProgramResources {

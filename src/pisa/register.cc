@@ -3,17 +3,13 @@
 #include <algorithm>
 #include <cassert>
 
+#include "state/engine.h"  // state::apply_reduce
+
 namespace sonata::pisa {
 
 std::uint64_t apply_reduce(query::ReduceFn fn, std::uint64_t current,
                            std::uint64_t delta) noexcept {
-  switch (fn) {
-    case query::ReduceFn::kSum: return current + delta;
-    case query::ReduceFn::kMax: return std::max(current, delta);
-    case query::ReduceFn::kMin: return std::min(current, delta);
-    case query::ReduceFn::kBitOr: return current | delta;
-  }
-  return current;
+  return state::apply_reduce(fn, current, delta);
 }
 
 RegisterChain::RegisterChain(const RegisterChainConfig& cfg)
@@ -22,12 +18,28 @@ RegisterChain::RegisterChain(const RegisterChainConfig& cfg)
               cfg.hash_seed != 0 ? cfg.hash_seed : 0x5eed5eed5eed5eedULL) {
   assert(cfg_.entries_per_register > 0);
   assert(cfg_.depth >= 1);
+  if (cfg_.hashpipe) {
+    hp_ = std::make_unique<state::HashPipeChain>(state::HashPipeConfig{
+        .entries_per_stage = cfg_.entries_per_register,
+        .stages = cfg_.depth,
+        .hash_seed = cfg_.hash_seed,
+    });
+    return;
+  }
   registers_.assign(static_cast<std::size_t>(cfg_.depth),
                     std::vector<Slot>(cfg_.entries_per_register));
 }
 
 RegisterChain::UpdateResult RegisterChain::update(const query::Tuple& key, std::uint64_t delta,
                                                   query::ReduceFn fn) {
+  if (hp_) {
+    const auto r = hp_->update(key, delta, fn);
+    return {.stored = true,
+            .newly_inserted = r.newly_inserted,
+            .overflow = false,  // hashpipe never overflows; see evicted_weight()
+            .probes = r.probes,
+            .value = r.value};
+  }
   const std::uint64_t fp = key.hash();
   for (std::size_t d = 0; d < registers_.size(); ++d) {
     Slot& slot = registers_[d][hashes_.index(d, fp, cfg_.entries_per_register)];
@@ -61,6 +73,11 @@ RegisterChain::UpdateResult RegisterChain::update(const query::Tuple& key, std::
 }
 
 std::optional<std::uint64_t> RegisterChain::read(const query::Tuple& key) const {
+  // HashPipe note: read/mark_reported need the reduce fn to merge a key
+  // split across stages; sum is the fold every switch-compiled reduce and
+  // distinct register uses at this boundary's call sites (value_bits=1
+  // distinct slots hold 1s, so sum == presence).
+  if (hp_) return hp_->read(key, query::ReduceFn::kSum);
   const std::uint64_t fp = key.hash();
   for (std::size_t d = 0; d < registers_.size(); ++d) {
     const Slot& slot = registers_[d][hashes_.index(d, fp, cfg_.entries_per_register)];
@@ -70,6 +87,7 @@ std::optional<std::uint64_t> RegisterChain::read(const query::Tuple& key) const 
 }
 
 bool RegisterChain::mark_reported(const query::Tuple& key) {
+  if (hp_) return hp_->mark_reported(key);
   const std::uint64_t fp = key.hash();
   for (std::size_t d = 0; d < registers_.size(); ++d) {
     Slot& slot = registers_[d][hashes_.index(d, fp, cfg_.entries_per_register)];
@@ -83,6 +101,7 @@ bool RegisterChain::mark_reported(const query::Tuple& key) {
 }
 
 std::vector<std::pair<query::Tuple, std::uint64_t>> RegisterChain::entries() const {
+  if (hp_) return hp_->entries();  // may repeat a key; the SP reduce merges
   std::vector<std::pair<query::Tuple, std::uint64_t>> out;
   out.reserve(stored_);
   for (const auto& reg : registers_) {
@@ -94,6 +113,10 @@ std::vector<std::pair<query::Tuple, std::uint64_t>> RegisterChain::entries() con
 }
 
 void RegisterChain::reset() {
+  if (hp_) {
+    hp_->reset();
+    return;
+  }
   for (auto& reg : registers_) {
     for (auto& slot : reg) slot = Slot{};
   }

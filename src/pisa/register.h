@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "query/ops.h"
 #include "query/tuple.h"
+#include "state/hashpipe.h"
 #include "util/hash.h"
 
 namespace sonata::pisa {
@@ -28,6 +30,12 @@ struct RegisterChainConfig {
   // default. Settable so fault injection can model an adversarially (or
   // just unluckily) seeded hardware hash (DESIGN.md "Fault model").
   std::uint64_t hash_seed = 0;
+  // HashPipe mode (sketched queries): the d arrays become a d-stage
+  // heavy-hitter pipeline that never overflows to the SP — stage 1 always
+  // inserts, evictions carry down, and weight that falls off the last
+  // stage is tracked as an error bound instead of being corrected
+  // (state/hashpipe.h). Exact mode is the default.
+  bool hashpipe = false;
 };
 
 class RegisterChain {
@@ -61,8 +69,20 @@ class RegisterChain {
   // Clear all slots (the driver resets registers between windows).
   void reset();
 
-  [[nodiscard]] std::uint64_t keys_stored() const noexcept { return stored_; }
+  [[nodiscard]] std::uint64_t keys_stored() const noexcept {
+    return hp_ ? hp_->stored() : stored_;
+  }
   [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflows_; }
+
+  // HashPipe mode accessors (zero in exact mode): weight and key count
+  // evicted past the last stage this window — the measured error bound.
+  [[nodiscard]] bool sketch() const noexcept { return hp_ != nullptr; }
+  [[nodiscard]] std::uint64_t evicted_weight() const noexcept {
+    return hp_ ? hp_->evicted_weight() : 0;
+  }
+  [[nodiscard]] std::uint64_t evicted_keys() const noexcept {
+    return hp_ ? hp_->evicted_keys() : 0;
+  }
 
   // Total register memory this chain occupies: d * n * (key + value bits).
   [[nodiscard]] std::uint64_t total_bits() const noexcept;
@@ -81,7 +101,8 @@ class RegisterChain {
 
   RegisterChainConfig cfg_;
   util::HashFamily hashes_;
-  std::vector<std::vector<Slot>> registers_;  // [depth][entries]
+  std::vector<std::vector<Slot>> registers_;  // [depth][entries], exact mode
+  std::unique_ptr<state::HashPipeChain> hp_;  // hashpipe mode
   std::uint64_t stored_ = 0;
   std::uint64_t overflows_ = 0;
 };

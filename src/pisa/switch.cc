@@ -66,6 +66,7 @@ CompiledSwitchQuery::CompiledSwitchQuery(const query::StreamNode& node, Options 
         rc.key_bits = stateful_key_bits(node_, i);
         rc.value_bits = 32;
         rc.hash_seed = opts_.hash_seed;
+        rc.hashpipe = rs.sketch;
         cop.chain = std::make_unique<RegisterChain>(rc);
         // Fold the following threshold filter, if present and included in
         // the partition.
@@ -211,7 +212,10 @@ std::vector<CompiledSwitchQuery::StatefulOpStats> CompiledSwitchQuery::stateful_
                    .keys_stored = cop.chain->keys_stored(),
                    .slots = static_cast<std::uint64_t>(rc.entries_per_register) *
                             static_cast<std::uint64_t>(rc.depth),
-                   .overflows = cop.chain->overflow_count()});
+                   .overflows = cop.chain->overflow_count(),
+                   .sketch = cop.chain->sketch(),
+                   .evicted_weight = cop.chain->evicted_weight(),
+                   .evicted_keys = cop.chain->evicted_keys()});
   }
   return out;
 }
@@ -269,6 +273,8 @@ void Switch::init_obs_handles() {
 
   obs_.occupancy.clear();
   obs_.occupancy.reserve(pipelines_.size());
+  obs_.evicted.clear();
+  obs_.evicted.reserve(pipelines_.size());
   obs_.probe_pub.assign(pipelines_.size() * (CompiledSwitchQuery::kProbeTallyMax + 1), 0);
   // Baselines snapshot the *current* cumulative counters, not zero: a
   // pipeline reused across a plan swap (and a Switch reinstalled in place)
@@ -289,6 +295,7 @@ void Switch::init_obs_handles() {
   for (const auto& p : pipelines_) {
     const auto& o = p->options();
     std::vector<obs::Gauge*> per_op;
+    std::vector<obs::Gauge*> per_op_evicted;
     for (const auto& s : p->stateful_op_stats()) {
       const std::pair<std::string_view, std::string> labels[] = {
           sw,
@@ -299,8 +306,12 @@ void Switch::init_obs_handles() {
       per_op.push_back(&reg.gauge(obs::labeled("sonata_pisa_register_occupancy", labels)));
       reg.gauge(obs::labeled("sonata_pisa_register_slots", labels))
           .set(static_cast<std::int64_t>(s.slots));
+      per_op_evicted.push_back(
+          s.sketch ? &reg.gauge(obs::labeled("sonata_pisa_hashpipe_evicted_weight", labels))
+                   : nullptr);
     }
     obs_.occupancy.push_back(std::move(per_op));
+    obs_.evicted.push_back(std::move(per_op_evicted));
   }
 }
 
@@ -322,6 +333,9 @@ void Switch::publish_obs() {
     const auto stats = p.stateful_op_stats();
     for (std::size_t s = 0; s < stats.size() && s < obs_.occupancy[i].size(); ++s) {
       obs_.occupancy[i][s]->set(static_cast<std::int64_t>(stats[s].keys_stored));
+      if (obs::Gauge* g = obs_.evicted[i][s]) {
+        g->set(static_cast<std::int64_t>(stats[s].evicted_weight));
+      }
     }
     const auto tally = p.probe_tally();
     std::uint64_t* pub = &obs_.probe_pub[i * tally.size()];

@@ -164,6 +164,11 @@ class CompiledSwitchQuery {
     std::uint64_t keys_stored = 0;
     std::uint64_t slots = 0;  // total capacity: entries_per_register * depth
     std::uint64_t overflows = 0;
+    // HashPipe mode: weight/keys evicted past the last stage this window
+    // (the error bound standing in for overflow-to-SP correction).
+    bool sketch = false;
+    std::uint64_t evicted_weight = 0;
+    std::uint64_t evicted_keys = 0;
   };
   [[nodiscard]] std::vector<StatefulOpStats> stateful_op_stats() const;
 
@@ -302,6 +307,8 @@ class Switch {
     obs::Histogram* probe_depth = nullptr;
     // Parallel to pipelines_; inner vector parallel to stateful_op_stats().
     std::vector<std::vector<obs::Gauge*>> occupancy;
+    // Same shape; non-null only for HashPipe-backed ops (evicted weight).
+    std::vector<std::vector<obs::Gauge*>> evicted;
     // Counters export deltas since the previous publish; these snapshot
     // the last-published cumulative totals.
     std::uint64_t packets_pub = 0;

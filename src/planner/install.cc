@@ -240,14 +240,30 @@ std::optional<Installed> ChainInstaller::install(const std::vector<int>& chain,
             (node->ops[op_idx].kind == query::OpKind::kDistinct ? 1 : 32);
         RegisterSizing rs;
         rs.depth = cfg_->register_depth;
-        const std::size_t want = pow2_at_least(std::max(
-            cfg_->min_register_entries,
-            static_cast<std::size_t>(cfg_->register_headroom * static_cast<double>(keys))));
         std::size_t cap = 1;
         while (cap * 2 * static_cast<std::uint64_t>(entry_bits) <=
                cfg_->switch_config.max_bits_per_register) {
           cap *= 2;
         }
+        if (q.state_spec().sketch() && node->ops[op_idx].kind == query::OpKind::kReduce) {
+          // Sketched reduce: HashPipe-backed registers are sized from the
+          // accuracy target, not the training cardinality — O(1/eps) slots
+          // catch every key heavier than eps * total weight regardless of
+          // how many distinct keys the window carries. HashPipe never
+          // overflows to the SP (evictions surface as a reported error
+          // bound), so no overflow_extra is priced in.
+          rs.sketch = true;
+          rs.depth = std::max(cfg_->register_depth, 2);  // d-stage pipeline
+          const double eps = std::max(q.state_spec().eps, 1e-6);
+          const std::size_t want = pow2_at_least(std::max(
+              cfg_->min_register_entries, static_cast<std::size_t>(2.0 / eps)));
+          rs.entries = std::min(want, cap);
+          sizing[op_idx] = rs;
+          continue;
+        }
+        const std::size_t want = pow2_at_least(std::max(
+            cfg_->min_register_entries,
+            static_cast<std::size_t>(cfg_->register_headroom * static_cast<double>(keys))));
         rs.entries = std::min(want, cap);
         sizing[op_idx] = rs;
         if (rs.entries < want && keys > 0) {
@@ -381,6 +397,7 @@ Plan assemble_plan(const PlannerConfig& cfg, std::vector<PlannedQuery> queries,
         };
         Query exec(pq.base->name() + "@L" + std::to_string(level), pq.base->id(),
                    pq.base->window(), clone(*pq.base->root()));
+        exec.set_state_spec(pq.base->state_spec());
         const std::string err = exec.validate();
         assert(err.empty());
         (void)err;

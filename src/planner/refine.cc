@@ -211,6 +211,7 @@ query::Query make_winner_query(const query::Query& base, int level,
   assert(root && "winner query with no surviving sources");
   query::Query out(base.name() + "@W" + std::to_string(level), base.id(), base.window(),
                    std::move(root));
+  out.set_state_spec(base.state_spec());
   const std::string err = out.validate();
   assert(err.empty() && "winner query failed validation");
   (void)err;

@@ -19,6 +19,8 @@ struct Token {
   Tok kind = Tok::kEnd;
   std::string text;        // ident (dotted) or string contents
   std::uint64_t number = 0;
+  double real = 0.0;       // valid when is_real (e.g. "0.01")
+  bool is_real = false;
   int line = 1;
   int column = 1;
 };
@@ -119,6 +121,20 @@ class Lexer {
       const auto [next, ec] = std::from_chars(begin, end, value);
       if (ec != std::errc{}) error("bad number");
       while (text_.data() + pos_ < next) bump();
+      // Decimal literal (0.01): a '.' followed by a digit extends the
+      // number. Used by the `state sketch(eps=.., delta=..)` annotation;
+      // expression literals stay integral.
+      if (look() == '.' && std::isdigit(static_cast<unsigned char>(look(1)))) {
+        double real = 0.0;
+        const auto [rnext, rec] = std::from_chars(begin, end, real);
+        if (rec != std::errc{}) error("bad decimal number");
+        while (text_.data() + pos_ < rnext) bump();
+        current_.kind = Tok::kNumber;
+        current_.number = value;
+        current_.real = real;
+        current_.is_real = true;
+        return;
+      }
       // Time suffix "s" handled by the query-header parser via idents; a
       // bare trailing 's' binds to the number (e.g. "3s").
       if (look() == 's') {
@@ -308,7 +324,69 @@ class Parser {
     return decl;
   }
 
-  // query NAME id N [window Ns] [refinable true|false] [tenant NAME] { STREAM }
+  // state exact | state sketch([eps=E][, delta=D][, capacity=N][, cm|cs][, bloom|cuckoo])
+  bool parse_state_spec(StateSpec* spec) {
+    const auto v = expect_ident("'exact' or 'sketch'");
+    if (!v) return false;
+    if (*v == "exact") {
+      *spec = StateSpec{};
+      return true;
+    }
+    if (*v != "sketch") {
+      error("state must be 'exact' or 'sketch(...)'");
+      return false;
+    }
+    spec->kind = StateSpec::Kind::kSketch;
+    if (!accept(Tok::kLParen)) return true;  // defaults
+    if (!accept(Tok::kRParen)) {
+      do {
+        const auto param = expect_ident("sketch parameter");
+        if (!param) return false;
+        if (*param == "eps" || *param == "delta") {
+          if (!expect(Tok::kAssign, "'='")) return false;
+          if (lex_.peek().kind != Tok::kNumber) {
+            error("expected a number for '" + *param + "'");
+            return false;
+          }
+          const Token t = lex_.take();
+          const double value = t.is_real ? t.real : static_cast<double>(t.number);
+          if (!(value > 0.0) || !(value < 1.0)) {
+            error("'" + *param + "' must be in (0, 1)");
+            return false;
+          }
+          (*param == "eps" ? spec->eps : spec->delta) = value;
+        } else if (*param == "capacity") {
+          if (!expect(Tok::kAssign, "'='")) return false;
+          if (lex_.peek().kind != Tok::kNumber || lex_.peek().is_real) {
+            error("expected an integer for 'capacity'");
+            return false;
+          }
+          spec->capacity = lex_.take().number;
+          if (spec->capacity == 0) {
+            error("'capacity' must be positive");
+            return false;
+          }
+        } else if (*param == "cm") {
+          spec->family = StateSpec::Family::kCountMin;
+        } else if (*param == "cs") {
+          spec->family = StateSpec::Family::kCountSketch;
+        } else if (*param == "bloom") {
+          spec->membership = StateSpec::Membership::kBloom;
+        } else if (*param == "cuckoo") {
+          spec->membership = StateSpec::Membership::kCuckoo;
+        } else {
+          error("unknown sketch parameter '" + *param +
+                "' (want eps, delta, capacity, cm, cs, bloom, cuckoo)");
+          return false;
+        }
+      } while (accept(Tok::kComma));
+      if (!expect(Tok::kRParen, "')'")) return false;
+    }
+    return true;
+  }
+
+  // query NAME id N [window Ns] [refinable true|false] [tenant NAME]
+  //   [state exact|sketch(...)] { STREAM }
   std::optional<Query> parse_query(std::string* tenant) {
     const auto kw = expect_ident("'query'");
     if (!kw || *kw != "query") {
@@ -321,6 +399,7 @@ class Parser {
     QueryId qid = 0;
     util::Nanos window = util::seconds(3);
     bool refinable = true;
+    StateSpec state;
     for (;;) {
       if (lex_.peek().kind != Tok::kIdent) break;
       const std::string attr = lex_.peek().text;
@@ -358,6 +437,9 @@ class Parser {
           if (!v) return std::nullopt;
           *tenant = *v;
         }
+      } else if (attr == "state") {
+        lex_.take();
+        if (!parse_state_spec(&state)) return std::nullopt;
       } else {
         break;
       }
@@ -369,6 +451,7 @@ class Parser {
 
     Query q = std::move(*builder).build(*name, qid, window);
     q.set_refinable(refinable);
+    q.set_state_spec(state);
     if (const auto err = q.validate(); !err.empty()) {
       error("query '" + *name + "' failed validation: " + err);
       return std::nullopt;

@@ -20,6 +20,15 @@
 // contains(col, 'word'), prefix(col, bits), labels(col, n).
 // `refinable false` opts a query out of dynamic refinement.
 //
+// `state` picks the keyed-state engine for the query (default exact):
+//
+//   query superspreader id 2 window 3s state sketch(eps=0.02, delta=0.01) { ... }
+//
+// `sketch(...)` accepts eps / delta (decimals in (0,1)), capacity=N
+// (expected distinct keys, sizes membership filters), cm | cs
+// (count-min vs count-sketch for reduce), bloom | cuckoo (membership
+// filter for distinct). See query/state_spec.h for the semantics.
+//
 // Multi-tenant files declare switch budgets at top level and tag queries:
 //
 //   tenant ops budget stages=8 bits=1048576

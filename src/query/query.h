@@ -13,6 +13,7 @@
 
 #include "query/field.h"
 #include "query/ops.h"
+#include "query/state_spec.h"
 #include "util/time.h"
 
 namespace sonata::query {
@@ -68,6 +69,11 @@ class Query {
   [[nodiscard]] bool refinable() const noexcept { return refinable_; }
   void set_refinable(bool refinable) noexcept { refinable_ = refinable; }
 
+  // How keyed state (distinct/reduce, SP tables and switch registers) is
+  // materialized for this query. Defaults to exact; see query/state_spec.h.
+  [[nodiscard]] const StateSpec& state_spec() const noexcept { return state_spec_; }
+  void set_state_spec(const StateSpec& spec) noexcept { state_spec_ = spec; }
+
   // Type-checks the whole tree and computes per-operator schemas.
   // Returns an error message, or empty string on success.
   [[nodiscard]] std::string validate();
@@ -88,6 +94,7 @@ class Query {
   util::Nanos window_ = util::seconds(3);
   StreamNodePtr root_;
   bool refinable_ = true;
+  StateSpec state_spec_;
 };
 
 // Fluent builder mirroring the paper's syntax:

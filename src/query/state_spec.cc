@@ -1,0 +1,17 @@
+#include "query/state_spec.h"
+
+#include <cstdio>
+
+namespace sonata::query {
+
+std::string StateSpec::to_string() const {
+  if (kind == Kind::kExact) return "exact";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "sketch(eps=%g, delta=%g, capacity=%llu, %s, %s)", eps, delta,
+                static_cast<unsigned long long>(capacity),
+                family == Family::kCountMin ? "cm" : "cs",
+                membership == Membership::kBloom ? "bloom" : "cuckoo");
+  return buf;
+}
+
+}  // namespace sonata::query

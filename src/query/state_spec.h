@@ -1,0 +1,52 @@
+// Per-query keyed-state engine selection.
+//
+// A query may annotate how the runtime materializes its keyed state
+// (`distinct` membership sets, `reduce` aggregation tables, and the
+// switch register arrays the planner compiles them to):
+//
+//   state exact                      -- default: FlatTable / register arrays
+//   state sketch(eps=0.02, delta=0.01[, capacity=N][, cm|cs][, bloom|cuckoo])
+//
+// `exact` keeps bit-identical windows and memory linear in key
+// cardinality. `sketch` bounds memory independent of cardinality in
+// exchange for a quantified error: with probability at least 1-delta a
+// reduce estimate is within eps * (total aggregated weight) of the true
+// value, and a distinct membership test false-positives with rate at
+// most eps (keys are never lost, so distinct counts only ever
+// undercount). The planner uses the annotation as an accuracy knob:
+// sketched queries get cardinality-independent register sizing, letting
+// B&B place a chain where an exact table would blow the tenant's
+// register-bit budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sonata::query {
+
+struct StateSpec {
+  enum class Kind : std::uint8_t { kExact, kSketch };
+  // Frequency estimator backing sketched `reduce` state.
+  enum class Family : std::uint8_t { kCountMin, kCountSketch };
+  // Membership filter backing sketched `distinct` state.
+  enum class Membership : std::uint8_t { kBloom, kCuckoo };
+
+  Kind kind = Kind::kExact;
+  // Error bound: estimates are within eps*N (N = total weight) with
+  // probability >= 1-delta; membership false-positive rate <= eps.
+  double eps = 0.01;
+  double delta = 0.01;
+  // Expected distinct keys, used to size membership filters (a Bloom
+  // filter's bit budget is capacity * ln(1/eps) / ln^2(2)).
+  std::uint64_t capacity = 1u << 20;
+  Family family = Family::kCountMin;
+  Membership membership = Membership::kBloom;
+
+  [[nodiscard]] bool sketch() const noexcept { return kind == Kind::kSketch; }
+
+  friend bool operator==(const StateSpec&, const StateSpec&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace sonata::query

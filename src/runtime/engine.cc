@@ -43,7 +43,7 @@ planner::AdmissionDiagnostic no_control_plane() {
   planner::AdmissionDiagnostic d;
   d.code = planner::AdmissionDiagnostic::Code::kNoControlPlane;
   d.message =
-      "engine was built without a control plane (make_engine); use EngineBuilder for dynamic "
+      "engine was built without a control plane; use EngineBuilder for dynamic "
       "query admission";
   return d;
 }
@@ -211,15 +211,6 @@ EngineBuilder::build() {
   }
   engine->control_ = std::move(control);
   return engine;
-}
-
-std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan, const EngineOptions& opts) {
-  const std::size_t batch = std::max<std::size_t>(opts.batch_size, 1);
-  if (opts.switches <= 1 && opts.worker_threads == 0) {
-    return std::make_unique<Runtime>(std::move(plan), batch, opts.faults);
-  }
-  return std::make_unique<Fleet>(std::move(plan), std::max<std::size_t>(opts.switches, 1),
-                                 opts.worker_threads, batch, opts.faults);
 }
 
 }  // namespace sonata::runtime

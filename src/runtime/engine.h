@@ -62,8 +62,8 @@ class TelemetryEngine {
 
   // -- dynamic query control plane --------------------------------------
   // Stage a query submission/withdrawal; it takes effect at the next
-  // close_window(). Engines built without a control plane (the deprecated
-  // make_engine path) reject with kNoControlPlane.
+  // close_window(). Engines built without a control plane (directly
+  // constructed Runtime/Fleet) reject with kNoControlPlane.
   [[nodiscard]] util::Expected<QueryHandle, planner::AdmissionDiagnostic> submit(
       query::Query q, std::string_view tenant = {});
   [[nodiscard]] util::Expected<util::Ok, planner::AdmissionDiagnostic> withdraw(QueryHandle h);
@@ -154,21 +154,5 @@ class EngineBuilder {
   std::vector<std::pair<std::string, planner::TenantBudget>> tenants_;
   std::vector<Pending> pending_;
 };
-
-// Topology options for make_engine (deprecated — see EngineBuilder).
-struct EngineOptions {
-  std::size_t switches = 1;        // ingress switches sharing the plan
-  std::size_t worker_threads = 0;  // fleet workers; 0 = run in the caller
-  std::size_t batch_size = 256;    // data-path handoff granularity
-  fault::FaultSpec faults;         // deterministic fault injection
-};
-
-// Deprecated shim, kept for one release: builds the right driver for a
-// pre-planned Plan with NO control plane (submit/withdraw reject with
-// kNoControlPlane), and the plan's base queries must outlive the engine —
-// the exact footgun EngineBuilder exists to remove. New code should use
-// EngineBuilder.
-[[nodiscard]] std::unique_ptr<TelemetryEngine> make_engine(planner::Plan plan,
-                                                           const EngineOptions& opts = {});
 
 }  // namespace sonata::runtime

@@ -54,6 +54,8 @@ StreamProcessor::StreamProcessor(const planner::Plan& plan) : plan_(&plan) {
       le.in_counter = &reg.counter(obs::labeled("sonata_sp_tuples_in_total", labels));
       le.out_counter = &reg.counter(obs::labeled("sonata_sp_tuples_out_total", labels));
       le.state_gauge = &reg.gauge(obs::labeled("sonata_sp_reduce_state", labels));
+      le.state_bytes_gauge = &reg.gauge(obs::labeled("sonata_sp_state_bytes", labels));
+      le.state_error_gauge = &reg.gauge(obs::labeled("sonata_sp_state_error_bound", labels));
       qs.levels.push_back(std::move(le));
     }
     queries_.push_back(std::move(qs));
@@ -194,7 +196,10 @@ void StreamProcessor::close_levels(WindowStats& window,
       LevelExec& le = qs.levels[li];
       if (obs_on) {
         // Reduce-state peak for the window: read before end_window clears it.
-        le.state_gauge->set(static_cast<std::int64_t>(le.exec->stateful_entries()));
+        const state::StateUsage usage = le.exec->state_usage();
+        le.state_gauge->set(static_cast<std::int64_t>(usage.entries));
+        le.state_bytes_gauge->set(static_cast<std::int64_t>(usage.bytes));
+        le.state_error_gauge->set(static_cast<std::int64_t>(usage.error_bound));
         le.in_counter->add(le.tuples_in);
       }
       le.tuples_in = 0;

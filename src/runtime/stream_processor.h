@@ -214,6 +214,8 @@ class StreamProcessor {
     obs::Counter* in_counter = nullptr;
     obs::Counter* out_counter = nullptr;
     obs::Gauge* state_gauge = nullptr;
+    obs::Gauge* state_bytes_gauge = nullptr;
+    obs::Gauge* state_error_gauge = nullptr;  // summed eps*weight over sketched ops
   };
   struct QueryState {
     const planner::PlannedQuery* pq = nullptr;

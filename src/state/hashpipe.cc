@@ -1,0 +1,118 @@
+#include "state/hashpipe.h"
+
+#include <utility>
+
+#include "state/engine.h"
+
+namespace sonata::state {
+
+HashPipeChain::HashPipeChain(const HashPipeConfig& cfg)
+    : cfg_(cfg),
+      hashes_(static_cast<std::size_t>(cfg.stages),
+              cfg.hash_seed != 0 ? cfg.hash_seed : 0x5eed5eed5eed5eedULL),
+      stages_(static_cast<std::size_t>(cfg.stages),
+              std::vector<Slot>(cfg.entries_per_stage)) {}
+
+HashPipeChain::UpdateResult HashPipeChain::update(const query::Tuple& key, std::uint64_t delta,
+                                                  query::ReduceFn fn) {
+  UpdateResult r;
+  const std::uint64_t h = key.hash();
+
+  // Stage 1: always lands. Merge with itself, take an empty slot, or evict
+  // the occupant into the carry.
+  Slot& first = stages_[0][index(0, h)];
+  r.probes = 1;
+  if (!first.occupied) {
+    first.occupied = true;
+    first.reported = false;
+    first.hash = h;
+    first.key = key;
+    first.value = delta;
+    ++stored_;
+    r.newly_inserted = true;
+    r.value = delta;
+    return r;
+  }
+  if (first.hash == h && first.key == key) {
+    first.value = apply_reduce(fn, first.value, delta);
+    r.value = first.value;
+    return r;
+  }
+  Slot carry = std::exchange(first, Slot{true, false, h, key, delta});
+  ++stored_;  // the new key's residency; the carry keeps its own count below
+  r.newly_inserted = true;  // fresh stage-1 residency for this key
+  r.value = delta;
+
+  // Carry the evicted entry down the remaining stages.
+  for (int s = 1; s < cfg_.stages; ++s) {
+    ++r.probes;
+    Slot& slot = stages_[s][index(s, carry.hash)];
+    if (!slot.occupied) {
+      slot = std::move(carry);
+      return r;
+    }
+    if (slot.hash == carry.hash && slot.key == carry.key) {
+      slot.value = apply_reduce(fn, slot.value, carry.value);
+      slot.reported = slot.reported || carry.reported;
+      --stored_;  // two residencies of one key merged
+      return r;
+    }
+    if (carry.value > slot.value) std::swap(carry, slot);  // keep the larger
+  }
+  // Fell off the pipeline: the carry's weight becomes tracked error.
+  evicted_weight_ += carry.value;
+  ++evicted_keys_;
+  --stored_;
+  return r;
+}
+
+std::optional<std::uint64_t> HashPipeChain::read(const query::Tuple& key,
+                                                 query::ReduceFn fn) const {
+  const std::uint64_t h = key.hash();
+  std::optional<std::uint64_t> out;
+  for (int s = 0; s < cfg_.stages; ++s) {
+    const Slot& slot = stages_[s][index(s, h)];
+    if (!slot.occupied || slot.hash != h || !(slot.key == key)) continue;
+    out = out ? apply_reduce(fn, *out, slot.value) : slot.value;
+  }
+  return out;
+}
+
+bool HashPipeChain::mark_reported(const query::Tuple& key) {
+  const std::uint64_t h = key.hash();
+  bool found = false;
+  bool was_reported = false;
+  for (int s = 0; s < cfg_.stages; ++s) {
+    Slot& slot = stages_[s][index(s, h)];
+    if (!slot.occupied || slot.hash != h || !(slot.key == key)) continue;
+    found = true;
+    was_reported = was_reported || slot.reported;
+    slot.reported = true;
+  }
+  return found && !was_reported;
+}
+
+std::vector<std::pair<query::Tuple, std::uint64_t>> HashPipeChain::entries() const {
+  std::vector<std::pair<query::Tuple, std::uint64_t>> out;
+  out.reserve(static_cast<std::size_t>(stored_));
+  for (const auto& stage : stages_) {
+    for (const Slot& slot : stage) {
+      if (slot.occupied) out.emplace_back(slot.key, slot.value);
+    }
+  }
+  return out;
+}
+
+void HashPipeChain::reset() {
+  for (auto& stage : stages_) {
+    for (Slot& slot : stage) {
+      if (!slot.occupied) continue;
+      slot = Slot{};
+    }
+  }
+  stored_ = 0;
+  evicted_weight_ = 0;
+  evicted_keys_ = 0;
+}
+
+}  // namespace sonata::state

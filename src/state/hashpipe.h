@@ -1,0 +1,95 @@
+// HashPipe-style d-stage heavy-hitter pipeline for switch register
+// aggregation (PAPERS.md: "Heavy-Hitter Detection Entirely in the Data
+// Plane").
+//
+// Unlike the exact d-way RegisterChain, HashPipe never refuses a key:
+// stage 1 always inserts the incoming key (evicting any occupant), and the
+// evicted entry is carried down the remaining stages, at each one either
+// merging with its own key, taking an empty slot, or swapping with a
+// smaller-valued occupant ("keep the larger, carry the smaller"). A carry
+// that survives the last stage is dropped — its weight is accumulated in
+// evicted_weight(), turning PR 5's overflow-to-SP semantics into an error
+// bound the runtime reports instead of correcting.
+//
+// Consequences, tracked deliberately:
+//   - a key may be split across stages (duplicate slots); end-of-window
+//     entries() emits every slot and the stream processor's reduce merges
+//     them, so window aggregates only lose the evicted weight;
+//   - per-key totals are lower bounds: true_count - evicted_weight <=
+//     reported <= true_count, summed across a window;
+//   - heavy keys survive with high probability because eviction always
+//     prefers the smaller running value.
+//
+// Deterministic for a given input sequence (no randomness anywhere).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/ops.h"
+#include "query/tuple.h"
+#include "util/hash.h"
+
+namespace sonata::state {
+
+struct HashPipeConfig {
+  std::size_t entries_per_stage = 1024;
+  int stages = 2;
+  std::uint64_t hash_seed = 0;  // 0 keeps the HashFamily default
+};
+
+class HashPipeChain {
+ public:
+  explicit HashPipeChain(const HashPipeConfig& cfg);
+
+  struct UpdateResult {
+    bool newly_inserted = false;  // key took a fresh stage-1 slot
+    int probes = 0;               // stages touched by the carry walk
+    std::uint64_t value = 0;      // running value at the slot that absorbed the update
+  };
+
+  UpdateResult update(const query::Tuple& key, std::uint64_t delta, query::ReduceFn fn);
+
+  // Merged aggregate across every stage slot holding this key.
+  [[nodiscard]] std::optional<std::uint64_t> read(const query::Tuple& key,
+                                                  query::ReduceFn fn) const;
+
+  // Set the key's reported flag on every resident slot; returns true when
+  // no resident slot had it set (i.e. report now). False if absent.
+  bool mark_reported(const query::Tuple& key);
+
+  // All occupied (key, value) slots, stage-major (deterministic). May
+  // contain the same key more than once; callers merge.
+  [[nodiscard]] std::vector<std::pair<query::Tuple, std::uint64_t>> entries() const;
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t stored() const noexcept { return stored_; }
+  [[nodiscard]] std::uint64_t evicted_weight() const noexcept { return evicted_weight_; }
+  [[nodiscard]] std::uint64_t evicted_keys() const noexcept { return evicted_keys_; }
+  [[nodiscard]] const HashPipeConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    bool reported = false;
+    std::uint64_t hash = 0;
+    query::Tuple key;
+    std::uint64_t value = 0;
+  };
+
+  [[nodiscard]] std::size_t index(int stage, std::uint64_t hash) const noexcept {
+    return static_cast<std::size_t>(hashes_(static_cast<std::size_t>(stage), hash) %
+                                    cfg_.entries_per_stage);
+  }
+
+  HashPipeConfig cfg_;
+  util::HashFamily hashes_;
+  std::vector<std::vector<Slot>> stages_;  // [stage][entries]
+  std::uint64_t stored_ = 0;
+  std::uint64_t evicted_weight_ = 0;
+  std::uint64_t evicted_keys_ = 0;
+};
+
+}  // namespace sonata::state

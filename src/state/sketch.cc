@@ -1,0 +1,218 @@
+#include "state/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/hash.h"
+
+namespace sonata::state {
+
+namespace {
+
+// Clamp sketch widths so a pathological eps can't allocate unbounded
+// memory: [64, 16M] cells per row.
+constexpr std::uint64_t kMinWidth = 64;
+constexpr std::uint64_t kMaxWidth = 1ULL << 24;
+
+[[nodiscard]] std::size_t width_for(double cells) {
+  const auto want = static_cast<std::uint64_t>(std::ceil(cells));
+  return static_cast<std::size_t>(pow2_at_least(std::clamp(want, kMinWidth, kMaxWidth)));
+}
+
+[[nodiscard]] int depth_for(double delta, int lo, int hi) {
+  const int want = static_cast<int>(std::ceil(std::log(1.0 / delta)));
+  return std::clamp(want, lo, hi);
+}
+
+}  // namespace
+
+// --- CountMinSketch ---------------------------------------------------------
+
+CountMinSketch::CountMinSketch(double eps, double delta)
+    : width_(width_for(std::exp(1.0) / eps)),
+      mask_(width_ - 1),
+      depth_(depth_for(delta, 1, 8)),
+      seed_(0xc0117e57c0117e57ULL),
+      cells_(width_ * static_cast<std::size_t>(depth_), 0) {}
+
+std::size_t CountMinSketch::cell_index(int row, std::uint64_t hash) const noexcept {
+  const std::uint64_t h = util::hash_u64(hash, seed_ + static_cast<std::uint64_t>(row));
+  return static_cast<std::size_t>(row) * width_ + static_cast<std::size_t>(h & mask_);
+}
+
+void CountMinSketch::update(std::uint64_t hash, std::uint64_t delta, query::ReduceFn fn) {
+  for (int r = 0; r < depth_; ++r) {
+    std::uint64_t& cell = cells_[cell_index(r, hash)];
+    switch (fn) {
+      case query::ReduceFn::kSum: cell += delta; break;
+      case query::ReduceFn::kMax: cell = std::max(cell, delta); break;
+      case query::ReduceFn::kBitOr: cell |= delta; break;
+      case query::ReduceFn::kMin: break;  // unsupported; caller keeps exact state
+    }
+  }
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t hash, query::ReduceFn fn) const {
+  std::uint64_t est = fn == query::ReduceFn::kBitOr ? ~0ULL : ~0ULL;
+  for (int r = 0; r < depth_; ++r) {
+    const std::uint64_t cell = cells_[cell_index(r, hash)];
+    if (fn == query::ReduceFn::kBitOr) {
+      est &= cell;
+    } else {
+      est = std::min(est, cell);
+    }
+  }
+  return est;
+}
+
+void CountMinSketch::clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+// --- CountSketch ------------------------------------------------------------
+
+CountSketch::CountSketch(double eps, double delta)
+    : width_(width_for(3.0 / (eps * eps))),
+      mask_(width_ - 1),
+      depth_(depth_for(delta, 3, 9) | 1),  // odd for a well-defined median
+      seed_(0xc5c5c5c5c5c5c5c5ULL),
+      cells_(width_ * static_cast<std::size_t>(depth_), 0) {}
+
+void CountSketch::update(std::uint64_t hash, std::uint64_t delta) {
+  for (int r = 0; r < depth_; ++r) {
+    const std::uint64_t h = util::hash_u64(hash, seed_ + static_cast<std::uint64_t>(r));
+    // Low bits pick the cell, the top bit the sign — disjoint bit ranges of
+    // one strong mix act as independent functions.
+    const std::size_t idx = static_cast<std::size_t>(r) * width_ + (h & mask_);
+    const std::int64_t sign = (h >> 63) ? 1 : -1;
+    cells_[idx] += sign * static_cast<std::int64_t>(delta);
+  }
+}
+
+std::uint64_t CountSketch::estimate(std::uint64_t hash) const {
+  std::int64_t vals[9];
+  for (int r = 0; r < depth_; ++r) {
+    const std::uint64_t h = util::hash_u64(hash, seed_ + static_cast<std::uint64_t>(r));
+    const std::size_t idx = static_cast<std::size_t>(r) * width_ + (h & mask_);
+    const std::int64_t sign = (h >> 63) ? 1 : -1;
+    vals[r] = sign * cells_[idx];
+  }
+  std::nth_element(vals, vals + depth_ / 2, vals + depth_);
+  const std::int64_t med = vals[depth_ / 2];
+  return med > 0 ? static_cast<std::uint64_t>(med) : 0;
+}
+
+void CountSketch::clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+// --- BloomFilter ------------------------------------------------------------
+
+BloomFilter::BloomFilter(std::uint64_t capacity, double eps) {
+  // Optimal sizing: m = n * ln(1/eps) / ln^2(2) bits, k = (m/n) * ln(2).
+  constexpr double kLn2 = 0.6931471805599453;
+  const double bits_per_key = std::log(1.0 / eps) / (kLn2 * kLn2);
+  const double want_bits = std::max(512.0, static_cast<double>(capacity) * bits_per_key);
+  const std::uint64_t bits =
+      pow2_at_least(std::min<std::uint64_t>(static_cast<std::uint64_t>(want_bits), 1ULL << 33));
+  mask_ = bits - 1;
+  k_ = std::clamp(static_cast<int>(std::lround(bits_per_key * kLn2)), 1, 16);
+  words_.assign(bits / 64, 0);
+}
+
+bool BloomFilter::insert_new(std::uint64_t hash) {
+  const std::uint64_t h2 = util::mix64(hash ^ 0xb100f117e4b100f1ULL) | 1ULL;
+  bool was_present = true;
+  std::uint64_t h = hash;
+  for (int i = 0; i < k_; ++i, h += h2) {
+    const std::uint64_t bit = h & mask_;
+    std::uint64_t& word = words_[bit >> 6];
+    const std::uint64_t m = 1ULL << (bit & 63);
+    was_present = was_present && (word & m) != 0;
+    word |= m;
+  }
+  return !was_present;
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t hash) const {
+  const std::uint64_t h2 = util::mix64(hash ^ 0xb100f117e4b100f1ULL) | 1ULL;
+  std::uint64_t h = hash;
+  for (int i = 0; i < k_; ++i, h += h2) {
+    const std::uint64_t bit = h & mask_;
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+// --- CuckooFilter -----------------------------------------------------------
+
+CuckooFilter::CuckooFilter(std::uint64_t capacity, double eps) {
+  // 4-slot buckets at ~84% max load; fingerprint width covers the target
+  // false-positive rate (fp ~ 8/2^f per lookup with 2 buckets * 4 slots).
+  const std::uint64_t want = std::max<std::uint64_t>(16, capacity / 3);
+  buckets_ = static_cast<std::size_t>(pow2_at_least(std::min<std::uint64_t>(want, 1ULL << 28)));
+  mask_ = buckets_ - 1;
+  (void)eps;  // fingerprints are fixed 16-bit here; fp rate <= 8/65535 << any practical eps
+  slots_.assign(buckets_ * kSlotsPerBucket, 0);
+}
+
+std::uint16_t CuckooFilter::fingerprint(std::uint64_t hash) const noexcept {
+  const auto fp = static_cast<std::uint16_t>(util::mix64(hash) >> 48);
+  return fp == 0 ? 1 : fp;  // 0 marks an empty slot
+}
+
+std::size_t CuckooFilter::alt_bucket(std::size_t bucket, std::uint16_t fp) const noexcept {
+  return (bucket ^ static_cast<std::size_t>(util::hash_u64(fp, 0xc0c0f117e4ULL))) & mask_;
+}
+
+bool CuckooFilter::bucket_has(std::size_t bucket, std::uint16_t fp) const noexcept {
+  const std::size_t base = bucket * kSlotsPerBucket;
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (slots_[base + s] == fp) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::bucket_insert(std::size_t bucket, std::uint16_t fp) noexcept {
+  const std::size_t base = bucket * kSlotsPerBucket;
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (slots_[base + s] == 0) {
+      slots_[base + s] = fp;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::insert_new(std::uint64_t hash) {
+  std::uint16_t fp = fingerprint(hash);
+  const std::size_t i1 = static_cast<std::size_t>(hash) & mask_;
+  const std::size_t i2 = alt_bucket(i1, fp);
+  if (bucket_has(i1, fp) || bucket_has(i2, fp)) return false;
+  if (bucket_insert(i1, fp) || bucket_insert(i2, fp)) return true;
+  // Both buckets full: partial-key cuckoo eviction with a deterministic
+  // walk (replays must be reproducible).
+  std::size_t bucket = (rng_ & 1) ? i2 : i1;
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    rng_ = util::mix64(rng_ + 0x2545f4914f6cdd1dULL);
+    const std::size_t victim = bucket * kSlotsPerBucket + (rng_ & (kSlotsPerBucket - 1));
+    std::swap(fp, slots_[victim]);
+    bucket = alt_bucket(bucket, fp);
+    if (bucket_insert(bucket, fp)) return true;
+  }
+  ++overflows_;  // table saturated: key dropped (reported already-seen)
+  return false;
+}
+
+bool CuckooFilter::maybe_contains(std::uint64_t hash) const {
+  const std::uint16_t fp = fingerprint(hash);
+  const std::size_t i1 = static_cast<std::size_t>(hash) & mask_;
+  return bucket_has(i1, fp) || bucket_has(alt_bucket(i1, fp), fp);
+}
+
+void CuckooFilter::clear() {
+  std::fill(slots_.begin(), slots_.end(), 0);
+  overflows_ = 0;
+  rng_ = 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace sonata::state

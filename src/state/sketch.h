@@ -1,0 +1,147 @@
+// Probabilistic summaries backing the bounded-memory keyed-state engines
+// (DESIGN.md "Keyed-state engines").
+//
+// All structures key on a precomputed 64-bit tuple hash (the same hash the
+// exact FlatTable engines consume), derive their per-row/per-probe hashes
+// from it with seeded mixing, and are deterministic: the same insertion
+// sequence always produces the same state, so sketched runs replay
+// bit-identically even though their results are approximate.
+//
+//   CountMinSketch  -- reduce estimates for monotone fns (sum/max/bitor):
+//                      estimate <= true + eps*N with prob >= 1-delta.
+//   CountSketch     -- unbiased sum estimates (median of signed rows);
+//                      tighter on heavy-tailed streams, sum only.
+//   BloomFilter     -- distinct membership, false-positive rate <= eps,
+//                      never false-negative (distinct only undercounts).
+//   CuckooFilter    -- same contract, fingerprint-based, supports higher
+//                      load factors at equal eps.
+//
+// Memory for each is fixed at construction — independent of how many keys
+// the window actually carries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "query/ops.h"
+
+namespace sonata::state {
+
+// Smallest power of two >= n (n must be >= 1).
+[[nodiscard]] constexpr std::uint64_t pow2_at_least(std::uint64_t n) noexcept {
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+class CountMinSketch {
+ public:
+  CountMinSketch(double eps, double delta);
+
+  // Fold `delta` into every row's cell for this key. Supported fns: kSum,
+  // kMax, kBitOr (monotone merges with identity 0). kMin is not
+  // representable (zero-initialized cells absorb it); callers keep exact
+  // state for kMin.
+  void update(std::uint64_t hash, std::uint64_t delta, query::ReduceFn fn);
+
+  // Conservative estimate: min over rows (sum/max), AND over rows (bitor).
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t hash, query::ReduceFn fn) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return cells_.size() * sizeof(std::uint64_t); }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(int row, std::uint64_t hash) const noexcept;
+
+  std::size_t width_ = 0;  // power of two
+  std::uint64_t mask_ = 0;
+  int depth_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<std::uint64_t> cells_;  // [depth][width]
+};
+
+class CountSketch {
+ public:
+  CountSketch(double eps, double delta);
+
+  void update(std::uint64_t hash, std::uint64_t delta);
+
+  // Median of signed row estimates, clamped to >= 0 (aggregates here are
+  // unsigned counts).
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t hash) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return cells_.size() * sizeof(std::int64_t); }
+
+ private:
+  std::size_t width_ = 0;  // power of two
+  std::uint64_t mask_ = 0;
+  int depth_ = 0;  // odd, for the median
+  std::uint64_t seed_ = 0;
+  std::vector<std::int64_t> cells_;  // [depth][width]
+};
+
+class BloomFilter {
+ public:
+  BloomFilter(std::uint64_t capacity, double eps);
+
+  // Insert; returns true when the key was definitely absent before (a
+  // false positive at rate <= eps returns false for a genuinely new key).
+  bool insert_new(std::uint64_t hash);
+
+  [[nodiscard]] bool maybe_contains(std::uint64_t hash) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t bits() const noexcept { return mask_ + 1; }
+  [[nodiscard]] int hashes() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return words_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::uint64_t mask_ = 0;  // bits - 1, bits a power of two
+  int k_ = 1;
+  std::vector<std::uint64_t> words_;
+};
+
+class CuckooFilter {
+ public:
+  CuckooFilter(std::uint64_t capacity, double eps);
+
+  // Insert; returns true when the fingerprint was absent from both
+  // candidate buckets (new key). A full table counts an overflow and
+  // reports the key as already-seen (bounded undercount, see overflows()).
+  bool insert_new(std::uint64_t hash);
+
+  [[nodiscard]] bool maybe_contains(std::uint64_t hash) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t overflows() const noexcept { return overflows_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return slots_.size() * sizeof(std::uint16_t);
+  }
+
+ private:
+  static constexpr std::size_t kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 500;
+
+  [[nodiscard]] std::uint16_t fingerprint(std::uint64_t hash) const noexcept;
+  [[nodiscard]] std::size_t alt_bucket(std::size_t bucket, std::uint16_t fp) const noexcept;
+  [[nodiscard]] bool bucket_has(std::size_t bucket, std::uint16_t fp) const noexcept;
+  bool bucket_insert(std::size_t bucket, std::uint16_t fp) noexcept;
+
+  std::size_t buckets_ = 0;  // power of two
+  std::uint64_t mask_ = 0;
+  std::uint64_t rng_ = 0x9e3779b97f4a7c15ULL;  // deterministic eviction walk
+  std::uint64_t overflows_ = 0;
+  std::vector<std::uint16_t> slots_;  // buckets * kSlotsPerBucket, 0 = empty
+};
+
+}  // namespace sonata::state

@@ -3,7 +3,6 @@
 #include <cassert>
 
 #include "obs/metrics.h"
-#include "pisa/register.h"  // apply_reduce
 
 namespace sonata::stream {
 
@@ -54,7 +53,8 @@ using query::Schema;
 using query::StreamNode;
 using query::Tuple;
 
-ChainExecutor::ChainExecutor(const StreamNode& node) : node_(node) {
+ChainExecutor::ChainExecutor(const StreamNode& node, const query::StateSpec& spec)
+    : node_(node) {
   assert(node_.schemas.size() == node_.ops.size() + 1);
   ops_.reserve(node_.ops.size());
   for (std::size_t i = 0; i < node_.ops.size(); ++i) {
@@ -74,6 +74,7 @@ ChainExecutor::ChainExecutor(const StreamNode& node) : node_(node) {
         for (const auto& p : op.projections) bop.projections.push_back(p.expr->bind(in));
         break;
       case OpKind::kDistinct:
+        bop.seen.configure(spec);
         break;
       case OpKind::kReduce: {
         for (const auto& k : op.keys) {
@@ -85,6 +86,7 @@ ChainExecutor::ChainExecutor(const StreamNode& node) : node_(node) {
         assert(vidx);
         bop.value_idx = *vidx;
         bop.fn = op.fn;
+        bop.agg.configure(spec, op.fn);
         break;
       }
     }
@@ -127,15 +129,14 @@ void ChainExecutor::process(Tuple&& t, std::size_t i) {
         break;
       }
       case OpKind::kDistinct: {
-        if (!op.seen.insert(t, t.hash())) return;  // duplicate within window
+        if (!op.seen.insert_new(t, t.hash())) return;  // duplicate within window
         break;
       }
       case OpKind::kReduce: {
         Tuple key = query::project(t, op.key_idx);
         const std::uint64_t hash = key.hash();
         const std::uint64_t delta = t.at(op.value_idx).as_uint();
-        auto [slot, inserted] = op.agg.try_emplace(std::move(key), hash, delta);
-        if (!inserted) *slot = pisa::apply_reduce(op.fn, *slot, delta);
+        op.agg.update(std::move(key), hash, delta);
         return;  // consumed; flushed at window end
       }
     }
@@ -160,12 +161,11 @@ std::vector<Tuple> ChainExecutor::end_window() {
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     BoundOp& op = ops_[i];
     if (op.kind != OpKind::kReduce) continue;
-    for (auto& e : op.agg.entries()) {
-      Tuple out = std::move(e.key);
-      out.values.emplace_back(e.value);
+    op.agg.drain_and_clear([&](Tuple&& key, std::uint64_t value) {
+      Tuple out = std::move(key);
+      out.values.emplace_back(value);
       process(std::move(out), i + 1);
-    }
-    op.agg.clear();
+    });
   }
   for (auto& op : ops_) {
     op.seen.clear();
@@ -188,10 +188,11 @@ void ChainExecutor::publish_table_obs() {
         publish_one_table(op.entries.table(), probes, load);
         break;
       case OpKind::kDistinct:
-        publish_one_table(op.seen.table(), probes, load);
+        // Sketch engines have no probe loop; only exact tables tally.
+        if (auto* set = op.seen.exact_set()) publish_one_table(set->table(), probes, load);
         break;
       case OpKind::kReduce:
-        publish_one_table(op.agg, probes, load);
+        if (auto* map = op.agg.exact_map()) publish_one_table(*map, probes, load);
         break;
       default:
         break;
@@ -200,9 +201,25 @@ void ChainExecutor::publish_table_obs() {
 }
 
 std::uint64_t ChainExecutor::stateful_entries() const noexcept {
-  std::uint64_t n = 0;
-  for (const auto& op : ops_) n += op.seen.size() + op.agg.size();
-  return n;
+  return state_usage().entries;
+}
+
+state::StateUsage ChainExecutor::state_usage() const noexcept {
+  state::StateUsage u;
+  for (const auto& op : ops_) {
+    if (op.kind == OpKind::kDistinct) {
+      const auto ou = op.seen.usage();
+      u.entries += ou.entries;
+      u.bytes += ou.bytes;
+      u.error_bound += ou.error_bound;
+    } else if (op.kind == OpKind::kReduce) {
+      const auto ou = op.agg.usage();
+      u.entries += ou.entries;
+      u.bytes += ou.bytes;
+      u.error_bound += ou.error_bound;
+    }
+  }
+  return u;
 }
 
 bool ChainExecutor::set_filter_entries(const std::string& table_name,
@@ -219,10 +236,11 @@ bool ChainExecutor::set_filter_entries(const std::string& table_name,
   return found;
 }
 
-NodeExecutor::NodeExecutor(const StreamNode& node) : node_(node), chain_(node) {
+NodeExecutor::NodeExecutor(const StreamNode& node, const query::StateSpec& spec)
+    : node_(node), chain_(node, spec) {
   if (node.kind == StreamNode::Kind::kJoin) {
-    left_ = std::make_unique<NodeExecutor>(*node.left);
-    right_ = std::make_unique<NodeExecutor>(*node.right);
+    left_ = std::make_unique<NodeExecutor>(*node.left, spec);
+    right_ = std::make_unique<NodeExecutor>(*node.right, spec);
   }
 }
 
@@ -276,10 +294,19 @@ std::vector<Tuple> NodeExecutor::end_window() {
 }
 
 std::uint64_t NodeExecutor::stateful_entries() const noexcept {
-  std::uint64_t n = chain_.stateful_entries();
-  if (left_) n += left_->stateful_entries();
-  if (right_) n += right_->stateful_entries();
-  return n;
+  return state_usage().entries;
+}
+
+state::StateUsage NodeExecutor::state_usage() const noexcept {
+  state::StateUsage u = chain_.state_usage();
+  for (const NodeExecutor* child : {left_.get(), right_.get()}) {
+    if (child == nullptr) continue;
+    const auto cu = child->state_usage();
+    u.entries += cu.entries;
+    u.bytes += cu.bytes;
+    u.error_bound += cu.error_bound;
+  }
+  return u;
 }
 
 namespace {
@@ -294,7 +321,7 @@ void collect_source_executors(NodeExecutor* exec, std::vector<NodeExecutor*>& ou
 }  // namespace
 
 QueryExecutor::QueryExecutor(const query::Query& q) : query_(&q) {
-  root_ = std::make_unique<NodeExecutor>(*q.root());
+  root_ = std::make_unique<NodeExecutor>(*q.root(), q.state_spec());
   collect_source_executors(root_.get(), sources_);
 }
 
@@ -319,6 +346,8 @@ std::vector<Tuple> QueryExecutor::end_window() { return root_->end_window(); }
 std::uint64_t QueryExecutor::stateful_entries() const noexcept {
   return root_->stateful_entries();
 }
+
+state::StateUsage QueryExecutor::state_usage() const noexcept { return root_->state_usage(); }
 
 bool QueryExecutor::set_filter_entries(const std::string& table_name,
                                        std::vector<Tuple> entries) {

@@ -23,6 +23,8 @@
 
 #include "net/packet.h"
 #include "query/query.h"
+#include "query/state_spec.h"
+#include "state/engine.h"
 #include "util/flat_table.h"
 
 namespace sonata::stream {
@@ -30,8 +32,11 @@ namespace sonata::stream {
 class ChainExecutor {
  public:
   // Binds evaluators for all operators of `node` (which must be validated
-  // and outlive the executor).
-  explicit ChainExecutor(const query::StreamNode& node);
+  // and outlive the executor). `spec` selects the keyed-state engines for
+  // the chain's distinct/reduce operators (default: exact FlatTable path,
+  // bit-identical to pre-engine behavior).
+  explicit ChainExecutor(const query::StreamNode& node,
+                         const query::StateSpec& spec = {});
 
   // Run `t` through ops[entry..). Outputs reaching the chain end are
   // buffered for end_window().
@@ -54,6 +59,11 @@ class ChainExecutor {
   // — the SP-side analogue of register occupancy.
   [[nodiscard]] std::uint64_t stateful_entries() const noexcept;
 
+  // Entries plus actual memory footprint and the accumulated error bound —
+  // a sketch engine's occupancy gauge is meaningless without its (fixed)
+  // byte count, so the obs layer publishes both.
+  [[nodiscard]] state::StateUsage state_usage() const noexcept;
+
  private:
   struct BoundOp {
     query::OpKind kind = query::OpKind::kFilter;
@@ -66,10 +76,11 @@ class ChainExecutor {
     std::vector<std::size_t> key_idx;                 // reduce
     std::size_t value_idx = 0;
     query::ReduceFn fn = query::ReduceFn::kSum;
-    // per-window keyed state: flat open-addressing tables, capacity reused
-    // across windows (DESIGN.md "SP keyed state").
-    util::FlatSet seen;                   // distinct
-    util::FlatMap<std::uint64_t> agg;     // reduce
+    // per-window keyed state behind the engine facade: exact mode is the
+    // PR 4 flat table verbatim, sketch mode bounds memory (DESIGN.md
+    // "Keyed-state engines").
+    state::DistinctEngine seen;   // distinct
+    state::ReduceEngine agg;      // reduce
   };
 
   void process(query::Tuple&& t, std::size_t i);
@@ -86,7 +97,8 @@ class ChainExecutor {
 // chain.
 class NodeExecutor {
  public:
-  explicit NodeExecutor(const query::StreamNode& node);
+  explicit NodeExecutor(const query::StreamNode& node,
+                        const query::StateSpec& spec = {});
 
   [[nodiscard]] const query::StreamNode& node() const noexcept { return node_; }
   [[nodiscard]] ChainExecutor& chain() noexcept { return chain_; }
@@ -99,6 +111,7 @@ class NodeExecutor {
 
   // Keyed-state entries across this node's chain and all children.
   [[nodiscard]] std::uint64_t stateful_entries() const noexcept;
+  [[nodiscard]] state::StateUsage state_usage() const noexcept;
 
  private:
   const query::StreamNode& node_;
@@ -131,6 +144,7 @@ class QueryExecutor {
 
   // Keyed-state entries across the whole executor tree.
   [[nodiscard]] std::uint64_t stateful_entries() const noexcept;
+  [[nodiscard]] state::StateUsage state_usage() const noexcept;
 
   // Number of source entry points (DFS order). Delivery paths fed by an
   // untrusted wire bounds-check their source index against this.

@@ -25,7 +25,7 @@
 // Determinism. Drain order is the dense array's insertion order, which the
 // deterministic window-barrier merge makes identical across batch sizes
 // and thread counts — window outputs stay bit-identical regardless of
-// probe-order or capacity differences (DESIGN.md "SP keyed state").
+// probe-order or capacity differences (DESIGN.md "Keyed-state engines").
 #pragma once
 
 #include <bit>
@@ -101,6 +101,13 @@ class FlatTable {
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  // Heap footprint of the table's arrays (control bytes, slot indices,
+  // dense entries). Exact keyed-state memory grows with capacity; the obs
+  // layer reports this next to the sketch engines' fixed byte counts.
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return ctrl_.capacity() * sizeof(std::uint8_t) +
+           slot_.capacity() * sizeof(std::uint32_t) + entries_.capacity() * sizeof(Entry);
+  }
   [[nodiscard]] double load_factor() const noexcept {
     return cap_ == 0 ? 0.0
                      : static_cast<double>(entries_.size()) / static_cast<double>(cap_);
@@ -347,6 +354,7 @@ class FlatSet {
   [[nodiscard]] std::size_t size() const noexcept { return t_.size(); }
   [[nodiscard]] bool empty() const noexcept { return t_.empty(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return t_.capacity(); }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept { return t_.memory_bytes(); }
   [[nodiscard]] double load_factor() const noexcept { return t_.load_factor(); }
   void clear() noexcept { t_.clear(); }
   void reserve(std::size_t n) { t_.reserve(n); }

@@ -19,6 +19,7 @@
 #include "run_config.h"
 #include "runtime/control_plane.h"
 #include "runtime/engine.h"
+#include "runtime/runtime.h"
 #include "test_trace.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -210,11 +211,12 @@ TEST(AdmissionDiagnostics, OperatorErrorsAreStructured) {
   ASSERT_FALSE(bogus);
   EXPECT_EQ(bogus.error().code, AdmissionDiagnostic::Code::kUnknownHandle);
 
-  // The deprecated make_engine path has no control plane at all.
+  // A driver constructed directly around a pre-planned Plan (bypassing
+  // EngineBuilder) has no control plane at all.
   planner::Planner planner{planner::PlannerConfig{}};
   std::vector<query::Query> base{queries::make_ddos(sc.thresholds, window)};
-  auto legacy = make_engine(planner.plan(base, sc.trace));
-  auto no_cp = legacy->submit(queries::make_port_scan(sc.thresholds, window));
+  Runtime legacy(planner.plan(base, sc.trace));
+  auto no_cp = legacy.submit(queries::make_port_scan(sc.thresholds, window));
   ASSERT_FALSE(no_cp);
   EXPECT_EQ(no_cp.error().code, AdmissionDiagnostic::Code::kNoControlPlane);
 }

@@ -236,14 +236,13 @@ TEST(FaultWire, ZeroSpecIsBitIdenticalToNoInjection) {
   cfg.mode = PlanMode::kMaxDP;
   const Plan plan = Planner(cfg).plan(qs, scenario().trace);
 
-  EngineOptions plain;
-  plain.switches = 3;
-  plain.worker_threads = 2;
-  EngineOptions zeroed = plain;
-  zeroed.faults = fault::FaultSpec{};  // explicit default: no hooks armed
+  // A fleet with no faults() call must be bit-identical to one armed with
+  // an explicitly default (all-zero) spec.
+  Fleet plain(plan, 3, 2, 256);
+  Fleet zeroed(plan, 3, 2, 256, fault::FaultSpec{});  // explicit default: no hooks armed
 
-  const auto a = make_engine(plan, plain)->run_trace(scenario().trace);
-  const auto b = make_engine(plan, zeroed)->run_trace(scenario().trace);
+  const auto a = plain.run_trace(scenario().trace);
+  const auto b = zeroed.run_trace(scenario().trace);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t w = 0; w < a.size(); ++w) {
     SCOPED_TRACE("window " + std::to_string(w));

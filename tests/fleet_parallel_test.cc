@@ -217,18 +217,26 @@ TEST(FleetParallel, BatchedRuntimeMatchesPerPacketRuntime) {
   }
 }
 
-TEST(FleetParallel, MakeEnginePicksDriverFromTopology) {
-  std::vector<query::Query> qs;
-  qs.push_back(queries::make_newly_opened_tcp(scenario().thresholds, util::seconds(3)));
+TEST(FleetParallel, EngineBuilderPicksDriverFromTopology) {
   PlannerConfig cfg;
   cfg.mode = PlanMode::kMaxDP;
-  const Plan plan = Planner(cfg).plan(qs, scenario().trace);
+  const auto build = [&](std::size_t switches, std::size_t threads) {
+    auto built =
+        runtime::EngineBuilder()
+            .topology(switches, threads)
+            .planner(cfg)
+            .training(scenario().trace)
+            .admit(queries::make_newly_opened_tcp(scenario().thresholds, util::seconds(3)))
+            .build();
+    EXPECT_TRUE(built);
+    return std::move(*built);
+  };
 
-  const auto single = make_engine(plan);
+  const auto single = build(1, 0);
   EXPECT_NE(dynamic_cast<Runtime*>(single.get()), nullptr);
   EXPECT_EQ(single->data_plane_count(), 1u);
 
-  const auto fleet = make_engine(plan, {.switches = 4, .worker_threads = 2});
+  const auto fleet = build(4, 2);
   EXPECT_NE(dynamic_cast<Fleet*>(fleet.get()), nullptr);
   EXPECT_EQ(fleet->data_plane_count(), 4u);
 

@@ -337,26 +337,38 @@ void expect_identical_windows(const std::vector<WindowStats>& a,
 }
 
 TEST(ObsEngine, WindowsBitIdenticalWithObsOnOrOff) {
-  const Plan plan = small_plan();
   struct Config {
     std::size_t switches;
     std::size_t threads;
     std::size_t batch;
+  };
+  const auto build = [](const Config& cfg) {
+    PlannerConfig pc;
+    pc.mode = PlanMode::kMaxDP;
+    auto built =
+        runtime::EngineBuilder()
+            .topology(cfg.switches, cfg.threads)
+            .batch(cfg.batch)
+            .planner(pc)
+            .training(scenario().trace)
+            .admit(queries::make_newly_opened_tcp(scenario().thresholds, util::seconds(3)))
+            .admit(queries::make_ddos(scenario().thresholds, util::seconds(3)))
+            .build();
+    EXPECT_TRUE(built);
+    return std::move(*built);
   };
   for (const auto& cfg : {Config{1, 0, 1}, Config{1, 0, 256}, Config{4, 2, 64}}) {
     const std::string label = std::to_string(cfg.switches) + "sw/" +
                               std::to_string(cfg.threads) + "t/b" + std::to_string(cfg.batch);
     obs::set_enabled(false);
     obs::TraceRecorder::global().set_enabled(false);
-    const auto engine_off = runtime::make_engine(
-        plan, {.switches = cfg.switches, .worker_threads = cfg.threads, .batch_size = cfg.batch});
+    const auto engine_off = build(cfg);
     const auto off = engine_off->run_trace(scenario().trace);
 
     obs::set_enabled(true);
     obs::TraceRecorder::global().set_enabled(true);
     Registry::global().reset_values();
-    const auto engine_on = runtime::make_engine(
-        plan, {.switches = cfg.switches, .worker_threads = cfg.threads, .batch_size = cfg.batch});
+    const auto engine_on = build(cfg);
     const auto on = engine_on->run_trace(scenario().trace);
     obs::set_enabled(false);
     obs::TraceRecorder::global().set_enabled(false);
