@@ -9,18 +9,32 @@
 // them to the registry once per window, so the per-packet delta between
 // enabled and disabled is a handful of plain increments either way.
 //
-// Replays the same trace through the same plan with metrics disabled and
-// enabled, interleaved rep by rep so machine load drift hits both equally;
-// best-of-N per side. Asserts (a) overhead < 2% and (b) windows are
-// bit-identical with observability on or off. Exits nonzero on violation,
-// so CI can use it as a gate. Results land in BENCH_obs.json.
+// Three sides, interleaved rep by rep so machine load drift hits all
+// equally; best-of-N per side:
+//   disabled  everything off (baseline)
+//   metrics   registry enabled (the original gate)
+//   full      registry + event journal + report-latency stamping + a live
+//             introspection endpoint being scraped while the trace replays
+//             — the complete ISSUE-8 surface a production run would carry
+// Asserts (a) both overheads < 2% vs disabled and (b) windows are
+// bit-identical across all three sides. Exits nonzero on violation, so CI
+// can use it as a gate. Results land in BENCH_obs.json.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.h"
+#include "obs/http.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracing.h"
 #include "runtime/runtime.h"
@@ -48,6 +62,24 @@ bool identical_windows(const std::vector<runtime::WindowStats>& a,
     if (!(a[w].winners == b[w].winners)) return false;
   }
   return true;
+}
+
+// One GET against the local introspection endpoint, response discarded.
+void scrape_once(std::uint16_t port, const char* target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    std::string req = std::string("GET ") + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    (void)::send(fd, req.data(), req.size(), 0);
+    char buf[4096];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+  ::close(fd);
 }
 
 }  // namespace
@@ -79,15 +111,17 @@ int main(int argc, char** argv) {
               "best of %d interleaved replays per side\n\n",
               kBatch, trace.size(), kReps);
 
-  // Tracing stays off on both sides: the gate is metrics-enabled vs
-  // disabled (tracing spans are per window phase and amortize the same way,
-  // but they write under a mutex and have their own export path).
+  // Tracing stays off on every side: the gate is the always-on production
+  // surface (metrics, journal, latency, endpoint); tracing spans are per
+  // window phase, write under a mutex and have their own export path.
   obs::TraceRecorder::global().set_enabled(false);
 
   double best_off = 1e30;
   double best_on = 1e30;
+  double best_full = 1e30;
   std::vector<runtime::WindowStats> windows_off;
   std::vector<runtime::WindowStats> windows_on;
+  std::vector<runtime::WindowStats> windows_full;
   for (int rep = 0; rep < kReps; ++rep) {
     {
       obs::set_enabled(false);
@@ -109,45 +143,92 @@ int main(int argc, char** argv) {
       if (rep == 0) windows_on = std::move(w);
       obs::set_enabled(false);
     }
+    {
+      // Full surface: journal on, latency stamping live (implied by
+      // obs::set_enabled), and a scraper hammering the endpoint from
+      // another thread while the trace replays.
+      obs::set_enabled(true);
+      obs::Registry::global().reset_values();
+      obs::Journal::global().clear();
+      obs::Journal::global().set_enabled(true);
+      obs::IntrospectServer server;
+      const bool serving = server.start("127.0.0.1", 0).empty();
+      std::atomic<bool> stop_scraper{false};
+      std::thread scraper;
+      if (serving) {
+        scraper = std::thread([port = server.port(), &stop_scraper] {
+          while (!stop_scraper.load(std::memory_order_relaxed)) {
+            scrape_once(port, "/metrics");
+            scrape_once(port, "/journal?n=64");
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        });
+      }
+      runtime::Runtime rt(plan, kBatch);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto w = rt.run_trace(trace);
+      const auto t1 = std::chrono::steady_clock::now();
+      stop_scraper.store(true, std::memory_order_relaxed);
+      if (scraper.joinable()) scraper.join();
+      server.stop();
+      best_full = std::min(best_full, std::chrono::duration<double>(t1 - t0).count());
+      if (rep == 0) {
+        windows_full = std::move(w);
+        if (!serving) std::printf("warning: introspection server failed to start\n");
+      }
+      obs::Journal::global().set_enabled(false);
+      obs::Journal::global().clear();
+      obs::set_enabled(false);
+    }
   }
 
   const double pps_off = static_cast<double>(trace.size()) / best_off;
   const double pps_on = static_cast<double>(trace.size()) / best_on;
+  const double pps_full = static_cast<double>(trace.size()) / best_full;
   const double overhead_pct = (pps_off - pps_on) / pps_off * 100.0;
-  const bool identical = identical_windows(windows_off, windows_on);
+  const double overhead_full_pct = (pps_off - pps_full) / pps_off * 100.0;
+  const bool identical =
+      identical_windows(windows_off, windows_on) && identical_windows(windows_off, windows_full);
   const bool overhead_ok = overhead_pct < kMaxOverheadPct;
+  const bool overhead_full_ok = overhead_full_pct < kMaxOverheadPct;
 
   bench::print_table(
-      {"metrics", "packets/sec", "seconds", "overhead", "bit-identical"},
+      {"surface", "packets/sec", "seconds", "overhead", "bit-identical"},
       {{"disabled", std::to_string(static_cast<std::uint64_t>(pps_off)),
         std::to_string(best_off), "-", "-"},
-       {"enabled", std::to_string(static_cast<std::uint64_t>(pps_on)),
+       {"metrics", std::to_string(static_cast<std::uint64_t>(pps_on)),
         std::to_string(best_on),
-        std::to_string(overhead_pct).substr(0, 5) + "%", identical ? "yes" : "NO"}});
+        std::to_string(overhead_pct).substr(0, 5) + "%", identical ? "yes" : "NO"},
+       {"full", std::to_string(static_cast<std::uint64_t>(pps_full)),
+        std::to_string(best_full),
+        std::to_string(overhead_full_pct).substr(0, 5) + "%", identical ? "yes" : "NO"}});
 
   std::ofstream json("BENCH_obs.json");
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof buf,
                 "{\n  \"bench\": \"obs_overhead\",\n  \"packets\": %zu,\n"
                 "  \"reps\": %d,\n  \"batch\": %zu,\n"
                 "  \"pps_disabled\": %.0f,\n  \"pps_enabled\": %.0f,\n"
-                "  \"overhead_pct\": %.3f,\n  \"threshold_pct\": %.1f,\n"
+                "  \"pps_full\": %.0f,\n"
+                "  \"overhead_pct\": %.3f,\n  \"overhead_full_pct\": %.3f,\n"
+                "  \"threshold_pct\": %.1f,\n"
                 "  \"identical\": %s,\n  \"pass\": %s\n}\n",
-                trace.size(), kReps, kBatch, pps_off, pps_on, overhead_pct,
-                kMaxOverheadPct, identical ? "true" : "false",
-                overhead_ok && identical ? "true" : "false");
+                trace.size(), kReps, kBatch, pps_off, pps_on, pps_full, overhead_pct,
+                overhead_full_pct, kMaxOverheadPct, identical ? "true" : "false",
+                overhead_ok && overhead_full_ok && identical ? "true" : "false");
   json << buf;
   std::printf("\nWrote BENCH_obs.json\n");
 
   if (!identical) {
-    std::printf("FAIL: windows differ with metrics enabled\n");
+    std::printf("FAIL: windows differ across observability surfaces\n");
     return 1;
   }
-  if (!overhead_ok) {
-    std::printf("FAIL: overhead %.3f%% exceeds %.1f%% budget\n", overhead_pct, kMaxOverheadPct);
+  if (!overhead_ok || !overhead_full_ok) {
+    std::printf("FAIL: overhead metrics=%.3f%% full=%.3f%% exceeds %.1f%% budget\n", overhead_pct,
+                overhead_full_pct, kMaxOverheadPct);
     return 1;
   }
-  std::printf("PASS: overhead %.3f%% < %.1f%% budget, windows bit-identical\n", overhead_pct,
-              kMaxOverheadPct);
+  std::printf("PASS: overhead metrics=%.3f%% full=%.3f%% < %.1f%% budget, windows bit-identical\n",
+              overhead_pct, overhead_full_pct, kMaxOverheadPct);
   return 0;
 }

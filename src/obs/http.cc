@@ -1,0 +1,204 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace sonata::obs {
+namespace {
+
+void send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, int status, const char* reason, const char* content_type,
+                   std::string_view body) {
+  std::string head = "HTTP/1.1 ";
+  head += std::to_string(status);
+  head += ' ';
+  head += reason;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head);
+  send_all(fd, body);
+}
+
+}  // namespace
+
+bool parse_hostport(const std::string& spec, std::string& host, std::uint16_t& port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) return false;
+  unsigned long p = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') return false;
+    p = p * 10 + static_cast<unsigned long>(c - '0');
+    if (p > 65535) return false;
+  }
+  host = spec.substr(0, colon);
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+IntrospectServer::~IntrospectServer() { stop(); }
+
+std::string IntrospectServer::start(const std::string& host, std::uint16_t port) {
+  if (listen_fd_ >= 0) return "introspect server already running";
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return "introspect: cannot parse host '" + host + "' (use a dotted IPv4 address)";
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("introspect: socket: ") + std::strerror(errno);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::string("introspect: bind: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::string("introspect: listen: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return {};
+}
+
+void IntrospectServer::stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void IntrospectServer::set_health(HealthFn fn) {
+  std::lock_guard<std::mutex> lk(health_mu_);
+  health_ = std::move(fn);
+}
+
+void IntrospectServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void IntrospectServer::handle_connection(int fd) {
+  // Read until the end of headers or a small cap; we only need GET lines.
+  std::string req;
+  char buf[2048];
+  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = req.find("\r\n");
+  if (line_end == std::string::npos) return;
+  const std::string line = req.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp2 <= sp1) return;
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    send_response(fd, 405, "Method Not Allowed", "text/plain; charset=utf-8",
+                  "only GET is supported\n");
+    return;
+  }
+  std::string query;
+  if (const std::size_t q = target.find('?'); q != std::string::npos) {
+    query = target.substr(q + 1);
+    target.resize(q);
+  }
+
+  if (target == "/metrics") {
+    send_response(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                  Registry::global().snapshot().to_prometheus());
+  } else if (target == "/snapshot") {
+    send_response(fd, 200, "OK", "application/json",
+                  Registry::global().snapshot().to_json());
+  } else if (target == "/journal") {
+    std::size_t n = 256;
+    if (query.rfind("n=", 0) == 0) {
+      std::size_t parsed = 0;
+      bool any = false;
+      for (std::size_t i = 2; i < query.size(); ++i) {
+        const char c = query[i];
+        if (c < '0' || c > '9') break;
+        parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+        any = true;
+      }
+      if (any) n = parsed;
+    }
+    send_response(fd, 200, "OK", "application/json", Journal::global().to_json(n));
+  } else if (target == "/healthz") {
+    Health h;
+    {
+      std::lock_guard<std::mutex> lk(health_mu_);
+      if (health_) h = health_();
+    }
+    std::string body = "{\"status\":\"";
+    body += h.ok ? "ok" : "degraded";
+    body += "\"";
+    if (!h.detail.empty()) {
+      body += ",\"detail\":\"";
+      for (const char c : h.detail) {
+        body += (c >= 0x20 && c < 0x7f && c != '"' && c != '\\') ? c : '_';
+      }
+      body += "\"";
+    }
+    body += "}\n";
+    if (h.ok) {
+      send_response(fd, 200, "OK", "application/json", body);
+    } else {
+      send_response(fd, 503, "Service Unavailable", "application/json", body);
+    }
+  } else {
+    send_response(fd, 404, "Not Found", "text/plain; charset=utf-8", "not found\n");
+  }
+}
+
+}  // namespace sonata::obs

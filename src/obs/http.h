@@ -1,0 +1,67 @@
+// Minimal embedded HTTP/1.1 introspection endpoint (GET-only, one request
+// per connection) so a running sonata process is scrapeable live instead
+// of file-at-exit — the per-node export surface the multi-node fleet
+// direction (ROADMAP item 2) needs.
+//
+// Routes:
+//   /metrics       Prometheus text exposition of the global registry
+//   /snapshot      full metrics snapshot as JSON
+//   /journal?n=K   JSON tail of the event journal (default 256 events)
+//   /healthz       200 {"status":"ok"} or 503 with the degradation detail
+//                  (quarantined shards, backpressure) from the health probe
+//
+// The server owns one background thread: a poll(2)-driven accept loop that
+// serves each connection synchronously. Serialization (snapshot, journal
+// tail) happens on that thread, never on data-path threads, so scraping
+// cannot perturb window timing beyond the registry's existing atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sonata::obs {
+
+struct Health {
+  bool ok = true;
+  std::string detail;  // human-readable degradation reason when !ok
+};
+
+class IntrospectServer {
+ public:
+  using HealthFn = std::function<Health()>;
+
+  IntrospectServer() = default;
+  ~IntrospectServer();
+  IntrospectServer(const IntrospectServer&) = delete;
+  IntrospectServer& operator=(const IntrospectServer&) = delete;
+
+  // Bind `host:port` (port 0 picks an ephemeral port; see port()) and start
+  // the serving thread. Returns an empty string on success, else the error.
+  std::string start(const std::string& host, std::uint16_t port);
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // Probe consulted on each /healthz request (defaults to always-ok).
+  void set_health(HealthFn fn);
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::mutex health_mu_;
+  HealthFn health_;
+};
+
+// "HOST:PORT" -> {host, port}; returns false on a malformed spec.
+bool parse_hostport(const std::string& spec, std::string& host, std::uint16_t& port);
+
+}  // namespace sonata::obs

@@ -1,0 +1,349 @@
+#include "obs/journal.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/tracing.h"
+
+namespace sonata::obs {
+namespace {
+
+// Copy an event's bytes into/out of the atomic word array of a slot.
+void event_to_words(const JournalEvent& ev, std::uint64_t* words) noexcept {
+  std::memcpy(words, &ev, sizeof(ev));
+}
+void words_to_event(const std::uint64_t* words, JournalEvent& ev) noexcept {
+  std::memcpy(&ev, words, sizeof(ev));
+}
+
+}  // namespace
+
+const char* event_type_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::kNone: return "None";
+    case EventType::kPlanSwap: return "PlanSwap";
+    case EventType::kAdmissionAccepted: return "AdmissionAccepted";
+    case EventType::kAdmissionRejected: return "AdmissionRejected";
+    case EventType::kAdmissionWithdrawn: return "AdmissionWithdrawn";
+    case EventType::kReplanTriggered: return "ReplanTriggered";
+    case EventType::kReplanApplied: return "ReplanApplied";
+    case EventType::kShardQuarantined: return "ShardQuarantined";
+    case EventType::kShardResynced: return "ShardResynced";
+    case EventType::kFaultBurst: return "FaultBurst";
+    case EventType::kSketchBoundReport: return "SketchBoundReport";
+    case EventType::kWindowSummary: return "WindowSummary";
+  }
+  return "Unknown";
+}
+
+Journal& Journal::global() {
+  static Journal j;
+  return j;
+}
+
+Journal::Journal() : rings_(std::make_unique<Ring[]>(kRings)) {
+  for (std::size_t r = 0; r < kRings; ++r) {
+    rings_[r].slots = std::make_unique<Slot[]>(kSlotsPerRing);
+  }
+}
+
+void Journal::emit(EventType type, std::uint64_t window_id, std::uint64_t query_id,
+                   std::uint32_t shard, std::int64_t a, std::int64_t b, std::int64_t c,
+                   std::string_view detail) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+
+  JournalEvent ev;
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ev.mono_ns = now_ns();
+  ev.window_id = window_id;
+  ev.query_id = query_id;
+  ev.shard = shard;
+  ev.type = type;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  // Sanitize so every reader (JSON exporters and the signal handler) can
+  // embed the string without escaping.
+  const std::size_t len = std::min(detail.size(), sizeof(ev.detail) - 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    const char ch = detail[i];
+    ev.detail[i] = (ch >= 0x20 && ch < 0x7f && ch != '"' && ch != '\\') ? ch : '_';
+  }
+  ev.detail[len] = '\0';
+
+  Ring& ring = rings_[shard_index() % kRings];
+  Slot& slot = ring.slots[ring.pos.fetch_add(1, std::memory_order_relaxed) % kSlotsPerRing];
+
+  std::uint64_t words[kEventWords];
+  event_to_words(ev, words);
+
+  // Seqlock write: mark in-progress (odd), publish payload, mark valid
+  // (even = 2*seq). The release fence orders the odd marker before the
+  // payload stores for readers that observed the slot mid-write.
+  slot.marker.store(2 * ev.seq - 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kEventWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.marker.store(2 * ev.seq, std::memory_order_release);
+}
+
+bool Journal::read_slot(const Slot& s, JournalEvent& out) noexcept {
+  const std::uint64_t m1 = s.marker.load(std::memory_order_acquire);
+  if (m1 == 0 || (m1 & 1) != 0) return false;
+  std::uint64_t words[kEventWords];
+  for (std::size_t i = 0; i < kEventWords; ++i) {
+    words[i] = s.words[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t m2 = s.marker.load(std::memory_order_relaxed);
+  if (m1 != m2) return false;
+  words_to_event(words, out);
+  return out.seq == m1 / 2;
+}
+
+std::vector<JournalEvent> Journal::tail(std::size_t n) const {
+  std::vector<JournalEvent> events;
+  events.reserve(capacity());
+  JournalEvent ev;
+  for (std::size_t r = 0; r < kRings; ++r) {
+    for (std::size_t i = 0; i < kSlotsPerRing; ++i) {
+      if (read_slot(rings_[r].slots[i], ev)) events.push_back(ev);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const JournalEvent& x, const JournalEvent& y) { return x.seq < y.seq; });
+  if (events.size() > n) events.erase(events.begin(), events.end() - static_cast<std::ptrdiff_t>(n));
+  return events;
+}
+
+void append_event_json(std::string& out, const JournalEvent& ev) {
+  out += "{\"seq\":";
+  out += std::to_string(ev.seq);
+  out += ",\"type\":\"";
+  out += event_type_name(ev.type);
+  out += "\",\"mono_ns\":";
+  out += std::to_string(ev.mono_ns);
+  out += ",\"window\":";
+  out += std::to_string(ev.window_id);
+  out += ",\"qid\":";
+  out += std::to_string(ev.query_id);
+  out += ",\"shard\":";
+  out += std::to_string(ev.shard);
+  out += ",\"a\":";
+  out += std::to_string(ev.a);
+  out += ",\"b\":";
+  out += std::to_string(ev.b);
+  out += ",\"c\":";
+  out += std::to_string(ev.c);
+  out += ",\"detail\":\"";
+  out += ev.detail;  // sanitized at emit
+  out += "\"}";
+}
+
+std::string Journal::to_json(std::size_t n) const {
+  const std::vector<JournalEvent> events = tail(n);
+  std::string out = "{\"events\":[";
+  bool first = true;
+  for (const JournalEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    append_event_json(out, ev);
+  }
+  out += "],\"emitted\":";
+  out += std::to_string(emitted());
+  out += ",\"capacity\":";
+  out += std::to_string(capacity());
+  out += "}";
+  return out;
+}
+
+void Journal::clear() noexcept {
+  for (std::size_t r = 0; r < kRings; ++r) {
+    rings_[r].pos.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kSlotsPerRing; ++i) {
+      Slot& s = rings_[r].slots[i];
+      for (std::size_t w = 0; w < kEventWords; ++w) {
+        s.words[w].store(0, std::memory_order_relaxed);
+      }
+      s.marker.store(0, std::memory_order_release);
+    }
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+// -- crash flight recorder ----------------------------------------------
+
+namespace {
+
+std::atomic<int> g_crash_fd{-1};
+
+// Double-buffered metrics snapshot. The packed publish word is
+// (count << 33) | (buf_index << 32) | len: the handler copies the indexed
+// buffer byte-by-byte, then re-reads the word — an unchanged value proves
+// the single writer did not wrap into that buffer mid-copy.
+constexpr std::size_t kMetricsBufCap = 128 * 1024;
+char g_metrics_buf[2][kMetricsBufCap];
+std::atomic<std::uint64_t> g_metrics_pub{0};
+char g_metrics_scratch[kMetricsBufCap];
+
+// Minimal buffered write(2) formatter; every method is async-signal-safe.
+struct FdWriter {
+  int fd;
+  char buf[512];
+  std::size_t used = 0;
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (off < used) {
+      const ssize_t n = ::write(fd, buf + off, used - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    used = 0;
+  }
+  void put(char c) noexcept {
+    if (used == sizeof(buf)) flush();
+    buf[used++] = c;
+  }
+  void str(const char* s) noexcept {
+    for (; *s; ++s) put(*s);
+  }
+  void u64(std::uint64_t v) noexcept {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+  void i64(std::int64_t v) noexcept {
+    if (v < 0) {
+      put('-');
+      u64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+};
+
+extern "C" void sonata_crash_handler(int sig) {
+  const int fd = g_crash_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) write_postmortem(fd, sig);
+  // SA_RESETHAND restored the default disposition; die with the signal so
+  // the parent still sees the crash.
+  ::raise(sig);
+}
+
+}  // namespace
+
+bool install_crash_handler(const char* path) {
+  // Force-init everything the handler touches so it never allocates: the
+  // journal singleton and the steady-clock epoch inside now_ns().
+  (void)Journal::global();
+  (void)now_ns();
+
+  const int fd = ::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  int expected = -1;
+  if (!g_crash_fd.compare_exchange_strong(expected, fd, std::memory_order_relaxed)) {
+    ::close(fd);  // already installed; keep the first fd
+    return true;
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = sonata_crash_handler;
+  sa.sa_flags = SA_RESETHAND;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+  return true;
+}
+
+bool crash_handler_installed() noexcept {
+  return g_crash_fd.load(std::memory_order_relaxed) >= 0;
+}
+
+void crash_store_metrics(std::string_view json) noexcept {
+  const std::uint64_t pub = g_metrics_pub.load(std::memory_order_relaxed);
+  const std::uint64_t count = pub >> 33;
+  const std::uint64_t idx = (count + 1) & 1;
+  const std::size_t len = std::min(json.size(), kMetricsBufCap);
+  std::memcpy(g_metrics_buf[idx], json.data(), len);
+  g_metrics_pub.store(((count + 1) << 33) | (idx << 32) | len, std::memory_order_release);
+}
+
+void write_postmortem(int fd, int sig) noexcept {
+  FdWriter w{fd};
+  w.str("{\"sonata_postmortem\":1,\"signal\":");
+  w.i64(sig);
+  w.str(",\"mono_ns\":");
+  w.u64(now_ns());
+
+  Journal& j = Journal::global();
+  w.str(",\"events_emitted\":");
+  w.u64(j.emitted());
+  w.str(",\"journal\":[");
+  bool first = true;
+  JournalEvent ev;
+  for (std::size_t r = 0; r < Journal::kRings; ++r) {
+    for (std::size_t i = 0; i < Journal::kSlotsPerRing; ++i) {
+      if (!Journal::read_slot(j.rings_[r].slots[i], ev)) continue;
+      if (!first) w.put(',');
+      first = false;
+      w.str("{\"seq\":");
+      w.u64(ev.seq);
+      w.str(",\"type\":\"");
+      w.str(event_type_name(ev.type));
+      w.str("\",\"mono_ns\":");
+      w.u64(ev.mono_ns);
+      w.str(",\"window\":");
+      w.u64(ev.window_id);
+      w.str(",\"qid\":");
+      w.u64(ev.query_id);
+      w.str(",\"shard\":");
+      w.u64(ev.shard);
+      w.str(",\"a\":");
+      w.i64(ev.a);
+      w.str(",\"b\":");
+      w.i64(ev.b);
+      w.str(",\"c\":");
+      w.i64(ev.c);
+      w.str(",\"detail\":\"");
+      w.str(ev.detail);
+      w.str("\"}");
+    }
+  }
+  w.str("],\"metrics\":");
+
+  // Copy-then-revalidate: if the packed publish word changed during the
+  // byte copy the writer wrapped into our buffer; retry once, then give up
+  // and emit null rather than torn JSON.
+  bool have_metrics = false;
+  for (int attempt = 0; attempt < 2 && !have_metrics; ++attempt) {
+    const std::uint64_t pub = g_metrics_pub.load(std::memory_order_acquire);
+    const std::size_t len = static_cast<std::size_t>(pub & 0xffffffffu);
+    const std::size_t idx = (pub >> 32) & 1;
+    if (pub == 0 || len == 0 || len > kMetricsBufCap) break;
+    for (std::size_t i = 0; i < len; ++i) g_metrics_scratch[i] = g_metrics_buf[idx][i];
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (g_metrics_pub.load(std::memory_order_relaxed) == pub) {
+      for (std::size_t i = 0; i < len; ++i) w.put(g_metrics_scratch[i]);
+      have_metrics = true;
+    }
+  }
+  if (!have_metrics) w.str("null");
+
+  w.str("}\n");
+  w.flush();
+}
+
+}  // namespace sonata::obs

@@ -1,0 +1,165 @@
+// Window-indexed event journal + crash flight recorder (DESIGN.md
+// "Observability").
+//
+// The metrics registry answers "how much"; the journal answers "what
+// happened around window W". It is a bounded, sharded ring of typed,
+// fixed-size structured events emitted from the control-plane paths of
+// every layer — plan swaps, admission decisions, replan trigger/apply,
+// shard quarantine/resync, fault bursts, sketch error-bound reports, and a
+// per-window summary. Every event carries {window_id, mono_ns, shard,
+// query_id} plus three type-specific integers and a short sanitized detail
+// string, so an operator (or the crash postmortem) can reconstruct a
+// cross-layer timeline without correlating log lines.
+//
+// Memory model: kRings rings of kSlotsPerRing fixed-size slots. A writer
+// claims a global sequence number and a slot (both relaxed fetch_adds; the
+// ring is picked by the caller's obs shard index, so concurrent emitters
+// rarely share a ring) and publishes the event under a per-slot seqlock:
+// marker = 2*seq-1 (odd, in progress) -> payload words (relaxed atomics)
+// -> marker = 2*seq (release). Readers copy the words and re-check the
+// marker, so a torn slot is skipped, never misread — which is exactly what
+// the async-signal-safe crash writer needs (no locks anywhere on the read
+// path). Events are control-plane-rate (per window / per admission), so
+// the emit cost is irrelevant to the data path; a disabled journal is one
+// relaxed load.
+//
+// Crash flight recorder: install_crash_handler(path) pre-opens the
+// postmortem fd and installs SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT
+// handlers. The handler writes one JSON document — signal, journal slots
+// (each with its seq; readers sort), and the last stored metrics snapshot
+// — using only write(2) and hand-rolled integer formatting, then re-raises
+// with the default disposition so the process still dies with the signal.
+// crash_store_metrics() double-buffers a pre-serialized snapshot once per
+// window on the driver thread, so the handler never serializes anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sonata::obs {
+
+enum class EventType : std::uint8_t {
+  kNone = 0,
+  kPlanSwap,           // a new plan version was installed at a window barrier
+  kAdmissionAccepted,  // control-plane submit admitted (query_id = handle)
+  kAdmissionRejected,  // submit rejected (a = diagnostic code)
+  kAdmissionWithdrawn, // withdraw applied (query_id = handle)
+  kReplanTriggered,    // overflow streak crossed the replan policy
+  kReplanApplied,      // auto-replan installed a fresh plan
+  kShardQuarantined,   // watchdog timed a shard out of the window barrier
+  kShardResynced,      // quarantined worker finished its recovery
+  kFaultBurst,         // injected faults landed during the window
+  kSketchBoundReport,  // a sketched (query, level) reported its error bound
+  kWindowSummary,      // per-window rollup (a=packets, b=tuples, c=detections)
+};
+[[nodiscard]] const char* event_type_name(EventType t) noexcept;
+
+// Fixed-size POD event. `detail` is NUL-terminated and sanitized at emit
+// (printable ASCII minus '"' and '\\'), so readers — including the signal
+// handler — can embed it in JSON verbatim.
+struct JournalEvent {
+  std::uint64_t seq = 0;      // global emit order, 1-based (0 = invalid)
+  std::uint64_t mono_ns = 0;  // obs::now_ns() at emit
+  std::uint64_t window_id = 0;
+  std::uint64_t query_id = 0;
+  std::uint32_t shard = 0;    // data-plane shard / switch index (0 when N/A)
+  EventType type = EventType::kNone;
+  std::uint8_t pad_[3] = {};
+  std::int64_t a = 0;  // type-specific payload
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  char detail[48] = {};
+};
+static_assert(sizeof(JournalEvent) % sizeof(std::uint64_t) == 0);
+
+class Journal {
+ public:
+  static constexpr std::size_t kRings = 4;
+  static constexpr std::size_t kSlotsPerRing = 512;
+
+  static Journal& global();
+
+  Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Record one event (no-op when disabled). Safe from any thread; never
+  // blocks. `detail` is truncated to the fixed slot and sanitized.
+  void emit(EventType type, std::uint64_t window_id, std::uint64_t query_id,
+            std::uint32_t shard, std::int64_t a = 0, std::int64_t b = 0, std::int64_t c = 0,
+            std::string_view detail = {}) noexcept;
+
+  // The most recent `n` retained events, ascending by seq. Skips slots a
+  // concurrent writer holds torn.
+  [[nodiscard]] std::vector<JournalEvent> tail(std::size_t n) const;
+
+  // {"events": [...], "emitted": N, "capacity": C} — the /journal endpoint
+  // body and the --journal-out file format.
+  [[nodiscard]] std::string to_json(std::size_t n) const;
+
+  // Total events emitted since start (retained or overwritten).
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept {
+    return kRings * kSlotsPerRing;
+  }
+
+  // Test/bench isolation only: wipes every slot and restarts the sequence.
+  // Not linearizable against concurrent writers.
+  void clear() noexcept;
+
+ private:
+  friend void write_postmortem(int fd, int sig) noexcept;
+
+  static constexpr std::size_t kEventWords = sizeof(JournalEvent) / sizeof(std::uint64_t);
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> marker{0};  // 0 empty, odd writing, even = 2*seq
+    std::atomic<std::uint64_t> words[kEventWords];
+  };
+  struct alignas(64) Ring {
+    std::atomic<std::uint64_t> pos{0};
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  // Seqlock-validated slot read; returns false (and leaves `out` torn) on
+  // an empty or in-flight slot. Lock-free and async-signal-safe.
+  static bool read_slot(const Slot& s, JournalEvent& out) noexcept;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::unique_ptr<Ring[]> rings_;
+};
+
+// Append one JSON object for `ev` to `out` (shared by to_json and tests).
+void append_event_json(std::string& out, const JournalEvent& ev);
+
+// -- crash flight recorder ----------------------------------------------
+
+// Pre-open `path` and install fatal-signal handlers that dump a postmortem
+// JSON document (journal slots + last stored metrics snapshot) before the
+// process dies with the original signal. Returns false when the file
+// cannot be opened. Safe to call once per process.
+bool install_crash_handler(const char* path);
+[[nodiscard]] bool crash_handler_installed() noexcept;
+
+// Store a pre-serialized metrics snapshot for the crash handler (double-
+// buffered; the handler copies then re-validates). Call from ONE thread —
+// the drivers store once per window. Truncated at 128 KiB.
+void crash_store_metrics(std::string_view json) noexcept;
+
+// The async-signal-safe postmortem writer itself, exposed so tests can dump
+// without an actual signal. Writes one JSON document to `fd` using only
+// write(2); journal events appear in slot order, each carrying its seq.
+void write_postmortem(int fd, int sig) noexcept;
+
+}  // namespace sonata::obs

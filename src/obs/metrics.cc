@@ -48,7 +48,17 @@ std::string labeled(std::string_view name,
     if (i) out.push_back(',');
     out += labels[i].first;
     out += "=\"";
-    out += labels[i].second;
+    // Prometheus label-value escaping: backslash, double quote, newline.
+    // The identity string is embedded verbatim by the exposition exporter,
+    // so it must already be escape-correct.
+    for (const char c : labels[i].second) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out.push_back(c);
+      }
+    }
     out.push_back('"');
   }
   out.push_back('}');
@@ -204,13 +214,52 @@ std::string Snapshot::to_json() const {
   return out;
 }
 
+namespace {
+
+// HELP text for the well-known metric families; families added by future
+// instrument sites fall back to a generic line rather than omitting HELP
+// (the exposition format expects HELP to precede TYPE for each family).
+std::string_view help_for(std::string_view base) {
+  struct Entry {
+    std::string_view base, help;
+  };
+  static constexpr Entry kHelp[] = {
+      {"sonata_windows_total", "Windows closed by the engine."},
+      {"sonata_windows_partial_total", "Windows closed with quarantined shards missing."},
+      {"sonata_window_phase_nanos_total", "Per-window wall time by processing phase."},
+      {"sonata_pisa_packets_total", "Packets processed by the switch data plane."},
+      {"sonata_pisa_emit_records_total", "Emit records produced by switch pipelines."},
+      {"sonata_sp_tuples_in_total", "Tuples entering a stream-processor level."},
+      {"sonata_sp_tuples_out_total", "Tuples a stream-processor level passed downstream."},
+      {"sonata_runtime_replans_total", "Auto-replans installed at window barriers."},
+      {"sonata_admission_accepted_total", "Control-plane submissions admitted."},
+      {"sonata_admission_rejected_total", "Control-plane submissions rejected."},
+      {"sonata_admission_withdrawn_total", "Control-plane withdrawals applied."},
+      {"sonata_trace_events_dropped_total",
+       "Trace events discarded after the recorder hit its event cap."},
+      {"sonata_report_latency_ns",
+       "End-to-end report latency from packet ingest to stream-processor delivery."},
+  };
+  for (const Entry& e : kHelp) {
+    if (e.base == base) return e.help;
+  }
+  return "Sonata telemetry metric.";
+}
+
+}  // namespace
+
 std::string Snapshot::to_prometheus() const {
   std::string out;
-  // The exposition format allows one TYPE line per metric family, not per
-  // series; labeled series of one family share a single header.
+  // The exposition format allows one HELP/TYPE pair per metric family, not
+  // per series; labeled series of one family share a single header.
   std::set<std::string_view> typed;
   const auto type_line = [&](std::string_view base, std::string_view kind) {
     if (!typed.insert(base).second) return;
+    out += "# HELP ";
+    out += base;
+    out.push_back(' ');
+    out += help_for(base);
+    out.push_back('\n');
     out += "# TYPE ";
     out += base;
     out.push_back(' ');

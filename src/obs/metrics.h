@@ -123,6 +123,23 @@ class Histogram {
     s.sum.fetch_add(v * n, std::memory_order_relaxed);
   }
 
+  // Merge a whole pre-bucketed tally in one shot: counts[i] adds to bucket
+  // i (le semantics, trailing +Inf last), `sum` to the running sum. This is
+  // how single-writer per-window tallies (report latency) publish without
+  // per-sample registry traffic. Extra entries beyond this histogram's
+  // bucket count fold into +Inf.
+  void merge_counts(std::span<const std::uint64_t> counts, std::uint64_t sum) noexcept {
+    if (!enabled()) return;
+    Shard& s = shards_[shard_index()];
+    const std::size_t nbuckets = bounds_.size() + 1;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const std::size_t b = i < nbuckets ? i : nbuckets - 1;
+      s.buckets[b].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+    if (sum != 0) s.sum.fetch_add(sum, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
   // Aggregated non-cumulative bucket counts (size bounds().size() + 1).
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;

@@ -33,8 +33,31 @@ TraceRecorder& TraceRecorder::global() {
 void TraceRecorder::record(const char* name, const char* cat, std::uint64_t start_ns,
                            std::uint64_t dur_ns) {
   if (!enabled()) return;
+  {
+    std::lock_guard lk(mu_);
+    if (max_events_ == 0 || events_.size() < max_events_) {
+      events_.push_back({name, cat, start_ns, dur_ns, this_thread_tid()});
+      return;
+    }
+  }
+  // Past the cap: keep the earliest spans (a run's warm-up and first
+  // windows are the interesting part of an OOM-length soak) and count the
+  // rest. The counter resolve is off the lock; drops are rare by design.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    static Counter& drops = Registry::global().counter("sonata_trace_events_dropped_total");
+    drops.add(1);
+  }
+}
+
+void TraceRecorder::set_max_events(std::size_t cap) {
   std::lock_guard lk(mu_);
-  events_.push_back({name, cat, start_ns, dur_ns, this_thread_tid()});
+  max_events_ = cap;
+}
+
+std::size_t TraceRecorder::max_events() const {
+  std::lock_guard lk(mu_);
+  return max_events_;
 }
 
 std::size_t TraceRecorder::size() const {
@@ -45,6 +68,7 @@ std::size_t TraceRecorder::size() const {
 void TraceRecorder::clear() {
   std::lock_guard lk(mu_);
   events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::string TraceRecorder::to_chrome_json() const {

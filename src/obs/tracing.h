@@ -44,9 +44,22 @@ class TraceRecorder {
   }
 
   // Record a completed span. `name` and `cat` must be string literals (the
-  // recorder stores the pointers).
+  // recorder stores the pointers). Once the event cap is reached further
+  // spans are counted as dropped instead of growing the buffer, so a long
+  // soak cannot run the process out of memory.
   void record(const char* name, const char* cat, std::uint64_t start_ns,
               std::uint64_t dur_ns);
+
+  // Cap on retained events (default kDefaultMaxEvents). 0 means unlimited.
+  // Also mirrors drops to sonata_trace_events_dropped_total when metrics
+  // are enabled.
+  void set_max_events(std::size_t cap);
+  [[nodiscard]] std::size_t max_events() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kDefaultMaxEvents = 262144;  // ~7 MB of spans
 
   [[nodiscard]] std::size_t size() const;
   void clear();
@@ -65,7 +78,9 @@ class TraceRecorder {
   };
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mu_;
+  std::size_t max_events_ = kDefaultMaxEvents;
   std::vector<Event> events_;
 };
 

@@ -46,6 +46,12 @@ struct EmitRecord {
   int level = 0;
   std::size_t op_index = 0;  // where the tuple (re-)enters the operator chain
   query::Tuple tuple;
+  // Ingest timestamp (obs::now_ns) of the packet/batch that produced this
+  // record; 0 when metrics are off. Feeds the per-(query, level) report
+  // latency histograms; never consulted by the data path itself, so it has
+  // no effect on window results. Kept last: the switch data path
+  // aggregate-initializes EmitRecord positionally without this field.
+  std::uint64_t ingest_ns = 0;
 };
 
 // Caller-owned arena for mirrored records — the batched data path's

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/journal.h"
+
 namespace sonata::runtime {
 
 using planner::AdmissionDiagnostic;
@@ -42,6 +44,10 @@ util::Expected<planner::AdmitId, AdmissionDiagnostic> ControlPlane::submit(
     d.tenant = std::string(tenant);
     d.message = "query \"" + q.name() + "\" has no operator tree";
     rejected_ctr_->add(1);
+    // Admissions have no window context; window_id 0 marks control-plane
+    // events that land between windows.
+    obs::Journal::global().emit(obs::EventType::kAdmissionRejected, 0, 0, 0,
+                                static_cast<std::int64_t>(d.code), 0, 0, q.name());
     return d;
   }
   // Idempotent for already-validated queries; a DSL front-end hands us
@@ -52,19 +58,27 @@ util::Expected<planner::AdmitId, AdmissionDiagnostic> ControlPlane::submit(
     d.tenant = std::string(tenant);
     d.message = "query \"" + q.name() + "\": " + err;
     rejected_ctr_->add(1);
+    obs::Journal::global().emit(obs::EventType::kAdmissionRejected, 0, 0, 0,
+                                static_cast<std::int64_t>(d.code), 0, 0, q.name());
     return d;
   }
   storage_.push_back(std::move(q));
   const auto it = std::prev(storage_.end());
   auto admitted = planner_.admit(*it, tenant);
   if (!admitted) {
+    const std::string rejected_name = it->name();
     storage_.erase(it);
     rejected_ctr_->add(1);
+    obs::Journal::global().emit(obs::EventType::kAdmissionRejected, 0, 0, 0,
+                                static_cast<std::int64_t>(admitted.error().code), 0, 0,
+                                rejected_name);
     return admitted.error();
   }
   owned_.emplace(*admitted, it);
   dirty_ = true;
   accepted_ctr_->add(1);
+  obs::Journal::global().emit(obs::EventType::kAdmissionAccepted, 0, *admitted, 0, 0, 0, 0,
+                              it->name());
   publish_tenant_gauges(tenant);
   return *admitted;
 }
@@ -86,6 +100,7 @@ util::Expected<util::Ok, AdmissionDiagnostic> ControlPlane::withdraw(planner::Ad
   owned_.erase(it);
   dirty_ = true;
   withdrawn_ctr_->add(1);
+  obs::Journal::global().emit(obs::EventType::kAdmissionWithdrawn, 0, id, 0, 0, 0, 0, tenant);
   publish_tenant_gauges(tenant);
   return util::Ok{};
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracing.h"
 #include "runtime/control_plane.h"
@@ -67,6 +68,10 @@ WindowStats TelemetryEngine::close_window() {
     apply_plan(std::move(next));
     control_->free_retired();
     w.plan_swapped = true;
+    obs::Journal::global().emit(obs::EventType::kPlanSwap, w.window_index, 0, 0,
+                                static_cast<std::int64_t>(plan().version),
+                                static_cast<std::int64_t>(plan().queries.size()), 0,
+                                "control-plane swap");
   }
   return w;
 }
@@ -90,7 +95,29 @@ WindowStats TelemetryEngine::process_window(std::span<const net::Packet> packets
   if (tracing) {
     obs::TraceRecorder::global().record("window", "window", start, obs::now_ns() - start);
   }
-  if (obs::enabled()) publish_window_obs(w);
+  std::size_t detections_for_journal = 0;
+  for (const auto& r : w.results) detections_for_journal += r.outputs.size();
+  if (obs::enabled()) {
+    publish_window_obs(w);
+    obs::Journal& journal = obs::Journal::global();
+    journal.emit(obs::EventType::kWindowSummary, w.window_index, 0, 0,
+                 static_cast<std::int64_t>(w.packets),
+                 static_cast<std::int64_t>(w.tuples_to_sp),
+                 static_cast<std::int64_t>(detections_for_journal),
+                 w.partial ? "partial" : "");
+    if (w.faults.total() > 0) {
+      journal.emit(obs::EventType::kFaultBurst, w.window_index, 0, 0,
+                   static_cast<std::int64_t>(w.faults.total()),
+                   static_cast<std::int64_t>(w.late_packets),
+                   static_cast<std::int64_t>(w.shed_packets));
+    }
+    // Keep the crash flight recorder's metrics page current: one snapshot
+    // serialization per window, on the driver thread, only when a handler
+    // is armed.
+    if (obs::crash_handler_installed()) {
+      obs::crash_store_metrics(obs::Registry::global().snapshot().to_json());
+    }
+  }
   if (w.partial) {
     SONATA_WARN("engine",
                 "window %llu closed PARTIAL: contribution_mask=0x%llx late=%llu shed=%llu",

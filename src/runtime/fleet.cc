@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/journal.h"
 #include "runtime/plan_install.h"
 #include "util/hash.h"
 
@@ -98,19 +99,30 @@ void Fleet::process_batch_on_shard(Shard& shard, std::span<const net::Packet> pa
       }
     }
     {
+      // One clock read per timed run stamps every record the run emits
+      // (arena residency until the window merge is the dominant latency
+      // component; the stamp is metadata only and never affects results).
+      const std::uint64_t ingest_ns = obs::enabled() ? obs::now_ns() : 0;
       obs::PhaseTimer t{shard.phases, obs::Phase::kCompute};
       for (std::size_t off = 0; off < run; off += kProcessChunk) {
         process_tuples_on_shard(
-            shard, {shard.tuple_scratch.data() + off, std::min(kProcessChunk, run - off)});
+            shard, {shard.tuple_scratch.data() + off, std::min(kProcessChunk, run - off)},
+            ingest_ns);
       }
     }
     packets = packets.subspan(run);
   }
 }
 
-void Fleet::process_tuples_on_shard(Shard& shard, std::span<Tuple> tuples) {
+void Fleet::process_tuples_on_shard(Shard& shard, std::span<Tuple> tuples,
+                                    std::uint64_t ingest_ns) {
   const std::uint64_t before = shard.sink.packets_with_records();
+  const std::size_t recs_before = shard.sink.size();
   shard.sw->process_batch(tuples, shard.sink);
+  if (ingest_ns != 0) {
+    const std::span<pisa::EmitRecord> recs = shard.sink.records();
+    for (std::size_t r = recs_before; r < recs.size(); ++r) recs[r].ingest_ns = ingest_ns;
+  }
   if (raw_mirror_) {
     shard.raw_mirror_packets += tuples.size();
     shard.tuples_to_sp += tuples.size();
@@ -126,7 +138,13 @@ void Fleet::process_legacy_on_shard(Shard& shard, const net::Packet& packet) {
   // accounting.
   const Tuple source = query::materialize_tuple(packet);
   const std::uint64_t before = shard.sink.packets_with_records();
+  const std::size_t recs_before = shard.sink.size();
   shard.sw->process_one(source, shard.sink);
+  if (obs::enabled() && shard.sink.size() > recs_before) {
+    const std::uint64_t now = obs::now_ns();
+    const std::span<pisa::EmitRecord> recs = shard.sink.records();
+    for (std::size_t r = recs_before; r < recs.size(); ++r) recs[r].ingest_ns = now;
+  }
   if (raw_mirror_) {
     ++shard.raw_mirror_packets;
     ++shard.tuples_to_sp;
@@ -169,6 +187,10 @@ bool Fleet::maybe_resync(Shard& shard) {
     shard.phases.reset();
     shard.sw->reset_all_registers();
   } while (!shard.resync_to.compare_exchange_strong(target, 0, std::memory_order_acq_rel));
+  // Worker-thread emit is fine: the journal ring is lock-free and sharded.
+  obs::Journal::global().emit(obs::EventType::kShardResynced,
+                              window_pub_.load(std::memory_order_relaxed), 0,
+                              static_cast<std::uint32_t>(shard.index));
   return true;
 }
 
@@ -353,8 +375,9 @@ void Fleet::flush_shard(std::size_t shard_index) {
   if (workers_.empty()) {
     if (shard.tuples_pending == 0) return;
     shard.packets_ctr->add(shard.tuples_pending);
+    const std::uint64_t ingest_ns = obs::enabled() ? obs::now_ns() : 0;
     obs::PhaseTimer t{driver_phases_, obs::Phase::kCompute};
-    process_tuples_on_shard(shard, {shard.tuple_scratch.data(), shard.tuples_pending});
+    process_tuples_on_shard(shard, {shard.tuple_scratch.data(), shard.tuples_pending}, ingest_ns);
     shard.tuples_pending = 0;
     return;
   }
@@ -427,6 +450,9 @@ void Fleet::drain_barrier() {
       current_.late_packets += late;
       injector_->note_watchdog_fire();
       injector_->note_late(late);
+      obs::Journal::global().emit(obs::EventType::kShardQuarantined, current_.window_index, 0,
+                                  static_cast<std::uint32_t>(i),
+                                  static_cast<std::int64_t>(late), 0, 0, "watchdog timeout");
       // enqueued > 0 here: unhealthy requires drained != enqueued (or a
       // prior resync still pending, whose target was itself > 0).
       s.resync_to.store(s.enqueued, std::memory_order_release);
@@ -439,6 +465,10 @@ void Fleet::drain_barrier() {
 }
 
 WindowStats Fleet::do_close_window() {
+  // Fix the closing window's index up front so journal events emitted
+  // during the barrier/close (quarantine, sketch bounds) carry it; the
+  // final increment below assigns the same value.
+  current_.window_index = window_counter_;
   {
     obs::PhaseTimer merge_timer{driver_phases_, obs::Phase::kMerge};
 
@@ -462,6 +492,9 @@ WindowStats Fleet::do_close_window() {
       if (overflow) ++current_.overflow_records;
       return true;
     };
+    // One delivery timestamp for the whole merge: every stamped record's
+    // (delivery - ingest) lands in the per-(query, level) latency tallies.
+    sp_->begin_delivery(obs::enabled() ? obs::now_ns() : 0);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       Shard& s = *shards_[i];
       if (quarantined_[i]) continue;  // lost window: worker resync wipes it

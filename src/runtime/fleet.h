@@ -191,8 +191,11 @@ class Fleet final : public TelemetryEngine {
   void process_batch_on_shard(Shard& shard, std::span<const net::Packet> packets);
   // Run already-materialized tuples through the shard's pipelines into its
   // emit arena, with per-batch tuple accounting. Consumes `tuples` in raw-
-  // mirror plans (moved into the shard's raw buffer).
-  void process_tuples_on_shard(Shard& shard, std::span<query::Tuple> tuples);
+  // mirror plans (moved into the shard's raw buffer). When `ingest_ns` is
+  // nonzero every record this call appends is stamped with it (report
+  // latency); callers read the clock once per timed run, not per chunk.
+  void process_tuples_on_shard(Shard& shard, std::span<query::Tuple> tuples,
+                               std::uint64_t ingest_ns = 0);
   // The pre-batching per-packet hot path, active when batch_size == 1 (the
   // equivalence baseline for the batched path).
   void process_legacy_on_shard(Shard& shard, const net::Packet& packet);

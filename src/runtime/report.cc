@@ -61,13 +61,14 @@ class Reader {
 
 std::vector<std::byte> encode_report(const pisa::EmitRecord& record) {
   std::vector<std::byte> out;
-  out.reserve(16 + record.tuple.size() * 9);
+  out.reserve(24 + record.tuple.size() * 9);
   put_u16(out, kReportMagic);
   put_u8(out, static_cast<std::uint8_t>(record.kind));
   put_u16(out, record.qid);
   put_u8(out, static_cast<std::uint8_t>(record.source_index));
   put_u16(out, static_cast<std::uint16_t>(record.level));
   put_u16(out, static_cast<std::uint16_t>(record.op_index));
+  put_u64(out, record.ingest_ns);
   put_u8(out, static_cast<std::uint8_t>(record.tuple.size()));
   for (const auto& v : record.tuple.values) {
     if (v.is_uint()) {
@@ -94,6 +95,7 @@ std::optional<pisa::EmitRecord> decode_report(std::span<const std::byte> data) {
   record.source_index = r.u8();
   record.level = static_cast<std::int16_t>(r.u16());
   record.op_index = r.u16();
+  record.ingest_ns = r.u64();
   const std::uint8_t ncols = r.u8();
   if (!r.ok()) return std::nullopt;
   record.tuple.values.reserve(ncols);

@@ -6,6 +6,7 @@
 #include <span>
 #include <utility>
 
+#include "obs/journal.h"
 #include "runtime/plan_install.h"
 
 namespace sonata::runtime {
@@ -90,11 +91,15 @@ void Runtime::ingest(const net::Packet& packet) {
   if (auto_replan_) history_.back().push_back(packet);
   if (batch_size_ == 1) {
     // Legacy per-packet path (the equivalence baseline): fresh tuple, one
-    // switch call, immediate delivery.
+    // switch call, immediate delivery (ingest == delivery, so the latency
+    // histogram records the floor bucket — delivery here is synchronous).
     const Tuple source = query::materialize_tuple(packet);
     sink_.clear();
     switch_->process_one(source, sink_);
+    const std::uint64_t now = obs::enabled() ? obs::now_ns() : 0;
+    sp_->begin_delivery(now);
     for (pisa::EmitRecord& rec : sink_.records()) {
+      rec.ingest_ns = now;
       ++total_records_;
       deliver_record(std::move(rec));
     }
@@ -107,6 +112,7 @@ void Runtime::ingest(const net::Packet& packet) {
     if (raw || !sink_.empty()) ++current_.tuples_to_sp;
     return;
   }
+  if (pending_used_ == 0 && obs::enabled()) pending_first_ns_ = obs::now_ns();
   if (pending_used_ == pending_tuples_.size()) pending_tuples_.emplace_back();
   query::materialize_tuple_into(packet, pending_tuples_[pending_used_++]);
   if (pending_used_ >= batch_size_) flush_pending();
@@ -129,6 +135,17 @@ void Runtime::flush_pending() {
     }
   }
   obs::PhaseTimer merge_timer{phase_accum_, obs::Phase::kMerge};
+  if (pending_first_ns_ != 0) {
+    // Stamp the whole batch's records with its first packet's ingest time
+    // and the merge start as the delivery time — one clock read per batch
+    // on each side, never per record. ingest_ns is metadata only; results
+    // are bit-identical with metrics on or off.
+    const std::uint64_t now = obs::now_ns();
+    for (pisa::EmitRecord& rec : sink_.records()) rec.ingest_ns = pending_first_ns_;
+    sp_->begin_delivery(now);
+  } else {
+    sp_->begin_delivery(0);
+  }
   for (pisa::EmitRecord& rec : sink_.records()) {
     ++total_records_;
     deliver_record(std::move(rec));
@@ -149,9 +166,15 @@ void Runtime::flush_pending() {
     current_.tuples_to_sp += sink_.packets_with_records();
   }
   pending_used_ = 0;
+  pending_first_ns_ = 0;
 }
 
 WindowStats Runtime::do_close_window() {
+  // Fix the closing window's index up front so journal events emitted
+  // during the close (replan, sketch bounds) carry it; the final increment
+  // below assigns the same value.
+  current_.window_index = window_counter_;
+
   // 0. Flush the tail batch so the window observes every ingested packet,
   //    and release a still-held (reordered) report — reordering never
   //    crosses a window boundary.
@@ -224,7 +247,12 @@ WindowStats Runtime::do_close_window() {
                                            : static_cast<double>(current_.overflow_records) /
                                                  static_cast<double>(processed);
     overflow_streak_ = fraction > replan_policy_.overflow_threshold ? overflow_streak_ + 1 : 0;
-    if (overflow_streak_ >= replan_policy_.consecutive_windows) replan_recommended_ = true;
+    if (overflow_streak_ >= replan_policy_.consecutive_windows && !replan_recommended_) {
+      replan_recommended_ = true;
+      obs::Journal::global().emit(obs::EventType::kReplanTriggered, current_.window_index, 0, 0,
+                                  static_cast<std::int64_t>(current_.overflow_records),
+                                  overflow_streak_, 0, "overflow streak");
+    }
   }
 
   // Acted-on re-planning: consume the recommendation by re-running the
@@ -246,6 +274,9 @@ WindowStats Runtime::do_close_window() {
       ++replans_;
       replans_ctr_->add(1);
       current_.plan_swapped = true;
+      obs::Journal::global().emit(obs::EventType::kReplanApplied, current_.window_index, 0, 0,
+                                  static_cast<std::int64_t>(replans_),
+                                  static_cast<std::int64_t>(training.size()), 0, "auto-replan");
     }
   }
   if (auto_replan_) {

@@ -181,6 +181,10 @@ class Runtime final : public TelemetryEngine {
   // are live; warm slots keep their value storage across batches.
   std::vector<query::Tuple> pending_tuples_;
   std::size_t pending_used_ = 0;
+  // Ingest timestamp of the current buffered batch's first packet (0 when
+  // metrics are off): one clock read per batch stamps every record the
+  // batch emits for the end-to-end latency histograms.
+  std::uint64_t pending_first_ns_ = 0;
   pisa::EmitSink sink_;  // reusable emit arena
 };
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/journal.h"
 #include "util/flat_table.h"
 
 namespace sonata::runtime {
@@ -56,6 +57,8 @@ StreamProcessor::StreamProcessor(const planner::Plan& plan) : plan_(&plan) {
       le.state_gauge = &reg.gauge(obs::labeled("sonata_sp_reduce_state", labels));
       le.state_bytes_gauge = &reg.gauge(obs::labeled("sonata_sp_state_bytes", labels));
       le.state_error_gauge = &reg.gauge(obs::labeled("sonata_sp_state_error_bound", labels));
+      le.latency_hist = &reg.histogram(obs::labeled("sonata_report_latency_ns", labels),
+                                       LatencyTally::kBounds);
       qs.levels.push_back(std::move(le));
     }
     queries_.push_back(std::move(qs));
@@ -112,6 +115,9 @@ bool StreamProcessor::deliver(const pisa::EmitRecord& rec) {
   const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
   if (src_idx < 0 || static_cast<std::size_t>(src_idx) >= le->exec->source_count()) return false;
   ++le->tuples_in;
+  if (delivery_now_ != 0 && rec.ingest_ns != 0) {
+    le->latency.note(delivery_now_ >= rec.ingest_ns ? delivery_now_ - rec.ingest_ns : 0);
+  }
   le->exec->ingest(src_idx, rec.tuple, rec.op_index);
   return true;
 }
@@ -124,6 +130,9 @@ bool StreamProcessor::deliver(pisa::EmitRecord&& rec) {
   const int src_idx = remap_source(rec.qid, rec.level, rec.source_index);
   if (src_idx < 0 || static_cast<std::size_t>(src_idx) >= le->exec->source_count()) return false;
   ++le->tuples_in;
+  if (delivery_now_ != 0 && rec.ingest_ns != 0) {
+    le->latency.note(delivery_now_ >= rec.ingest_ns ? delivery_now_ - rec.ingest_ns : 0);
+  }
   le->exec->ingest(src_idx, std::move(rec.tuple), rec.op_index);
   return true;
 }
@@ -201,7 +210,21 @@ void StreamProcessor::close_levels(WindowStats& window,
         le.state_bytes_gauge->set(static_cast<std::int64_t>(usage.bytes));
         le.state_error_gauge->set(static_cast<std::int64_t>(usage.error_bound));
         le.in_counter->add(le.tuples_in);
+        if (usage.error_bound > 0) {
+          obs::Journal::global().emit(obs::EventType::kSketchBoundReport, window.window_index,
+                                      pq.base->id(), 0,
+                                      static_cast<std::int64_t>(usage.entries),
+                                      static_cast<std::int64_t>(usage.bytes),
+                                      static_cast<std::int64_t>(usage.error_bound),
+                                      pq.base->name());
+        }
+        if (le.latency.n > 0) {
+          // One merge per window per (query, level): the whole tally lands
+          // in the registry histogram with two shard-local loops.
+          le.latency_hist->merge_counts(le.latency.counts, le.latency.sum);
+        }
       }
+      le.latency.reset();
       le.tuples_in = 0;
       std::vector<Tuple> outputs = le.exec->end_window();
       if (obs_on) le.out_counter->add(outputs.size());

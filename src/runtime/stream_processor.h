@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <span>
 #include <string>
@@ -204,7 +205,38 @@ class StreamProcessor {
 
   [[nodiscard]] const Emitter& emitter() const noexcept { return emitter_; }
 
+  // Set the delivery timestamp for the merge pass that follows: deliver()
+  // notes (now - rec.ingest_ns) for every stamped record into the owning
+  // level's latency tally. Drivers call this once per merge/flush, so the
+  // per-record cost is two plain adds — no clock read, no registry access.
+  // Pass 0 to disable (default).
+  void begin_delivery(std::uint64_t now_ns) noexcept { delivery_now_ = now_ns; }
+
  private:
+  // Per-(query, level) single-writer end-to-end latency tally, published to
+  // a registry histogram once per window at close_levels. Bucket bounds are
+  // shared with the registry histogram: 1us..1s decades.
+  struct LatencyTally {
+    static constexpr std::uint64_t kBounds[] = {1'000,      10'000,      100'000,    1'000'000,
+                                                10'000'000, 100'000'000, 1'000'000'000};
+    static constexpr std::size_t kBuckets = std::size(kBounds) + 1;
+    std::uint64_t counts[kBuckets] = {};
+    std::uint64_t sum = 0;
+    std::uint64_t n = 0;
+
+    void note(std::uint64_t latency_ns) noexcept {
+      std::size_t b = 0;
+      while (b < std::size(kBounds) && latency_ns > kBounds[b]) ++b;
+      ++counts[b];
+      sum += latency_ns;
+      ++n;
+    }
+    void reset() noexcept {
+      for (std::uint64_t& c : counts) c = 0;
+      sum = 0;
+      n = 0;
+    }
+  };
   struct LevelExec {
     int level = planner::kFinestIpLevel;
     std::unique_ptr<stream::QueryExecutor> exec;
@@ -216,6 +248,8 @@ class StreamProcessor {
     obs::Gauge* state_gauge = nullptr;
     obs::Gauge* state_bytes_gauge = nullptr;
     obs::Gauge* state_error_gauge = nullptr;  // summed eps*weight over sketched ops
+    LatencyTally latency;                     // ingest -> delivery, this window
+    obs::Histogram* latency_hist = nullptr;
   };
   struct QueryState {
     const planner::PlannedQuery* pq = nullptr;
@@ -238,6 +272,7 @@ class StreamProcessor {
   std::vector<QueryState> queries_;
   std::vector<RawFeed> raw_feeds_;
   Emitter emitter_;
+  std::uint64_t delivery_now_ = 0;  // see begin_delivery()
 };
 
 }  // namespace sonata::runtime

@@ -25,6 +25,7 @@ EmitRecord make_record(EmitRecord::Kind kind) {
   rec.source_index = 2;
   rec.level = 16;
   rec.op_index = 3;
+  rec.ingest_ns = 0x1122334455667788ULL;
   rec.tuple.values.emplace_back(std::uint64_t{0x0A00000200000001ULL});
   rec.tuple.values.emplace_back(std::uint64_t{53});
   return rec;
@@ -36,6 +37,7 @@ void expect_equal(const EmitRecord& a, const EmitRecord& b) {
   EXPECT_EQ(a.source_index, b.source_index);
   EXPECT_EQ(a.level, b.level);
   EXPECT_EQ(a.op_index, b.op_index);
+  EXPECT_EQ(a.ingest_ns, b.ingest_ns);
   EXPECT_EQ(a.tuple, b.tuple);
 }
 
@@ -108,8 +110,9 @@ TEST(Report, CorruptKindRejected) {
 TEST(Report, CorruptColumnTagRejected) {
   const EmitRecord rec = make_record(EmitRecord::Kind::kStream);
   auto bytes = encode_report(rec);
-  // First column tag sits right after the 11-byte header (magic..ncols).
-  bytes[11] = std::byte{0x02};  // only tags 0 (u64) and 1 (string) exist
+  // First column tag sits right after the 19-byte header (magic..ncols,
+  // including the 8-byte ingest timestamp).
+  bytes[19] = std::byte{0x02};  // only tags 0 (u64) and 1 (string) exist
   EXPECT_FALSE(decode_report(bytes).has_value());
 }
 

@@ -36,6 +36,12 @@ void print_run_usage(std::FILE* out) {
                "                   watchdog_ms shrink hash_seed)]\n"
                "                  [--metrics-json FILE] [--metrics-prom FILE]"
                " [--trace-out FILE]\n"
+               "                  [--introspect HOST:PORT (serve /metrics /snapshot /journal\n"
+               "                   /healthz live; the process lingers after the run until\n"
+               "                   SIGINT/SIGTERM)]\n"
+               "                  [--journal-out FILE (event-journal tail as JSON at exit)]\n"
+               "                  [--postmortem FILE (arm the crash flight recorder)]\n"
+               "                  [--crash-after N (raise SIGSEGV after N windows; test hook)]\n"
                "                  [--log-level debug|info|warn|error|off] [--verbose]\n");
 }
 
@@ -109,6 +115,20 @@ util::Expected<RunConfig, std::string> parse_run_config(int argc, const char* co
       if (auto r = string_flag(cfg.metrics_prom_path); !r) return r.error();
     } else if (arg == "--trace-out") {
       if (auto r = string_flag(cfg.trace_out_path); !r) return r.error();
+    } else if (arg == "--introspect") {
+      if (auto r = string_flag(cfg.introspect_hostport); !r) return r.error();
+      if (cfg.introspect_hostport.find(':') == std::string::npos) {
+        return std::string("--introspect wants HOST:PORT (e.g. 127.0.0.1:9100)");
+      }
+    } else if (arg == "--journal-out") {
+      if (auto r = string_flag(cfg.journal_out_path); !r) return r.error();
+    } else if (arg == "--postmortem") {
+      if (auto r = string_flag(cfg.postmortem_path); !r) return r.error();
+    } else if (arg == "--crash-after") {
+      const char* v = value();
+      if (!v) return "missing value for " + arg;
+      cfg.crash_after = std::strtoull(v, nullptr, 10);
+      if (cfg.crash_after == 0) return std::string("--crash-after must be >= 1");
     } else if (arg == "--log-level") {
       const char* v = value();
       if (!v) return "missing value for " + arg;

@@ -53,6 +53,15 @@ struct RunConfig {
   std::string metrics_json_path;
   std::string metrics_prom_path;
   std::string trace_out_path;
+  // Observability endpoints (ISSUE 8): --introspect HOST:PORT serves
+  // /metrics, /snapshot, /journal and /healthz live; --journal-out dumps
+  // the event-journal tail as JSON at exit; --postmortem arms the crash
+  // flight recorder; --crash-after N raises SIGSEGV after N windows (test
+  // hook for the postmortem path).
+  std::string introspect_hostport;
+  std::string journal_out_path;
+  std::string postmortem_path;
+  std::uint64_t crash_after = 0;  // 0 = never
   util::LogLevel log_level = util::LogLevel::kWarn;
   bool show_help = false;  // --help: caller prints usage and exits 0
 };

@@ -43,12 +43,27 @@
 // (per-window degradation budget; required for stalls), shrink/hash_seed
 // (register pressure). Injected faults are visible per window in the
 // engine log and cumulatively as sonata_fault_* metrics.
+//
+// Live introspection (ISSUE 8): `--introspect HOST:PORT` serves /metrics,
+// /snapshot, /journal and /healthz from a background thread while the run
+// is in flight, then lingers until SIGINT/SIGTERM so dashboards can scrape
+// the final state. `--journal-out FILE` dumps the event-journal tail as
+// JSON at exit; `--postmortem FILE` arms the crash flight recorder (on a
+// fatal signal the journal tail + last metrics snapshot are written there
+// before the process dies); `--crash-after N` raises SIGSEGV after N
+// windows — the test hook CI uses to exercise the postmortem path.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "net/pcap.h"
+#include "obs/http.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracing.h"
 #include "pisa/p4gen.h"
@@ -104,7 +119,47 @@ struct WindowTotals {
   std::uint64_t detections = 0;
 };
 
+// Shared run state the /healthz probe reads from the server thread while
+// the window loop writes it. Plain atomics; the probe only needs a
+// consistent-enough view of "is the fleet currently degraded".
+struct RunHealthState {
+  std::atomic<std::uint64_t> windows{0};
+  std::atomic<std::uint64_t> partial_windows{0};
+  std::atomic<bool> last_partial{false};
+  std::atomic<std::uint64_t> last_mask{0};
+  std::atomic<std::uint64_t> shed_packets{0};
+};
+RunHealthState g_health;
+
+// SIGINT/SIGTERM flips this so the --introspect linger loop exits.
+std::atomic<bool> g_interrupted{false};
+extern "C" void handle_stop_signal(int) { g_interrupted.store(true); }
+
+void note_window_health(const runtime::WindowStats& ws) {
+  g_health.windows.fetch_add(1, std::memory_order_relaxed);
+  g_health.last_partial.store(ws.partial, std::memory_order_relaxed);
+  g_health.last_mask.store(ws.contribution_mask, std::memory_order_relaxed);
+  if (ws.partial) g_health.partial_windows.fetch_add(1, std::memory_order_relaxed);
+  g_health.shed_packets.fetch_add(ws.shed_packets, std::memory_order_relaxed);
+}
+
+obs::Health probe_health() {
+  obs::Health h;
+  if (g_health.last_partial.load(std::memory_order_relaxed)) {
+    h.ok = false;
+    h.detail = "last window closed partial (contribution mask 0x";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(
+                      g_health.last_mask.load(std::memory_order_relaxed)));
+    h.detail += buf;
+    h.detail += ")";
+  }
+  return h;
+}
+
 void print_window(const runtime::WindowStats& ws, WindowTotals& totals) {
+  note_window_health(ws);
   totals.packets += ws.packets;
   totals.tuples += ws.tuples_to_sp;
   for (const auto& result : ws.results) {
@@ -186,8 +241,40 @@ int main(int argc, char** argv) {
     return 0;
   }
   util::set_log_level(cfg.log_level);
-  if (!cfg.metrics_json_path.empty() || !cfg.metrics_prom_path.empty()) obs::set_enabled(true);
+  const bool wants_journal = !cfg.introspect_hostport.empty() ||
+                             !cfg.journal_out_path.empty() || !cfg.postmortem_path.empty();
+  if (!cfg.metrics_json_path.empty() || !cfg.metrics_prom_path.empty() || wants_journal) {
+    obs::set_enabled(true);
+  }
+  if (wants_journal) obs::Journal::global().set_enabled(true);
   if (!cfg.trace_out_path.empty()) obs::TraceRecorder::global().set_enabled(true);
+  if (!cfg.postmortem_path.empty()) {
+    if (!obs::install_crash_handler(cfg.postmortem_path.c_str())) {
+      std::fprintf(stderr, "cannot open %s for the crash postmortem\n",
+                   cfg.postmortem_path.c_str());
+      return 1;
+    }
+    std::printf("Crash flight recorder armed -> %s\n", cfg.postmortem_path.c_str());
+  }
+  obs::IntrospectServer introspect;
+  if (!cfg.introspect_hostport.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!obs::parse_hostport(cfg.introspect_hostport, host, port)) {
+      std::fprintf(stderr, "bad --introspect spec '%s' (want HOST:PORT)\n",
+                   cfg.introspect_hostport.c_str());
+      return 2;
+    }
+    introspect.set_health(probe_health);
+    if (const std::string err = introspect.start(host, port); !err.empty()) {
+      std::fprintf(stderr, "cannot start introspection server: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("Introspection endpoint listening on %s:%u "
+                "(/metrics /snapshot /journal /healthz)\n",
+                host.c_str(), static_cast<unsigned>(introspect.port()));
+    std::fflush(stdout);  // CI scrapes this line to learn the bound port
+  }
 
   // 1. Queries (plus tenant declarations and per-query tenant tags).
   std::string text;
@@ -358,7 +445,27 @@ int main(int argc, char** argv) {
   //    one, the same window split with control-plane actions staged so a
   //    `submit` at window W is live for exactly windows [W, withdraw).
   WindowTotals totals;
-  if (actions.empty()) {
+  if (actions.empty() && cfg.crash_after > 0) {
+    // Manual window loop so we can die on cue: process whole windows and
+    // raise SIGSEGV after the Nth — the postmortem path's test hook.
+    const util::Nanos w = engine.plan().window;
+    std::span<const net::Packet> rest{trace};
+    std::uint64_t closed = 0;
+    while (!rest.empty()) {
+      const std::uint64_t idx = util::window_index(rest.front().ts, w);
+      std::size_t end = 0;
+      while (end < rest.size() && util::window_index(rest[end].ts, w) == idx) ++end;
+      print_window(engine.process_window(rest.subspan(0, end)), totals);
+      rest = rest.subspan(end);
+      if (++closed >= cfg.crash_after) {
+        std::printf("window %4llu  raising SIGSEGV (--crash-after %llu)\n",
+                    static_cast<unsigned long long>(closed - 1),
+                    static_cast<unsigned long long>(cfg.crash_after));
+        std::fflush(stdout);
+        std::raise(SIGSEGV);
+      }
+    }
+  } else if (actions.empty()) {
     for (const auto& ws : engine.run_trace(trace)) print_window(ws, totals);
   } else {
     const util::Nanos w = engine.plan().window;
@@ -436,6 +543,32 @@ int main(int argc, char** argv) {
     out << obs::TraceRecorder::global().to_chrome_json();
     std::printf("Wrote %zu trace spans to %s\n", obs::TraceRecorder::global().size(),
                 cfg.trace_out_path.c_str());
+  }
+  if (!cfg.journal_out_path.empty()) {
+    std::ofstream out(cfg.journal_out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.journal_out_path.c_str());
+      return 1;
+    }
+    out << obs::Journal::global().to_json(obs::Journal::capacity());
+    std::printf("Wrote event journal (%llu emitted) to %s\n",
+                static_cast<unsigned long long>(obs::Journal::global().emitted()),
+                cfg.journal_out_path.c_str());
+  }
+
+  // 9. With --introspect, linger so the endpoint stays scrapeable after the
+  //    trace is done; SIGINT/SIGTERM ends the process cleanly.
+  if (introspect.running()) {
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::printf("Run complete; introspection endpoint still live on port %u "
+                "(SIGINT/SIGTERM to exit)\n",
+                static_cast<unsigned>(introspect.port()));
+    std::fflush(stdout);
+    while (!g_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    introspect.stop();
   }
   return 0;
 }
