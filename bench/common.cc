@@ -4,7 +4,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "util/cpu.h"
 #include "util/ip.h"
 
 namespace sonata::bench {
@@ -239,6 +241,16 @@ std::string fmt_bits(std::uint64_t bits) {
   } else {
     std::snprintf(buf, sizeof buf, "%" PRIu64 " b", bits);
   }
+  return buf;
+}
+
+std::string hardware_json(std::size_t pinned_workers) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"available_cores\": %zu, \"hardware_threads\": %u, \"simd\": \"%s\", "
+                "\"pinned_workers\": %zu}",
+                util::available_cores(), std::thread::hardware_concurrency(),
+                util::simd_level(), pinned_workers);
   return buf;
 }
 

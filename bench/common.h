@@ -73,6 +73,15 @@ void print_table(const std::vector<std::string>& header,
 [[nodiscard]] std::string fmt_count(std::uint64_t v);     // 1234567 -> "1.23e6"
 [[nodiscard]] std::string fmt_bits(std::uint64_t bits);   // -> "1900 Kb"
 
+// JSON object describing the machine a benchmark actually ran on:
+//   {"available_cores": N, "hardware_threads": M, "simd": "avx2",
+//    "pinned_workers": K}
+// available_cores honours the process affinity mask (a container pinned to
+// one core reports 1), hardware_threads is the raw OS count; every
+// BENCH_*.json embeds this as its "hardware" field so throughput numbers
+// carry the topology they were measured on.
+[[nodiscard]] std::string hardware_json(std::size_t pinned_workers = 0);
+
 // All five plan modes in Table 4 order.
 [[nodiscard]] const std::vector<planner::PlanMode>& all_modes();
 

@@ -215,13 +215,15 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_admission.json");
   char buf[640];
   std::snprintf(buf, sizeof buf,
-                "{\n  \"bench\": \"admission_churn\",\n  \"smoke\": %s,\n  \"packets\": %zu,\n"
+                "{\n  \"bench\": \"admission_churn\",\n  \"hardware\": %s,\n"
+                "  \"smoke\": %s,\n  \"packets\": %zu,\n"
                 "  \"mutations\": %zu,\n  \"incremental_ms\": %.2f,\n"
                 "  \"from_scratch_ms\": %.2f,\n  \"speedup\": %.2f,\n  \"ratio\": %.4f,\n"
                 "  \"cost_mismatches\": %zu,\n  \"incremental_solves\": %llu,\n"
                 "  \"joint_resolves\": %llu,\n  \"windows\": %zu,\n  \"plan_swaps\": %zu,\n"
                 "  \"lost_packets\": %llu,\n  \"pass\": %s\n}\n",
-                smoke ? "true" : "false", trace_pkts.size(), schedule.size(), inc_ms,
+                bench::hardware_json().c_str(), smoke ? "true" : "false", trace_pkts.size(),
+                schedule.size(), inc_ms,
                 scratch_ms, speedup, ratio, cost_mismatches,
                 static_cast<unsigned long long>(inc.incremental_solves()),
                 static_cast<unsigned long long>(inc.full_solves()), slices.size(), swaps,

@@ -251,14 +251,16 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_chaos.json");
   char buf[768];
   std::snprintf(buf, sizeof buf,
-                "{\n  \"bench\": \"chaos_soak\",\n  \"smoke\": %s,\n  \"packets\": %zu,\n"
+                "{\n  \"bench\": \"chaos_soak\",\n  \"hardware\": %s,\n"
+                "  \"smoke\": %s,\n  \"packets\": %zu,\n"
                 "  \"windows\": %zu,\n  \"clean_windows\": %zu,\n  \"faulted_windows\": %zu,\n"
                 "  \"mismatched_clean_windows\": %zu,\n  \"counter_mismatches\": %zu,\n"
                 "  \"watchdog_fires\": %llu,\n  \"late_packets\": %llu,\n"
                 "  \"shed_packets\": %llu,\n  \"decode_failures\": %llu,\n"
                 "  \"replans\": %llu,\n  \"overflow_storm\": %.4f,\n"
                 "  \"overflow_settled\": %.4f,\n  \"pass\": %s\n}\n",
-                smoke ? "true" : "false", trace_pkts.size(), chaos.size(), clean, faulted,
+                bench::hardware_json().c_str(), smoke ? "true" : "false", trace_pkts.size(),
+                chaos.size(), clean, faulted,
                 mismatched_clean, counter_mismatches,
                 static_cast<unsigned long long>(sum.watchdog_fires),
                 static_cast<unsigned long long>(sum.late_packets),

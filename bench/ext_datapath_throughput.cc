@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
   json << "  \"switches\": " << kSwitches << ",\n";
   json << "  \"packets\": " << trace.size() << ",\n";
   json << "  \"reps\": " << kReps << ",\n";
-  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  json << "  \"hardware\": " << bench::hardware_json() << ",\n";
   json << "  \"configs\": [\n";
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const Config& c = configs[i];

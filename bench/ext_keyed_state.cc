@@ -229,7 +229,7 @@ int main(int argc, char** argv) {
   json << "{\n  \"bench\": \"keyed_state\",\n";
   json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   json << "  \"windows\": " << windows << ",\n  \"reps\": " << reps << ",\n";
-  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  json << "  \"hardware\": " << bench::hardware_json() << ",\n";
   json << "  \"micro\": [\n";
   for (std::size_t i = 0; i < micro.size(); ++i) {
     const MicroResult& m = micro[i];

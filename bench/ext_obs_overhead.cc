@@ -206,14 +206,15 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_obs.json");
   char buf[768];
   std::snprintf(buf, sizeof buf,
-                "{\n  \"bench\": \"obs_overhead\",\n  \"packets\": %zu,\n"
+                "{\n  \"bench\": \"obs_overhead\",\n  \"hardware\": %s,\n  \"packets\": %zu,\n"
                 "  \"reps\": %d,\n  \"batch\": %zu,\n"
                 "  \"pps_disabled\": %.0f,\n  \"pps_enabled\": %.0f,\n"
                 "  \"pps_full\": %.0f,\n"
                 "  \"overhead_pct\": %.3f,\n  \"overhead_full_pct\": %.3f,\n"
                 "  \"threshold_pct\": %.1f,\n"
                 "  \"identical\": %s,\n  \"pass\": %s\n}\n",
-                trace.size(), kReps, kBatch, pps_off, pps_on, pps_full, overhead_pct,
+                bench::hardware_json().c_str(), trace.size(), kReps, kBatch, pps_off, pps_on,
+                pps_full, overhead_pct,
                 overhead_full_pct, kMaxOverheadPct, identical ? "true" : "false",
                 overhead_ok && overhead_full_ok && identical ? "true" : "false");
   json << buf;

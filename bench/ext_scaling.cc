@@ -1,0 +1,196 @@
+// Extension benchmark + CI scaling gate: packets/sec-per-core (DESIGN.md
+// "Datapath vectorization & memory locality").
+//
+// The datapath bench answers "how fast is one configuration"; this one
+// answers "does adding cores keep paying". One MaxDP plan on an 8-switch
+// fleet replays the same trace at worker counts {0 (serial), 1, 2, 4, 8},
+// batch=256, workers pinned round-robin over the affinity mask. For every
+// configuration we report aggregate pps and pps-per-core (aggregate divided
+// by the worker count, serial counted as one core), plus bit-identity
+// against the serial per-packet reference.
+//
+// Gates (exit nonzero on failure):
+//   * identity — every configuration's windows bit-identical to serial
+//     (always checked, any machine).
+//   * efficiency — threaded pps-per-core must stay above
+//     kMinParallelEfficiency of the serial pps. Skipped when the affinity
+//     mask grants fewer than 4 cores: on a 1-2 core box the workers time-
+//     slice one socket and per-core numbers measure the scheduler, not us.
+//   * scaling — aggregate pps at the highest thread count must beat serial
+//     aggregate pps. Same < 4 core skip.
+//
+// `--smoke` shrinks the trace for sanitizer jobs (identity still gated).
+// Results land in BENCH_scaling.json with the honest hardware inventory.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "runtime/fleet.h"
+#include "runtime/stream_processor.h"
+#include "util/cpu.h"
+
+using namespace sonata;
+
+namespace {
+
+constexpr double kMinParallelEfficiency = 0.25;  // pps-per-core floor vs serial
+
+bool identical_windows(const std::vector<runtime::WindowStats>& a,
+                       const std::vector<runtime::WindowStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    if (a[w].packets != b[w].packets || a[w].tuples_to_sp != b[w].tuples_to_sp ||
+        a[w].raw_mirror_packets != b[w].raw_mirror_packets ||
+        a[w].overflow_records != b[w].overflow_records ||
+        a[w].results.size() != b[w].results.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < a[w].results.size(); ++r) {
+      if (a[w].results[r].qid != b[w].results[r].qid ||
+          !(a[w].results[r].outputs == b[w].results[r].outputs)) {
+        return false;
+      }
+    }
+    if (!(a[w].winners == b[w].winners)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  constexpr std::size_t kSwitches = 8;
+  constexpr std::size_t kBatch = 256;
+  const int reps = smoke ? 2 : 3;
+  const std::size_t cores = util::available_cores();
+
+  trace::BackgroundConfig bg;
+  bg.duration_sec = smoke ? 4.0 : 15.0;
+  bg.flows_per_sec = 600.0 * opts.scale;
+  const auto trace = trace::TraceBuilder(opts.seed).background(bg).build();
+
+  queries::Thresholds th;
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(30)));
+
+  planner::PlannerConfig cfg;
+  cfg.mode = planner::PlanMode::kMaxDP;
+  cfg.window = util::seconds(30);
+  const auto plan = planner::Planner(cfg).plan(qs, trace);
+
+  std::printf("Scaling: %zu-switch fleet, %zu packets, batch %zu, best of %d, "
+              "%zu allowed cores, simd %s%s\n\n",
+              kSwitches, trace.size(), kBatch, reps, cores, util::simd_level(),
+              smoke ? " (smoke)" : "");
+
+  runtime::Fleet reference_fleet(plan, kSwitches, 0, 1);
+  const auto reference = reference_fleet.run_trace(trace);
+
+  struct Config {
+    std::size_t threads;      // 0 = serial driver-only path
+    double seconds = 1e30;    // best of reps
+    double pps = 0.0;
+    double pps_per_core = 0.0;
+    std::size_t pinned = 0;
+    bool identical = false;
+  };
+  std::vector<Config> configs;
+  for (const std::size_t t : {0u, 1u, 2u, 4u, 8u}) configs.push_back({.threads = t});
+
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Config& c : configs) {
+      runtime::Fleet fleet(plan, kSwitches, c.threads, kBatch, {}, /*pin_workers=*/true);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto windows = fleet.run_trace(trace);
+      const auto t1 = std::chrono::steady_clock::now();
+      c.seconds = std::min(c.seconds, std::chrono::duration<double>(t1 - t0).count());
+      if (rep == 0) {
+        c.identical = identical_windows(reference, windows);
+        c.pinned = fleet.pinned_workers();
+      }
+    }
+  }
+  for (Config& c : configs) {
+    c.pps = static_cast<double>(trace.size()) / c.seconds;
+    c.pps_per_core = c.pps / static_cast<double>(c.threads == 0 ? 1 : c.threads);
+  }
+  const double serial_pps = configs.front().pps;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Config& c : configs) {
+    char pps_s[32], per_core_s[32], eff_s[32];
+    std::snprintf(pps_s, sizeof pps_s, "%.2fM", c.pps / 1e6);
+    std::snprintf(per_core_s, sizeof per_core_s, "%.2fM", c.pps_per_core / 1e6);
+    std::snprintf(eff_s, sizeof eff_s, "%.2f", c.pps_per_core / serial_pps);
+    rows.push_back({c.threads == 0 ? "serial" : std::to_string(c.threads),
+                    std::to_string(c.pinned), pps_s, per_core_s, eff_s,
+                    c.identical ? "yes" : "NO"});
+  }
+  bench::print_table({"workers", "pinned", "pps", "pps/core", "efficiency", "bit-identical"},
+                     rows);
+
+  bool identity_ok = true;
+  for (const Config& c : configs) identity_ok = identity_ok && c.identical;
+  const bool multicore = cores >= 4;
+  bool efficiency_ok = true;
+  bool scaling_ok = true;
+  if (multicore) {
+    for (const Config& c : configs) {
+      if (c.threads > 0 && c.threads <= cores &&
+          c.pps_per_core < kMinParallelEfficiency * serial_pps) {
+        efficiency_ok = false;
+      }
+    }
+    scaling_ok = configs.back().pps > serial_pps;
+  } else {
+    std::printf("\n(< 4 allowed cores: efficiency and scaling gates skipped — workers "
+                "time-slice, per-core numbers would measure the scheduler)\n");
+  }
+  const bool pass = identity_ok && efficiency_ok && scaling_ok;
+
+  std::ofstream json("BENCH_scaling.json");
+  json << "{\n  \"bench\": \"scaling\",\n";
+  json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  json << "  \"switches\": " << kSwitches << ",\n";
+  json << "  \"packets\": " << trace.size() << ",\n";
+  json << "  \"batch\": " << kBatch << ",\n  \"reps\": " << reps << ",\n";
+  json << "  \"hardware\": " << bench::hardware_json(configs.back().pinned) << ",\n";
+  json << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& c = configs[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"threads\": %zu, \"pinned\": %zu, \"pps\": %.0f, "
+                  "\"pps_per_core\": %.0f, \"efficiency\": %.3f, \"identical\": %s}%s\n",
+                  c.threads, c.pinned, c.pps, c.pps_per_core, c.pps_per_core / serial_pps,
+                  c.identical ? "true" : "false", i + 1 == configs.size() ? "" : ",");
+    json << buf;
+  }
+  json << "  ],\n";
+  json << "  \"gate\": {\"identical\": " << (identity_ok ? "true" : "false")
+       << ", \"multicore_gates_ran\": " << (multicore ? "true" : "false")
+       << ", \"efficiency_ok\": " << (efficiency_ok ? "true" : "false")
+       << ", \"scaling_ok\": " << (scaling_ok ? "true" : "false")
+       << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+  std::printf("\nWrote BENCH_scaling.json\n");
+
+  if (!identity_ok) {
+    std::fprintf(stderr, "GATE FAILURE: windows not bit-identical to serial reference\n");
+    return 1;
+  }
+  if (!pass) {
+    std::fprintf(stderr, "GATE FAILURE: efficiency=%d scaling=%d\n", efficiency_ok, scaling_ok);
+    return 2;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -376,11 +376,11 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_sketch.json");
   json << "{\n  \"bench\": \"sketch_ablation\",\n";
   json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-  char hdr[160];
+  char hdr[256];
   std::snprintf(hdr, sizeof hdr,
                 "  \"eps\": %g,\n  \"delta\": %g,\n  \"cap_bytes\": %" PRIu64
-                ",\n  \"hardware_threads\": %u,\n",
-                eps, delta, cap_bytes, std::thread::hardware_concurrency());
+                ",\n  \"hardware\": %s,\n",
+                eps, delta, cap_bytes, bench::hardware_json().c_str());
   json << hdr;
   json << "  \"reduce\": [\n";
   for (std::size_t i = 0; i < reduce.size(); ++i) {

@@ -1,0 +1,177 @@
+#include "pisa/extract.h"
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace sonata::pisa {
+
+namespace {
+
+using net::Packet;
+using query::Tuple;
+using query::Value;
+
+constexpr std::size_t kBuiltinFields = 14;
+
+// Byte offsets of the gatherable 8-byte words inside Packet, probed at
+// runtime from a live object (offsetof would warn on a non-standard-layout
+// struct). The vector path needs three words per packet:
+//   flow:  src_ip | dst_ip                   (8 contiguous bytes)
+//   meta:  proto, ttl, total_len, src_port, dst_port  (8 contiguous bytes)
+//   flags: tcp_flags in the low byte, rest of the word inside the struct
+// If padding ever breaks this layout the probe fails and extraction stays
+// on the scalar path — correctness never depends on the layout.
+struct PacketLayout {
+  std::ptrdiff_t flow = 0;
+  std::ptrdiff_t meta = 0;
+  std::ptrdiff_t flags = 0;
+  bool vectorizable = false;
+};
+
+const PacketLayout& packet_layout() noexcept {
+  static const PacketLayout layout = [] {
+    PacketLayout l;
+    Packet p;
+    const char* base = reinterpret_cast<const char*>(&p);
+    auto off = [base](const auto& member) {
+      return reinterpret_cast<const char*>(&member) - base;
+    };
+    l.flow = off(p.src_ip);
+    l.meta = off(p.proto);
+    l.flags = off(p.tcp_flags);
+    l.vectorizable = off(p.dst_ip) == l.flow + 4 && off(p.ttl) == l.meta + 1 &&
+                     off(p.total_len) == l.meta + 2 && off(p.src_port) == l.meta + 4 &&
+                     off(p.dst_port) == l.meta + 6 &&
+                     static_cast<std::size_t>(l.flags) + 8 <= sizeof(Packet) &&
+                     static_cast<std::size_t>(l.flow) + 8 <= sizeof(Packet) &&
+                     static_cast<std::size_t>(l.meta) + 8 <= sizeof(Packet);
+    return l;
+  }();
+  return layout;
+}
+
+// Warm the output slot to builtin arity so the straight-line stores apply.
+inline Value* warm_slots(Tuple& t) {
+  if (t.values.size() != kBuiltinFields) {
+    t.values.clear();
+    t.values.reserve(kBuiltinFields);
+    for (std::size_t i = 0; i < kBuiltinFields; ++i) t.values.emplace_back();
+  }
+  return t.values.data();
+}
+
+// The scalar per-packet columns the vector path does not cover: payload
+// length (pointer chase), payload string, and the DNS block.
+inline void store_cold_columns(const Packet& p, Value* v) noexcept {
+  static const query::SharedStr kEmpty = std::make_shared<const std::string>();
+  v[7].set_uint(p.payload ? p.payload->size() : 0);
+  v[9].set_string(p.payload ? p.payload : kEmpty);
+  if (p.dns) {
+    v[10].set_string(query::SharedStr(p.dns, &p.dns->qname));
+    v[11].set_uint(p.dns->qtype);
+    v[12].set_uint(p.dns->answer_count);
+    v[13].set_uint(p.dns->is_response ? 1 : 0);
+  } else {
+    v[10].set_string(kEmpty);
+    v[11].set_uint(0);
+    v[12].set_uint(0);
+    v[13].set_uint(0);
+  }
+}
+
+#if defined(__x86_64__)
+
+// Gather + unpack the numeric header columns of four packets, then store
+// into their warm tuple slots. Lane l covers packets[i + l].
+__attribute__((target("avx2"))) void extract4_avx2(const Packet* packets, std::size_t i,
+                                                   Tuple* out,
+                                                   const PacketLayout& l) noexcept {
+  const char* base = reinterpret_cast<const char*>(packets);
+  const std::ptrdiff_t stride = static_cast<std::ptrdiff_t>(sizeof(Packet));
+  const __m256i idx = _mm256_set_epi64x(
+      static_cast<long long>((i + 3) * stride), static_cast<long long>((i + 2) * stride),
+      static_cast<long long>((i + 1) * stride), static_cast<long long>(i * stride));
+  const __m256i flow = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(base + l.flow), idx, 1);
+  const __m256i meta = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(base + l.meta), idx, 1);
+  const __m256i flagsw = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(base + l.flags), idx, 1);
+
+  const __m256i m8 = _mm256_set1_epi64x(0xff);
+  const __m256i m16 = _mm256_set1_epi64x(0xffff);
+  const __m256i m32 = _mm256_set1_epi64x(0xffffffffLL);
+
+  const __m256i proto = _mm256_and_si256(meta, m8);
+  // tcp.flags is 0 off the TCP path (the accessor's nullopt default).
+  const __m256i is_tcp = _mm256_cmpeq_epi64(
+      proto, _mm256_set1_epi64x(static_cast<long long>(net::IpProto::kTcp)));
+  const __m256i flags = _mm256_and_si256(_mm256_and_si256(flagsw, m8), is_tcp);
+
+  alignas(32) std::uint64_t lane[8][4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[0]), _mm256_and_si256(flow, m32));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[1]), _mm256_srli_epi64(flow, 32));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[2]),
+                     _mm256_and_si256(_mm256_srli_epi64(meta, 32), m16));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[3]), _mm256_srli_epi64(meta, 48));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[4]), proto);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[5]), flags);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[6]),
+                     _mm256_and_si256(_mm256_srli_epi64(meta, 16), m16));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane[7]),
+                     _mm256_and_si256(_mm256_srli_epi64(meta, 8), m8));
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    const Packet& p = packets[i + k];
+    Value* v = warm_slots(out[i + k]);
+    v[0].set_uint(lane[0][k]);                   // sIP
+    v[1].set_uint(lane[1][k]);                   // dIP
+    v[2].set_uint(lane[2][k]);                   // sPort
+    v[3].set_uint(lane[3][k]);                   // dPort
+    v[4].set_uint(lane[4][k]);                   // proto
+    v[5].set_uint(lane[5][k]);                   // tcp.flags
+    v[6].set_uint(lane[6][k]);                   // pktlen
+    v[8].set_uint(lane[7][k]);                   // ttl
+    store_cold_columns(p, v);
+  }
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+void extract_batch(std::span<const net::Packet> packets, query::Tuple* out,
+                   const query::FieldRegistry& registry) {
+  if (!registry.canonical()) {
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      query::materialize_tuple_into(packets[i], out[i], registry);
+    }
+    return;
+  }
+  std::size_t i = 0;
+#if defined(__x86_64__)
+  const PacketLayout& layout = packet_layout();
+  if (layout.vectorizable && packets.size() >= 4 && util::avx2_enabled()) {
+    for (; i + 4 <= packets.size(); i += 4) {
+      extract4_avx2(packets.data(), i, out, layout);
+    }
+  }
+#endif
+  for (; i < packets.size(); ++i) {
+    query::materialize_builtin_fields(packets[i], warm_slots(out[i]));
+  }
+}
+
+void extract_batch(std::span<const net::Packet> packets, std::vector<query::Tuple>& out,
+                   const query::FieldRegistry& registry) {
+  if (out.size() < packets.size()) out.resize(packets.size());
+  extract_batch(packets, out.data(), registry);
+}
+
+}  // namespace sonata::pisa

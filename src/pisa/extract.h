@@ -1,0 +1,38 @@
+// Batched PHV extraction for the 16-packet chunks the data path forms.
+//
+// The switch's parser conceptually extracts every header field of every
+// packet into the PHV in one pass; this module is the simulator's analogue.
+// extract_batch materializes one source tuple per packet, equivalent to
+// calling query::materialize_tuple_into per packet but restructured so the
+// numeric header columns of four packets are gathered and unpacked with
+// AVX2 (runtime-dispatched via util::avx2_enabled(), scalar fallback
+// otherwise). String columns (payload, DNS qname) and pointer-chased DNS
+// numerics always extract scalar — they are rare and branchy.
+//
+// Bit/byte identity: both dispatch levels write exactly the words the
+// per-field accessor walk would produce, so windows computed from either
+// path are identical (asserted by the SIMD differential tests).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+#include "query/field.h"
+#include "query/tuple.h"
+
+namespace sonata::pisa {
+
+// Materialize source tuples for a chunk of packets: out[i] becomes the full
+// registry-ordered tuple for packets[i]. `out` must hold at least
+// packets.size() tuples; warm slots (correct arity) are overwritten in
+// place with zero allocations. Falls back to the general registry walk
+// when custom fields are registered.
+void extract_batch(std::span<const net::Packet> packets, query::Tuple* out,
+                   const query::FieldRegistry& registry = query::FieldRegistry::instance());
+
+// Convenience: resize + extract into a tuple vector (grows only).
+void extract_batch(std::span<const net::Packet> packets, std::vector<query::Tuple>& out,
+                   const query::FieldRegistry& registry = query::FieldRegistry::instance());
+
+}  // namespace sonata::pisa

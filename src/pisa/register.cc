@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "state/engine.h"  // state::apply_reduce
 
@@ -28,6 +29,7 @@ RegisterChain::RegisterChain(const RegisterChainConfig& cfg)
   }
   registers_.assign(static_cast<std::size_t>(cfg_.depth),
                     std::vector<Slot>(cfg_.entries_per_register));
+  occ_.resize(static_cast<std::size_t>(cfg_.depth) * occ_words_per_register());
 }
 
 RegisterChain::UpdateResult RegisterChain::update(const query::Tuple& key, std::uint64_t delta,
@@ -41,12 +43,30 @@ RegisterChain::UpdateResult RegisterChain::update(const query::Tuple& key, std::
             .value = r.value};
   }
   const std::uint64_t fp = key.hash();
-  for (std::size_t d = 0; d < registers_.size(); ++d) {
-    Slot& slot = registers_[d][hashes_.index(d, fp, cfg_.entries_per_register)];
+  // Precompute the whole d-way lane-hash block in one (vectorized) pass and
+  // prefetch the first two probe targets: the common case resolves at
+  // depth 1, and a depth-2 continuation finds its slot line already in
+  // flight. Indices are bit-identical to hashes_.index(d, fp, n).
+  const std::size_t n = cfg_.entries_per_register;
+  const std::size_t depth = registers_.size();
+  std::uint64_t lanes[util::HashFamily::kMaxFamily];
+  std::size_t idx0;
+  if (depth > 1) {
+    hashes_.hash_all(fp, lanes);
+    idx0 = static_cast<std::size_t>(lanes[0] % n);
+    __builtin_prefetch(&registers_[1][static_cast<std::size_t>(lanes[1] % n)]);
+  } else {
+    lanes[0] = hashes_(0, fp);
+    idx0 = static_cast<std::size_t>(lanes[0] % n);
+  }
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::size_t idx = d == 0 ? idx0 : static_cast<std::size_t>(lanes[d] % n);
+    Slot& slot = registers_[d][idx];
     if (!slot.occupied) {
       slot.occupied = true;
       slot.key = key;
       slot.value = delta;  // initial value for every reduce fn (incl. min)
+      occ_set(d, idx);
       ++stored_;
       return {.stored = true,
               .newly_inserted = true,
@@ -104,9 +124,19 @@ std::vector<std::pair<query::Tuple, std::uint64_t>> RegisterChain::entries() con
   if (hp_) return hp_->entries();  // may repeat a key; the SP reduce merges
   std::vector<std::pair<query::Tuple, std::uint64_t>> out;
   out.reserve(stored_);
-  for (const auto& reg : registers_) {
-    for (const auto& slot : reg) {
-      if (slot.occupied) out.emplace_back(slot.key, slot.value);
+  // Walk the occupancy bitmap instead of every slot: O(stored) with a
+  // 64-slot skip per empty word, in the same register-by-register
+  // slot-ascending order the full scan produced.
+  const std::size_t words = occ_words_per_register();
+  for (std::size_t d = 0; d < registers_.size(); ++d) {
+    const auto& reg = registers_[d];
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = occ_[d * words + w];
+      while (bits != 0) {
+        const std::size_t slot = w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        out.emplace_back(reg[slot].key, reg[slot].value);
+      }
     }
   }
   return out;
@@ -117,9 +147,22 @@ void RegisterChain::reset() {
     hp_->reset();
     return;
   }
-  for (auto& reg : registers_) {
-    for (auto& slot : reg) slot = Slot{};
+  // Clear only occupied slots (bitmap-guided), then wipe the bitmap. The
+  // per-window reset cost becomes proportional to the keys the window
+  // actually stored, not to configured capacity.
+  const std::size_t words = occ_words_per_register();
+  for (std::size_t d = 0; d < registers_.size(); ++d) {
+    auto& reg = registers_[d];
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = occ_[d * words + w];
+      while (bits != 0) {
+        const std::size_t slot = w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        reg[slot] = Slot{};
+      }
+    }
   }
+  if (!occ_.empty()) std::memset(occ_.data(), 0, occ_.size() * sizeof(std::uint64_t));
   stored_ = 0;
   overflows_ = 0;
 }

@@ -17,6 +17,7 @@
 #include "query/ops.h"
 #include "query/tuple.h"
 #include "state/hashpipe.h"
+#include "util/arena.h"
 #include "util/hash.h"
 
 namespace sonata::pisa {
@@ -99,9 +100,21 @@ class RegisterChain {
     std::uint64_t value = 0;
   };
 
+  // Bitmap helpers over occ_ (one bit per slot, registers concatenated in
+  // depth order). The bitmap makes reset() and entries() O(stored keys)
+  // instead of O(capacity): both walk only set bits, in the same
+  // register-by-register slot-ascending order a full scan would produce.
+  [[nodiscard]] std::size_t occ_words_per_register() const noexcept {
+    return (cfg_.entries_per_register + 63) / 64;
+  }
+  void occ_set(std::size_t d, std::size_t slot) noexcept {
+    occ_[d * occ_words_per_register() + slot / 64] |= std::uint64_t{1} << (slot % 64);
+  }
+
   RegisterChainConfig cfg_;
   util::HashFamily hashes_;
   std::vector<std::vector<Slot>> registers_;  // [depth][entries], exact mode
+  util::PageBuffer<std::uint64_t> occ_;       // occupancy bitmap, exact mode
   std::unique_ptr<state::HashPipeChain> hp_;  // hashpipe mode
   std::uint64_t stored_ = 0;
   std::uint64_t overflows_ = 0;

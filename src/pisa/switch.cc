@@ -90,51 +90,62 @@ CompiledSwitchQuery::CompiledSwitchQuery(const query::StreamNode& node, Options 
 
 bool CompiledSwitchQuery::process_into(const Tuple& source, EmitSink& sink) {
   ++packets_seen_;
-  Tuple current = source;
+  // Borrow the caller's tuple until an op actually rewrites it: the common
+  // paths (filter drop, register update with no emission) never copy the
+  // 14-column PHV at all. `owned` materializes only when a map fires; the
+  // copy at an emit site only happens for packets that mirror a record.
+  const Tuple* cur = &source;
+  Tuple owned;
+  const auto emit_cur = [&](EmitRecord::Kind kind, std::size_t op_index) {
+    ++emitted_;
+    if (cur == &owned) {
+      sink.append(EmitRecord{kind, opts_.qid, opts_.source_index, opts_.level, op_index,
+                             std::move(owned)});
+    } else {
+      sink.append(EmitRecord{kind, opts_.qid, opts_.source_index, opts_.level, op_index, *cur});
+    }
+  };
   for (auto& cop : ops_) {
     switch (cop.kind) {
       case OpKind::kFilter: {
-        if (cop.pred(current).as_uint() == 0) return false;
+        if (cop.pred(*cur).as_uint() == 0) return false;
         break;
       }
       case OpKind::kFilterIn: {
         Tuple key;
         key.values.reserve(cop.match.size());
-        for (const auto& m : cop.match) key.values.push_back(m(current));
+        for (const auto& m : cop.match) key.values.push_back(m(*cur));
         if (!cop.entries.contains(key)) return false;
         break;
       }
       case OpKind::kMap: {
         Tuple next;
         next.values.reserve(cop.projections.size());
-        for (const auto& p : cop.projections) next.values.push_back(p(current));
-        current = std::move(next);
+        for (const auto& p : cop.projections) next.values.push_back(p(*cur));
+        owned = std::move(next);
+        cur = &owned;
         break;
       }
       case OpKind::kDistinct: {
-        const auto r = cop.chain->update(current, 1, query::ReduceFn::kBitOr);
+        const auto r = cop.chain->update(*cur, 1, query::ReduceFn::kBitOr);
         ++probe_tally_[std::min(r.probes, kProbeTallyMax)];
         if (r.overflow) {
-          ++emitted_;
           ++overflows_;
-          sink.append(EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
-                                 opts_.level, cop.op_index, std::move(current)});
+          emit_cur(EmitRecord::Kind::kOverflow, cop.op_index);
           return true;
         }
         if (!r.newly_inserted) return false;  // duplicate within window
         break;
       }
       case OpKind::kReduce: {
-        Tuple key = query::project(current, cop.key_idx);
-        const std::uint64_t delta = current.at(cop.value_idx).as_uint();
+        Tuple key = query::project(*cur, cop.key_idx);
+        const std::uint64_t delta = cur->at(cop.value_idx).as_uint();
         const auto r = cop.chain->update(key, delta, cop.fn);
         ++probe_tally_[std::min(r.probes, kProbeTallyMax)];
         if (r.overflow) {
-          ++emitted_;
           ++overflows_;
           // The SP re-runs the reduce (and everything after) for this key.
-          sink.append(EmitRecord{EmitRecord::Kind::kOverflow, opts_.qid, opts_.source_index,
-                                 opts_.level, cop.op_index, std::move(current)});
+          emit_cur(EmitRecord::Kind::kOverflow, cop.op_index);
           return true;
         }
         bool report = false;
@@ -157,9 +168,7 @@ bool CompiledSwitchQuery::process_into(const Tuple& source, EmitSink& sink) {
     }
   }
   // Stateless tail: the tuple itself streams to the SP.
-  ++emitted_;
-  sink.append(EmitRecord{EmitRecord::Kind::kStream, opts_.qid, opts_.source_index, opts_.level,
-                         opts_.partition, std::move(current)});
+  emit_cur(EmitRecord::Kind::kStream, opts_.partition);
   return true;
 }
 
@@ -172,19 +181,37 @@ std::optional<EmitRecord> CompiledSwitchQuery::process(const Tuple& source) {
 std::vector<Tuple> CompiledSwitchQuery::poll_aggregates() const {
   std::vector<Tuple> out;
   if (!tail_reduce_) return out;
-  // Shape each aggregate like a reduce-input tuple: keys at their key
-  // positions, the aggregate in the value column, anything else zeroed.
-  const Schema& in = node_.schemas[tail_reduce_->op_index];
   for (auto& [key, value] : tail_reduce_->chain->entries()) {
-    Tuple t;
-    t.values.assign(in.size(), query::Value{std::uint64_t{0}});
-    for (std::size_t k = 0; k < tail_reduce_->key_idx.size(); ++k) {
-      t.values[tail_reduce_->key_idx[k]] = key.at(k);
-    }
-    t.values[tail_reduce_->value_idx] = query::Value{value};
-    out.push_back(std::move(t));
+    out.push_back(shape_polled(key, value));
   }
   return out;
+}
+
+CompiledSwitchQuery::PolledPartial CompiledSwitchQuery::poll_partial() const {
+  PolledPartial out;
+  if (!tail_reduce_) return out;
+  auto entries = tail_reduce_->chain->entries();
+  out.keys.reserve(entries.size());
+  out.values.reserve(entries.size());
+  for (auto& [key, value] : entries) {
+    out.keys.push_back(std::move(key));
+    out.values.push_back(value);
+  }
+  return out;
+}
+
+Tuple CompiledSwitchQuery::shape_polled(const Tuple& key, std::uint64_t value) const {
+  assert(tail_reduce_);
+  // Shape the aggregate like a reduce-input tuple: keys at their key
+  // positions, the aggregate in the value column, anything else zeroed.
+  const Schema& in = node_.schemas[tail_reduce_->op_index];
+  Tuple t;
+  t.values.assign(in.size(), query::Value{std::uint64_t{0}});
+  for (std::size_t k = 0; k < tail_reduce_->key_idx.size(); ++k) {
+    t.values[tail_reduce_->key_idx[k]] = key.at(k);
+  }
+  t.values[tail_reduce_->value_idx] = query::Value{value};
+  return t;
 }
 
 void CompiledSwitchQuery::reset_registers() {

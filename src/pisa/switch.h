@@ -130,6 +130,28 @@ class CompiledSwitchQuery {
   // polling is control-plane.
   [[nodiscard]] std::vector<query::Tuple> poll_aggregates() const;
 
+  // Raw end-of-window poll for the parallel window merge: the stateful
+  // tail's keys and aggregates in the registers' deterministic entries()
+  // order, unshaped, split into parallel columns so the driver can batch-
+  // hash the contiguous keys (query::hash_tuples). Shards return these from
+  // their local close phase; the driver pre-folds repeated keys across
+  // shards with tail_reduce_fn() and shapes each merged key once via
+  // shape_polled(). Empty when !has_stateful_tail().
+  struct PolledPartial {
+    std::vector<query::Tuple> keys;
+    std::vector<std::uint64_t> values;  // parallel to keys
+  };
+  [[nodiscard]] PolledPartial poll_partial() const;
+
+  // Shape one (key, aggregate) pair exactly like poll_aggregates() shapes
+  // each register entry. Requires has_stateful_tail().
+  [[nodiscard]] query::Tuple shape_polled(const query::Tuple& key, std::uint64_t value) const;
+
+  // Reduce fn of the stateful tail (kSum when there is none).
+  [[nodiscard]] query::ReduceFn tail_reduce_fn() const noexcept {
+    return tail_reduce_ != nullptr ? tail_reduce_->fn : query::ReduceFn::kSum;
+  }
+
   // Operator index where polled aggregates enter the stream processor:
   // the tail reduce itself.
   [[nodiscard]] std::size_t poll_entry_op() const noexcept { return poll_entry_; }

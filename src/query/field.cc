@@ -82,6 +82,7 @@ FieldRegistry::FieldRegistry() {
 bool FieldRegistry::register_field(FieldDef def) {
   if (find(def.name) != nullptr) return false;
   fields_.push_back(std::move(def));
+  canonical_ = false;
   return true;
 }
 
@@ -98,9 +99,44 @@ Tuple materialize_tuple(const net::Packet& p, const FieldRegistry& registry) {
   return t;
 }
 
+void materialize_builtin_fields(const net::Packet& p, Value* v) noexcept {
+  static const SharedStr kEmpty = std::make_shared<const std::string>();
+  // Slot order mirrors the registry constructor above; extract() and the
+  // accessors must agree with these writes (the SIMD differential test
+  // checks materialize_tuple against this path on random packets).
+  v[0].set_uint(p.src_ip);
+  v[1].set_uint(p.dst_ip);
+  v[2].set_uint(p.src_port);
+  v[3].set_uint(p.dst_port);
+  v[4].set_uint(p.proto);
+  v[5].set_uint(p.is_tcp() ? p.tcp_flags : 0);
+  v[6].set_uint(p.total_len);
+  v[7].set_uint(p.payload ? p.payload->size() : 0);
+  v[8].set_uint(p.ttl);
+  v[9].set_string(p.payload ? p.payload : kEmpty);
+  if (p.dns) {
+    v[10].set_string(SharedStr(p.dns, &p.dns->qname));
+    v[11].set_uint(p.dns->qtype);
+    v[12].set_uint(p.dns->answer_count);
+    v[13].set_uint(p.dns->is_response ? 1 : 0);
+  } else {
+    v[10].set_string(kEmpty);
+    v[11].set_uint(0);
+    v[12].set_uint(0);
+    v[13].set_uint(0);
+  }
+}
+
 void materialize_tuple_into(const net::Packet& p, Tuple& out, const FieldRegistry& registry) {
   const auto& fields = registry.fields();
   if (out.values.size() == fields.size()) {
+    if (registry.canonical()) {
+      // Canonical registry, warm slot: straight-line field stores — no
+      // per-field switch dispatch, no Value temporaries, no shared_ptr
+      // refcount churn on repeated empty strings.
+      materialize_builtin_fields(p, out.values.data());
+      return;
+    }
     // Warm slot: overwrite in place — no destroy/reconstruct cycle and no
     // per-push growth bookkeeping on the hot path.
     for (std::size_t i = 0; i < fields.size(); ++i) {

@@ -76,9 +76,16 @@ class FieldRegistry {
   // Extract one field from a packet, defaulting non-applicable values.
   [[nodiscard]] Value extract(const FieldDef& def, const net::Packet& p) const;
 
+  // True while the registry holds exactly the built-in fields in their
+  // canonical order (no custom registrations). The batched extraction fast
+  // paths key off this; a custom field flips every caller back to the
+  // general per-field accessor walk.
+  [[nodiscard]] bool canonical() const noexcept { return canonical_; }
+
  private:
   FieldRegistry();
   std::vector<FieldDef> fields_;
+  bool canonical_ = true;
 };
 
 // Materialize the full source tuple for a packet: one value per registered
@@ -90,6 +97,12 @@ class FieldRegistry {
 // value storage, so a warm tuple slot materializes with zero allocations.
 void materialize_tuple_into(const net::Packet& p, Tuple& out,
                             const FieldRegistry& registry = FieldRegistry::instance());
+
+// Straight-line store of the canonical built-in fields into `v` (which must
+// hold 14 warm Value slots in registry order). Only valid while
+// FieldRegistry::instance().canonical() is true; pisa's batched extractor
+// shares it for chunk tails and the scalar dispatch level.
+void materialize_builtin_fields(const net::Packet& p, Value* v) noexcept;
 
 // Built-in field names (kept short, mirroring the paper's query syntax).
 namespace fields {

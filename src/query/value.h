@@ -87,6 +87,27 @@ class Value {
   }
   ~Value() { destroy(); }
 
+  // Hot-path stores for tuple materialization: overwrite this slot in
+  // place without the generic assignment's branch ladder. set_string skips
+  // the shared_ptr refcount round-trip when the slot already views the
+  // same string object (the common case for a warm tuple slot fed the
+  // registry's shared empty-string sentinel packet after packet).
+  void set_uint(std::uint64_t u) noexcept {
+    if (kind_ == ValueKind::kString) s_.~SharedStr();
+    kind_ = ValueKind::kUint;
+    u_ = u;
+  }
+  void set_string(const SharedStr& s) noexcept {
+    if (kind_ == ValueKind::kString) {
+      // Same stored pointer => same bytes; the old owner keeps the target
+      // alive for as long as this Value holds it, so keeping it is safe.
+      if (s_.get() != s.get()) s_ = s;
+      return;
+    }
+    kind_ = ValueKind::kString;
+    new (&s_) SharedStr(s);
+  }
+
   [[nodiscard]] ValueKind kind() const noexcept { return kind_; }
   [[nodiscard]] bool is_uint() const noexcept { return kind_ == ValueKind::kUint; }
   [[nodiscard]] bool is_string() const noexcept { return kind_ == ValueKind::kString; }

@@ -180,6 +180,11 @@ EngineBuilder& EngineBuilder::faults(fault::FaultSpec spec) {
   return *this;
 }
 
+EngineBuilder& EngineBuilder::pin_workers(bool pin) {
+  pin_workers_ = pin;
+  return *this;
+}
+
 EngineBuilder& EngineBuilder::planner(planner::PlannerConfig cfg) {
   planner_ = std::move(cfg);
   return *this;
@@ -234,7 +239,7 @@ EngineBuilder::build() {
     engine = std::make_unique<Runtime>(std::move(plan), batch_size_, faults_);
   } else {
     engine = std::make_unique<Fleet>(std::move(plan), switches_, worker_threads_, batch_size_,
-                                     faults_);
+                                     faults_, pin_workers_);
   }
   engine->control_ = std::move(control);
   return engine;

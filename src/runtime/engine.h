@@ -123,6 +123,9 @@ class EngineBuilder {
   EngineBuilder& batch(std::size_t batch_size);
   // Deterministic fault injection (DESIGN.md "Fault model & degradation").
   EngineBuilder& faults(fault::FaultSpec spec);
+  // Pin fleet workers to cores (round-robin over the process's allowed
+  // set); no effect on the single-switch Runtime or with 0 worker threads.
+  EngineBuilder& pin_workers(bool pin);
   EngineBuilder& planner(planner::PlannerConfig cfg);
   // Training traffic for the planner's cost estimators (required).
   EngineBuilder& training(std::span<const net::Packet> packets);
@@ -147,6 +150,7 @@ class EngineBuilder {
   std::size_t switches_ = 1;
   std::size_t worker_threads_ = 0;
   std::size_t batch_size_ = 256;
+  bool pin_workers_ = false;
   fault::FaultSpec faults_;
   planner::PlannerConfig planner_;
   std::vector<planner::TupleWindow> windows_;

@@ -8,18 +8,23 @@
 #include <utility>
 
 #include "obs/journal.h"
+#include "pisa/extract.h"
 #include "runtime/plan_install.h"
+#include "util/cpu.h"
+#include "util/flat_table.h"
 #include "util/hash.h"
+#include "util/log.h"
 
 namespace sonata::runtime {
 
 using query::Tuple;
 
 Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads,
-             std::size_t batch_size, fault::FaultSpec faults)
+             std::size_t batch_size, fault::FaultSpec faults, bool pin_workers)
     : plan_(std::move(plan)),
       sp_(std::make_unique<StreamProcessor>(plan_)),
-      batch_size_(std::max<std::size_t>(batch_size, 1)) {
+      batch_size_(std::max<std::size_t>(batch_size, 1)),
+      pin_workers_(pin_workers) {
   assert(switch_count >= 1);
   // A stall without a watchdog would spin the window barrier forever
   // (parse_fault_spec rejects this; assert for programmatic specs).
@@ -31,6 +36,8 @@ Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_th
 
   auto& reg = obs::Registry::global();
   wakeups_ctr_ = &reg.counter("sonata_fleet_wakeups_total");
+  backoffs_ctr_ = &reg.counter("sonata_fleet_backoffs_total");
+  sleeps_ctr_ = &reg.counter("sonata_fleet_sleeps_total");
   partial_windows_ctr_ = &reg.counter("sonata_fleet_partial_windows_total");
 
   // One identical switch program per ingress point.
@@ -69,8 +76,20 @@ Fleet::Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_th
     }
     workers_.push_back(std::move(worker));
   }
-  for (auto& w : workers_) {
-    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->thread = std::thread([this, worker = workers_[w].get(), w] {
+      if (pin_workers_) {
+        const int core = util::pin_thread_to_core(w);
+        if (core >= 0) {
+          pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+          SONATA_DEBUG("fleet", "worker %zu pinned to core %d (numa node %d)", w, core,
+                       util::numa_node_of_core(core));
+        } else {
+          SONATA_DEBUG("fleet", "worker %zu pin failed", w);
+        }
+      }
+      worker_loop(*worker);
+    });
   }
 }
 
@@ -93,10 +112,11 @@ void Fleet::process_batch_on_shard(Shard& shard, std::span<const net::Packet> pa
     const std::size_t run = std::min(packets.size(), kTimedRun);
     if (shard.tuple_scratch.size() < run) shard.tuple_scratch.resize(run);
     {
+      // Batched PHV extraction: AVX2 gathers pull the numeric columns of 4
+      // packets per pass (scalar under SONATA_NO_AVX2 / old CPUs, bit-
+      // identical either way).
       obs::PhaseTimer t{shard.phases, obs::Phase::kIngest};
-      for (std::size_t i = 0; i < run; ++i) {
-        query::materialize_tuple_into(packets[i], shard.tuple_scratch[i]);
-      }
+      pisa::extract_batch(packets.first(run), shard.tuple_scratch.data());
     }
     {
       // One clock read per timed run stamps every record the run emits
@@ -196,9 +216,19 @@ bool Fleet::maybe_resync(Shard& shard) {
 
 void Fleet::worker_loop(Worker& w) {
   const std::uint64_t slow_ns = injector_ ? injector_->spec().slow_ns : 0;
+  std::uint64_t flushed_yields = 0, flushed_sleeps = 0;
   for (;;) {
     bool did_work = false;
     for (Shard* shard : w.shards) {
+      // Parallel window close: the driver only raises close_req after the
+      // barrier saw this shard drained, so the ring is empty and the
+      // request can be served before (or instead of) any packet work.
+      if (shard->close_req.load(std::memory_order_acquire) != 0) {
+        do_shard_close(*shard);
+        shard->close_req.store(0, std::memory_order_relaxed);
+        shard->close_done.store(1, std::memory_order_release);
+        did_work = true;
+      }
       if (batch_size_ == 1) {
         // Legacy per-packet drain (the equivalence baseline).
         net::Packet p;
@@ -253,19 +283,59 @@ void Fleet::worker_loop(Worker& w) {
         did_work = true;
       }
     }
-    if (did_work) continue;
+    if (did_work) {
+      w.backoff.reset();
+      continue;
+    }
     if (stop_.load(std::memory_order_acquire)) return;
-    std::unique_lock lk(w.mutex);
-    w.cv.wait(lk, [&] { return w.signal || stop_.load(std::memory_order_acquire); });
-    w.signal = false;
+    // Bounded spin before sleeping: a ring refill typically lands within
+    // the pause/yield phases, and parking through the cv costs a syscall
+    // round-trip plus the producer's mutex on every subsequent wake.
+    if (!w.backoff.exhausted()) {
+      w.backoff.pause();
+      continue;
+    }
+    // Quiet point: flush the backoff tallies before parking.
+    backoffs_ctr_->add(w.backoff.yields() - flushed_yields);
+    sleeps_ctr_->add(w.backoff.sleeps() - flushed_sleeps);
+    flushed_yields = w.backoff.yields();
+    flushed_sleeps = w.backoff.sleeps();
+    // Dekker handshake with wake(): publish "about to park", then check for
+    // a signal that raced in; wake() stores signal before loading asleep,
+    // so one side always sees the other.
+    w.asleep.store(true, std::memory_order_seq_cst);
+    if (w.signal.load(std::memory_order_seq_cst) ||
+        stop_.load(std::memory_order_acquire)) {
+      w.asleep.store(false, std::memory_order_relaxed);
+      w.signal.store(false, std::memory_order_relaxed);
+      w.backoff.reset();
+      continue;
+    }
+    {
+      std::unique_lock lk(w.mutex);
+      w.cv.wait(lk, [&] {
+        return w.signal.load(std::memory_order_relaxed) ||
+               stop_.load(std::memory_order_acquire);
+      });
+    }
+    w.asleep.store(false, std::memory_order_relaxed);
+    w.signal.store(false, std::memory_order_relaxed);
+    w.backoff.reset();
   }
 }
 
 void Fleet::wake(Worker& w) {
+  // Wake elision: the common case (worker awake and scanning) is one
+  // seq_cst store + one load, no mutex, no notify, no counter traffic.
+  w.signal.store(true, std::memory_order_seq_cst);
+  if (!w.asleep.load(std::memory_order_seq_cst)) return;
   wakeups_ctr_->add(1);
   {
+    // The empty critical section closes the lost-wakeup window: a worker
+    // past its signal re-check but not yet inside cv.wait holds the mutex,
+    // so this lock cannot complete until it parks — and the notify below
+    // then lands. (cv.wait re-checks the predicate under the lock.)
     std::lock_guard lk(w.mutex);
-    w.signal = true;
   }
   w.cv.notify_one();
 }
@@ -302,20 +372,22 @@ void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
                               std::chrono::milliseconds(injector_->spec().watchdog_ms);
         for (;;) {
           wake(w);
-          std::this_thread::yield();
+          driver_backoff_.pause();
           if (shard.queue.try_push(packet)) break;
           if (std::chrono::steady_clock::now() >= deadline) {
             shard.shedding = true;
             shed_packet(shard);
+            driver_backoff_.reset();
             return;
           }
         }
       } else {
         do {
           wake(w);
-          std::this_thread::yield();
+          driver_backoff_.pause();
         } while (!shard.queue.try_push(packet));
       }
+      driver_backoff_.reset();
     }
     ++shard.enqueued;
     if (was_empty) wake(w);
@@ -350,11 +422,12 @@ void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
       for (;;) {
         flush_shard(switch_index);
         wake(w);
-        std::this_thread::yield();
+        driver_backoff_.pause();
         if (shard.queue.try_stage(packet)) break;
         if (std::chrono::steady_clock::now() >= deadline) {
           shard.shedding = true;
           shed_packet(shard);
+          driver_backoff_.reset();
           return;
         }
       }
@@ -362,9 +435,10 @@ void Fleet::ingest_at(std::size_t switch_index, const net::Packet& packet) {
       do {
         flush_shard(switch_index);
         wake(w);
-        std::this_thread::yield();
+        driver_backoff_.pause();
       } while (!shard.queue.try_stage(packet));
     }
+    driver_backoff_.reset();
   }
   ++shard.staged_count;
   if (shard.staged_count >= batch_size_) flush_shard(switch_index);
@@ -436,8 +510,9 @@ void Fleet::drain_barrier() {
       // Workers may have raced to sleep around the last push; keep them
       // awake until their queues are dry.
       wake(*workers_[i % workers_.size()]);
-      std::this_thread::yield();
+      driver_backoff_.pause();
     }
+    driver_backoff_.reset();
     if (healthy) {
       if (i < 64) mask |= 1ull << i;
     } else {
@@ -531,15 +606,49 @@ WindowStats Fleet::do_close_window() {
                                              : shards_[i]->sw->stats().control_update_millis);
   }
 
-  // 2. Poll every switch; partial aggregates merge at the shared reduce.
+  // 2. Parallel poll + reset. Each healthy shard's worker polls its own
+  //    stateful tails into shard.partials (registers already hold the
+  //    shard-locally merged aggregates) and resets its registers; the
+  //    driver folds the published partials key-wise and ingests each
+  //    pipeline's merged aggregates once — a two-level combining tree
+  //    (shard-local fold in parallel, driver fold once) replacing the old
+  //    serial poll+shape+ingest+reset sweep through one thread.
   //    Quarantined switches are skipped: their registers hold a torn
-  //    mid-window state and are reset by the worker's resync.
+  //    mid-window state and are reset by the worker's resync. Stalled-but-
+  //    healthy shards (deterministic per window, so driver and worker
+  //    agree) close inline on the driver — their simulated-hung workers
+  //    never touch them. Inline mode runs the identical code path.
   {
     obs::PhaseTimer t{driver_phases_, obs::Phase::kPoll};
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      if (quarantined_[i]) continue;
-      sp_->poll_switch(*shards_[i]->sw);
+    if (workers_.empty()) {
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (quarantined_[i]) continue;
+        do_shard_close(*shards_[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& s = *shards_[i];
+        if (quarantined_[i]) continue;
+        if (stalled(s)) {
+          do_shard_close(s);
+          s.close_done.store(1, std::memory_order_relaxed);
+          continue;
+        }
+        s.close_done.store(0, std::memory_order_relaxed);
+        s.close_req.store(1, std::memory_order_release);
+        wake(*workers_[i % workers_.size()]);
+      }
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& s = *shards_[i];
+        if (quarantined_[i]) continue;
+        while (s.close_done.load(std::memory_order_acquire) == 0) {
+          wake(*workers_[i % workers_.size()]);
+          driver_backoff_.pause();
+        }
+        driver_backoff_.reset();
+      }
     }
+    combine_partials();
   }
 
   obs::PhaseTimer close_timer{driver_phases_, obs::Phase::kClose};
@@ -555,16 +664,24 @@ WindowStats Fleet::do_close_window() {
   }
   sp_->close_levels(current_, switches);
 
-  // 4. Reset all registers. Control latency = the slowest switch's update
-  //    time this window (updates run in parallel across the fleet).
+  // 4. Control latency = the slowest switch's update time this window
+  //    (updates run in parallel across the fleet). The register reset
+  //    itself already ran inside each shard's close phase; its modelled
+  //    cost — plus this window's winner installs from step 3 — is in the
+  //    stats delta, exactly as the serial close accounted it.
   double control = 0.0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (quarantined_[i]) continue;  // reset happens in the worker's resync
-    shards_[i]->sw->reset_all_registers();
     control =
         std::max(control, shards_[i]->sw->stats().control_update_millis - control_before[i]);
   }
   current_.control_update_millis = control;
+
+  // Quiet point: flush the driver's spin-wait escalation tallies.
+  backoffs_ctr_->add(driver_backoff_.yields() - driver_flushed_yields_);
+  sleeps_ctr_->add(driver_backoff_.sleeps() - driver_flushed_sleeps_);
+  driver_flushed_yields_ = driver_backoff_.yields();
+  driver_flushed_sleeps_ = driver_backoff_.sleeps();
   close_timer.stop();
   current_.phases = to_breakdown(driver_phases_);
   driver_phases_.reset();
@@ -587,6 +704,80 @@ WindowStats Fleet::do_close_window() {
   return out;
 }
 
+void Fleet::do_shard_close(Shard& shard) {
+  const auto& pipelines = shard.sw->pipelines();
+  shard.partials.resize(pipelines.size());
+  for (std::size_t p = 0; p < pipelines.size(); ++p) {
+    shard.partials[p].keys.clear();
+    shard.partials[p].values.clear();
+    if (!pipelines[p]->has_stateful_tail()) continue;
+    shard.partials[p] = pipelines[p]->poll_partial();
+  }
+  // publish_obs inside sees the pre-reset occupancy, exactly like the
+  // serial driver-side reset did; the registry handles are atomic and
+  // per-switch, so concurrent shard closes never contend on a cell.
+  shard.sw->reset_all_registers();
+}
+
+void Fleet::combine_partials() {
+  // Fold the participating shards' partials key-wise, per pipeline index
+  // (every switch runs the identical program). First-appearance order
+  // across ascending shard index reproduces exactly the executor-table
+  // insertion order the serial shard-by-shard poll produced, and every
+  // tail reduce fn (sum/max/min/bit-or) is associative and commutative, so
+  // pre-folding repeated keys and ingesting the merged aggregates once is
+  // bit-identical to ingesting each shard's aggregates in sequence.
+  // `logical` preserves the pre-merge tuple count so SP ingress metrics
+  // match the serial close to the tuple.
+  std::size_t first = shards_.size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!quarantined_[i]) {
+      first = i;
+      break;
+    }
+  }
+  if (first == shards_.size()) return;  // every shard lost this window
+  const auto& ref = shards_[first]->sw->pipelines();
+  util::FlatMap<std::uint64_t> merged;
+  std::vector<std::uint64_t> hashes;
+  std::vector<Tuple> aggregates;
+  for (std::size_t p = 0; p < ref.size(); ++p) {
+    if (!ref[p]->has_stateful_tail()) continue;
+    const pisa::CompiledSwitchQuery& pipe = *ref[p];
+    const query::ReduceFn fn = pipe.tail_reduce_fn();
+    std::uint64_t logical = 0;
+    merged.clear();
+    for (std::size_t i = first; i < shards_.size(); ++i) {
+      if (quarantined_[i]) continue;
+      auto& part = shards_[i]->partials[p];
+      const std::size_t n = part.keys.size();
+      logical += n;
+      // Batch-hash the shard's keys (8 per AVX2 lane-pass), then probe with
+      // the table's first chunk prefetched a few keys ahead — the fold
+      // walks the index without stalling on its cache misses.
+      hashes.resize(n);
+      query::hash_tuples({part.keys.data(), n}, hashes.data());
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j + 4 < n) merged.prefetch(hashes[j + 4]);
+        auto [slot, inserted] =
+            merged.try_emplace(std::move(part.keys[j]), hashes[j], part.values[j]);
+        if (!inserted) *slot = pisa::apply_reduce(fn, *slot, part.values[j]);
+      }
+      part.keys.clear();
+      part.values.clear();
+    }
+    if (logical == 0) continue;
+    aggregates.clear();
+    aggregates.reserve(merged.size());
+    for (const auto& e : merged.entries()) {
+      aggregates.push_back(pipe.shape_polled(e.key, e.value));
+    }
+    const auto& o = pipe.options();
+    sp_->ingest_polled(o.qid, o.level, o.source_index, pipe.poll_entry_op(), logical,
+                       aggregates);
+  }
+}
+
 void Fleet::apply_plan(planner::Plan plan) {
   // Runs on the driver thread right after do_close_window, so every ring
   // is drained — EXCEPT a quarantined shard whose worker is still mid-
@@ -598,8 +789,9 @@ void Fleet::apply_plan(planner::Plan plan) {
     while (s.resync_to.load(std::memory_order_acquire) != 0 ||
            s.drained.load(std::memory_order_acquire) != s.enqueued) {
       if (!workers_.empty()) wake(*workers_[i % workers_.size()]);
-      std::this_thread::yield();
+      driver_backoff_.pause();
     }
+    driver_backoff_.reset();
   }
   // Tear down the SP before replacing plan_ (it holds pointers into it),
   // then reinstall every shard against the new plan. Pipeline reuse is

@@ -81,12 +81,19 @@ class Fleet final : public TelemetryEngine {
   // deterministic fault injection (default: none — hooks compile to null
   // checks); a stall requires faults.watchdog_ms > 0, and worker
   // stalls/slowdowns only apply in threaded mode.
+  // `pin_workers` pins worker i to allowed core i % cores (NUMA-local by
+  // construction: a worker allocates its working set from the core it runs
+  // on, and first-touch places the pages on that core's node).
   Fleet(planner::Plan plan, std::size_t switch_count, std::size_t worker_threads = 0,
-        std::size_t batch_size = 1, fault::FaultSpec faults = {});
+        std::size_t batch_size = 1, fault::FaultSpec faults = {}, bool pin_workers = false);
   ~Fleet() override;
 
   [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t worker_threads() const noexcept { return workers_.size(); }
+  // Workers successfully pinned to a core (0 unless pin_workers was set).
+  [[nodiscard]] std::size_t pinned_workers() const noexcept {
+    return pinned_workers_.load(std::memory_order_relaxed);
+  }
 
   // Ingest a packet at a specific ingress switch.
   void ingest_at(std::size_t switch_index, const net::Packet& packet);
@@ -170,6 +177,16 @@ class Fleet final : public TelemetryEngine {
     // pair as `drained`, merged and reset at the window barrier.
     obs::PhaseAccum phases;
 
+    // Parallel window close (DESIGN.md "Parallel window merge"). The driver
+    // raises close_req at the barrier; the shard's worker polls its stateful
+    // tails into `partials` (one slot per pipeline, registers' deterministic
+    // entries() order), resets its registers, and raises close_done. The
+    // driver's acquire load of close_done publishes `partials` and the
+    // switch stats the same way `drained` publishes the emit arena.
+    std::vector<pisa::CompiledSwitchQuery::PolledPartial> partials;
+    std::atomic<std::uint8_t> close_req{0};
+    std::atomic<std::uint8_t> close_done{0};
+
     // Registry handles, resolved once at construction (self-gated on
     // obs::enabled, so they cost one branch when observability is off).
     obs::Counter* packets_ctr = nullptr;   // packets handed to this shard
@@ -180,8 +197,15 @@ class Fleet final : public TelemetryEngine {
   struct Worker {
     std::mutex mutex;
     std::condition_variable cv;
-    bool signal = false;  // guarded by mutex
+    // Wake elision (Dekker handshake): the producer's seq_cst store of
+    // `signal` followed by its load of `asleep` pairs with the consumer's
+    // seq_cst store of `asleep` followed by its load of `signal` — at least
+    // one side sees the other, so the mutex+notify is only paid when the
+    // worker is actually parked (or racing to park).
+    std::atomic<bool> signal{false};
+    std::atomic<bool> asleep{false};
     std::vector<Shard*> shards;
+    Backoff backoff;  // worker-thread-owned idle backoff
     std::thread thread;
   };
 
@@ -204,6 +228,17 @@ class Fleet final : public TelemetryEngine {
   void worker_loop(Worker& w);
   void wake(Worker& w);
   void drain_barrier();
+
+  // Shard-local close phase: poll every stateful tail into shard.partials
+  // and reset the switch registers. Runs on the shard's worker in threaded
+  // mode, on the driver for inline/stalled shards — one code path, so
+  // outputs are trivially identical.
+  void do_shard_close(Shard& shard);
+  // Driver-side combine: fold all participating shards' partials key-wise
+  // (first-appearance order across ascending shard index — exactly the
+  // order serial per-shard polling fed the executors) and ingest the merged
+  // aggregates once per pipeline.
+  void combine_partials();
 
   // Worker-side quarantine recovery: if the driver condemned this shard,
   // discard the condemned ring prefix, wipe the emit arena, reset the
@@ -235,9 +270,17 @@ class Fleet final : public TelemetryEngine {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
 
+  bool pin_workers_ = false;
+  std::atomic<std::size_t> pinned_workers_{0};
+
   WindowStats current_;
   obs::PhaseAccum driver_phases_;  // merge/poll/close (+ inline compute)
+  Backoff driver_backoff_;         // driver-thread spin-wait escalation
+  std::uint64_t driver_flushed_yields_ = 0;  // backoff tallies already published
+  std::uint64_t driver_flushed_sleeps_ = 0;
   obs::Counter* wakeups_ctr_ = nullptr;
+  obs::Counter* backoffs_ctr_ = nullptr;  // spin-wait yield escalations
+  obs::Counter* sleeps_ctr_ = nullptr;    // spin-wait sleep escalations
   obs::Counter* partial_windows_ctr_ = nullptr;
   std::uint64_t window_counter_ = 0;
   // Window index visible to workers (stall schedules are window-keyed);

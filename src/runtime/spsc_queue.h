@@ -14,12 +14,73 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace sonata::runtime {
+
+// Bounded-spin exponential backoff for the fleet's busy-wait loops.
+//
+// A raw `while (!try) yield()` spin is the batch=1 anti-scaling culprit:
+// with more workers than cores, a spinning producer burns the exact
+// timeslice the consumer needs to drain, so adding threads makes the ring
+// SLOWER. Backoff keeps the first probes cheap (pause), escalates to
+// yield, then parks in exponentially growing sleeps (1us .. 256us) so a
+// stalled peer gets whole timeslices back. Counters are local; the owner
+// flushes them to obs at a quiet point (window close), keeping the hot
+// loop free of shared-cache traffic.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+      return;
+    }
+    if (spins_ < kSpinLimit + kYieldLimit) {
+      ++spins_;
+      ++yields_;
+      std::this_thread::yield();
+      return;
+    }
+    ++sleeps_;
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    if (sleep_us_ < kMaxSleepUs) sleep_us_ <<= 1;
+  }
+
+  // Progress was made: restart the cheap-spin phase.
+  void reset() noexcept {
+    spins_ = 0;
+    sleep_us_ = 1;
+  }
+
+  // True once this episode has escalated to its longest sleep — a caller
+  // with a condition variable should park instead of sleeping again.
+  [[nodiscard]] bool exhausted() const noexcept { return sleep_us_ >= kMaxSleepUs; }
+
+  // Cumulative escalations since construction (not cleared by reset()):
+  // how often the loop had to give up its timeslice, and how often it had
+  // to sleep. The fleet publishes these as
+  // sonata_fleet_backoffs_total / sonata_fleet_sleeps_total.
+  [[nodiscard]] std::uint64_t yields() const noexcept { return yields_; }
+  [[nodiscard]] std::uint64_t sleeps() const noexcept { return sleeps_; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 64;
+  static constexpr std::uint32_t kYieldLimit = 16;
+  static constexpr std::uint32_t kMaxSleepUs = 256;
+  std::uint32_t spins_ = 0;
+  std::uint32_t sleep_us_ = 1;
+  std::uint64_t yields_ = 0;
+  std::uint64_t sleeps_ = 0;
+};
 
 template <typename T>
 class SpscQueue {
@@ -106,6 +167,10 @@ class SpscQueue {
     const std::size_t pos = tail & (slots_.size() - 1);
     const std::size_t contiguous = slots_.size() - pos;
     if (n > contiguous) n = contiguous;
+    // Start the fetch of the run the consumer will ask for next (the slots
+    // right after this view, wrapped) while it chews on this one.
+    if (n != 0 && n == contiguous) __builtin_prefetch(slots_.data());
+    if (n != 0 && n < avail) __builtin_prefetch(slots_.data() + ((tail + n) & (slots_.size() - 1)));
     return {slots_.data() + pos, n};
   }
 

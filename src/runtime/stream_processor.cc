@@ -186,6 +186,16 @@ void StreamProcessor::poll_switch(const pisa::Switch& sw) {
   }
 }
 
+void StreamProcessor::ingest_polled(query::QueryId qid, int level, int source_index,
+                                    std::size_t entry_op, std::uint64_t logical_tuples,
+                                    std::span<Tuple> aggregates) {
+  const int src_idx = remap_source(qid, level, source_index);
+  if (src_idx < 0) return;
+  LevelExec& le = *level_exec(qid, level);
+  le.tuples_in += logical_tuples;
+  le.exec->ingest_batch(src_idx, aggregates, entry_op);
+}
+
 void StreamProcessor::close_levels(WindowStats& window,
                                    std::span<pisa::Switch* const> switches) {
   // Close coarse-to-fine; each level's winner keys go into the next level's

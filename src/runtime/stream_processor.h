@@ -188,6 +188,15 @@ class StreamProcessor {
   // channel); polled aggregates merge at the shared reduce.
   void poll_switch(const pisa::Switch& sw);
 
+  // Ingest already-polled (and possibly pre-merged) aggregates for one
+  // pipeline — the parallel window close's replacement for poll_switch.
+  // `logical_tuples` is the pre-merge aggregate count (what poll_switch
+  // would have fed tuples_in across all shards), so per-window SP metrics
+  // are identical whether the close ran serial or parallel.
+  void ingest_polled(query::QueryId qid, int level, int source_index,
+                     std::size_t entry_op, std::uint64_t logical_tuples,
+                     std::span<query::Tuple> aggregates);
+
   // Close every level coarse-to-fine: finest outputs land in
   // `window.results`; coarse winners install into the next level's dynamic
   // filter tables on the SP side and on every switch in `switches` (they

@@ -1,0 +1,120 @@
+// Page-granular buffers for register and table memory.
+//
+// The keyed hot structures — FlatTable's control/slot index and the
+// register chains' occupancy words — are large flat arrays that live for
+// the process and are re-walked every window. Backing them with
+// std::vector works but leaves two costs on the table: 4 KiB TLB entries
+// (a 1M-key table's index alone spans hundreds of pages) and growth
+// reallocation that briefly doubles footprint. PageBuffer is the arena
+// replacement: one aligned block per buffer, sized in page multiples,
+// advised MADV_HUGEPAGE once it crosses a threshold so the kernel can
+// collapse it to 2 MiB mappings. Strictly POD storage — the element type
+// must be trivially copyable and trivially destructible — because these
+// are exactly the bulk-memset/bulk-walk arrays the data path owns.
+//
+// The buffer deliberately mirrors the tiny std::vector subset FlatTable
+// and RegisterChain actually use (assign / resize / data / operator[] /
+// capacity), so swapping the backing store is a type change, not a logic
+// change. Best-effort by design: when madvise is refused (or the platform
+// has no THP) the buffer behaves like a plain aligned allocation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/cpu.h"
+
+namespace sonata::util {
+
+template <typename T>
+class PageBuffer {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "PageBuffer is POD-only storage (bulk memset/walk arrays)");
+
+ public:
+  // Buffers at or above this byte size get the huge-page advice; smaller
+  // ones are not worth a syscall (a 2 MiB region is the THP unit).
+  static constexpr std::size_t kHugeThreshold = 2u << 20;
+
+  PageBuffer() = default;
+  ~PageBuffer() { release(); }
+
+  PageBuffer(PageBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        cap_(std::exchange(o.cap_, 0)) {}
+  PageBuffer& operator=(PageBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+      cap_ = std::exchange(o.cap_, 0);
+    }
+    return *this;
+  }
+  PageBuffer(const PageBuffer&) = delete;
+  PageBuffer& operator=(const PageBuffer&) = delete;
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  // Grow-only size change; fresh elements are zero-filled (all callers
+  // want zeroed index/bitmap memory, and zero-fill keeps this POD-simple).
+  void resize(std::size_t n) {
+    ensure(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  void assign(std::size_t n, T v) {
+    ensure(n);
+    size_ = n;
+    if (n == 0) return;
+    if constexpr (sizeof(T) == 1) {
+      std::memset(data_, static_cast<unsigned char>(v), n);
+    } else {
+      std::fill_n(data_, n, v);
+    }
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  void ensure(std::size_t n) {
+    if (n <= cap_) return;
+    // Page-multiple capacity: the whole tail of the mapping is usable, so
+    // repeated small grows inside one page cost nothing.
+    constexpr std::size_t kPage = 4096;
+    std::size_t bytes = ((n * sizeof(T) + kPage - 1) / kPage) * kPage;
+    if (bytes < cap_ * sizeof(T) * 2) bytes = ((cap_ * sizeof(T) * 2 + kPage - 1) / kPage) * kPage;
+    T* fresh = static_cast<T*>(::operator new(bytes, std::align_val_t{kPage}));
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    release();
+    data_ = fresh;
+    cap_ = bytes / sizeof(T);
+    if (bytes >= kHugeThreshold) advise_huge_pages(data_, bytes);
+  }
+
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(static_cast<void*>(data_), std::align_val_t{4096});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace sonata::util

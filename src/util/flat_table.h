@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "query/tuple.h"
+#include "util/arena.h"
 
 namespace sonata::util {
 
@@ -198,6 +199,17 @@ class FlatTable {
 
   [[nodiscard]] std::uint64_t rehashes() const noexcept { return rehashes_; }
 
+  // Software-prefetch the first probe chunk for `hash`. Callers that know
+  // the next few keys ahead of time (batched ingest with precomputed tuple
+  // hashes) overlap the index's cache miss with current work instead of
+  // stalling on it inside find/insert.
+  void prefetch(std::uint64_t hash) const noexcept {
+    if (cap_ == 0) return;
+    const std::size_t base = ((hash >> 7) & (num_chunks() - 1)) * kChunk;
+    __builtin_prefetch(ctrl_.data() + base);
+    __builtin_prefetch(slot_.data() + base);
+  }
+
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   static constexpr std::size_t kAppend = static_cast<std::size_t>(-2);
@@ -233,6 +245,9 @@ class FlatTable {
     for (std::size_t i = 0;; ++i) {
       const std::size_t base = chunk * kChunk;
       const std::uint64_t group = flat_detail::load_chunk(ctrl_.data() + base);
+      // Issue the next triangular chunk's control load now: by the time the
+      // SWAR match and key compares below miss, its line is in flight.
+      __builtin_prefetch(ctrl_.data() + (((chunk + i + 1) & chunk_mask) * kChunk));
       std::uint64_t match = flat_detail::match_byte(group, h2);
       while (match != 0) {
         const std::size_t lane = flat_detail::first_lane(match);
@@ -263,6 +278,7 @@ class FlatTable {
     for (std::size_t i = 0;; ++i) {
       const std::size_t base = chunk * kChunk;
       const std::uint64_t group = flat_detail::load_chunk(ctrl_.data() + base);
+      __builtin_prefetch(ctrl_.data() + (((chunk + i + 1) & chunk_mask) * kChunk));
       std::uint64_t match = flat_detail::match_byte(group, h2);
       while (match != 0) {
         const std::size_t lane = flat_detail::first_lane(match);
@@ -332,8 +348,11 @@ class FlatTable {
     }
   }
 
-  std::vector<std::uint8_t> ctrl_;    // cap_ control bytes, chunk-aligned
-  std::vector<std::uint32_t> slot_;   // cap_ dense-entry indices
+  // The index arrays sit in page-aligned arena buffers (huge-page advised
+  // once large): they are the per-probe random-access working set, and
+  // fewer TLB entries is a direct hot-path win.
+  PageBuffer<std::uint8_t> ctrl_;     // cap_ control bytes, chunk-aligned
+  PageBuffer<std::uint32_t> slot_;    // cap_ dense-entry indices
   std::vector<Entry> entries_;        // insertion order
   std::size_t cap_ = 0;               // power of two, multiple of kChunk
   std::size_t occupied_ = 0;          // full + tombstoned slots

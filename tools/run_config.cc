@@ -27,7 +27,7 @@ void print_run_usage(std::FILE* out) {
                "                  [--train-pcap FILE] [--mode sonata|all-sp|filter-dp|"
                "max-dp|fix-ref]\n"
                "                  [--window SECONDS] [--emit-p4 FILE] [--emit-spark FILE]\n"
-               "                  [--switches N] [--threads N] [--batch N] [--seed N]\n"
+               "                  [--switches N] [--threads N] [--batch N] [--pin] [--seed N]\n"
                "                  [--admit-script FILE (lines: WINDOW submit QUERY [tenant NAME]\n"
                "                   | WINDOW withdraw QUERY; queries a script submits start\n"
                "                   inactive and go live at their window)]\n"
@@ -101,6 +101,8 @@ util::Expected<RunConfig, std::string> parse_run_config(int argc, const char* co
       if (!v) return "missing value for " + arg;
       cfg.batch = std::strtoull(v, nullptr, 10);
       if (cfg.batch == 0) return std::string("--batch must be >= 1");
+    } else if (arg == "--pin") {
+      cfg.pin = true;
     } else if (arg == "--fault-spec") {
       const char* v = value();
       if (!v) return "missing value for " + arg;

@@ -48,6 +48,7 @@ struct RunConfig {
   std::size_t switches = 1;
   std::size_t threads = 0;
   std::size_t batch = 256;
+  bool pin = false;  // pin fleet workers to cores
   fault::FaultSpec faults;
   bool faults_configured = false;
   std::string metrics_json_path;

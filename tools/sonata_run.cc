@@ -352,6 +352,7 @@ int main(int argc, char** argv) {
   runtime::EngineBuilder builder;
   builder.topology(cfg.switches, cfg.threads)
       .batch(cfg.batch)
+      .pin_workers(cfg.pin)
       .faults(cfg.faults)
       .planner(planner_cfg)
       .training(training.empty() ? trace : training);
