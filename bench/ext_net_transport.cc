@@ -1,0 +1,314 @@
+// Extension benchmark: the multi-process report transport (DESIGN.md
+// "Deployment modes & report transport").
+//
+// A 4-shard fleet split across 2 switch nodes plus a collector runs the
+// full window-barrier protocol over each transport (shm ring, TCP, UDP on
+// loopback — threads in one process, real sockets/rings in between), and
+// the identical plan/trace runs through the in-process Fleet as the
+// baseline. Reported per transport: wall-clock, shipped reports/sec
+// (records + raw-mirror tuples + polled partial entries), wire frames and
+// bytes, the per-window barrier overhead vs the in-process close, and
+// whether the distributed windows are bit-identical to the Fleet's.
+//
+// A raw shm-ring section measures the byte path alone (cross-thread
+// framed write/parse throughput) to separate ring cost from protocol cost.
+//
+// Gates (run by CI):
+//   - shm and TCP must be bit-identical to the in-process run
+//   - UDP must complete; on a clean loopback it is bit-identical, and if
+//     the kernel dropped datagrams the loss must be exactly accounted
+//     (lost frames > 0 and the affected windows marked partial)
+//   - --smoke shrinks the trace; the gates still run (timing is not gated)
+//
+// Results land in BENCH_net.json for CI artifacts and EXPERIMENTS.md.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common.h"
+#include "net/transport/frame.h"
+#include "net/transport/shm_ring.h"
+#include "net/transport/transport.h"
+#include "runtime/distributed.h"
+#include "runtime/fleet.h"
+
+using namespace sonata;
+namespace nt = net::transport;
+
+namespace {
+
+bool identical_windows(const std::vector<runtime::WindowStats>& a,
+                       const std::vector<runtime::WindowStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    if (a[w].packets != b[w].packets || a[w].tuples_to_sp != b[w].tuples_to_sp ||
+        a[w].raw_mirror_packets != b[w].raw_mirror_packets ||
+        a[w].overflow_records != b[w].overflow_records ||
+        a[w].contribution_mask != b[w].contribution_mask ||
+        a[w].results.size() != b[w].results.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < a[w].results.size(); ++r) {
+      if (a[w].results[r].qid != b[w].results[r].qid ||
+          !(a[w].results[r].outputs == b[w].results[r].outputs)) {
+        return false;
+      }
+    }
+    if (!(a[w].winners == b[w].winners)) return false;
+  }
+  return true;
+}
+
+struct TransportResult {
+  std::string name;
+  double seconds = 0.0;
+  double reports_per_sec = 0.0;
+  std::uint64_t reports = 0;
+  std::uint64_t tx_frames = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t lost = 0;
+  double barrier_ms_per_window = 0.0;  // added wall-clock vs in-process
+  bool identical = false;
+  bool completed = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  constexpr std::size_t kSwitches = 4;
+  constexpr std::uint16_t kNodes = 2;
+
+  trace::BackgroundConfig bg;
+  bg.duration_sec = smoke ? 4.0 : 12.0;
+  bg.flows_per_sec = 600.0 * opts.scale;
+  const auto trace = trace::TraceBuilder(opts.seed).background(bg).build();
+
+  queries::Thresholds th;
+  std::vector<query::Query> qs;
+  qs.push_back(queries::make_newly_opened_tcp(th, util::seconds(3)));
+  qs.push_back(queries::make_superspreader(th, util::seconds(3)));
+
+  planner::PlannerConfig cfg;
+  cfg.mode = planner::PlanMode::kSonata;
+  cfg.window = util::seconds(3);
+  const auto plan = planner::Planner(cfg).plan(qs, trace);
+
+  std::printf("Report transport: %zu shards on %u switch-node threads + collector, "
+              "%zu packets%s\n\n",
+              kSwitches, static_cast<unsigned>(kNodes), trace.size(), smoke ? " (smoke)" : "");
+
+  // In-process baseline: the same plan on the same shard count.
+  runtime::Fleet fleet(plan, kSwitches);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ref = fleet.run_trace(trace);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double fleet_seconds = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("in-process baseline: %.3f s over %zu windows\n", fleet_seconds, ref.size());
+
+  const std::string pid = std::to_string(::getpid());
+  const std::vector<std::pair<std::string, std::string>> transports = {
+      {"shm", "shm:/tmp/sonata_bench_ring." + pid},
+      {"tcp", "tcp:127.0.0.1:" + std::to_string(21000 + ::getpid() % 10000)},
+      {"udp", "udp:127.0.0.1:" + std::to_string(31000 + ::getpid() % 10000)},
+  };
+
+  std::vector<TransportResult> results;
+  for (const auto& [name, spec_str] : transports) {
+    TransportResult r;
+    r.name = name;
+    const auto spec = nt::parse_endpoint(spec_str);
+    if (!spec) {
+      std::fprintf(stderr, "bad spec %s: %s\n", spec_str.c_str(), spec.error().c_str());
+      return 1;
+    }
+    runtime::DistributedConfig dcfg;
+    dcfg.switches = kSwitches;
+    dcfg.nodes = kNodes;
+    auto ep = nt::make_collector_endpoint(*spec, kNodes);
+    if (!ep) {
+      std::fprintf(stderr, "%s endpoint: %s\n", name.c_str(), ep.error().c_str());
+      return 1;
+    }
+    runtime::Collector collector(plan, dcfg, std::move(*ep));
+    if (const std::string err = collector.listen(); !err.empty()) {
+      std::fprintf(stderr, "%s listen: %s\n", name.c_str(), err.c_str());
+      return 1;
+    }
+
+    std::vector<runtime::WindowStats> got;
+    std::string collector_err;
+    std::thread collector_thread([&] {
+      collector_err =
+          collector.run([&](const runtime::WindowStats& ws) { got.push_back(ws); });
+    });
+
+    std::vector<runtime::SwitchNode::Stats> node_stats(kNodes);
+    std::vector<nt::TransportCounters> node_tc(kNodes);
+    std::vector<std::string> node_err(kNodes);
+    const auto d0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> node_threads;
+    for (std::uint16_t n = 0; n < kNodes; ++n) {
+      node_threads.emplace_back([&, n] {
+        runtime::DistributedConfig ncfg = dcfg;
+        ncfg.node_index = n;
+        auto transport = nt::make_switch_transport(*spec, n);
+        if (!transport) {
+          node_err[n] = transport.error();
+          return;
+        }
+        runtime::SwitchNode node(plan, ncfg, std::move(*transport));
+        node_err[n] = node.run(trace);
+        node_stats[n] = node.stats();
+        node_tc[n] = node.transport_counters();
+      });
+    }
+    for (auto& t : node_threads) t.join();
+    collector_thread.join();
+    const auto d1 = std::chrono::steady_clock::now();
+
+    r.completed = collector_err.empty();
+    for (const auto& e : node_err) r.completed = r.completed && e.empty();
+    if (!collector_err.empty()) std::fprintf(stderr, "%s collector: %s\n", name.c_str(), collector_err.c_str());
+    for (std::uint16_t n = 0; n < kNodes; ++n) {
+      if (!node_err[n].empty()) {
+        std::fprintf(stderr, "%s node %u: %s\n", name.c_str(), n, node_err[n].c_str());
+      }
+    }
+    r.seconds = std::chrono::duration<double>(d1 - d0).count();
+    for (const auto& st : node_stats) {
+      r.reports += st.records_sent + st.raw_sent + st.partial_entries_sent;
+    }
+    for (const auto& tc : node_tc) {
+      r.tx_frames += tc.tx_frames;
+      r.tx_bytes += tc.tx_bytes;
+    }
+    r.reports_per_sec = r.seconds > 0 ? static_cast<double>(r.reports) / r.seconds : 0.0;
+    r.lost = collector.stats().lost_frames;
+    r.identical = r.completed && identical_windows(ref, got);
+    r.barrier_ms_per_window =
+        ref.empty() ? 0.0 : 1e3 * (r.seconds - fleet_seconds) / static_cast<double>(ref.size());
+    results.push_back(r);
+
+    if (name == "shm") {
+      for (std::uint16_t n = 0; n < kNodes; ++n) {
+        const std::string prefix = spec->target + ".n" + std::to_string(n);
+        ::unlink((prefix + ".up").c_str());
+        ::unlink((prefix + ".down").c_str());
+      }
+    }
+  }
+
+  // Raw ring byte path: framed cross-thread throughput, no protocol.
+  const std::string ring_file = "/tmp/sonata_bench_rawring." + pid;
+  double ring_mbps = 0.0;
+  {
+    auto ring = nt::ShmRing::create(ring_file, 1u << 20);
+    if (ring) {
+      const std::size_t frames = smoke ? 20000 : 200000;
+      nt::Frame f;
+      f.type = nt::FrameType::kRecords;
+      f.payload.assign(512, std::byte{0x42});
+      std::vector<std::byte> wire;
+      nt::encode_stream(f, wire);
+      const auto r0 = std::chrono::steady_clock::now();
+      std::thread producer([&] {
+        for (std::size_t i = 0; i < frames; ++i) {
+          while (!ring->write(wire)) std::this_thread::yield();
+        }
+      });
+      nt::StreamParser parser;
+      std::size_t got_frames = 0;
+      std::vector<std::byte> buf(64 * 1024);
+      while (got_frames < frames) {
+        const std::size_t n = ring->read(buf.data(), buf.size());
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        parser.feed(std::span<const std::byte>(buf.data(), n));
+        while (parser.next()) ++got_frames;
+      }
+      producer.join();
+      const auto r1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(r1 - r0).count();
+      ring_mbps = static_cast<double>(frames * wire.size()) / secs / 1e6;
+      std::printf("raw shm ring: %.0f MB/s framed cross-thread (%zu frames of %zu B)\n\n",
+                  ring_mbps, frames, wire.size());
+    }
+    ::unlink(ring_file.c_str());
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : results) {
+    char sec_s[32], rps_s[32], lat_s[32];
+    std::snprintf(sec_s, sizeof sec_s, "%.3f", r.seconds);
+    std::snprintf(rps_s, sizeof rps_s, "%.0f", r.reports_per_sec);
+    std::snprintf(lat_s, sizeof lat_s, "%+.2f", r.barrier_ms_per_window);
+    rows.push_back({r.name, sec_s, rps_s, std::to_string(r.tx_frames),
+                    std::to_string(r.tx_bytes), lat_s, std::to_string(r.lost),
+                    r.identical ? "yes" : "NO"});
+  }
+  bench::print_table({"transport", "seconds", "reports/sec", "frames", "bytes",
+                      "barrier ms/win", "lost", "bit-identical"},
+                     rows);
+
+  std::ofstream json("BENCH_net.json");
+  json << "{\n  \"bench\": \"net_transport\",\n";
+  json << "  \"switches\": " << kSwitches << ",\n";
+  json << "  \"nodes\": " << kNodes << ",\n";
+  json << "  \"packets\": " << trace.size() << ",\n";
+  json << "  \"windows\": " << ref.size() << ",\n";
+  json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  json << "  \"fleet_seconds\": " << fleet_seconds << ",\n";
+  json << "  \"raw_shm_ring_mbps\": " << ring_mbps << ",\n";
+  json << "  \"hardware\": " << bench::hardware_json() << ",\n";
+  json << "  \"transports\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"transport\": \"%s\", \"seconds\": %.4f, "
+                  "\"reports_per_sec\": %.0f, \"reports\": %llu, \"tx_frames\": %llu, "
+                  "\"tx_bytes\": %llu, \"barrier_ms_per_window\": %.3f, "
+                  "\"lost_frames\": %llu, \"identical\": %s, \"completed\": %s}%s\n",
+                  r.name.c_str(), r.seconds, r.reports_per_sec,
+                  static_cast<unsigned long long>(r.reports),
+                  static_cast<unsigned long long>(r.tx_frames),
+                  static_cast<unsigned long long>(r.tx_bytes), r.barrier_ms_per_window,
+                  static_cast<unsigned long long>(r.lost), r.identical ? "true" : "false",
+                  r.completed ? "true" : "false", i + 1 == results.size() ? "" : ",");
+    json << buf;
+  }
+  json << "  ]\n}\n";
+  std::printf("\nWrote BENCH_net.json\n");
+
+  // Gates (see the header comment).
+  bool ok = true;
+  for (const auto& r : results) {
+    if (!r.completed) {
+      std::fprintf(stderr, "GATE: %s run did not complete\n", r.name.c_str());
+      ok = false;
+    } else if (r.name == "udp") {
+      if (!r.identical && r.lost == 0) {
+        std::fprintf(stderr, "GATE: udp diverged without any accounted loss\n");
+        ok = false;
+      }
+    } else if (!r.identical) {
+      std::fprintf(stderr, "GATE: %s windows are not bit-identical to in-process\n",
+                   r.name.c_str());
+      ok = false;
+    }
+  }
+  if (ok) std::printf("All transport gates passed.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Wire framing for the multi-process report channel (ROADMAP item 2).
+//
+// Every inter-process message — mirrored report batches, raw-mirror
+// tuples, polled partial aggregates, and the window-barrier control
+// traffic — travels as one Frame. The frame layer is deliberately
+// byte-level: payloads are opaque here (the typed payload codecs live in
+// runtime/distributed, next to the structs they serialize), so sonata_net
+// keeps its util-only dependency surface and the framing can be fuzzed in
+// isolation exactly like the PR 3 report codec.
+//
+// Two encodings share one logical header {type, source, seq}:
+//
+//   datagram (UDP, one frame per datagram):
+//     magic  u32  = 0x50A7F7A3
+//     type   u8   (FrameType)
+//     source u16  (sending node index)
+//     seq    u64  (per-source data-frame sequence number)
+//     payload     (to the end of the datagram)
+//
+//   stream (TCP / shared-memory ring):
+//     len    u32  (= 11 + payload size: everything after this field)
+//     type   u8
+//     source u16
+//     seq    u64
+//     payload
+//
+// Data frames (kRecords / kRaw / kPartial) consume one sequence number
+// each, so a receiver can detect loss, reordering and duplication per
+// source (see reassembly.h). Control frames carry protocol state in `seq`
+// instead: a kWindowEnd's seq is the sender's *next* data sequence number,
+// which lets the receiver finalize the window's gap accounting without
+// parsing the payload.
+//
+// decode_datagram and StreamParser are fully bounds-checked: truncated,
+// torn, oversized or type-invalid input yields nullopt / a parse error,
+// never a crash (fuzzed in tests/net_transport_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace sonata::net::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x50A7F7A3u;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      // switch -> collector: node handshake (retransmitted until acked)
+  kRecords = 2,    // switch -> collector: encoded EmitRecord batch for one shard
+  kRaw = 3,        // switch -> collector: raw-mirror source tuples for one shard
+  kPartial = 4,    // switch -> collector: one pipeline's polled register partials
+  kWindowEnd = 5,  // switch -> collector: window barrier (seq = next data seq)
+  kWinners = 6,    // collector -> switch: dynamic-filter winner installs
+  kWindowAck = 7,  // collector -> switch: window closed (ends the barrier wait)
+  kHelloAck = 8,   // collector -> switch: handshake accepted
+};
+
+// Frames that consume a per-source sequence number and run through the
+// reassembly window; everything else is control traffic.
+[[nodiscard]] constexpr bool is_data_frame(FrameType t) noexcept {
+  return t == FrameType::kRecords || t == FrameType::kRaw || t == FrameType::kPartial;
+}
+
+[[nodiscard]] constexpr bool valid_frame_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kHelloAck);
+}
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::uint16_t source = 0;  // sending node index
+  std::uint64_t seq = 0;
+  std::vector<std::byte> payload;
+};
+
+// Bytes before the payload in either encoding.
+inline constexpr std::size_t kFrameHeaderBytes = 15;
+// Ceiling on a single frame's payload; larger frames are a protocol error
+// (a torn length prefix must not make a stream receiver allocate GBs).
+inline constexpr std::size_t kMaxFramePayload = 4u << 20;
+
+// -- datagram encoding ---------------------------------------------------
+
+void encode_datagram(const Frame& f, std::vector<std::byte>& out);
+[[nodiscard]] std::optional<Frame> decode_datagram(std::span<const std::byte> data);
+
+// -- stream encoding -----------------------------------------------------
+
+// Appends the length-prefixed frame to `out` (callers batch several frames
+// into one write).
+void encode_stream(const Frame& f, std::vector<std::byte>& out);
+
+// Incremental parser over an arbitrary re-chunking of a frame stream —
+// feed() whatever recv/readv returned (torn reads, many frames at once)
+// and drain next() until it returns nullopt. A malformed stream (bad
+// length, bad type) sets error() and the parser stays stuck: a byte
+// stream that lost framing cannot be resynchronized safely.
+class StreamParser {
+ public:
+  void feed(std::span<const std::byte> data);
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] bool error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted in feed()
+  bool error_ = false;
+};
+
+}  // namespace sonata::net::transport

@@ -1,0 +1,93 @@
+#include "net/transport/reassembly.h"
+
+#include <utility>
+
+namespace sonata::net::transport {
+
+void Reassembly::drain_ready(Source& s, std::vector<Frame>& out) {
+  auto it = s.buffered.begin();
+  while (it != s.buffered.end() && it->first == s.next) {
+    out.push_back(std::move(it->second));
+    it = s.buffered.erase(it);
+    ++s.next;
+    ++s.stats.delivered;
+  }
+}
+
+void Reassembly::push(Frame f, std::vector<Frame>& out) {
+  Source& s = per_source_[f.source];
+  if (f.seq < s.next || s.buffered.count(f.seq) != 0) {
+    ++s.stats.duplicates;
+    return;
+  }
+  if (f.seq == s.next) {
+    out.push_back(std::move(f));
+    ++s.next;
+    ++s.stats.delivered;
+    drain_ready(s, out);
+    return;
+  }
+  // Gap: buffer and wait, unless the arrival is so far ahead that the
+  // missing range cannot plausibly still arrive — then give the gaps up
+  // and jump the stream forward (resync).
+  ++s.stats.reordered;
+  s.buffered.emplace(f.seq, std::move(f));
+  const std::uint64_t horizon = s.buffered.rbegin()->first;
+  if (horizon - s.next >= window_) {
+    ++s.stats.resynced;
+    // Deliver everything buffered in order; every undelivered sequence
+    // strictly below the highest buffered frame is lost exactly once.
+    std::uint64_t expected = s.next;
+    auto it = s.buffered.begin();
+    while (it != s.buffered.end()) {
+      s.stats.lost += it->first - expected;
+      expected = it->first + 1;
+      out.push_back(std::move(it->second));
+      ++s.stats.delivered;
+      it = s.buffered.erase(it);
+    }
+    s.next = expected;
+  }
+}
+
+std::uint64_t Reassembly::flush_to(std::uint16_t source, std::uint64_t end_seq,
+                                   std::vector<Frame>& out) {
+  Source& s = per_source_[source];
+  std::uint64_t lost = 0;
+  auto it = s.buffered.begin();
+  while (it != s.buffered.end() && it->first < end_seq) {
+    lost += it->first - s.next;
+    s.next = it->first + 1;
+    out.push_back(std::move(it->second));
+    ++s.stats.delivered;
+    it = s.buffered.erase(it);
+  }
+  if (s.next < end_seq) {
+    lost += end_seq - s.next;
+    s.next = end_seq;
+  }
+  s.stats.lost += lost;
+  // Frames buffered past end_seq belong to the next window; deliver any
+  // that are now contiguous with the advanced cursor.
+  drain_ready(s, out);
+  return lost;
+}
+
+ReassemblyStats Reassembly::stats(std::uint16_t source) const {
+  const auto it = per_source_.find(source);
+  return it != per_source_.end() ? it->second.stats : ReassemblyStats{};
+}
+
+ReassemblyStats Reassembly::totals() const {
+  ReassemblyStats t;
+  for (const auto& [src, s] : per_source_) {
+    t.delivered += s.stats.delivered;
+    t.lost += s.stats.lost;
+    t.reordered += s.stats.reordered;
+    t.resynced += s.stats.resynced;
+    t.duplicates += s.stats.duplicates;
+  }
+  return t;
+}
+
+}  // namespace sonata::net::transport

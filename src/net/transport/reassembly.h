@@ -1,0 +1,75 @@
+// Per-source loss/reorder-tolerant reassembly for datagram transports.
+//
+// Each node numbers its data frames (kRecords/kRaw/kPartial) with a
+// monotonically increasing per-source sequence. The receive side pushes
+// every arriving data frame here and gets back the frames that are now
+// deliverable *in sequence order*; out-of-order arrivals are buffered up
+// to a bounded window, duplicates are discarded, and gaps that outlast
+// the window — or survive to the sender's window-end barrier — are
+// declared lost with exact accounting:
+//
+//   lost       every sequence number that was given up on, counted once
+//   reordered  frames that arrived ahead of a gap and had to be buffered
+//   resynced   times the window overflowed and the stream jumped forward
+//   duplicates frames whose sequence was already delivered or buffered
+//
+// The counters feed the collector's per-source sonata_net_* metrics and
+// the PR 5 partial-window machinery: a window with lost frames closes
+// partial with the losing node's contribution bits cleared, so loss is
+// visible end-to-end instead of silently shrinking results.
+//
+// In-order transports (TCP, shared-memory ring) run through the same code
+// path — frames simply never buffer — so the accounting surface is
+// uniform across transports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/transport/frame.h"
+
+namespace sonata::net::transport {
+
+struct ReassemblyStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t resynced = 0;
+  std::uint64_t duplicates = 0;
+};
+
+class Reassembly {
+ public:
+  // `window` bounds how far ahead of a gap frames may buffer before the
+  // gap is declared lost and the stream resynchronizes.
+  explicit Reassembly(std::size_t window = 256) : window_(window ? window : 1) {}
+
+  // Push one data frame; deliverable frames (possibly none, possibly
+  // several) are appended to `out` in sequence order.
+  void push(Frame f, std::vector<Frame>& out);
+
+  // Window barrier: the sender's next data sequence is `end_seq`, so every
+  // undelivered sequence below it is now lost. Buffered frames past the
+  // gaps are delivered (in order) and the stream resumes at end_seq.
+  // Returns the number of sequences declared lost.
+  std::uint64_t flush_to(std::uint16_t source, std::uint64_t end_seq, std::vector<Frame>& out);
+
+  [[nodiscard]] ReassemblyStats stats(std::uint16_t source) const;
+  [[nodiscard]] ReassemblyStats totals() const;
+  [[nodiscard]] std::size_t sources() const noexcept { return per_source_.size(); }
+
+ private:
+  struct Source {
+    std::uint64_t next = 0;  // next expected sequence
+    std::map<std::uint64_t, Frame> buffered;
+    ReassemblyStats stats;
+  };
+
+  void drain_ready(Source& s, std::vector<Frame>& out);
+
+  std::size_t window_;
+  std::map<std::uint16_t, Source> per_source_;
+};
+
+}  // namespace sonata::net::transport

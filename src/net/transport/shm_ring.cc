@@ -1,0 +1,161 @@
+#include "net/transport/shm_ring.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sonata::net::transport {
+
+namespace {
+
+std::size_t round_pow2(std::size_t v) {
+  std::size_t p = 4096;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShmRing::~ShmRing() { unmap(); }
+
+ShmRing::ShmRing(ShmRing&& other) noexcept
+    : base_(other.base_),
+      map_bytes_(other.map_bytes_),
+      capacity_(other.capacity_),
+      path_(std::move(other.path_)) {
+  other.base_ = nullptr;
+  other.map_bytes_ = 0;
+  other.capacity_ = 0;
+}
+
+ShmRing& ShmRing::operator=(ShmRing&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    base_ = other.base_;
+    map_bytes_ = other.map_bytes_;
+    capacity_ = other.capacity_;
+    path_ = std::move(other.path_);
+    other.base_ = nullptr;
+    other.map_bytes_ = 0;
+    other.capacity_ = 0;
+  }
+  return *this;
+}
+
+void ShmRing::unmap() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, map_bytes_);
+    base_ = nullptr;
+  }
+}
+
+util::Expected<ShmRing, std::string> ShmRing::create(const std::string& path,
+                                                     std::size_t capacity) {
+  const std::size_t cap = round_pow2(capacity);
+  const std::size_t total = kHeaderBytes + cap;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return "shm ring: cannot create " + path + ": " + std::strerror(errno);
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    const std::string err = "shm ring: ftruncate " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return "shm ring: mmap " + path + ": " + std::strerror(errno);
+
+  ShmRing ring;
+  ring.base_ = base;
+  ring.map_bytes_ = total;
+  ring.capacity_ = cap;
+  ring.path_ = path;
+  Header* h = ring.hdr();
+  h->capacity = cap;
+  h->head.store(0, std::memory_order_relaxed);
+  h->tail.store(0, std::memory_order_relaxed);
+  // Published last: an opener that observes the magic sees a fully
+  // initialized header.
+  h->magic.store(kMagic, std::memory_order_release);
+  return ring;
+}
+
+util::Expected<ShmRing, std::string> ShmRing::open(const std::string& path, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && static_cast<std::size_t>(st.st_size) > kHeaderBytes) {
+        const std::size_t total = static_cast<std::size_t>(st.st_size);
+        void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+        ::close(fd);
+        if (base == MAP_FAILED) {
+          return "shm ring: mmap " + path + ": " + std::strerror(errno);
+        }
+        Header* h = reinterpret_cast<Header*>(base);
+        if (h->magic.load(std::memory_order_acquire) == kMagic &&
+            h->capacity == total - kHeaderBytes) {
+          ShmRing ring;
+          ring.base_ = base;
+          ring.map_bytes_ = total;
+          ring.capacity_ = h->capacity;
+          ring.path_ = path;
+          return ring;
+        }
+        ::munmap(base, total);  // creator not done yet; retry
+      } else {
+        ::close(fd);
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return "shm ring: timed out waiting for " + path;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool ShmRing::write(std::span<const std::byte> src) {
+  if (src.size() > capacity_) return false;  // can never fit; caller errors out
+  Header* h = hdr();
+  const std::uint64_t head = h->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = h->tail.load(std::memory_order_acquire);
+  if (capacity_ - (head - tail) < src.size()) return false;
+  const std::size_t off = static_cast<std::size_t>(head & (capacity_ - 1));
+  const std::size_t first = std::min(src.size(), capacity_ - off);
+  std::memcpy(data() + off, src.data(), first);
+  if (first < src.size()) {
+    std::memcpy(data(), src.data() + first, src.size() - first);
+  }
+  h->head.store(head + src.size(), std::memory_order_release);
+  return true;
+}
+
+std::size_t ShmRing::read(std::byte* buf, std::size_t max) {
+  Header* h = hdr();
+  const std::uint64_t tail = h->tail.load(std::memory_order_relaxed);
+  const std::uint64_t head = h->head.load(std::memory_order_acquire);
+  const std::size_t avail = static_cast<std::size_t>(head - tail);
+  const std::size_t n = std::min(avail, max);
+  if (n == 0) return 0;
+  const std::size_t off = static_cast<std::size_t>(tail & (capacity_ - 1));
+  const std::size_t first = std::min(n, capacity_ - off);
+  std::memcpy(buf, data() + off, first);
+  if (first < n) std::memcpy(buf + first, data(), n - first);
+  h->tail.store(tail + n, std::memory_order_release);
+  return n;
+}
+
+std::size_t ShmRing::readable() const noexcept {
+  const Header* h = hdr();
+  return static_cast<std::size_t>(h->head.load(std::memory_order_acquire) -
+                                  h->tail.load(std::memory_order_relaxed));
+}
+
+}  // namespace sonata::net::transport

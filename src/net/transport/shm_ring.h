@@ -1,0 +1,94 @@
+// Cross-process SPSC byte ring over a mmap'd file — the zero-syscall
+// same-host report transport (the "Direct Telemetry Access" direction:
+// frames land in the collector's address space with no per-frame kernel
+// work on either side).
+//
+// Layout of the backing file:
+//
+//   header (256 bytes, cache-line separated):
+//     magic    u64  (stored release-last by the creator; openers wait on it)
+//     capacity u64  (data region bytes, power of two)
+//     head     u64 atomic, producer-owned   (bytes ever written)
+//     tail     u64 atomic, consumer-owned   (bytes ever read)
+//   data (capacity bytes, ring-addressed by head/tail modulo capacity)
+//
+// Exactly one producer and one consumer, decided at attach time — the
+// collector creates both per-node rings (an "up" ring it consumes and a
+// "down" ring it produces into) and switch nodes open() them, retrying
+// until the file exists, so creation is race-free without a lockfile.
+//
+// write() publishes whole byte spans with one release store; read() drains
+// whatever is available with one acquire load. Frames use the stream
+// encoding (frame.h) on top, so the consumer side runs the same
+// StreamParser as TCP — torn wraps are just torn reads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/expected.h"
+
+namespace sonata::net::transport {
+
+class ShmRing {
+ public:
+  static constexpr std::uint64_t kMagic = 0x50A75148'52494e47ULL;  // "SONATA SHM RING"
+  static constexpr std::size_t kHeaderBytes = 256;
+
+  ShmRing() = default;
+  ~ShmRing();
+  ShmRing(ShmRing&& other) noexcept;
+  ShmRing& operator=(ShmRing&& other) noexcept;
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  // Create (truncating any stale file) and map a ring of `capacity` data
+  // bytes (rounded up to a power of two). The creator may act as either
+  // side; the magic word is published last so openers never see a
+  // half-initialized header.
+  [[nodiscard]] static util::Expected<ShmRing, std::string> create(const std::string& path,
+                                                                   std::size_t capacity);
+
+  // Map an existing ring, waiting up to `timeout_ms` for the creator.
+  [[nodiscard]] static util::Expected<ShmRing, std::string> open(const std::string& path,
+                                                                 int timeout_ms);
+
+  // Producer: append `data` atomically (all or nothing). Returns false
+  // when the ring lacks space — the caller spins/yields and retries; the
+  // window-barrier protocol bounds how much can ever be in flight.
+  bool write(std::span<const std::byte> data);
+
+  // Consumer: copy up to `max` available bytes into `buf`, returns the
+  // count (0 = empty).
+  std::size_t read(std::byte* buf, std::size_t max);
+
+  [[nodiscard]] std::size_t readable() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct Header {
+    std::atomic<std::uint64_t> magic;
+    std::uint64_t capacity;
+    alignas(64) std::atomic<std::uint64_t> head;
+    alignas(64) std::atomic<std::uint64_t> tail;
+  };
+  static_assert(sizeof(Header) <= kHeaderBytes);
+
+  [[nodiscard]] Header* hdr() const noexcept { return reinterpret_cast<Header*>(base_); }
+  [[nodiscard]] std::byte* data() const noexcept {
+    return reinterpret_cast<std::byte*>(base_) + kHeaderBytes;
+  }
+  void unmap() noexcept;
+
+  void* base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t capacity_ = 0;
+  std::string path_;
+};
+
+}  // namespace sonata::net::transport

@@ -1,0 +1,722 @@
+#include "net/transport/transport.h"
+
+#include "net/transport/shm_ring.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace sonata::net::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Blocking sends/ring writes give up after this long: a dead peer must
+// fail the run with an error, not hang the window barrier forever.
+constexpr int kSendTimeoutMs = 30'000;
+
+constexpr std::size_t kShmUpRingBytes = 8u << 20;   // node -> collector
+constexpr std::size_t kShmDownRingBytes = 1u << 20; // collector -> node
+constexpr std::size_t kIoChunk = 64 * 1024;         // per-read scratch
+
+std::string sock_err(const char* what) {
+  return std::string("transport: ") + what + ": " + std::strerror(errno);
+}
+
+bool resolve_ipv4(const std::string& host, std::uint16_t port, sockaddr_in& addr) {
+  addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  return ::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) == 1;
+}
+
+bool send_all(int fd, const std::byte* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+std::string shm_ring_path(const std::string& prefix, std::uint16_t node, bool up) {
+  return prefix + ".n" + std::to_string(node) + (up ? ".up" : ".down");
+}
+
+// Shared collector-side frame routing: counters, reassembly for data
+// frames, window-end gap finalization.
+class CollectorBase : public CollectorEndpoint {
+ public:
+  [[nodiscard]] const Reassembly& reassembly() const noexcept override { return reassembly_; }
+  [[nodiscard]] const TransportCounters& counters() const noexcept override {
+    return counters_;
+  }
+
+ protected:
+  void ingest(Frame f, std::vector<Frame>& out) {
+    ++counters_.rx_frames;
+    counters_.rx_bytes += kFrameHeaderBytes + f.payload.size();
+    if (is_data_frame(f.type)) {
+      reassembly_.push(std::move(f), out);
+    } else if (f.type == FrameType::kWindowEnd) {
+      // The barrier's seq field is the sender's next data sequence:
+      // finalize this source's gaps, deliver what was buffered, then the
+      // barrier itself.
+      reassembly_.flush_to(f.source, f.seq, out);
+      out.push_back(std::move(f));
+    } else {
+      out.push_back(std::move(f));
+    }
+  }
+
+  Reassembly reassembly_;
+  TransportCounters counters_;
+};
+
+// ---------------------------------------------------------------- shm --
+
+class ShmSwitchTransport final : public ReportTransport {
+ public:
+  ShmSwitchTransport(std::string prefix, std::uint16_t node)
+      : prefix_(std::move(prefix)), node_(node) {}
+
+  std::string connect(int timeout_ms) override {
+    auto up = ShmRing::open(shm_ring_path(prefix_, node_, true), timeout_ms);
+    if (!up) return up.error();
+    auto down = ShmRing::open(shm_ring_path(prefix_, node_, false), timeout_ms);
+    if (!down) return down.error();
+    up_ = std::move(*up);
+    down_ = std::move(*down);
+    return {};
+  }
+
+  bool send(const Frame& f) override {
+    scratch_.clear();
+    encode_stream(f, scratch_);
+    const auto deadline = Clock::now() + std::chrono::milliseconds(kSendTimeoutMs);
+    while (!up_.write(scratch_)) {
+      if (Clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+    ++counters_.tx_frames;
+    counters_.tx_bytes += scratch_.size();
+    return true;
+  }
+
+  bool poll(Frame& out, int timeout_ms) override {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      if (auto f = parser_.next()) {
+        ++counters_.rx_frames;
+        counters_.rx_bytes += kFrameHeaderBytes + f->payload.size();
+        out = std::move(*f);
+        return true;
+      }
+      if (parser_.error()) return false;
+      if (down_.readable() > 0) {
+        std::byte buf[kIoChunk];
+        const std::size_t n = down_.read(buf, sizeof(buf));
+        parser_.feed({buf, n});
+        continue;
+      }
+      if (Clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  [[nodiscard]] const TransportCounters& counters() const noexcept override {
+    return counters_;
+  }
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kShm; }
+
+ private:
+  std::string prefix_;
+  std::uint16_t node_;
+  ShmRing up_, down_;
+  StreamParser parser_;
+  std::vector<std::byte> scratch_;
+  TransportCounters counters_;
+};
+
+class ShmCollectorEndpoint final : public CollectorBase {
+ public:
+  ShmCollectorEndpoint(std::string prefix, std::uint16_t nodes)
+      : prefix_(std::move(prefix)), nodes_(nodes) {}
+
+  std::string listen() override {
+    for (std::uint16_t n = 0; n < nodes_; ++n) {
+      auto up = ShmRing::create(shm_ring_path(prefix_, n, true), kShmUpRingBytes);
+      if (!up) return up.error();
+      auto down = ShmRing::create(shm_ring_path(prefix_, n, false), kShmDownRingBytes);
+      if (!down) return down.error();
+      Peer peer;
+      peer.up = std::move(*up);
+      peer.down = std::move(*down);
+      peers_.push_back(std::move(peer));
+    }
+    return {};
+  }
+
+  bool poll(std::vector<Frame>& out, int timeout_ms) override {
+    const std::size_t before = out.size();
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::byte buf[kIoChunk];
+    for (;;) {
+      bool any_bytes = false;
+      for (Peer& p : peers_) {
+        while (p.up.readable() > 0) {
+          const std::size_t n = p.up.read(buf, sizeof(buf));
+          p.parser.feed({buf, n});
+          any_bytes = true;
+        }
+        while (auto f = p.parser.next()) ingest(std::move(*f), out);
+        if (p.parser.error()) return false;
+      }
+      if (out.size() > before) return true;
+      if (Clock::now() >= deadline) return true;  // timeout, no frames: not fatal
+      if (!any_bytes) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  bool send_to(std::uint16_t node, const Frame& f) override {
+    if (node >= peers_.size()) return false;
+    scratch_.clear();
+    encode_stream(f, scratch_);
+    const auto deadline = Clock::now() + std::chrono::milliseconds(kSendTimeoutMs);
+    while (!peers_[node].down.write(scratch_)) {
+      if (Clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+    ++counters_.tx_frames;
+    counters_.tx_bytes += scratch_.size();
+    return true;
+  }
+
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kShm; }
+
+ private:
+  struct Peer {
+    ShmRing up, down;
+    StreamParser parser;
+  };
+  std::string prefix_;
+  std::uint16_t nodes_;
+  std::vector<Peer> peers_;
+  std::vector<std::byte> scratch_;
+};
+
+// ---------------------------------------------------------------- udp --
+
+class UdpSwitchTransport final : public ReportTransport {
+ public:
+  UdpSwitchTransport(std::string host, std::uint16_t port, std::uint16_t node)
+      : host_(std::move(host)), port_(port) {
+    (void)node;  // the node id travels in every frame header
+  }
+
+  ~UdpSwitchTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string connect(int timeout_ms) override {
+    (void)timeout_ms;  // datagrams: nothing to wait for (the hello
+                       // handshake provides liveness)
+    sockaddr_in addr{};
+    if (!resolve_ipv4(host_, port_, addr)) {
+      return "transport: cannot parse host '" + host_ + "' (use a dotted IPv4 address)";
+    }
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) return sock_err("socket");
+    const int buf = 4 << 20;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return sock_err("connect");
+    }
+    return {};
+  }
+
+  bool send(const Frame& f) override {
+    scratch_.clear();
+    encode_datagram(f, scratch_);
+    for (;;) {
+      const ssize_t n = ::send(fd_, scratch_.data(), scratch_.size(), MSG_NOSIGNAL);
+      if (n >= 0) break;
+      if (errno == EINTR) continue;
+      // A connected UDP socket surfaces ICMP unreachable as ECONNREFUSED
+      // when the collector is not up yet; the datagram is simply lost and
+      // the hello/window-end retransmission recovers. Only a broken
+      // socket is fatal.
+      if (errno == ECONNREFUSED || errno == EAGAIN || errno == ENOBUFS) break;
+      return false;
+    }
+    ++counters_.tx_frames;
+    counters_.tx_bytes += scratch_.size();
+    return true;
+  }
+
+  bool poll(Frame& out, int timeout_ms) override {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::byte buf[kIoChunk];
+    for (;;) {
+      const auto now = Clock::now();
+      const int remain = now >= deadline
+                             ? 0
+                             : static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                                    deadline - now)
+                                                    .count());
+      if (!wait_readable(fd_, remain)) return false;
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR || errno == ECONNREFUSED || errno == EAGAIN) continue;
+        return false;
+      }
+      if (auto f = decode_datagram({buf, static_cast<std::size_t>(n)})) {
+        ++counters_.rx_frames;
+        counters_.rx_bytes += static_cast<std::uint64_t>(n);
+        out = std::move(*f);
+        return true;
+      }
+      ++counters_.decode_errors;
+    }
+  }
+
+  [[nodiscard]] const TransportCounters& counters() const noexcept override {
+    return counters_;
+  }
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kUdp; }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::vector<std::byte> scratch_;
+  TransportCounters counters_;
+};
+
+class UdpCollectorEndpoint final : public CollectorBase {
+ public:
+  static constexpr unsigned kBatch = 32;  // datagrams per recvmmsg call
+
+  UdpCollectorEndpoint(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  ~UdpCollectorEndpoint() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string listen() override {
+    sockaddr_in addr{};
+    if (!resolve_ipv4(host_, port_, addr)) {
+      return "transport: cannot parse host '" + host_ + "' (use a dotted IPv4 address)";
+    }
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) return sock_err("socket");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    // A deep receive buffer is what makes loopback UDP effectively
+    // lossless between the window barriers; real loss is injected at the
+    // sender, not manufactured by a 208 KiB default rcvbuf.
+    const int buf = 8 << 20;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return sock_err("bind");
+    }
+    bufs_.assign(kBatch, std::vector<std::byte>(kIoChunk));
+    return {};
+  }
+
+  bool poll(std::vector<Frame>& out, int timeout_ms) override {
+    const std::size_t before = out.size();
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto now = Clock::now();
+      const int remain = now >= deadline
+                             ? 0
+                             : static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                                    deadline - now)
+                                                    .count());
+      if (!wait_readable(fd_, remain)) return true;  // timeout: empty poll
+      // Batched receive: drain the socket with as few syscalls as the
+      // batch size allows, then route everything at once.
+      mmsghdr msgs[kBatch];
+      iovec iovs[kBatch];
+      sockaddr_in addrs[kBatch];
+      for (;;) {
+        std::memset(msgs, 0, sizeof(msgs));
+        for (unsigned i = 0; i < kBatch; ++i) {
+          iovs[i] = {bufs_[i].data(), bufs_[i].size()};
+          msgs[i].msg_hdr.msg_iov = &iovs[i];
+          msgs[i].msg_hdr.msg_iovlen = 1;
+          msgs[i].msg_hdr.msg_name = &addrs[i];
+          msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+        }
+        const int n = ::recvmmsg(fd_, msgs, kBatch, MSG_DONTWAIT, nullptr);
+        if (n < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          return false;
+        }
+        for (int i = 0; i < n; ++i) {
+          const std::span<const std::byte> dgram{bufs_[static_cast<unsigned>(i)].data(),
+                                                 msgs[i].msg_len};
+          if (auto f = decode_datagram(dgram)) {
+            // Any frame refreshes the node's return address; the hello
+            // handshake guarantees one arrives before feedback is due.
+            if (f->source < kMaxNodes) {
+              return_addr_[f->source] = addrs[i];
+              have_addr_[f->source] = true;
+            }
+            ingest(std::move(*f), out);
+          } else {
+            ++counters_.decode_errors;
+          }
+        }
+        if (static_cast<unsigned>(n) < kBatch) break;
+      }
+      if (out.size() > before) return true;
+      if (Clock::now() >= deadline) return true;
+    }
+  }
+
+  bool send_to(std::uint16_t node, const Frame& f) override {
+    if (node >= kMaxNodes || !have_addr_[node]) return false;
+    scratch_.clear();
+    encode_datagram(f, scratch_);
+    for (;;) {
+      const ssize_t n =
+          ::sendto(fd_, scratch_.data(), scratch_.size(), MSG_NOSIGNAL,
+                   reinterpret_cast<const sockaddr*>(&return_addr_[node]),
+                   sizeof(return_addr_[node]));
+      if (n >= 0) break;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == ENOBUFS) break;  // lost; retransmit recovers
+      return false;
+    }
+    ++counters_.tx_frames;
+    counters_.tx_bytes += scratch_.size();
+    return true;
+  }
+
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kUdp; }
+
+ private:
+  static constexpr std::size_t kMaxNodes = 256;
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::vector<std::vector<std::byte>> bufs_;
+  sockaddr_in return_addr_[kMaxNodes] = {};
+  bool have_addr_[kMaxNodes] = {};
+  std::vector<std::byte> scratch_;
+};
+
+// ---------------------------------------------------------------- tcp --
+
+class TcpSwitchTransport final : public ReportTransport {
+ public:
+  TcpSwitchTransport(std::string host, std::uint16_t port) : host_(std::move(host)), port_(port) {}
+
+  ~TcpSwitchTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string connect(int timeout_ms) override {
+    sockaddr_in addr{};
+    if (!resolve_ipv4(host_, port_, addr)) {
+      return "transport: cannot parse host '" + host_ + "' (use a dotted IPv4 address)";
+    }
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) return sock_err("socket");
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) break;
+      ::close(fd_);
+      fd_ = -1;
+      if (Clock::now() >= deadline) return sock_err("connect (collector not up?)");
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return {};
+  }
+
+  bool send(const Frame& f) override {
+    scratch_.clear();
+    encode_stream(f, scratch_);
+    if (!send_all(fd_, scratch_.data(), scratch_.size())) return false;
+    ++counters_.tx_frames;
+    counters_.tx_bytes += scratch_.size();
+    return true;
+  }
+
+  bool poll(Frame& out, int timeout_ms) override {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::byte buf[kIoChunk];
+    for (;;) {
+      if (auto f = parser_.next()) {
+        ++counters_.rx_frames;
+        counters_.rx_bytes += kFrameHeaderBytes + f->payload.size();
+        out = std::move(*f);
+        return true;
+      }
+      if (parser_.error()) return false;
+      const auto now = Clock::now();
+      const int remain = now >= deadline
+                             ? 0
+                             : static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                                    deadline - now)
+                                                    .count());
+      if (!wait_readable(fd_, remain)) return false;
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;  // peer closed
+      }
+      parser_.feed({buf, static_cast<std::size_t>(n)});
+    }
+  }
+
+  [[nodiscard]] const TransportCounters& counters() const noexcept override {
+    return counters_;
+  }
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kTcp; }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  StreamParser parser_;
+  std::vector<std::byte> scratch_;
+  TransportCounters counters_;
+};
+
+class TcpCollectorEndpoint final : public CollectorBase {
+ public:
+  TcpCollectorEndpoint(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  ~TcpCollectorEndpoint() override {
+    for (Conn& c : conns_) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  std::string listen() override {
+    sockaddr_in addr{};
+    if (!resolve_ipv4(host_, port_, addr)) {
+      return "transport: cannot parse host '" + host_ + "' (use a dotted IPv4 address)";
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return sock_err("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return sock_err("bind");
+    }
+    if (::listen(listen_fd_, 64) < 0) return sock_err("listen");
+    return {};
+  }
+
+  bool poll(std::vector<Frame>& out, int timeout_ms) override {
+    const std::size_t before = out.size();
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      std::vector<pollfd> pfds;
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      for (const Conn& c : conns_) pfds.push_back({c.fd, POLLIN, 0});
+      const auto now = Clock::now();
+      const int remain = now >= deadline
+                             ? 0
+                             : static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                                    deadline - now)
+                                                    .count());
+      const int rc = ::poll(pfds.data(), pfds.size(), remain);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (rc == 0) return true;  // timeout: empty poll
+      if (pfds[0].revents & POLLIN) {
+        const int conn = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn >= 0) {
+          const int one = 1;
+          ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          conns_.push_back(Conn{conn, std::make_unique<StreamParser>(), -1});
+        }
+      }
+      for (std::size_t i = 0; i < conns_.size();) {
+        Conn& c = conns_[i];
+        if (!(pfds[1 + i].revents & (POLLIN | POLLHUP))) {
+          ++i;
+          continue;
+        }
+        // Scattered read: drain up to 128 KiB per ready connection in one
+        // syscall; the stream parser reassembles frames across the iovec
+        // boundary exactly like across torn reads.
+        std::byte a[kIoChunk], b[kIoChunk];
+        iovec iov[2] = {{a, sizeof(a)}, {b, sizeof(b)}};
+        const ssize_t n = ::readv(c.fd, iov, 2);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) {
+            ++i;
+            continue;
+          }
+          ::close(c.fd);
+          conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+          // pfds are rebuilt next loop; restart the scan to stay aligned.
+          break;
+        }
+        const std::size_t total = static_cast<std::size_t>(n);
+        c.parser->feed({a, std::min(total, sizeof(a))});
+        if (total > sizeof(a)) c.parser->feed({b, total - sizeof(a)});
+        while (auto f = c.parser->next()) {
+          c.node = static_cast<int>(f->source);
+          ingest(std::move(*f), out);
+        }
+        if (c.parser->error()) return false;
+        ++i;
+      }
+      if (out.size() > before) return true;
+      if (Clock::now() >= deadline) return true;
+    }
+  }
+
+  bool send_to(std::uint16_t node, const Frame& f) override {
+    for (Conn& c : conns_) {
+      if (c.node == static_cast<int>(node)) {
+        scratch_.clear();
+        encode_stream(f, scratch_);
+        if (!send_all(c.fd, scratch_.data(), scratch_.size())) return false;
+        ++counters_.tx_frames;
+        counters_.tx_bytes += scratch_.size();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kTcp; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::unique_ptr<StreamParser> parser;
+    int node = -1;  // learned from the first frame's source field
+  };
+  std::string host_;
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  std::vector<Conn> conns_;
+  std::vector<std::byte> scratch_;
+};
+
+}  // namespace
+
+const char* transport_kind_name(TransportKind k) noexcept {
+  switch (k) {
+    case TransportKind::kShm: return "shm";
+    case TransportKind::kUdp: return "udp";
+    case TransportKind::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+util::Expected<EndpointSpec, std::string> parse_endpoint(const std::string& spec) {
+  EndpointSpec out;
+  std::string rest;
+  if (spec.rfind("shm:", 0) == 0) {
+    out.kind = TransportKind::kShm;
+    out.target = spec.substr(4);
+    if (out.target.empty()) return std::string("bad endpoint '" + spec + "': shm:PATHPREFIX");
+    return out;
+  }
+  if (spec.rfind("udp:", 0) == 0) {
+    out.kind = TransportKind::kUdp;
+    rest = spec.substr(4);
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    out.kind = TransportKind::kTcp;
+    rest = spec.substr(4);
+  } else {
+    return std::string("bad endpoint '" + spec +
+                       "': want shm:PATHPREFIX, udp:HOST:PORT or tcp:HOST:PORT");
+  }
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    return std::string("bad endpoint '" + spec + "': want HOST:PORT");
+  }
+  unsigned long port = 0;
+  for (std::size_t i = colon + 1; i < rest.size(); ++i) {
+    const char c = rest[i];
+    if (c < '0' || c > '9') return std::string("bad endpoint '" + spec + "': non-numeric port");
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return std::string("bad endpoint '" + spec + "': port > 65535");
+  }
+  out.target = rest.substr(0, colon);
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+util::Expected<std::unique_ptr<ReportTransport>, std::string> make_switch_transport(
+    const EndpointSpec& spec, std::uint16_t node) {
+  switch (spec.kind) {
+    case TransportKind::kShm:
+      return std::unique_ptr<ReportTransport>(new ShmSwitchTransport(spec.target, node));
+    case TransportKind::kUdp:
+      return std::unique_ptr<ReportTransport>(
+          new UdpSwitchTransport(spec.target, spec.port, node));
+    case TransportKind::kTcp:
+      return std::unique_ptr<ReportTransport>(new TcpSwitchTransport(spec.target, spec.port));
+  }
+  return std::string("unknown transport kind");
+}
+
+util::Expected<std::unique_ptr<CollectorEndpoint>, std::string> make_collector_endpoint(
+    const EndpointSpec& spec, std::uint16_t nodes) {
+  switch (spec.kind) {
+    case TransportKind::kShm:
+      return std::unique_ptr<CollectorEndpoint>(new ShmCollectorEndpoint(spec.target, nodes));
+    case TransportKind::kUdp:
+      return std::unique_ptr<CollectorEndpoint>(new UdpCollectorEndpoint(spec.target, spec.port));
+    case TransportKind::kTcp:
+      return std::unique_ptr<CollectorEndpoint>(new TcpCollectorEndpoint(spec.target, spec.port));
+  }
+  return std::string("unknown transport kind");
+}
+
+std::size_t max_frame_payload(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kUdp:
+      return 32 * 1024;  // one datagram per frame; stay well under 65507
+    case TransportKind::kShm:
+    case TransportKind::kTcp:
+      return 256 * 1024;
+  }
+  return 32 * 1024;
+}
+
+}  // namespace sonata::net::transport

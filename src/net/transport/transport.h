@@ -1,0 +1,115 @@
+// ReportTransport: the inter-process report channel behind the
+// `sonata_run --role switch|collector` deployment mode (ROADMAP item 2).
+//
+// Three implementations share one frame protocol (frame.h):
+//
+//   shm:PATHPREFIX   same-host mmap'd SPSC rings, zero syscalls per frame
+//                    (collector creates <prefix>.n<i>.{up,down} per node;
+//                    switch nodes open them)
+//   udp:HOST:PORT    one frame per datagram, per-source sequence numbers
+//                    with a reassembly window on the receive side — loss,
+//                    reordering and duplication are tolerated and exactly
+//                    accounted (reassembly.h); batched recvmmsg receive
+//   tcp:HOST:PORT    length-prefixed frame stream, partial-read/short-
+//                    write safe, batched readv receive; one connection
+//                    per switch node
+//
+// Both roles are bidirectional: switch nodes send data + window barriers
+// up, the collector sends winner installs + window acks down. The layer is
+// byte-level on purpose — it frames opaque payloads, never decodes them —
+// so sonata_net keeps linking only sonata_util, and the runtime-side
+// protocol (runtime/distributed.h) owns all typed codecs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/transport/frame.h"
+#include "net/transport/reassembly.h"
+#include "util/expected.h"
+
+namespace sonata::net::transport {
+
+enum class TransportKind { kShm, kUdp, kTcp };
+
+[[nodiscard]] const char* transport_kind_name(TransportKind k) noexcept;
+
+// Parsed form of "--listen/--connect shm:PREFIX | udp:HOST:PORT |
+// tcp:HOST:PORT".
+struct EndpointSpec {
+  TransportKind kind = TransportKind::kTcp;
+  std::string target;      // host (udp/tcp) or filesystem path prefix (shm)
+  std::uint16_t port = 0;  // udp/tcp only
+};
+
+[[nodiscard]] util::Expected<EndpointSpec, std::string> parse_endpoint(const std::string& spec);
+
+struct TransportCounters {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_frames = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t decode_errors = 0;  // datagrams/streams that failed to frame
+};
+
+// Switch-node side: one connection to the collector.
+class ReportTransport {
+ public:
+  virtual ~ReportTransport() = default;
+
+  // Establish the channel (open rings / connect the socket), waiting up to
+  // `timeout_ms` for the collector to appear. Empty string on success.
+  [[nodiscard]] virtual std::string connect(int timeout_ms) = 0;
+
+  // Send one frame to the collector. Blocks until the transport accepted
+  // the bytes (shm backpressure, TCP short writes); false on a dead peer.
+  virtual bool send(const Frame& f) = 0;
+
+  // Receive one feedback frame from the collector, waiting up to
+  // `timeout_ms`. False on timeout (no frame) — the caller retries or
+  // retransmits per protocol.
+  virtual bool poll(Frame& out, int timeout_ms) = 0;
+
+  [[nodiscard]] virtual const TransportCounters& counters() const noexcept = 0;
+  [[nodiscard]] virtual TransportKind kind() const noexcept = 0;
+};
+
+// Collector side: frames from every node, post-reassembly, in per-source
+// order.
+class CollectorEndpoint {
+ public:
+  virtual ~CollectorEndpoint() = default;
+
+  // Bind/create the receive side. Empty string on success.
+  [[nodiscard]] virtual std::string listen() = 0;
+
+  // Batched receive: appends deliverable frames to `out` (data frames in
+  // per-source sequence order; a kWindowEnd finalizes its source's gap
+  // accounting before being appended). Waits up to `timeout_ms` for the
+  // first frame. Returns false on a fatal transport error.
+  virtual bool poll(std::vector<Frame>& out, int timeout_ms) = 0;
+
+  // Send one feedback frame to `node`. False when the node has not
+  // completed its handshake yet (no return path known).
+  virtual bool send_to(std::uint16_t node, const Frame& f) = 0;
+
+  [[nodiscard]] virtual const Reassembly& reassembly() const noexcept = 0;
+  [[nodiscard]] virtual const TransportCounters& counters() const noexcept = 0;
+  [[nodiscard]] virtual TransportKind kind() const noexcept = 0;
+};
+
+// Factories. `node` is the switch node's index (frame source id);
+// `nodes` is the number of switch-node processes the collector expects.
+[[nodiscard]] util::Expected<std::unique_ptr<ReportTransport>, std::string>
+make_switch_transport(const EndpointSpec& spec, std::uint16_t node);
+
+[[nodiscard]] util::Expected<std::unique_ptr<CollectorEndpoint>, std::string>
+make_collector_endpoint(const EndpointSpec& spec, std::uint16_t nodes);
+
+// Largest payload a single frame should carry on this transport (UDP
+// frames must fit one datagram; stream transports chunk for latency).
+[[nodiscard]] std::size_t max_frame_payload(TransportKind kind) noexcept;
+
+}  // namespace sonata::net::transport

@@ -182,7 +182,8 @@ void IntrospectServer::handle_connection(int fd) {
     }
     std::string body = "{\"status\":\"";
     body += h.ok ? "ok" : "degraded";
-    body += "\"";
+    body += "\",\"done\":";
+    body += h.done ? "true" : "false";
     if (!h.detail.empty()) {
       body += ",\"detail\":\"";
       for (const char c : h.detail) {

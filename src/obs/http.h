@@ -27,6 +27,8 @@ namespace sonata::obs {
 
 struct Health {
   bool ok = true;
+  bool done = false;   // the run's window loop has finished (CI polls this
+                       // instead of sleeping a fixed number of seconds)
   std::string detail;  // human-readable degradation reason when !ok
 };
 

@@ -1,0 +1,911 @@
+#include "runtime/distributed.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/tracing.h"
+#include "query/field.h"
+#include "query/tuple.h"
+#include "pisa/register.h"
+#include "runtime/report.h"
+#include "util/flat_table.h"
+#include "util/hash.h"
+#include "util/log.h"
+#include "util/time.h"
+
+namespace sonata::runtime {
+
+namespace nt = net::transport;
+using query::Tuple;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+namespace {
+
+// Protocol timing. The barrier is stop-and-wait: a switch node retransmits
+// its kWindowEnd until the collector's feedback arrives (UDP can lose
+// either direction; the collector re-sends its cached bundle on a
+// duplicate), and gives up after the hard deadline.
+constexpr int kConnectTimeoutMs = 30000;
+constexpr int kHelloRetransmitMs = 200;
+constexpr int kEndRetransmitMs = 1000;
+constexpr int kBarrierTimeoutMs = 60000;
+constexpr int kCollectorPollMs = 100;
+constexpr int kCollectorIdleTimeoutMs = 120000;
+
+// -- payload codec helpers (big endian, matching report.cc) --------------
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::byte>((v >> shift) & 0xff));
+  }
+}
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::byte>((v >> shift) & 0xff));
+  }
+}
+// Count fields are written as a 0 placeholder and patched once the chunk
+// is full (frames are built incrementally against the payload budget).
+void patch_u32(std::vector<std::byte>& out, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[pos + i] = static_cast<std::byte>((v >> (24 - 8 * i)) & 0xff);
+  }
+}
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::byte> data) : data_(data) {}
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8() noexcept {
+    if (pos_ + 1 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() noexcept {
+    const auto hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  std::uint32_t u32() noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+    return v;
+  }
+  std::uint64_t u64() noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | u8();
+    return v;
+  }
+  std::span<const std::byte> bytes(std::size_t n) noexcept {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::string str(std::size_t n) noexcept {
+    const auto b = bytes(n);
+    return {reinterpret_cast<const char*>(b.data()), b.size()};
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Milliseconds (>= 1) until `when`, for poll timeouts.
+int ms_until(steady_clock::time_point when) {
+  const auto now = steady_clock::now();
+  if (when <= now) return 1;
+  const auto ms = std::chrono::duration_cast<milliseconds>(when - now).count();
+  return static_cast<int>(std::clamp<long long>(ms, 1, 1u << 30));
+}
+
+void counter_add(const char* name, std::uint64_t current, std::uint64_t& published) {
+  obs::Registry::global().counter(name).add(current - published);
+  published = current;
+}
+
+}  // namespace
+
+// ======================================================================
+// SwitchNode
+// ======================================================================
+
+SwitchNode::SwitchNode(const planner::Plan& plan, DistributedConfig cfg,
+                       std::unique_ptr<nt::ReportTransport> transport)
+    : plan_(plan),
+      cfg_(std::move(cfg)),
+      transport_(std::move(transport)),
+      rng_(cfg_.faults.seed * 0x9e3779b97f4a7c15ull + cfg_.node_index + 1) {
+  assert(cfg_.nodes >= 1 && cfg_.node_index < cfg_.nodes);
+  assert(cfg_.switches >= 1);
+  cfg_.batch = std::max<std::size_t>(cfg_.batch, 1);
+  raw_mirror_ = StreamProcessor::plan_wants_raw_mirror(plan_);
+  const fault::FaultSpec& f = cfg_.faults;
+  frame_faults_ = f.drop_rate > 0 || f.dup_rate > 0 || f.reorder_rate > 0;
+  record_faults_ = f.corrupt_rate > 0 || f.truncate_rate > 0;
+  // Owned shards: the fleet-wide numbering striped across nodes. Every
+  // node compiles the identical per-shard switch program the in-process
+  // Fleet would have installed (including the register-pressure faults).
+  for (std::size_t g = cfg_.node_index; g < cfg_.switches; g += cfg_.nodes) {
+    auto shard = std::make_unique<OwnedShard>();
+    shard->global = g;
+    shard->sw = std::make_unique<pisa::Switch>(plan_.switch_config);
+    shard->sw->set_obs_label(std::to_string(g));
+    PipelineBuildOptions build_opts;
+    build_opts.register_shrink = f.register_shrink;
+    build_opts.hash_seed = f.hash_seed;
+    PipelineBuild build = build_pipelines(plan_, {}, build_opts);
+    const std::string err = shard->sw->install(std::move(build.pipelines), build.resources);
+    assert(err.empty() && "plan does not fit the switch it was planned for");
+    (void)err;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+SwitchNode::~SwitchNode() = default;
+
+const nt::TransportCounters& SwitchNode::transport_counters() const noexcept {
+  return transport_->counters();
+}
+
+std::string SwitchNode::run(std::span<const net::Packet> trace) {
+  std::string err = handshake();
+  if (!err.empty()) return err;
+  // Identical window split to TelemetryEngine::run_trace: every role
+  // iterates the full shared trace, so window boundaries line up even for
+  // a node that owns no packets in some window.
+  const util::Nanos w = plan_.window;
+  std::size_t begin = 0;
+  std::uint64_t window = 0;
+  while (begin < trace.size()) {
+    const std::uint64_t idx = util::window_index(trace[begin].ts, w);
+    std::size_t end = begin;
+    while (end < trace.size() && util::window_index(trace[end].ts, w) == idx) ++end;
+    for (std::size_t i = begin; i < end; ++i) ingest(trace[i]);
+    err = close_window(window++, end == trace.size());
+    if (!err.empty()) return err;
+    begin = end;
+  }
+  if (window == 0) {
+    // Empty trace: one final (empty) barrier so the collector terminates.
+    err = close_window(0, true);
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
+std::string SwitchNode::handshake() {
+  std::string err = transport_->connect(kConnectTimeoutMs);
+  if (!err.empty()) return err;
+  nt::Frame hello;
+  hello.type = nt::FrameType::kHello;
+  hello.source = cfg_.node_index;
+  put_u16(hello.payload, cfg_.node_index);
+  put_u16(hello.payload, cfg_.nodes);
+  put_u16(hello.payload, static_cast<std::uint16_t>(cfg_.switches));
+  put_u16(hello.payload, kDistributedProto);
+  const auto deadline = steady_clock::now() + milliseconds(kConnectTimeoutMs);
+  for (;;) {
+    if (!raw_send(hello)) return "transport send failed during handshake";
+    nt::Frame in;
+    if (transport_->poll(in, kHelloRetransmitMs) && in.type == nt::FrameType::kHelloAck) {
+      PayloadReader r(in.payload);
+      const std::uint16_t node = r.u16();
+      const std::uint16_t proto = r.u16();
+      if (r.ok() && node == cfg_.node_index && proto == kDistributedProto) return "";
+      return "handshake rejected: node/protocol mismatch in hello-ack";
+    }
+    if (steady_clock::now() >= deadline) {
+      return "handshake timed out waiting for the collector";
+    }
+  }
+}
+
+void SwitchNode::ingest(const net::Packet& packet) {
+  // The Fleet's exact routing hash, over the fleet-wide shard count:
+  // packet -> global shard is the same function in every deployment mode.
+  const std::uint64_t flow =
+      util::hash_combine(util::hash_combine(packet.src_ip, packet.dst_ip),
+                         (static_cast<std::uint64_t>(packet.src_port) << 24) ^
+                             (static_cast<std::uint64_t>(packet.dst_port) << 8) ^ packet.proto);
+  const std::size_t g = static_cast<std::size_t>(flow % cfg_.switches);
+  if (g % cfg_.nodes != cfg_.node_index) return;  // another process's shard
+  OwnedShard& shard = *shards_[g / cfg_.nodes];
+  ++shard.packets;
+  ++stats_.packets;
+  if (shard.pending == shard.scratch.size()) shard.scratch.emplace_back();
+  query::materialize_tuple_into(packet, shard.scratch[shard.pending]);
+  ++shard.pending;
+  if (shard.pending >= cfg_.batch) flush_shard(shard);
+}
+
+void SwitchNode::flush_shard(OwnedShard& shard) {
+  if (shard.pending == 0) return;
+  const std::uint64_t ingest_ns = obs::enabled() ? obs::now_ns() : 0;
+  process_tuples(shard, {shard.scratch.data(), shard.pending}, ingest_ns);
+  shard.pending = 0;
+}
+
+void SwitchNode::process_tuples(OwnedShard& shard, std::span<Tuple> tuples,
+                                std::uint64_t ingest_ns) {
+  // Byte-for-byte the Fleet's per-shard compute step, so the records a
+  // shard contributes are identical whether it lives in a thread or a
+  // process.
+  const std::uint64_t before = shard.sink.packets_with_records();
+  const std::size_t recs_before = shard.sink.size();
+  shard.sw->process_batch(tuples, shard.sink);
+  if (ingest_ns != 0) {
+    const std::span<pisa::EmitRecord> recs = shard.sink.records();
+    for (std::size_t r = recs_before; r < recs.size(); ++r) recs[r].ingest_ns = ingest_ns;
+  }
+  if (raw_mirror_) {
+    shard.raw_mirror_packets += tuples.size();
+    shard.tuples_to_sp += tuples.size();
+    for (Tuple& t : tuples) shard.raw_sources.push_back(std::move(t));
+  } else {
+    shard.tuples_to_sp += shard.sink.packets_with_records() - before;
+  }
+}
+
+bool SwitchNode::raw_send(const nt::Frame& f) { return transport_->send(f); }
+
+bool SwitchNode::send_data(nt::Frame f) {
+  // Every data frame consumes a sequence number FIRST — an injected drop
+  // leaves a real gap the collector's reassembly accounts exactly once.
+  f.seq = data_seq_++;
+  if (frame_faults_) {
+    const double u = rng_.uniform01();
+    double p = cfg_.faults.drop_rate;
+    if (u < p) {
+      ++stats_.tx_dropped;
+      return true;
+    }
+    p += cfg_.faults.dup_rate;
+    if (u < p) {
+      ++stats_.tx_duplicated;
+      return raw_send(f) && raw_send(f);
+    }
+    p += cfg_.faults.reorder_rate;
+    if (u < p && !held_) {
+      // Hold this frame past its successor; flush_held() bounds the delay
+      // to the window barrier.
+      ++stats_.tx_reordered;
+      held_ = std::move(f);
+      return true;
+    }
+  }
+  if (held_) {
+    const bool ok = raw_send(f) && raw_send(*held_);
+    held_.reset();
+    return ok;
+  }
+  return raw_send(f);
+}
+
+void SwitchNode::flush_held() {
+  if (!held_) return;
+  raw_send(*held_);
+  held_.reset();
+}
+
+void SwitchNode::send_records(OwnedShard& shard) {
+  const std::size_t max_payload = nt::max_frame_payload(transport_->kind());
+  const auto recs = shard.sink.records();
+  std::size_t i = 0;
+  while (i < recs.size()) {
+    nt::Frame f;
+    f.type = nt::FrameType::kRecords;
+    f.source = cfg_.node_index;
+    put_u16(f.payload, static_cast<std::uint16_t>(shard.global));
+    put_u32(f.payload, 0);
+    std::uint32_t count = 0;
+    while (i < recs.size()) {
+      record_scratch_.clear();
+      encode_report_into(recs[i], record_scratch_);
+      if (record_faults_) {
+        // Per-record wire faults inside the frame, mirroring the
+        // in-process WireChannel: the record's length prefix stays
+        // consistent, so exactly this record fails (or mis-)decodes.
+        const double u = rng_.uniform01();
+        if (u < cfg_.faults.corrupt_rate) {
+          const std::size_t bit = rng_.uniform(record_scratch_.size() * 8);
+          record_scratch_[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+          ++stats_.corrupted;
+        } else if (u < cfg_.faults.corrupt_rate + cfg_.faults.truncate_rate &&
+                   record_scratch_.size() > 1) {
+          record_scratch_.resize(rng_.uniform(record_scratch_.size() - 1) + 1);
+          ++stats_.truncated;
+        }
+      }
+      if (count > 0 && f.payload.size() + 4 + record_scratch_.size() > max_payload) break;
+      put_u32(f.payload, static_cast<std::uint32_t>(record_scratch_.size()));
+      f.payload.insert(f.payload.end(), record_scratch_.begin(), record_scratch_.end());
+      ++count;
+      ++i;
+      ++stats_.records_sent;
+    }
+    patch_u32(f.payload, 2, count);
+    send_data(std::move(f));
+  }
+}
+
+void SwitchNode::send_raw(OwnedShard& shard) {
+  const std::size_t max_payload = nt::max_frame_payload(transport_->kind());
+  std::size_t i = 0;
+  while (i < shard.raw_sources.size()) {
+    nt::Frame f;
+    f.type = nt::FrameType::kRaw;
+    f.source = cfg_.node_index;
+    put_u16(f.payload, static_cast<std::uint16_t>(shard.global));
+    put_u32(f.payload, 0);
+    std::uint32_t count = 0;
+    while (i < shard.raw_sources.size()) {
+      record_scratch_.clear();
+      encode_tuple(shard.raw_sources[i], record_scratch_);
+      if (count > 0 && f.payload.size() + 4 + record_scratch_.size() > max_payload) break;
+      put_u32(f.payload, static_cast<std::uint32_t>(record_scratch_.size()));
+      f.payload.insert(f.payload.end(), record_scratch_.begin(), record_scratch_.end());
+      ++count;
+      ++i;
+      ++stats_.raw_sent;
+    }
+    patch_u32(f.payload, 2, count);
+    send_data(std::move(f));
+  }
+}
+
+void SwitchNode::send_partials(OwnedShard& shard) {
+  const std::size_t max_payload = nt::max_frame_payload(transport_->kind());
+  const auto& pipelines = shard.sw->pipelines();
+  for (std::size_t p = 0; p < pipelines.size(); ++p) {
+    if (!pipelines[p]->has_stateful_tail()) continue;
+    const pisa::CompiledSwitchQuery::PolledPartial part = pipelines[p]->poll_partial();
+    std::size_t i = 0;
+    while (i < part.keys.size()) {
+      nt::Frame f;
+      f.type = nt::FrameType::kPartial;
+      f.source = cfg_.node_index;
+      put_u16(f.payload, static_cast<std::uint16_t>(shard.global));
+      put_u32(f.payload, static_cast<std::uint32_t>(p));
+      put_u32(f.payload, 0);
+      std::uint32_t count = 0;
+      while (i < part.keys.size()) {
+        record_scratch_.clear();
+        encode_tuple(part.keys[i], record_scratch_);
+        if (count > 0 && f.payload.size() + 12 + record_scratch_.size() > max_payload) break;
+        put_u64(f.payload, part.values[i]);
+        put_u32(f.payload, static_cast<std::uint32_t>(record_scratch_.size()));
+        f.payload.insert(f.payload.end(), record_scratch_.begin(), record_scratch_.end());
+        ++count;
+        ++i;
+        ++stats_.partial_entries_sent;
+      }
+      patch_u32(f.payload, 6, count);
+      send_data(std::move(f));
+    }
+  }
+}
+
+std::string SwitchNode::close_window(std::uint64_t window, bool final) {
+  std::uint64_t packets = 0;
+  std::uint64_t tuples = 0;
+  std::uint64_t raw = 0;
+  for (auto& shard_ptr : shards_) flush_shard(*shard_ptr);
+  // Ship per-shard contributions in ascending global shard order — the
+  // collector replays this order, which is the Fleet's merge order.
+  for (auto& shard_ptr : shards_) {
+    OwnedShard& shard = *shard_ptr;
+    send_records(shard);
+    send_raw(shard);
+    send_partials(shard);
+    shard.sw->reset_all_registers();
+    packets += shard.packets;
+    tuples += shard.tuples_to_sp;
+    raw += shard.raw_mirror_packets;
+    shard.packets = 0;
+    shard.tuples_to_sp = 0;
+    shard.raw_mirror_packets = 0;
+    shard.sink.clear();
+    shard.raw_sources.clear();
+  }
+  flush_held();
+  nt::Frame end;
+  end.type = nt::FrameType::kWindowEnd;
+  end.source = cfg_.node_index;
+  end.seq = data_seq_;  // next data seq: finalizes the collector's gap accounting
+  put_u64(end.payload, window);
+  put_u64(end.payload, packets);
+  put_u64(end.payload, tuples);
+  put_u64(end.payload, raw);
+  put_u64(end.payload, stats_.tx_dropped);  // cumulative, for the loss-accounting gate
+  put_u8(end.payload, final ? 1 : 0);
+  if (!raw_send(end)) return "transport send failed at the window barrier";
+  const std::string err = await_feedback(window, end);
+  if (!err.empty()) return err;
+  ++stats_.windows;
+  publish_obs();
+  return "";
+}
+
+std::string SwitchNode::await_feedback(std::uint64_t window, const nt::Frame& end) {
+  const auto deadline = steady_clock::now() + milliseconds(kBarrierTimeoutMs);
+  auto next_retx = steady_clock::now() + milliseconds(kEndRetransmitMs);
+  bool acked = false;
+  std::uint32_t expected = 0;
+  // kWinners chunks are keyed by their seq (= chunk index): UDP can
+  // reorder them, and the installs must replay in the collector's call
+  // order.
+  std::map<std::uint64_t, std::vector<std::byte>> winners;
+  while (!acked || winners.size() < expected) {
+    if (steady_clock::now() >= deadline) {
+      return "window barrier timed out waiting for collector feedback";
+    }
+    nt::Frame in;
+    if (transport_->poll(in, ms_until(std::min(next_retx, deadline)))) {
+      if (in.type == nt::FrameType::kWindowAck) {
+        PayloadReader r(in.payload);
+        const std::uint64_t w = r.u64();
+        const std::uint32_t exp = r.u32();
+        (void)r.u8();  // collector's partial flag (informational)
+        if (r.ok() && w == window) {
+          acked = true;
+          expected = exp;
+        }
+      } else if (in.type == nt::FrameType::kWinners) {
+        PayloadReader r(in.payload);
+        if (r.u64() == window && r.ok()) winners.emplace(in.seq, std::move(in.payload));
+      }
+      // kHelloAck / stale-window frames: ignore.
+    } else if (steady_clock::now() >= next_retx) {
+      // Stop-and-wait: either our kWindowEnd or the feedback got lost.
+      raw_send(end);
+      next_retx = steady_clock::now() + milliseconds(kEndRetransmitMs);
+    }
+  }
+  // Apply the installs in chunk order — the same (table, winners) sequence
+  // close_levels applied to the in-process switches, including empty
+  // winner sets (which clear a table).
+  for (auto& [seq, payload] : winners) {
+    PayloadReader r(payload);
+    (void)r.u64();  // window
+    const std::uint32_t installs = r.u32();
+    for (std::uint32_t k = 0; k < installs && r.ok(); ++k) {
+      const std::uint16_t table_len = r.u16();
+      const std::string table = r.str(table_len);
+      const std::uint32_t nkeys = r.u32();
+      std::vector<Tuple> keys;
+      keys.reserve(nkeys);
+      for (std::uint32_t j = 0; j < nkeys && r.ok(); ++j) {
+        const std::uint32_t len = r.u32();
+        auto decoded = decode_tuple(r.bytes(len));
+        if (!decoded) return "malformed winner key in collector feedback";
+        keys.push_back(std::move(*decoded));
+      }
+      if (!r.ok()) return "malformed winner install in collector feedback";
+      for (auto& shard_ptr : shards_) {
+        shard_ptr->sw->update_filter_entries(table, keys);
+      }
+      ++stats_.winner_installs;
+    }
+    if (!r.ok()) return "malformed winner frame in collector feedback";
+  }
+  return "";
+}
+
+void SwitchNode::publish_obs() {
+  if (!obs::enabled()) return;
+  const nt::TransportCounters& tc = transport_->counters();
+  counter_add("sonata_net_tx_frames_total", tc.tx_frames, tc_pub_.tx_frames);
+  counter_add("sonata_net_tx_bytes_total", tc.tx_bytes, tc_pub_.tx_bytes);
+  counter_add("sonata_net_rx_frames_total", tc.rx_frames, tc_pub_.rx_frames);
+  counter_add("sonata_net_rx_bytes_total", tc.rx_bytes, tc_pub_.rx_bytes);
+  counter_add("sonata_net_tx_dropped_total", stats_.tx_dropped, obs_pub_.tx_dropped);
+  counter_add("sonata_net_tx_duplicated_total", stats_.tx_duplicated, obs_pub_.tx_duplicated);
+  counter_add("sonata_net_tx_reordered_total", stats_.tx_reordered, obs_pub_.tx_reordered);
+  counter_add("sonata_net_records_sent_total", stats_.records_sent, obs_pub_.records_sent);
+  counter_add("sonata_net_corrupted_total", stats_.corrupted, obs_pub_.corrupted);
+  counter_add("sonata_net_truncated_total", stats_.truncated, obs_pub_.truncated);
+}
+
+// ======================================================================
+// Collector
+// ======================================================================
+
+Collector::Collector(const planner::Plan& plan, DistributedConfig cfg,
+                     std::unique_ptr<nt::CollectorEndpoint> endpoint)
+    : plan_(plan),
+      cfg_(std::move(cfg)),
+      endpoint_(std::move(endpoint)),
+      sp_(std::make_unique<StreamProcessor>(plan_)) {
+  assert(cfg_.nodes >= 1 && cfg_.switches >= 1);
+  PipelineBuild build = build_pipelines(plan_, {}, {});
+  ref_pipelines_ = std::move(build.pipelines);
+  nodes_.resize(cfg_.nodes);
+  shards_.resize(cfg_.switches);
+  for (auto& s : shards_) s.partials.resize(ref_pipelines_.size());
+  sp_->set_winner_sink([this](const std::string& table, std::span<const Tuple> keys) {
+    winner_installs_.emplace_back(table, std::vector<Tuple>(keys.begin(), keys.end()));
+  });
+}
+
+Collector::~Collector() = default;
+
+std::string Collector::listen() { return endpoint_->listen(); }
+
+std::uint64_t Collector::full_mask() const noexcept {
+  return cfg_.switches >= 64 ? ~0ull : ((1ull << cfg_.switches) - 1);
+}
+
+bool Collector::all_ended() const {
+  bool any = false;
+  for (const auto& n : nodes_) {
+    if (n.done) continue;
+    if (!n.end_seen) return false;
+    any = true;
+  }
+  return any;
+}
+
+bool Collector::all_done() const {
+  for (const auto& n : nodes_) {
+    if (!n.done) return false;
+  }
+  return true;
+}
+
+std::string Collector::run(const WindowFn& on_window) {
+  auto last_activity = steady_clock::now();
+  std::vector<nt::Frame> frames;
+  while (!all_done()) {
+    frames.clear();
+    if (!endpoint_->poll(frames, kCollectorPollMs)) {
+      return "collector transport failed";
+    }
+    if (!frames.empty()) last_activity = steady_clock::now();
+    for (nt::Frame& f : frames) {
+      std::string err = handle(f);
+      if (!err.empty()) return err;
+    }
+    if (all_ended()) {
+      std::string err = close_current(on_window);
+      if (!err.empty()) return err;
+    }
+    if (steady_clock::now() - last_activity > milliseconds(kCollectorIdleTimeoutMs)) {
+      return "collector idle timeout: no frames from any node";
+    }
+  }
+  return "";
+}
+
+std::string Collector::handle(nt::Frame& f) {
+  if (f.source >= cfg_.nodes) return "";  // stray traffic: not one of our nodes
+  NodeState& node = nodes_[f.source];
+  switch (f.type) {
+    case nt::FrameType::kHello: {
+      PayloadReader r(f.payload);
+      const std::uint16_t n = r.u16();
+      const std::uint16_t nodes = r.u16();
+      const std::uint16_t switches = r.u16();
+      const std::uint16_t proto = r.u16();
+      if (!r.ok()) return "malformed hello frame";
+      if (n != f.source || nodes != cfg_.nodes || switches != cfg_.switches ||
+          proto != kDistributedProto) {
+        return "handshake mismatch: node " + std::to_string(n) + " announced nodes=" +
+               std::to_string(nodes) + " switches=" + std::to_string(switches) + " proto=" +
+               std::to_string(proto) + ", collector expects nodes=" +
+               std::to_string(cfg_.nodes) + " switches=" + std::to_string(cfg_.switches) +
+               " proto=" + std::to_string(kDistributedProto);
+      }
+      node.hello = true;
+      nt::Frame ack;
+      ack.type = nt::FrameType::kHelloAck;
+      ack.source = f.source;
+      put_u16(ack.payload, f.source);
+      put_u16(ack.payload, kDistributedProto);
+      endpoint_->send_to(f.source, ack);  // idempotent: duplicates re-ack
+      return "";
+    }
+    case nt::FrameType::kRecords: {
+      PayloadReader r(f.payload);
+      const std::uint16_t shard = r.u16();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || shard >= cfg_.switches || shard % cfg_.nodes != f.source) {
+        return "malformed records frame";
+      }
+      ShardBuffer& sb = shards_[shard];
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t len = r.u32();
+        const auto bytes = r.bytes(len);
+        if (!r.ok()) return "malformed records frame";
+        if (auto rec = decode_report(bytes)) {
+          sb.records.push_back(std::move(*rec));
+          ++stats_.records;
+        } else {
+          // Wire-corrupted record: counted, never delivered — the same
+          // boundary behaviour as the in-process WireChannel.
+          ++stats_.decode_failures;
+        }
+      }
+      return "";
+    }
+    case nt::FrameType::kRaw: {
+      PayloadReader r(f.payload);
+      const std::uint16_t shard = r.u16();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || shard >= cfg_.switches || shard % cfg_.nodes != f.source) {
+        return "malformed raw frame";
+      }
+      ShardBuffer& sb = shards_[shard];
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t len = r.u32();
+        const auto bytes = r.bytes(len);
+        if (!r.ok()) return "malformed raw frame";
+        if (auto t = decode_tuple(bytes)) {
+          sb.raws.push_back(std::move(*t));
+          ++stats_.raw_tuples;
+        } else {
+          ++stats_.decode_failures;
+        }
+      }
+      return "";
+    }
+    case nt::FrameType::kPartial: {
+      PayloadReader r(f.payload);
+      const std::uint16_t shard = r.u16();
+      const std::uint32_t pipeline = r.u32();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || shard >= cfg_.switches || shard % cfg_.nodes != f.source ||
+          pipeline >= ref_pipelines_.size()) {
+        return "malformed partial frame";
+      }
+      auto& part = shards_[shard].partials[pipeline];
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t value = r.u64();
+        const std::uint32_t len = r.u32();
+        const auto bytes = r.bytes(len);
+        if (!r.ok()) return "malformed partial frame";
+        if (auto t = decode_tuple(bytes)) {
+          part.keys.push_back(std::move(*t));
+          part.values.push_back(value);
+          ++stats_.partial_entries;
+        } else {
+          ++stats_.decode_failures;
+        }
+      }
+      return "";
+    }
+    case nt::FrameType::kWindowEnd: {
+      PayloadReader r(f.payload);
+      const std::uint64_t w = r.u64();
+      const std::uint64_t packets = r.u64();
+      const std::uint64_t tuples = r.u64();
+      const std::uint64_t raw = r.u64();
+      const std::uint64_t dropped = r.u64();
+      const std::uint8_t final_flag = r.u8();
+      if (!r.ok()) return "malformed window-end frame";
+      if (w + 1 == window_counter_ && node.feedback_window == w) {
+        // Duplicate after we closed: the ack or the winners got lost on
+        // the way down — re-send the cached bundle.
+        for (const nt::Frame& fb : node.feedback) endpoint_->send_to(f.source, fb);
+        return "";
+      }
+      if (w != window_counter_) return "";  // stale retransmission
+      node.end_seen = true;
+      node.packets = packets;
+      node.tuples_to_sp = tuples;
+      node.raw_mirror = raw;
+      node.peer_dropped_cum = dropped;
+      node.final_flag = final_flag != 0;
+      return "";
+    }
+    default:
+      return "";  // kWinners/kWindowAck/kHelloAck never arrive at the collector
+  }
+}
+
+void Collector::combine_partials(WindowStats& /*window*/) {
+  // The Fleet's combine_partials, verbatim, over the collector's per-shard
+  // buffers: fold key-wise across ascending shard index per pipeline, so
+  // executor-table insertion order — and therefore every downstream result
+  // — matches the in-process close bit for bit.
+  util::FlatMap<std::uint64_t> merged;
+  std::vector<std::uint64_t> hashes;
+  std::vector<Tuple> aggregates;
+  for (std::size_t p = 0; p < ref_pipelines_.size(); ++p) {
+    if (!ref_pipelines_[p]->has_stateful_tail()) continue;
+    const pisa::CompiledSwitchQuery& pipe = *ref_pipelines_[p];
+    const query::ReduceFn fn = pipe.tail_reduce_fn();
+    std::uint64_t logical = 0;
+    merged.clear();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      auto& part = shards_[i].partials[p];
+      const std::size_t n = part.keys.size();
+      logical += n;
+      hashes.resize(n);
+      query::hash_tuples({part.keys.data(), n}, hashes.data());
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j + 4 < n) merged.prefetch(hashes[j + 4]);
+        auto [slot, inserted] =
+            merged.try_emplace(std::move(part.keys[j]), hashes[j], part.values[j]);
+        if (!inserted) *slot = pisa::apply_reduce(fn, *slot, part.values[j]);
+      }
+      part.keys.clear();
+      part.values.clear();
+    }
+    if (logical == 0) continue;
+    aggregates.clear();
+    aggregates.reserve(merged.size());
+    for (const auto& e : merged.entries()) {
+      aggregates.push_back(pipe.shape_polled(e.key, e.value));
+    }
+    const auto& o = pipe.options();
+    sp_->ingest_polled(o.qid, o.level, o.source_index, pipe.poll_entry_op(), logical,
+                       aggregates);
+  }
+}
+
+std::string Collector::close_current(const WindowFn& on_window) {
+  WindowStats ws;
+  ws.window_index = window_counter_;
+  ws.plan_version = plan_.version;
+  // 1. Merge in ascending global shard order — the Fleet's merge order,
+  //    independent of frame arrival interleaving across nodes.
+  sp_->begin_delivery(obs::enabled() ? obs::now_ns() : 0);
+  for (auto& sb : shards_) {
+    for (pisa::EmitRecord& rec : sb.records) {
+      const bool overflow = rec.kind == pisa::EmitRecord::Kind::kOverflow;
+      if (sp_->deliver(std::move(rec)) && overflow) ++ws.overflow_records;
+    }
+    sp_->deliver_raw_batch(sb.raws);
+    sb.records.clear();
+    sb.raws.clear();
+  }
+  std::uint64_t mask = full_mask();
+  std::uint64_t peer_dropped = 0;
+  for (std::uint16_t i = 0; i < cfg_.nodes; ++i) {
+    NodeState& node = nodes_[i];
+    ws.packets += node.packets;
+    ws.tuples_to_sp += node.tuples_to_sp;
+    ws.raw_mirror_packets += node.raw_mirror;
+    peer_dropped += node.peer_dropped_cum;
+    // Frames lost since the node's last barrier mean its contribution this
+    // window is incomplete: clear its shards' bits, close partial (PR 5's
+    // degradation surface, fed by real wire loss).
+    if (endpoint_->reassembly().stats(i).lost > node.lost_baseline) {
+      for (std::size_t s = i; s < cfg_.switches && s < 64; s += cfg_.nodes) {
+        mask &= ~(1ull << s);
+      }
+    }
+  }
+  ws.contribution_mask = mask;
+  ws.partial = mask != full_mask();
+  // 2. Fold polled register partials and feed the SP (poll phase).
+  combine_partials(ws);
+  // 3. Coarse-to-fine close. No local switches — the winner sink captures
+  //    every install, and the nodes replay them before their next window.
+  //    control_update_millis stays 0: the modelled install latency is paid
+  //    on the switch nodes, inside the next window's barrier wait.
+  winner_installs_.clear();
+  sp_->close_levels(ws, {});
+  // 4. Feedback: winners + ack per node (cached for retransmission).
+  const bool was_partial = ws.partial;
+  for (std::uint16_t i = 0; i < cfg_.nodes; ++i) {
+    NodeState& node = nodes_[i];
+    node.feedback.clear();
+    const std::size_t max_payload = nt::max_frame_payload(endpoint_->kind());
+    std::uint64_t chunk_seq = 0;
+    nt::Frame cur;
+    bool open = false;
+    std::uint32_t count = 0;
+    std::vector<std::byte> install;
+    auto flush = [&]() {
+      if (!open) return;
+      patch_u32(cur.payload, 8, count);
+      node.feedback.push_back(std::move(cur));
+      cur = nt::Frame{};
+      open = false;
+      count = 0;
+    };
+    for (const auto& [table, keys] : winner_installs_) {
+      install.clear();
+      put_u16(install, static_cast<std::uint16_t>(table.size()));
+      for (const char c : table) install.push_back(static_cast<std::byte>(c));
+      put_u32(install, static_cast<std::uint32_t>(keys.size()));
+      for (const Tuple& key : keys) {
+        std::vector<std::byte> enc;
+        encode_tuple(key, enc);
+        put_u32(install, static_cast<std::uint32_t>(enc.size()));
+        install.insert(install.end(), enc.begin(), enc.end());
+      }
+      if (open && cur.payload.size() + install.size() > max_payload) flush();
+      if (!open) {
+        cur.type = nt::FrameType::kWinners;
+        cur.source = i;
+        cur.seq = chunk_seq++;
+        put_u64(cur.payload, window_counter_);
+        put_u32(cur.payload, 0);
+        open = true;
+      }
+      cur.payload.insert(cur.payload.end(), install.begin(), install.end());
+      ++count;
+    }
+    flush();
+    nt::Frame ack;
+    ack.type = nt::FrameType::kWindowAck;
+    ack.source = i;
+    put_u64(ack.payload, window_counter_);
+    put_u32(ack.payload, static_cast<std::uint32_t>(node.feedback.size()));
+    put_u8(ack.payload, was_partial ? 1 : 0);
+    node.feedback.push_back(std::move(ack));
+    for (const nt::Frame& fb : node.feedback) endpoint_->send_to(i, fb);
+    node.feedback_window = window_counter_;
+    node.lost_baseline = endpoint_->reassembly().stats(i).lost;
+    node.end_seen = false;
+    if (node.final_flag) node.done = true;
+    node.packets = 0;
+    node.tuples_to_sp = 0;
+    node.raw_mirror = 0;
+  }
+  stats_.peer_dropped = peer_dropped;
+  stats_.lost_frames = endpoint_->reassembly().totals().lost;
+  ++window_counter_;
+  ++stats_.windows;
+  publish_obs();
+  if (ws.partial) {
+    SONATA_WARN("collector",
+                "window %llu closed PARTIAL: contribution_mask=0x%llx lost_frames=%llu",
+                static_cast<unsigned long long>(ws.window_index),
+                static_cast<unsigned long long>(ws.contribution_mask),
+                static_cast<unsigned long long>(stats_.lost_frames));
+  }
+  if (on_window) on_window(ws);
+  return "";
+}
+
+void Collector::publish_obs() {
+  if (!obs::enabled()) return;
+  const nt::TransportCounters& tc = endpoint_->counters();
+  counter_add("sonata_net_rx_frames_total", tc.rx_frames, tc_pub_.rx_frames);
+  counter_add("sonata_net_rx_bytes_total", tc.rx_bytes, tc_pub_.rx_bytes);
+  counter_add("sonata_net_tx_frames_total", tc.tx_frames, tc_pub_.tx_frames);
+  counter_add("sonata_net_tx_bytes_total", tc.tx_bytes, tc_pub_.tx_bytes);
+  counter_add("sonata_net_frame_decode_errors_total", tc.decode_errors, tc_pub_.decode_errors);
+  const nt::ReassemblyStats totals = endpoint_->reassembly().totals();
+  counter_add("sonata_net_delivered_total", totals.delivered, rs_pub_.delivered);
+  counter_add("sonata_net_lost_total", totals.lost, rs_pub_.lost);
+  counter_add("sonata_net_reordered_total", totals.reordered, rs_pub_.reordered);
+  counter_add("sonata_net_resynced_total", totals.resynced, rs_pub_.resynced);
+  counter_add("sonata_net_duplicates_total", totals.duplicates, rs_pub_.duplicates);
+  counter_add("sonata_net_record_decode_failures_total", stats_.decode_failures,
+              obs_pub_.decode_failures);
+  counter_add("sonata_net_peer_dropped_total", stats_.peer_dropped, obs_pub_.peer_dropped);
+  // Per-node loss as gauges (cumulative values, set not added).
+  auto& reg = obs::Registry::global();
+  for (std::uint16_t i = 0; i < cfg_.nodes; ++i) {
+    const std::pair<std::string_view, std::string> labels[] = {{"node", std::to_string(i)}};
+    reg.gauge(obs::labeled("sonata_net_node_lost", labels))
+        .set(static_cast<std::int64_t>(endpoint_->reassembly().stats(i).lost));
+  }
+}
+
+}  // namespace sonata::runtime

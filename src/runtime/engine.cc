@@ -217,8 +217,8 @@ EngineBuilder& EngineBuilder::admit(std::vector<query::Query> queries, std::stri
   return *this;
 }
 
-util::Expected<std::unique_ptr<TelemetryEngine>, planner::AdmissionDiagnostic>
-EngineBuilder::build() {
+util::Expected<EngineBuilder::PlannedSetup, planner::AdmissionDiagnostic>
+EngineBuilder::plan_only() {
   if (!have_training_) {
     planner::AdmissionDiagnostic d;
     d.code = planner::AdmissionDiagnostic::Code::kValidation;
@@ -233,7 +233,18 @@ EngineBuilder::build() {
     if (!admitted) return admitted.error();
   }
   pending_.clear();
-  planner::Plan plan = control->take_snapshot();
+  PlannedSetup setup;
+  setup.plan = control->take_snapshot();
+  setup.control = std::move(control);
+  return setup;
+}
+
+util::Expected<std::unique_ptr<TelemetryEngine>, planner::AdmissionDiagnostic>
+EngineBuilder::build() {
+  auto planned = plan_only();
+  if (!planned) return planned.error();
+  auto control = std::move(planned->control);
+  planner::Plan plan = std::move(planned->plan);
   std::unique_ptr<TelemetryEngine> engine;
   if (switches_ <= 1 && worker_threads_ == 0) {
     engine = std::make_unique<Runtime>(std::move(plan), batch_size_, faults_);

@@ -142,6 +142,17 @@ class EngineBuilder {
   [[nodiscard]] util::Expected<std::unique_ptr<TelemetryEngine>, planner::AdmissionDiagnostic>
   build();
 
+  // Plan without building a driver — the distributed deployment's entry
+  // point, where every role (switch node, collector) derives the identical
+  // plan from the same seed/queries/training traffic and then deploys only
+  // its half. The returned ControlPlane owns the admitted queries' storage
+  // and must outlive every use of the plan.
+  struct PlannedSetup {
+    std::unique_ptr<ControlPlane> control;
+    planner::Plan plan;
+  };
+  [[nodiscard]] util::Expected<PlannedSetup, planner::AdmissionDiagnostic> plan_only();
+
  private:
   struct Pending {
     query::Query q;

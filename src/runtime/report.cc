@@ -62,6 +62,11 @@ class Reader {
 std::vector<std::byte> encode_report(const pisa::EmitRecord& record) {
   std::vector<std::byte> out;
   out.reserve(24 + record.tuple.size() * 9);
+  encode_report_into(record, out);
+  return out;
+}
+
+void encode_report_into(const pisa::EmitRecord& record, std::vector<std::byte>& out) {
   put_u16(out, kReportMagic);
   put_u8(out, static_cast<std::uint8_t>(record.kind));
   put_u16(out, record.qid);
@@ -81,7 +86,44 @@ std::vector<std::byte> encode_report(const pisa::EmitRecord& record) {
       for (const char c : s) out.push_back(static_cast<std::byte>(c));
     }
   }
-  return out;
+}
+
+void encode_tuple(const query::Tuple& tuple, std::vector<std::byte>& out) {
+  put_u8(out, static_cast<std::uint8_t>(tuple.size()));
+  for (const auto& v : tuple.values) {
+    if (v.is_uint()) {
+      put_u8(out, 0);
+      put_u64(out, v.as_uint());
+    } else {
+      put_u8(out, 1);
+      const auto s = v.as_string();
+      put_u16(out, static_cast<std::uint16_t>(s.size()));
+      for (const char c : s) out.push_back(static_cast<std::byte>(c));
+    }
+  }
+}
+
+std::optional<query::Tuple> decode_tuple(std::span<const std::byte> data) {
+  Reader r(data);
+  const std::uint8_t ncols = r.u8();
+  if (!r.ok()) return std::nullopt;
+  query::Tuple tuple;
+  tuple.values.reserve(ncols);
+  for (std::uint8_t c = 0; c < ncols; ++c) {
+    const std::uint8_t tag = r.u8();
+    if (tag == 0) {
+      tuple.values.emplace_back(r.u64());
+    } else if (tag == 1) {
+      const std::uint16_t len = r.u16();
+      if (!r.ok()) return std::nullopt;
+      tuple.values.emplace_back(query::Value{r.str(len)});
+    } else {
+      return std::nullopt;
+    }
+    if (!r.ok()) return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return tuple;
 }
 
 std::optional<pisa::EmitRecord> decode_report(std::span<const std::byte> data) {

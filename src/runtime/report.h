@@ -33,6 +33,17 @@ inline constexpr std::uint16_t kReportMagic = 0x50A7;
 
 [[nodiscard]] std::vector<std::byte> encode_report(const pisa::EmitRecord& record);
 
+// Append-into variant for callers that batch many reports into one buffer
+// (the multi-process transport frames several reports per kRecords frame).
+void encode_report_into(const pisa::EmitRecord& record, std::vector<std::byte>& out);
+
 [[nodiscard]] std::optional<pisa::EmitRecord> decode_report(std::span<const std::byte> data);
+
+// Bare-tuple codec with the report codec's column encoding (tag u8 then
+// u64 / len-prefixed string), for the raw-mirror and polled-partial
+// payloads of the distributed deployment: ncols u8, then the columns.
+// decode_tuple expects exactly one tuple in `data` (trailing bytes fail).
+void encode_tuple(const query::Tuple& tuple, std::vector<std::byte>& out);
+[[nodiscard]] std::optional<query::Tuple> decode_tuple(std::span<const std::byte> data);
 
 }  // namespace sonata::runtime

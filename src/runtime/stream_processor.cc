@@ -68,6 +68,18 @@ StreamProcessor::StreamProcessor(const planner::Plan& plan) : plan_(&plan) {
   }
 }
 
+bool StreamProcessor::plan_wants_raw_mirror(const planner::Plan& plan) noexcept {
+  if (!plan.raw_mirror) return false;
+  // Mirrors the constructor's raw_feeds_ scan: any SP-kept pipeline
+  // (partition == 0) consumes the raw mirror.
+  for (const PlannedQuery& pq : plan.queries) {
+    for (const PlannedPipeline& p : pq.pipelines) {
+      if (p.partition == 0) return true;
+    }
+  }
+  return false;
+}
+
 const PlannedQuery* StreamProcessor::planned(query::QueryId qid) const noexcept {
   for (const auto& qs : queries_) {
     if (qs.pq->base->id() == qid) return qs.pq;
@@ -264,6 +276,7 @@ void StreamProcessor::close_levels(WindowStats& window,
       for (const auto& p : pq.pipelines) {
         if (p.level != next || p.filter_table.empty()) continue;
         for (pisa::Switch* sw : switches) sw->update_filter_entries(p.filter_table, winners);
+        if (winner_sink_) winner_sink_(p.filter_table, winners);
         qs.levels[li + 1].exec->set_filter_entries(p.filter_table, winners);
       }
       if (obs_on) qs.winners_counter->add(winners.size());

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iterator>
 #include <memory>
 #include <span>
@@ -184,6 +185,22 @@ class StreamProcessor {
     return plan_->raw_mirror && !raw_feeds_.empty();
   }
 
+  // Static form of wants_raw_mirror() for processes that deploy the data
+  // plane without building a StreamProcessor (the switch-node role of the
+  // distributed deployment must mirror raw tuples iff the collector's SP
+  // will consume them).
+  [[nodiscard]] static bool plan_wants_raw_mirror(const planner::Plan& plan) noexcept;
+
+  // Observe every dynamic-filter install close_levels performs: one call
+  // per (filter table, winner set) in install order, including empty
+  // winner sets (which clear the table). The distributed collector
+  // forwards these to the switch-node processes, which replay them on
+  // their local switches before the next window — the same installs
+  // `switches` receives in-process.
+  using WinnerSink =
+      std::function<void(const std::string& table, std::span<const query::Tuple> keys)>;
+  void set_winner_sink(WinnerSink sink) { winner_sink_ = std::move(sink); }
+
   // End-of-window register poll for one switch's stateful tails (control
   // channel); polled aggregates merge at the shared reduce.
   void poll_switch(const pisa::Switch& sw);
@@ -282,6 +299,7 @@ class StreamProcessor {
   std::vector<RawFeed> raw_feeds_;
   Emitter emitter_;
   std::uint64_t delivery_now_ = 0;  // see begin_delivery()
+  WinnerSink winner_sink_;          // see set_winner_sink()
 };
 
 }  // namespace sonata::runtime

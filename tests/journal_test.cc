@@ -349,8 +349,9 @@ TEST_F(JournalHttpServer, JournalRouteHonorsTailParameter) {
 }
 
 TEST_F(JournalHttpServer, HealthzReflectsProbe) {
-  EXPECT_NE(http_get(server_.port(), "/healthz").find("{\"status\":\"ok\"}"),
-            std::string::npos);
+  EXPECT_NE(
+      http_get(server_.port(), "/healthz").find("{\"status\":\"ok\",\"done\":false}"),
+      std::string::npos);
   server_.set_health([] {
     obs::Health h;
     h.ok = false;
@@ -360,6 +361,13 @@ TEST_F(JournalHttpServer, HealthzReflectsProbe) {
   const std::string resp = http_get(server_.port(), "/healthz");
   EXPECT_NE(resp.find("503"), std::string::npos) << resp;
   EXPECT_NE(resp.find("shard 1 quarantined"), std::string::npos) << resp;
+  server_.set_health([] {
+    obs::Health h;
+    h.done = true;  // run loop finished; CI polls for this before scraping
+    return h;
+  });
+  EXPECT_NE(http_get(server_.port(), "/healthz").find("\"done\":true"),
+            std::string::npos);
 }
 
 TEST_F(JournalHttpServer, UnknownRouteIs404) {

@@ -42,6 +42,13 @@ void print_run_usage(std::FILE* out) {
                "                  [--journal-out FILE (event-journal tail as JSON at exit)]\n"
                "                  [--postmortem FILE (arm the crash flight recorder)]\n"
                "                  [--crash-after N (raise SIGSEGV after N windows; test hook)]\n"
+               "                  [--role inprocess|switch|collector (multi-process fleet)]\n"
+               "                  [--connect shm:PREFIX|udp:HOST:PORT|tcp:HOST:PORT (switch "
+               "role)]\n"
+               "                  [--listen shm:PREFIX|udp:HOST:PORT|tcp:HOST:PORT (collector "
+               "role)]\n"
+               "                  [--nodes N (switch-node process count, both roles)]\n"
+               "                  [--node-index I (this switch process, 0-based)]\n"
                "                  [--log-level debug|info|warn|error|off] [--verbose]\n");
 }
 
@@ -131,6 +138,32 @@ util::Expected<RunConfig, std::string> parse_run_config(int argc, const char* co
       if (!v) return "missing value for " + arg;
       cfg.crash_after = std::strtoull(v, nullptr, 10);
       if (cfg.crash_after == 0) return std::string("--crash-after must be >= 1");
+    } else if (arg == "--role") {
+      std::string role_name;
+      if (auto r = string_flag(role_name); !r) return r.error();
+      if (role_name == "inprocess") {
+        cfg.role = RunRole::kInProcess;
+      } else if (role_name == "switch") {
+        cfg.role = RunRole::kSwitch;
+      } else if (role_name == "collector") {
+        cfg.role = RunRole::kCollector;
+      } else {
+        return "unknown role: " + role_name + " (want inprocess|switch|collector)";
+      }
+    } else if (arg == "--listen") {
+      if (auto r = string_flag(cfg.listen_spec); !r) return r.error();
+    } else if (arg == "--connect") {
+      if (auto r = string_flag(cfg.connect_spec); !r) return r.error();
+    } else if (arg == "--nodes") {
+      const char* v = value();
+      if (!v) return "missing value for " + arg;
+      const auto n = std::strtoull(v, nullptr, 10);
+      if (n == 0 || n > 256) return std::string("--nodes must be in [1, 256]");
+      cfg.nodes = static_cast<std::uint16_t>(n);
+    } else if (arg == "--node-index") {
+      const char* v = value();
+      if (!v) return "missing value for " + arg;
+      cfg.node_index = static_cast<std::uint16_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--log-level") {
       const char* v = value();
       if (!v) return "missing value for " + arg;
@@ -152,6 +185,24 @@ util::Expected<RunConfig, std::string> parse_run_config(int argc, const char* co
   if (cfg.queries_path.empty()) return std::string("--queries is required");
   if (cfg.pcap_path.empty() && cfg.synthetic_sec <= 0.0) {
     return std::string("need --pcap FILE or --synthetic SECONDS");
+  }
+  if (cfg.role == RunRole::kSwitch && cfg.connect_spec.empty()) {
+    return std::string("--role switch requires --connect");
+  }
+  if (cfg.role == RunRole::kCollector && cfg.listen_spec.empty()) {
+    return std::string("--role collector requires --listen");
+  }
+  if (cfg.role == RunRole::kInProcess && (!cfg.listen_spec.empty() || !cfg.connect_spec.empty())) {
+    return std::string("--listen/--connect need --role collector/switch");
+  }
+  if (cfg.role == RunRole::kSwitch && cfg.node_index >= cfg.nodes) {
+    return std::string("--node-index must be < --nodes");
+  }
+  if (cfg.role != RunRole::kInProcess && !cfg.admit_script_path.empty()) {
+    return std::string("--admit-script is not supported in distributed roles");
+  }
+  if (cfg.role != RunRole::kInProcess && cfg.crash_after > 0) {
+    return std::string("--crash-after is not supported in distributed roles");
   }
   return cfg;
 }

@@ -34,6 +34,12 @@
 
 namespace sonata::tools {
 
+// Deployment role (ISSUE 10): `inprocess` is the classic single-process
+// run; `switch` and `collector` split the fleet across processes over a
+// real wire (src/net/transport). Every role must be launched with the
+// same seed/queries/switches so they derive the identical plan.
+enum class RunRole { kInProcess, kSwitch, kCollector };
+
 struct RunConfig {
   std::string queries_path;
   std::string pcap_path;
@@ -60,6 +66,16 @@ struct RunConfig {
   // flight recorder; --crash-after N raises SIGSEGV after N windows (test
   // hook for the postmortem path).
   std::string introspect_hostport;
+  // Distributed deployment (ISSUE 10): --role switch --connect SPEC ships
+  // window contributions to a collector; --role collector --listen SPEC
+  // merges them. SPEC is shm:PATHPREFIX | udp:HOST:PORT | tcp:HOST:PORT.
+  // --nodes N is the switch-node process count (both roles must agree);
+  // --node-index I identifies a switch process (0-based, switch role only).
+  RunRole role = RunRole::kInProcess;
+  std::string listen_spec;
+  std::string connect_spec;
+  std::uint16_t nodes = 1;
+  std::uint16_t node_index = 0;
   std::string journal_out_path;
   std::string postmortem_path;
   std::uint64_t crash_after = 0;  // 0 = never

@@ -62,6 +62,7 @@
 #include <thread>
 
 #include "net/pcap.h"
+#include "net/transport/transport.h"
 #include "obs/http.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -70,6 +71,7 @@
 #include "query/parser.h"
 #include "run_config.h"
 #include "runtime/control_plane.h"
+#include "runtime/distributed.h"
 #include "runtime/engine.h"
 #include "stream/sparkgen.h"
 #include "trace/trace.h"
@@ -80,6 +82,7 @@
 using namespace sonata;
 using tools::AdmitAction;
 using tools::RunConfig;
+using tools::RunRole;
 
 namespace {
 
@@ -128,6 +131,7 @@ struct RunHealthState {
   std::atomic<bool> last_partial{false};
   std::atomic<std::uint64_t> last_mask{0};
   std::atomic<std::uint64_t> shed_packets{0};
+  std::atomic<bool> done{false};  // window loop finished (CI polls this)
 };
 RunHealthState g_health;
 
@@ -145,6 +149,7 @@ void note_window_health(const runtime::WindowStats& ws) {
 
 obs::Health probe_health() {
   obs::Health h;
+  h.done = g_health.done.load(std::memory_order_relaxed);
   if (g_health.last_partial.load(std::memory_order_relaxed)) {
     h.ok = false;
     h.detail = "last window closed partial (contribution mask 0x";
@@ -379,14 +384,31 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  auto built = builder.build();
-  if (!built) {
-    std::fprintf(stderr, "admission failed: %s\n", built.error().to_string().c_str());
-    return 1;
+  // Distributed roles plan WITHOUT building a driver: every process
+  // (collector and each switch node) derives the identical plan from the
+  // same seed/queries/training traffic, then deploys only its half.
+  std::unique_ptr<runtime::TelemetryEngine> engine_owned;
+  runtime::EngineBuilder::PlannedSetup setup;
+  const planner::Plan* active_plan = nullptr;
+  if (cfg.role == RunRole::kInProcess) {
+    auto built = builder.build();
+    if (!built) {
+      std::fprintf(stderr, "admission failed: %s\n", built.error().to_string().c_str());
+      return 1;
+    }
+    engine_owned = std::move(*built);
+    active_plan = &engine_owned->plan();
+  } else {
+    auto planned = builder.plan_only();
+    if (!planned) {
+      std::fprintf(stderr, "admission failed: %s\n", planned.error().to_string().c_str());
+      return 1;
+    }
+    setup = std::move(*planned);
+    active_plan = &setup.plan;
   }
-  runtime::TelemetryEngine& engine = **built;
-  std::printf("\n%s\n", engine.plan().summary().c_str());
-  if (cfg.switches > 1 || cfg.threads > 0) {
+  std::printf("\n%s\n", active_plan->summary().c_str());
+  if (cfg.role == RunRole::kInProcess && (cfg.switches > 1 || cfg.threads > 0)) {
     std::printf("Deploying on %zu switch%s (%zu worker thread%s)\n", cfg.switches,
                 cfg.switches == 1 ? "" : "es", cfg.threads, cfg.threads == 1 ? "" : "s");
   }
@@ -396,7 +418,7 @@ int main(int argc, char** argv) {
 
   // 5. Optional P4 emission for the switch side.
   if (!cfg.emit_p4_path.empty()) {
-    const planner::Plan& plan = engine.plan();
+    const planner::Plan& plan = *active_plan;
     std::vector<pisa::P4Pipeline> pipelines;
     for (const auto& pq : plan.queries) {
       for (const auto& p : pq.pipelines) {
@@ -430,7 +452,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", cfg.emit_spark_path.c_str());
       return 1;
     }
-    for (const auto& pq : engine.plan().queries) {
+    for (const auto& pq : active_plan->queries) {
       std::vector<stream::SparkPipeline> sources;
       const int finest = pq.chain.back();
       for (const auto& p : pq.pipelines) {
@@ -442,13 +464,86 @@ int main(int argc, char** argv) {
     std::printf("Wrote generated Spark jobs to %s\n\n", cfg.emit_spark_path.c_str());
   }
 
-  // 7. Run. Without a script this is the shared trace-replay loop; with
-  //    one, the same window split with control-plane actions staged so a
-  //    `submit` at window W is live for exactly windows [W, withdraw).
+  // 7. Run. In-process this is the shared trace-replay loop (optionally
+  //    with admit-script actions staged at window boundaries). Distributed
+  //    roles instead ship/merge window contributions over the transport:
+  //    the collector prints the same detection lines and final summary as
+  //    an in-process run, so CI can diff the two outputs byte for byte.
   WindowTotals totals;
-  if (actions.empty() && cfg.crash_after > 0) {
+  if (cfg.role == RunRole::kSwitch) {
+    namespace nt = net::transport;
+    auto spec = nt::parse_endpoint(cfg.connect_spec);
+    if (!spec) {
+      std::fprintf(stderr, "bad --connect spec: %s\n", spec.error().c_str());
+      return 2;
+    }
+    auto transport = nt::make_switch_transport(*spec, cfg.node_index);
+    if (!transport) {
+      std::fprintf(stderr, "cannot create transport: %s\n", transport.error().c_str());
+      return 1;
+    }
+    runtime::DistributedConfig dcfg;
+    dcfg.switches = cfg.switches;
+    dcfg.nodes = cfg.nodes;
+    dcfg.node_index = cfg.node_index;
+    dcfg.batch = cfg.batch;
+    dcfg.faults = cfg.faults;
+    runtime::SwitchNode node(*active_plan, dcfg, std::move(*transport));
+    const std::size_t owned = (cfg.switches + cfg.nodes - 1 - cfg.node_index) / cfg.nodes;
+    std::printf("Switch node %u/%u connecting to %s (%zu of %zu shards owned)\n",
+                static_cast<unsigned>(cfg.node_index), static_cast<unsigned>(cfg.nodes),
+                cfg.connect_spec.c_str(), owned, cfg.switches);
+    std::fflush(stdout);
+    if (const std::string err = node.run(trace); !err.empty()) {
+      std::fprintf(stderr, "switch node %u: %s\n", static_cast<unsigned>(cfg.node_index),
+                   err.c_str());
+      return 1;
+    }
+    const runtime::SwitchNode::Stats& st = node.stats();
+    std::printf("\nSwitch node %u done: %llu windows, %llu packets, %llu records + "
+                "%llu raw + %llu partial entries shipped, %llu winner keys installed\n",
+                static_cast<unsigned>(cfg.node_index),
+                static_cast<unsigned long long>(st.windows),
+                static_cast<unsigned long long>(st.packets),
+                static_cast<unsigned long long>(st.records_sent),
+                static_cast<unsigned long long>(st.raw_sent),
+                static_cast<unsigned long long>(st.partial_entries_sent),
+                static_cast<unsigned long long>(st.winner_installs));
+  } else if (cfg.role == RunRole::kCollector) {
+    namespace nt = net::transport;
+    auto spec = nt::parse_endpoint(cfg.listen_spec);
+    if (!spec) {
+      std::fprintf(stderr, "bad --listen spec: %s\n", spec.error().c_str());
+      return 2;
+    }
+    auto ep = nt::make_collector_endpoint(*spec, cfg.nodes);
+    if (!ep) {
+      std::fprintf(stderr, "cannot create endpoint: %s\n", ep.error().c_str());
+      return 1;
+    }
+    runtime::DistributedConfig dcfg;
+    dcfg.switches = cfg.switches;
+    dcfg.nodes = cfg.nodes;
+    dcfg.batch = cfg.batch;
+    runtime::Collector collector(*active_plan, dcfg, std::move(*ep));
+    if (const std::string err = collector.listen(); !err.empty()) {
+      std::fprintf(stderr, "collector: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("Collector listening on %s for %u switch node%s (%zu shards)\n",
+                cfg.listen_spec.c_str(), static_cast<unsigned>(cfg.nodes),
+                cfg.nodes == 1 ? "" : "s", cfg.switches);
+    std::fflush(stdout);  // launchers wait for this line before starting nodes
+    if (const std::string err =
+            collector.run([&](const runtime::WindowStats& ws) { print_window(ws, totals); });
+        !err.empty()) {
+      std::fprintf(stderr, "collector: %s\n", err.c_str());
+      return 1;
+    }
+  } else if (actions.empty() && cfg.crash_after > 0) {
     // Manual window loop so we can die on cue: process whole windows and
     // raise SIGSEGV after the Nth — the postmortem path's test hook.
+    runtime::TelemetryEngine& engine = *engine_owned;
     const util::Nanos w = engine.plan().window;
     std::span<const net::Packet> rest{trace};
     std::uint64_t closed = 0;
@@ -467,8 +562,9 @@ int main(int argc, char** argv) {
       }
     }
   } else if (actions.empty()) {
-    for (const auto& ws : engine.run_trace(trace)) print_window(ws, totals);
+    for (const auto& ws : engine_owned->run_trace(trace)) print_window(ws, totals);
   } else {
+    runtime::TelemetryEngine& engine = *engine_owned;
     const util::Nanos w = engine.plan().window;
     std::span<const net::Packet> rest{trace};
     std::size_t action_next = 0;
@@ -503,13 +599,16 @@ int main(int argc, char** argv) {
                    actions[i].line, static_cast<unsigned long long>(actions[i].window));
     }
   }
-  std::printf("\n%llu detections; stream processor saw %llu of %llu packets (%.4f%%)\n",
-              static_cast<unsigned long long>(totals.detections),
-              static_cast<unsigned long long>(totals.tuples),
-              static_cast<unsigned long long>(totals.packets),
-              totals.packets == 0 ? 0.0
-                                  : 100.0 * static_cast<double>(totals.tuples) /
-                                        static_cast<double>(totals.packets));
+  if (cfg.role != RunRole::kSwitch) {
+    std::printf("\n%llu detections; stream processor saw %llu of %llu packets (%.4f%%)\n",
+                static_cast<unsigned long long>(totals.detections),
+                static_cast<unsigned long long>(totals.tuples),
+                static_cast<unsigned long long>(totals.packets),
+                totals.packets == 0 ? 0.0
+                                    : 100.0 * static_cast<double>(totals.tuples) /
+                                          static_cast<double>(totals.packets));
+  }
+  g_health.done.store(true, std::memory_order_relaxed);
 
   // 8. Observability exports.
   if (!cfg.metrics_json_path.empty() || !cfg.metrics_prom_path.empty()) {
