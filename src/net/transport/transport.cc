@@ -549,6 +549,9 @@ class TcpCollectorEndpoint final : public CollectorBase {
       std::vector<pollfd> pfds;
       pfds.push_back({listen_fd_, POLLIN, 0});
       for (const Conn& c : conns_) pfds.push_back({c.fd, POLLIN, 0});
+      // Connections accepted below are appended to conns_ after pfds was
+      // built; only the first `scanned` entries have a matching pollfd.
+      const std::size_t scanned = conns_.size();
       const auto now = Clock::now();
       const int remain = now >= deadline
                              ? 0
@@ -569,7 +572,7 @@ class TcpCollectorEndpoint final : public CollectorBase {
           conns_.push_back(Conn{conn, std::make_unique<StreamParser>(), -1});
         }
       }
-      for (std::size_t i = 0; i < conns_.size();) {
+      for (std::size_t i = 0; i < scanned;) {
         Conn& c = conns_[i];
         if (!(pfds[1 + i].revents & (POLLIN | POLLHUP))) {
           ++i;

@@ -304,11 +304,23 @@ bool SwitchNode::send_data(nt::Frame f) {
 
 void SwitchNode::flush_held() {
   if (!held_) return;
-  raw_send(*held_);
+  if (!raw_send(*held_)) note_send_failure("reorder-held data");
   held_.reset();
 }
 
+void SwitchNode::note_send_failure(const char* frame_kind) {
+  SONATA_WARN("switch", "node %u: %s frame send failed",
+              static_cast<unsigned>(cfg_.node_index), frame_kind);
+  // On a datagram transport a failed send is indistinguishable from wire
+  // loss and the collector's gap accounting covers it; in-order transports
+  // never lose frames, so a failed send there is fatal for the window.
+  if (transport_->kind() != nt::TransportKind::kUdp && send_err_.empty()) {
+    send_err_ = std::string("transport send failed (") + frame_kind + " frame)";
+  }
+}
+
 void SwitchNode::send_records(OwnedShard& shard) {
+  if (!send_err_.empty()) return;
   const std::size_t max_payload = nt::max_frame_payload(transport_->kind());
   const auto recs = shard.sink.records();
   std::size_t i = 0;
@@ -337,7 +349,13 @@ void SwitchNode::send_records(OwnedShard& shard) {
           ++stats_.truncated;
         }
       }
-      if (count > 0 && f.payload.size() + 4 + record_scratch_.size() > max_payload) break;
+      if (f.payload.size() + 4 + record_scratch_.size() > max_payload) {
+        if (count > 0) break;  // frame full: ship it, start the next one
+        // A single record that cannot fit even an empty frame would be sent
+        // oversized (EMSGSIZE on UDP, a stuck shm ring): hard protocol error.
+        send_err_ = "encoded record exceeds the transport's max frame payload";
+        return;
+      }
       put_u32(f.payload, static_cast<std::uint32_t>(record_scratch_.size()));
       f.payload.insert(f.payload.end(), record_scratch_.begin(), record_scratch_.end());
       ++count;
@@ -345,11 +363,12 @@ void SwitchNode::send_records(OwnedShard& shard) {
       ++stats_.records_sent;
     }
     patch_u32(f.payload, 2, count);
-    send_data(std::move(f));
+    if (!send_data(std::move(f))) note_send_failure("kRecords");
   }
 }
 
 void SwitchNode::send_raw(OwnedShard& shard) {
+  if (!send_err_.empty()) return;
   const std::size_t max_payload = nt::max_frame_payload(transport_->kind());
   std::size_t i = 0;
   while (i < shard.raw_sources.size()) {
@@ -362,7 +381,11 @@ void SwitchNode::send_raw(OwnedShard& shard) {
     while (i < shard.raw_sources.size()) {
       record_scratch_.clear();
       encode_tuple(shard.raw_sources[i], record_scratch_);
-      if (count > 0 && f.payload.size() + 4 + record_scratch_.size() > max_payload) break;
+      if (f.payload.size() + 4 + record_scratch_.size() > max_payload) {
+        if (count > 0) break;
+        send_err_ = "encoded raw tuple exceeds the transport's max frame payload";
+        return;
+      }
       put_u32(f.payload, static_cast<std::uint32_t>(record_scratch_.size()));
       f.payload.insert(f.payload.end(), record_scratch_.begin(), record_scratch_.end());
       ++count;
@@ -370,11 +393,12 @@ void SwitchNode::send_raw(OwnedShard& shard) {
       ++stats_.raw_sent;
     }
     patch_u32(f.payload, 2, count);
-    send_data(std::move(f));
+    if (!send_data(std::move(f))) note_send_failure("kRaw");
   }
 }
 
 void SwitchNode::send_partials(OwnedShard& shard) {
+  if (!send_err_.empty()) return;
   const std::size_t max_payload = nt::max_frame_payload(transport_->kind());
   const auto& pipelines = shard.sw->pipelines();
   for (std::size_t p = 0; p < pipelines.size(); ++p) {
@@ -392,7 +416,11 @@ void SwitchNode::send_partials(OwnedShard& shard) {
       while (i < part.keys.size()) {
         record_scratch_.clear();
         encode_tuple(part.keys[i], record_scratch_);
-        if (count > 0 && f.payload.size() + 12 + record_scratch_.size() > max_payload) break;
+        if (f.payload.size() + 12 + record_scratch_.size() > max_payload) {
+          if (count > 0) break;
+          send_err_ = "encoded partial entry exceeds the transport's max frame payload";
+          return;
+        }
         put_u64(f.payload, part.values[i]);
         put_u32(f.payload, static_cast<std::uint32_t>(record_scratch_.size()));
         f.payload.insert(f.payload.end(), record_scratch_.begin(), record_scratch_.end());
@@ -401,7 +429,7 @@ void SwitchNode::send_partials(OwnedShard& shard) {
         ++stats_.partial_entries_sent;
       }
       patch_u32(f.payload, 6, count);
-      send_data(std::move(f));
+      if (!send_data(std::move(f))) note_send_failure("kPartial");
     }
   }
 }
@@ -429,6 +457,11 @@ std::string SwitchNode::close_window(std::uint64_t window, bool final) {
     shard.raw_sources.clear();
   }
   flush_held();
+  if (!send_err_.empty()) {
+    std::string err = std::move(send_err_);
+    send_err_.clear();
+    return err;
+  }
   nt::Frame end;
   end.type = nt::FrameType::kWindowEnd;
   end.source = cfg_.node_index;
@@ -622,7 +655,11 @@ std::string Collector::handle(nt::Frame& f) {
       ack.source = f.source;
       put_u16(ack.payload, f.source);
       put_u16(ack.payload, kDistributedProto);
-      endpoint_->send_to(f.source, ack);  // idempotent: duplicates re-ack
+      if (!endpoint_->send_to(f.source, ack)) {
+        // Idempotent: the node retransmits its hello until acked.
+        SONATA_WARN("collector", "hello ack to node %u failed",
+                    static_cast<unsigned>(f.source));
+      }
       return "";
     }
     case nt::FrameType::kRecords: {
@@ -706,7 +743,7 @@ std::string Collector::handle(nt::Frame& f) {
       if (w + 1 == window_counter_ && node.feedback_window == w) {
         // Duplicate after we closed: the ack or the winners got lost on
         // the way down — re-send the cached bundle.
-        for (const nt::Frame& fb : node.feedback) endpoint_->send_to(f.source, fb);
+        send_feedback(node, f.source);
         return "";
       }
       if (w != window_counter_) return "";  // stale retransmission
@@ -837,6 +874,13 @@ std::string Collector::close_current(const WindowFn& on_window) {
         put_u32(install, static_cast<std::uint32_t>(enc.size()));
         install.insert(install.end(), enc.begin(), enc.end());
       }
+      // 12 = the kWinners chunk header (window u64 + count u32). An
+      // install that cannot fit even an empty chunk would go out as an
+      // oversized frame (EMSGSIZE on UDP, a wedged shm ring): hard error.
+      if (12 + install.size() > max_payload) {
+        return "winner install for table '" + table +
+               "' exceeds the transport's max frame payload";
+      }
       if (open && cur.payload.size() + install.size() > max_payload) flush();
       if (!open) {
         cur.type = nt::FrameType::kWinners;
@@ -857,7 +901,7 @@ std::string Collector::close_current(const WindowFn& on_window) {
     put_u32(ack.payload, static_cast<std::uint32_t>(node.feedback.size()));
     put_u8(ack.payload, was_partial ? 1 : 0);
     node.feedback.push_back(std::move(ack));
-    for (const nt::Frame& fb : node.feedback) endpoint_->send_to(i, fb);
+    send_feedback(node, i);
     node.feedback_window = window_counter_;
     node.lost_baseline = endpoint_->reassembly().stats(i).lost;
     node.end_seen = false;
@@ -880,6 +924,17 @@ std::string Collector::close_current(const WindowFn& on_window) {
   }
   if (on_window) on_window(ws);
   return "";
+}
+
+void Collector::send_feedback(NodeState& node, std::uint16_t index) {
+  for (const nt::Frame& fb : node.feedback) {
+    if (!endpoint_->send_to(index, fb)) {
+      // The bundle stays cached: the node's kWindowEnd retransmit triggers
+      // a re-send, and the barrier timeout bounds a persistent failure.
+      SONATA_WARN("collector", "feedback send to node %u failed (frame type %u)",
+                  static_cast<unsigned>(index), static_cast<unsigned>(fb.type));
+    }
+  }
 }
 
 void Collector::publish_obs() {

@@ -133,6 +133,10 @@ class SwitchNode {
   void send_records(OwnedShard& shard);
   void send_raw(OwnedShard& shard);
   void send_partials(OwnedShard& shard);
+  // Records a failed data send: always warns; fatal (sticky in send_err_,
+  // surfaced by close_window) on in-order transports, where a send failure
+  // is never recoverable loss.
+  void note_send_failure(const char* frame_kind);
   // Sequence-numbered send with frame-level fault injection; a dropped
   // frame still consumes its sequence number.
   bool send_data(net::transport::Frame f);
@@ -152,6 +156,9 @@ class SwitchNode {
   util::Rng rng_;
   bool frame_faults_ = false;
   bool record_faults_ = false;
+  // First fatal error from the window's send phase (oversized entry, or a
+  // failed send on an in-order transport); close_window surfaces it.
+  std::string send_err_;
   Stats stats_;
   std::vector<std::byte> record_scratch_;
   // Last-published cumulative values behind the add-only obs counters.

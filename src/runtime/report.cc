@@ -1,10 +1,23 @@
 #include "runtime/report.h"
 
+#include <cassert>
 #include <cstring>
+#include <string_view>
+
+#include "util/log.h"
 
 namespace sonata::runtime {
 
 namespace {
+
+// Wire limits of the report/tuple codec: the column count travels as a
+// u8 and a string value's length as a u16. A value beyond either cannot
+// be represented; encoding truncates (so the frame stays decodable) and
+// warns, instead of silently writing a length that disagrees with the
+// bytes that follow — which the peer would count as a decode failure or,
+// for winner keys, abort the switch node on.
+constexpr std::size_t kMaxTupleColumns = 255;
+constexpr std::size_t kMaxStringBytes = 65535;
 
 void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
   out.push_back(static_cast<std::byte>(v));
@@ -17,6 +30,26 @@ void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
   for (int shift = 56; shift >= 0; shift -= 8) {
     out.push_back(static_cast<std::byte>((v >> shift) & 0xff));
   }
+}
+
+std::size_t checked_columns(std::size_t n, const char* what) {
+  if (n <= kMaxTupleColumns) return n;
+  assert(false && "tuple exceeds the codec's u8 column-count limit");
+  SONATA_WARN("report", "%s has %zu columns; codec limit is %zu — truncating", what, n,
+              kMaxTupleColumns);
+  return kMaxTupleColumns;
+}
+
+void put_string(std::vector<std::byte>& out, std::string_view s, const char* what) {
+  std::size_t n = s.size();
+  if (n > kMaxStringBytes) {
+    assert(false && "string value exceeds the codec's u16 length limit");
+    SONATA_WARN("report", "%s string value is %zu bytes; codec limit is %zu — truncating", what,
+                n, kMaxStringBytes);
+    n = kMaxStringBytes;
+  }
+  put_u16(out, static_cast<std::uint16_t>(n));
+  for (std::size_t i = 0; i < n; ++i) out.push_back(static_cast<std::byte>(s[i]));
 }
 
 class Reader {
@@ -74,31 +107,31 @@ void encode_report_into(const pisa::EmitRecord& record, std::vector<std::byte>& 
   put_u16(out, static_cast<std::uint16_t>(record.level));
   put_u16(out, static_cast<std::uint16_t>(record.op_index));
   put_u64(out, record.ingest_ns);
-  put_u8(out, static_cast<std::uint8_t>(record.tuple.size()));
-  for (const auto& v : record.tuple.values) {
+  const std::size_t ncols = checked_columns(record.tuple.size(), "EmitRecord tuple");
+  put_u8(out, static_cast<std::uint8_t>(ncols));
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const auto& v = record.tuple.values[c];
     if (v.is_uint()) {
       put_u8(out, 0);
       put_u64(out, v.as_uint());
     } else {
       put_u8(out, 1);
-      const auto s = v.as_string();
-      put_u16(out, static_cast<std::uint16_t>(s.size()));
-      for (const char c : s) out.push_back(static_cast<std::byte>(c));
+      put_string(out, v.as_string(), "EmitRecord tuple");
     }
   }
 }
 
 void encode_tuple(const query::Tuple& tuple, std::vector<std::byte>& out) {
-  put_u8(out, static_cast<std::uint8_t>(tuple.size()));
-  for (const auto& v : tuple.values) {
+  const std::size_t ncols = checked_columns(tuple.size(), "tuple");
+  put_u8(out, static_cast<std::uint8_t>(ncols));
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const auto& v = tuple.values[c];
     if (v.is_uint()) {
       put_u8(out, 0);
       put_u64(out, v.as_uint());
     } else {
       put_u8(out, 1);
-      const auto s = v.as_string();
-      put_u16(out, static_cast<std::uint16_t>(s.size()));
-      for (const char c : s) out.push_back(static_cast<std::byte>(c));
+      put_string(out, v.as_string(), "tuple");
     }
   }
 }

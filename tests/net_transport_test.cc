@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -402,6 +403,49 @@ TEST(ShmRing, CrossThreadFrameStreamArrivesIntactAndInOrder) {
     for (const auto b : got[i].payload) EXPECT_EQ(b, static_cast<std::byte>(i & 0xff));
   }
   ::unlink(path.c_str());
+}
+
+// Regression: a client whose connect AND first bytes are both pending when
+// the collector polls. The accept grows the connection list past the pollfd
+// set built for that round; the scan must only cover connections that have
+// a matching pollfd (the old code indexed one past the end of pfds and
+// could readv() a fresh blocking socket with no data, wedging the poll).
+TEST(TcpEndpoint, AcceptAndFirstFrameInSamePollRound) {
+  const std::uint16_t port = static_cast<std::uint16_t>(40000 + (::getpid() % 20000));
+  const auto spec = parse_endpoint("tcp:127.0.0.1:" + std::to_string(port));
+  ASSERT_TRUE(spec.has_value());
+
+  constexpr std::uint16_t kNodes = 2;
+  auto ep = make_collector_endpoint(*spec, kNodes);
+  ASSERT_TRUE(ep.has_value()) << ep.error();
+  ASSERT_EQ((*ep)->listen(), "");
+
+  // Both clients connect and send before the collector polls once: the
+  // kernel queues the connections on the listen backlog and the frames in
+  // the socket buffers, so the first poll round sees accept + data ready.
+  std::vector<std::unique_ptr<ReportTransport>> clients;
+  for (std::uint16_t n = 0; n < kNodes; ++n) {
+    auto tr = make_switch_transport(*spec, n);
+    ASSERT_TRUE(tr.has_value()) << tr.error();
+    ASSERT_EQ((*tr)->connect(2000), "");
+    ASSERT_TRUE((*tr)->send(make_frame(FrameType::kHello, n, 0, {1, 2, 3})));
+    clients.push_back(std::move(*tr));
+  }
+
+  std::vector<Frame> got;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (got.size() < kNodes && std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE((*ep)->poll(got, 100));
+  }
+  ASSERT_EQ(got.size(), kNodes);
+  std::vector<bool> seen(kNodes, false);
+  for (const Frame& f : got) {
+    EXPECT_EQ(f.type, FrameType::kHello);
+    ASSERT_LT(f.source, kNodes);
+    seen[f.source] = true;
+    EXPECT_EQ(f.payload.size(), 3u);
+  }
+  EXPECT_TRUE(seen[0] && seen[1]);
 }
 
 }  // namespace
